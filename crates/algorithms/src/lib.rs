@@ -1,0 +1,161 @@
+//! Asymptotic consensus algorithms for dynamic networks.
+//!
+//! This crate implements the algorithms whose *upper* bounds make the
+//! lower bounds of *“Tight Bounds for Asymptotic and Approximate
+//! Consensus”* (Függer, Nowak, Schwarz; PODC 2018) tight, plus the
+//! non-convex comparators discussed in the paper's introduction:
+//!
+//! | Algorithm | Paper reference | Contraction (upper bound) |
+//! |---|---|---|
+//! | [`TwoAgentThirds`] | Algorithm 1 (§4) | `1/3` in `{H0,H1,H2}` |
+//! | [`Midpoint`] | Algorithm 2 (§5), from [9] | `1/2` in non-split models |
+//! | [`AmortizedMidpoint`] | §6, from [9] | `(1/2)^{1/(n−1)}` in rooted models |
+//! | [`MeanValue`] / [`SelfWeightedAverage`] | classic averaging ([8]) | model-dependent |
+//! | [`WindowedMidpoint`] | “non-memoryless” example (§1 (ii)) | — |
+//! | [`MassSplitting`] | “non-convex” example (§1 (i)) | fixed-graph only |
+//! | [`Overshoot`] | second-order controller example (§1) | — |
+//! | [`TrimmedMean`] | cautious functions of Dolev et al. [14] / Fekete [17,18] | — |
+//! | [`QuantizedMidpoint`] | the “quantizable” variant of [9] | one quantum in `⌈log₂(Δ/q)⌉` rounds |
+//!
+//! The [`stochastic`] module provides the row-stochastic-matrix view of
+//! the linear rules (Dobrushin coefficients, products, support graphs)
+//! used to cross-validate measured contraction rates.
+//!
+//! Algorithms are deterministic state machines over the Heard-Of-style
+//! round structure of the paper's §2: in each round every agent sends a
+//! message to its out-neighbors, receives the messages of its
+//! in-neighbors (always including itself — communication graphs have
+//! self-loops), and updates its state. The [`Algorithm`] trait encodes
+//! exactly that; the executor lives in `consensus-dynamics`.
+//!
+//! # Example
+//!
+//! ```
+//! use consensus_algorithms::{Algorithm, Midpoint, Point};
+//!
+//! let alg = Midpoint;
+//! let mut state = alg.init(0, Point([0.0]));
+//! // Agent 0 hears itself (0.0) and agent 1 (1.0):
+//! let inbox = vec![(0, alg.message(&state)), (1, Point([1.0]))];
+//! alg.step(0, &mut state, &inbox, 1);
+//! assert_eq!(alg.output(&state), Point([0.5]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod amortized;
+mod averaging;
+mod midpoint;
+mod nonconvex;
+mod point;
+mod quantized;
+pub mod stochastic;
+mod trimmed;
+mod two_agent;
+
+pub use amortized::AmortizedMidpoint;
+pub use averaging::{MeanValue, SelfWeightedAverage};
+pub use midpoint::{Midpoint, WindowedMidpoint};
+pub use nonconvex::{MassSplitting, Overshoot};
+pub use point::{bounding_box, convex_combination, diameter, in_bounding_box, Point};
+pub use quantized::QuantizedMidpoint;
+pub use trimmed::TrimmedMean;
+pub use two_agent::TwoAgentThirds;
+
+/// An agent identifier (0-based), re-exported from `consensus-digraph`.
+pub type Agent = consensus_digraph::Agent;
+
+/// A deterministic round-based asymptotic consensus algorithm (paper §2).
+///
+/// One round for agent `i`:
+/// 1. the harness collects `message(&state_i)`;
+/// 2. the harness delivers to `i` the messages of its in-neighbors in the
+///    round's communication graph — **always** including `i`'s own message
+///    (self-loops are mandatory);
+/// 3. `step` updates the state; `output` reads the current value `y_i`.
+///
+/// Determinism is part of the model: identical inboxes must produce
+/// identical states (the lower bounds' indistinguishability arguments
+/// rely on it). Implementations must not use randomness or ambient state.
+pub trait Algorithm<const D: usize> {
+    /// Per-agent local state.
+    type State: Clone + std::fmt::Debug;
+    /// The message broadcast each round.
+    type Msg: Clone + std::fmt::Debug;
+
+    /// A short human-readable name (used in bench tables).
+    fn name(&self) -> String;
+
+    /// The initial state of `agent` with initial value `y0`.
+    fn init(&self, agent: Agent, y0: Point<D>) -> Self::State;
+
+    /// The message the agent broadcasts in the *next* round.
+    fn message(&self, state: &Self::State) -> Self::Msg;
+
+    /// One state update. `inbox` holds `(sender, message)` pairs sorted by
+    /// sender, always containing the agent's own message. `round` counts
+    /// from 1 as in the paper.
+    fn step(&self, agent: Agent, state: &mut Self::State, inbox: &[(Agent, Self::Msg)], round: u64);
+
+    /// The current output value `y_i(t)`.
+    fn output(&self, state: &Self::State) -> Point<D>;
+
+    /// Whether the algorithm is a *convex combination* algorithm (§2.2):
+    /// outputs always lie in the convex hull of the values just received.
+    /// Used by test harnesses to decide which invariants to assert.
+    fn is_convex_combination(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    // The trait must be object-safe enough for generic executors; this is
+    // a compile-time check that common algorithms share a call pattern.
+    fn exercise<A: Algorithm<1>>(alg: &A) -> Point<1> {
+        let mut s = alg.init(0, Point([1.0]));
+        let inbox = vec![(0, alg.message(&s))];
+        alg.step(0, &mut s, &inbox, 1);
+        alg.output(&s)
+    }
+
+    #[test]
+    fn all_algorithms_run_one_solo_round() {
+        // A deaf agent (inbox = own message only) must keep a finite value.
+        assert!(exercise(&Midpoint).is_finite());
+        assert!(exercise(&MeanValue).is_finite());
+        assert!(exercise(&TwoAgentThirds).is_finite());
+        assert!(exercise(&AmortizedMidpoint::new(4)).is_finite());
+        assert!(exercise(&SelfWeightedAverage::new(0.5)).is_finite());
+        assert!(exercise(&WindowedMidpoint::new(3)).is_finite());
+        assert!(exercise(&Overshoot::new(0.3)).is_finite());
+    }
+
+    #[test]
+    fn deaf_round_is_identity_for_convex_algorithms() {
+        // With only its own message, a convex combination algorithm must
+        // keep its value exactly.
+        fn check<A: Algorithm<1>>(alg: &A) {
+            let mut s = alg.init(0, Point([0.75]));
+            for round in 1..=5 {
+                let inbox = vec![(0, alg.message(&s))];
+                alg.step(0, &mut s, &inbox, round);
+                assert_eq!(
+                    alg.output(&s),
+                    Point([0.75]),
+                    "{} moved without input",
+                    alg.name()
+                );
+            }
+        }
+        check(&Midpoint);
+        check(&MeanValue);
+        check(&TwoAgentThirds);
+        check(&AmortizedMidpoint::new(3));
+        check(&SelfWeightedAverage::new(0.25));
+        check(&WindowedMidpoint::new(2));
+    }
+}

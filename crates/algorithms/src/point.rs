@@ -1,0 +1,296 @@
+//! Values in Euclidean `d`-space (the `y_i ∈ R^d` of the paper, §2.1).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub};
+
+/// A point in `R^D` — an agent's output value.
+///
+/// `D` is a compile-time dimension; the paper's statements are
+/// dimension-independent and most experiments use `D = 1`
+/// (`Point<1>` converts from/to `f64`).
+#[derive(Clone, Copy, PartialEq)]
+pub struct Point<const D: usize>(pub [f64; D]);
+
+impl<const D: usize> Point<D> {
+    /// The origin.
+    pub const ZERO: Point<D> = Point([0.0; D]);
+
+    /// A point with every coordinate equal to `v`.
+    #[must_use]
+    pub fn splat(v: f64) -> Self {
+        Point([v; D])
+    }
+
+    /// The Euclidean norm.
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        self.0.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Euclidean distance to another point.
+    #[must_use]
+    pub fn dist(&self, other: &Self) -> f64 {
+        (*self - *other).norm()
+    }
+
+    /// Coordinate-wise minimum (lattice meet).
+    #[must_use]
+    pub fn min(&self, other: &Self) -> Self {
+        let mut out = self.0;
+        for (o, b) in out.iter_mut().zip(other.0.iter()) {
+            *o = o.min(*b);
+        }
+        Point(out)
+    }
+
+    /// Coordinate-wise maximum (lattice join).
+    #[must_use]
+    pub fn max(&self, other: &Self) -> Self {
+        let mut out = self.0;
+        for (o, b) in out.iter_mut().zip(other.0.iter()) {
+            *o = o.max(*b);
+        }
+        Point(out)
+    }
+
+    /// The midpoint `(a + b) / 2`.
+    #[must_use]
+    pub fn midpoint(&self, other: &Self) -> Self {
+        (*self + *other) * 0.5
+    }
+
+    /// Whether all coordinates are finite.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.0.iter().all(|x| x.is_finite())
+    }
+}
+
+impl<const D: usize> fmt::Debug for Point<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if D == 1 {
+            write!(f, "{}", self.0[0])
+        } else {
+            write!(f, "{:?}", self.0)
+        }
+    }
+}
+
+impl<const D: usize> fmt::Display for Point<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl<const D: usize> Default for Point<D> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl From<f64> for Point<1> {
+    fn from(v: f64) -> Self {
+        Point([v])
+    }
+}
+
+impl From<Point<1>> for f64 {
+    fn from(p: Point<1>) -> f64 {
+        p.0[0]
+    }
+}
+
+impl<const D: usize> From<[f64; D]> for Point<D> {
+    fn from(v: [f64; D]) -> Self {
+        Point(v)
+    }
+}
+
+impl<const D: usize> Add for Point<D> {
+    type Output = Point<D>;
+    fn add(mut self, rhs: Self) -> Self {
+        for (a, b) in self.0.iter_mut().zip(rhs.0.iter()) {
+            *a += b;
+        }
+        self
+    }
+}
+
+impl<const D: usize> AddAssign for Point<D> {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<const D: usize> Sub for Point<D> {
+    type Output = Point<D>;
+    fn sub(mut self, rhs: Self) -> Self {
+        for (a, b) in self.0.iter_mut().zip(rhs.0.iter()) {
+            *a -= b;
+        }
+        self
+    }
+}
+
+impl<const D: usize> Neg for Point<D> {
+    type Output = Point<D>;
+    fn neg(mut self) -> Self {
+        for a in self.0.iter_mut() {
+            *a = -*a;
+        }
+        self
+    }
+}
+
+impl<const D: usize> Mul<f64> for Point<D> {
+    type Output = Point<D>;
+    fn mul(mut self, rhs: f64) -> Self {
+        for a in self.0.iter_mut() {
+            *a *= rhs;
+        }
+        self
+    }
+}
+
+impl<const D: usize> Index<usize> for Point<D> {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl<const D: usize> IndexMut<usize> for Point<D> {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.0[i]
+    }
+}
+
+/// The diameter `diam(A) = sup_{x,y∈A} ‖x − y‖` of a finite point set
+/// (paper §2.1, `Δ(y(t))`). Empty and singleton sets have diameter 0.
+#[must_use]
+pub fn diameter<const D: usize>(points: &[Point<D>]) -> f64 {
+    let mut best: f64 = 0.0;
+    for (i, a) in points.iter().enumerate() {
+        for b in &points[i + 1..] {
+            best = best.max(a.dist(b));
+        }
+    }
+    best
+}
+
+/// The convex combination `Σ w_i · p_i`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the lengths differ, some weight is
+/// negative, or the weights do not sum to 1 within `1e-9`.
+#[must_use]
+pub fn convex_combination<const D: usize>(points: &[Point<D>], weights: &[f64]) -> Point<D> {
+    debug_assert_eq!(points.len(), weights.len());
+    debug_assert!(weights.iter().all(|&w| w >= -1e-12));
+    debug_assert!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    let mut acc = Point::ZERO;
+    for (p, &w) in points.iter().zip(weights) {
+        acc += *p * w;
+    }
+    acc
+}
+
+/// The coordinate-wise bounding box of a non-empty point set, as
+/// `(min, max)`.
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+#[must_use]
+pub fn bounding_box<const D: usize>(points: &[Point<D>]) -> (Point<D>, Point<D>) {
+    assert!(!points.is_empty(), "bounding box of an empty set");
+    let mut lo = points[0];
+    let mut hi = points[0];
+    for p in &points[1..] {
+        lo = lo.min(p);
+        hi = hi.max(p);
+    }
+    (lo, hi)
+}
+
+/// Whether `x` lies in the coordinate-wise bounding box of `points`
+/// (with tolerance `tol`). For `D = 1` this is exact convex-hull
+/// membership; for `D > 1` it is a necessary condition (the hull is
+/// contained in the box), which is what the validity checks use.
+#[must_use]
+pub fn in_bounding_box<const D: usize>(x: &Point<D>, points: &[Point<D>], tol: f64) -> bool {
+    let (lo, hi) = bounding_box(points);
+    (0..D).all(|c| x[c] >= lo[c] - tol && x[c] <= hi[c] + tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Point([1.0, 2.0]);
+        let b = Point([3.0, -1.0]);
+        assert_eq!(a + b, Point([4.0, 1.0]));
+        assert_eq!(a - b, Point([-2.0, 3.0]));
+        assert_eq!(a * 2.0, Point([2.0, 4.0]));
+        assert_eq!(-a, Point([-1.0, -2.0]));
+        assert_eq!(a.midpoint(&b), Point([2.0, 0.5]));
+    }
+
+    #[test]
+    fn norms_and_distances() {
+        let a = Point([3.0, 4.0]);
+        assert!((a.norm() - 5.0).abs() < 1e-12);
+        assert!((a.dist(&Point::ZERO) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lattice_ops() {
+        let a = Point([1.0, 5.0]);
+        let b = Point([2.0, 3.0]);
+        assert_eq!(a.min(&b), Point([1.0, 3.0]));
+        assert_eq!(a.max(&b), Point([2.0, 5.0]));
+    }
+
+    #[test]
+    fn one_dim_conversions() {
+        let p: Point<1> = 2.5.into();
+        let v: f64 = p.into();
+        assert_eq!(v, 2.5);
+    }
+
+    #[test]
+    fn diameter_matches_definition() {
+        let pts: Vec<Point<1>> = [0.0, 0.25, 1.0, 0.5].iter().map(|&v| v.into()).collect();
+        assert!((diameter(&pts) - 1.0).abs() < 1e-12);
+        assert_eq!(diameter::<1>(&[]), 0.0);
+        assert_eq!(diameter(&[Point([1.0])]), 0.0);
+    }
+
+    #[test]
+    fn convex_combination_stays_in_hull() {
+        let pts = [Point([0.0]), Point([1.0])];
+        let c = convex_combination(&pts, &[0.25, 0.75]);
+        assert!((c[0] - 0.75).abs() < 1e-12);
+        assert!(in_bounding_box(&c, &pts, 0.0));
+    }
+
+    #[test]
+    fn bounding_box_membership() {
+        let pts = [Point([0.0, 0.0]), Point([1.0, 2.0])];
+        assert!(in_bounding_box(&Point([0.5, 1.0]), &pts, 0.0));
+        assert!(!in_bounding_box(&Point([1.5, 1.0]), &pts, 0.0));
+        // Tolerance.
+        assert!(in_bounding_box(&Point([1.0 + 1e-12, 1.0]), &pts, 1e-9));
+    }
+
+    #[test]
+    fn debug_format_scalar() {
+        let p: Point<1> = 0.5.into();
+        assert_eq!(format!("{p:?}"), "0.5");
+        let q = Point([0.5, 1.0]);
+        assert_eq!(format!("{q:?}"), "[0.5, 1.0]");
+    }
+}

@@ -1,0 +1,391 @@
+//! Row-stochastic matrix analysis of averaging algorithms.
+//!
+//! Every *linear* convex combination algorithm (§2.2) corresponds, per
+//! round, to a row-stochastic matrix `A(t)` with support in the round's
+//! communication graph: `y(t) = A(t) · y(t−1)`. The classical tool for
+//! contraction analysis is the **Dobrushin coefficient**
+//!
+//! `δ(A) = 1 − min_{i,j} Σ_k min(a_ik, a_jk)`,
+//!
+//! which bounds the spread: `Δ(A·y) ≤ δ(A) · Δ(y)` (and the bound is
+//! attained for some `y`). `δ(A) < 1` iff `A` is *scrambling*, the
+//! weighted analogue of the paper's non-split property.
+//!
+//! This module cross-validates the simulation engine against the
+//! matrix theory: the per-round ratios measured by
+//! `consensus-dynamics` for linear algorithms never exceed the Dobrushin
+//! coefficient of the corresponding matrix, and the `1 − 1/n` worst case
+//! of plain averaging in non-split models (cited by the paper from [7])
+//! is exhibited exactly by `deaf(K_n)` matrices.
+
+use consensus_digraph::Digraph;
+
+use crate::Point;
+
+/// A row-stochastic matrix (rows sum to 1, entries ≥ 0).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StochasticMatrix {
+    n: usize,
+    /// Row-major entries; `rows[i][k]` is the weight agent `i` puts on
+    /// agent `k`'s value.
+    rows: Vec<Vec<f64>>,
+}
+
+impl StochasticMatrix {
+    /// Builds a matrix from rows, validating stochasticity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if a row is empty, has negative entries, or
+    /// does not sum to 1 within `1e-9`.
+    pub fn new(rows: Vec<Vec<f64>>) -> Result<Self, String> {
+        let n = rows.len();
+        if n == 0 {
+            return Err("matrix must be non-empty".to_owned());
+        }
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != n {
+                return Err(format!("row {i} has length {} ≠ {n}", row.len()));
+            }
+            if row.iter().any(|&a| a < -1e-12) {
+                return Err(format!("row {i} has a negative entry"));
+            }
+            let s: f64 = row.iter().sum();
+            if (s - 1.0).abs() > 1e-9 {
+                return Err(format!("row {i} sums to {s} ≠ 1"));
+            }
+        }
+        Ok(StochasticMatrix { n, rows })
+    }
+
+    /// The identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let rows = (0..n)
+            .map(|i| (0..n).map(|k| f64::from(u8::from(i == k))).collect())
+            .collect();
+        StochasticMatrix { n, rows }
+    }
+
+    /// The round matrix of the **mean-value** rule on graph `g`: agent
+    /// `i` puts weight `1/|In_i|` on each in-neighbor.
+    #[must_use]
+    pub fn equal_weights(g: &Digraph) -> Self {
+        let n = g.n();
+        let rows = (0..n)
+            .map(|i| {
+                let ins: Vec<usize> = g.in_neighbors(i).collect();
+                let w = 1.0 / ins.len() as f64;
+                let mut row = vec![0.0; n];
+                for j in ins {
+                    row[j] = w;
+                }
+                row
+            })
+            .collect();
+        StochasticMatrix { n, rows }
+    }
+
+    /// The round matrix of the **self-weighted** rule on graph `g`:
+    /// weight `w` on self, `1 − w` split over the other in-neighbors
+    /// (all on self if the agent is deaf).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w ∉ [0, 1]`.
+    #[must_use]
+    pub fn self_weighted(g: &Digraph, w: f64) -> Self {
+        assert!((0.0..=1.0).contains(&w));
+        let n = g.n();
+        let rows = (0..n)
+            .map(|i| {
+                let others: Vec<usize> = g.in_neighbors(i).filter(|&j| j != i).collect();
+                let mut row = vec![0.0; n];
+                if others.is_empty() {
+                    row[i] = 1.0;
+                } else {
+                    row[i] = w;
+                    let share = (1.0 - w) / others.len() as f64;
+                    for j in others {
+                        row[j] = share;
+                    }
+                }
+                row
+            })
+            .collect();
+        StochasticMatrix { n, rows }
+    }
+
+    /// Matrix dimension.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `(i, k)`.
+    #[must_use]
+    pub fn get(&self, i: usize, k: usize) -> f64 {
+        self.rows[i][k]
+    }
+
+    /// Applies the matrix to a value vector: `y' = A · y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != n`.
+    #[must_use]
+    pub fn apply<const D: usize>(&self, values: &[Point<D>]) -> Vec<Point<D>> {
+        assert_eq!(values.len(), self.n);
+        self.rows
+            .iter()
+            .map(|row| {
+                let mut acc = Point::ZERO;
+                for (k, &w) in row.iter().enumerate() {
+                    if w != 0.0 {
+                        acc += values[k] * w;
+                    }
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// The matrix product `self · other` (first `other`'s round, then
+    /// `self`'s — matching `y(t) = A_t ⋯ A_1 y(0)` composition order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    #[must_use]
+    pub fn product(&self, other: &StochasticMatrix) -> StochasticMatrix {
+        assert_eq!(self.n, other.n);
+        let n = self.n;
+        let rows = (0..n)
+            .map(|i| {
+                let mut row = vec![0.0; n];
+                for (j, &a) in self.rows[i].iter().enumerate() {
+                    if a != 0.0 {
+                        for (k, &b) in other.rows[j].iter().enumerate() {
+                            row[k] += a * b;
+                        }
+                    }
+                }
+                row
+            })
+            .collect();
+        StochasticMatrix { n, rows }
+    }
+
+    /// The **Dobrushin ergodicity coefficient**
+    /// `δ(A) = 1 − min_{i,j} Σ_k min(a_ik, a_jk) ∈ [0, 1]`.
+    #[must_use]
+    pub fn dobrushin(&self) -> f64 {
+        let mut min_overlap = f64::INFINITY;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                let overlap: f64 = (0..self.n)
+                    .map(|k| self.rows[i][k].min(self.rows[j][k]))
+                    .sum();
+                min_overlap = min_overlap.min(overlap);
+            }
+        }
+        if self.n <= 1 {
+            0.0
+        } else {
+            (1.0 - min_overlap).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Whether the matrix is *scrambling* (`δ(A) < 1`): any two rows
+    /// share support — the weighted non-split property.
+    #[must_use]
+    pub fn is_scrambling(&self) -> bool {
+        self.dobrushin() < 1.0
+    }
+
+    /// The support graph: edge `(k, i)` iff `a_ik > 0` (plus mandatory
+    /// self-loops, which stochastic round matrices of convex combination
+    /// algorithms always have).
+    #[must_use]
+    pub fn support(&self) -> Digraph {
+        let masks: Vec<u64> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut m = 0u64;
+                for (k, &w) in row.iter().enumerate() {
+                    if w > 0.0 {
+                        m |= 1u64 << k;
+                    }
+                }
+                m
+            })
+            .collect();
+        Digraph::from_in_masks(&masks).expect("n validated at construction")
+    }
+}
+
+/// The spread (diameter) bound `Δ(A·y) ≤ δ(A)·Δ(y)` as a checked
+/// helper: returns `(measured_ratio, dobrushin)` for a value vector.
+#[must_use]
+pub fn contraction_vs_dobrushin<const D: usize>(
+    a: &StochasticMatrix,
+    values: &[Point<D>],
+) -> (f64, f64) {
+    let before = crate::diameter(values);
+    let after = crate::diameter(&a.apply(values));
+    let ratio = if before > 1e-300 { after / before } else { 0.0 };
+    (ratio, a.dobrushin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consensus_digraph::families;
+
+    #[test]
+    fn validation() {
+        assert!(StochasticMatrix::new(vec![]).is_err());
+        assert!(StochasticMatrix::new(vec![vec![0.5, 0.4]]).is_err());
+        assert!(StochasticMatrix::new(vec![vec![1.1, -0.1], vec![0.5, 0.5]]).is_err());
+        assert!(StochasticMatrix::new(vec![vec![0.5, 0.5], vec![0.0, 1.0]]).is_ok());
+    }
+
+    #[test]
+    fn identity_properties() {
+        let id = StochasticMatrix::identity(4);
+        assert_eq!(id.dobrushin(), 1.0, "identity never contracts");
+        assert!(!id.is_scrambling());
+        let vals: Vec<Point<1>> = [1.0, 2.0, 3.0, 4.0].iter().map(|&v| Point([v])).collect();
+        assert_eq!(id.apply(&vals), vals);
+    }
+
+    #[test]
+    fn complete_graph_contracts_fully() {
+        let a = StochasticMatrix::equal_weights(&Digraph::complete(4));
+        assert!(a.dobrushin().abs() < 1e-12, "identical rows ⇒ δ = 0");
+    }
+
+    #[test]
+    fn deaf_graph_dobrushin_is_one_minus_one_over_n() {
+        // The paper cites [7]: plain averaging contracts no faster than
+        // 1 − 1/n in non-split models. The witness is deaf(K_n): the
+        // deaf agent's row is e_i, everyone else's is uniform, and the
+        // overlap is exactly 1/n.
+        for n in 3..=8 {
+            let f0 = Digraph::complete(n).make_deaf(0);
+            let a = StochasticMatrix::equal_weights(&f0);
+            let expect = 1.0 - 1.0 / n as f64;
+            assert!(
+                (a.dobrushin() - expect).abs() < 1e-12,
+                "n = {n}: δ = {} ≠ {expect}",
+                a.dobrushin()
+            );
+        }
+    }
+
+    #[test]
+    fn scrambling_iff_nonsplit_for_equal_weights() {
+        // Equal-weight support = the graph itself, so scrambling ⟺
+        // non-split. Check over all 3-agent graphs.
+        for g in consensus_digraph::enumerate::all_graphs(3) {
+            let a = StochasticMatrix::equal_weights(&g);
+            assert_eq!(
+                a.is_scrambling(),
+                g.is_nonsplit(),
+                "mismatch on {g}"
+            );
+            assert_eq!(a.support(), g);
+        }
+    }
+
+    #[test]
+    fn dobrushin_bounds_spread_contraction() {
+        let vals: Vec<Point<1>> = [0.0, 1.0, 0.25, 0.75, 0.5]
+            .iter()
+            .map(|&v| Point([v]))
+            .collect();
+        for g in [
+            families::cycle(5),
+            families::star_out(5, 2),
+            Digraph::complete(5).make_deaf(3),
+            families::path(5),
+        ] {
+            for a in [
+                StochasticMatrix::equal_weights(&g),
+                StochasticMatrix::self_weighted(&g, 0.5),
+            ] {
+                let (ratio, delta) = contraction_vs_dobrushin(&a, &vals);
+                assert!(
+                    ratio <= delta + 1e-12,
+                    "Δ(Ay)/Δ(y) = {ratio} > δ(A) = {delta} on {g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_matches_mean_value_execution() {
+        // One MeanValue round == one equal-weights matrix application.
+        use crate::{Algorithm, MeanValue};
+        let g = families::star_out(4, 1);
+        let vals: Vec<Point<1>> = [0.3, 0.9, 0.1, 0.5].iter().map(|&v| Point([v])).collect();
+        let a = StochasticMatrix::equal_weights(&g);
+        let expected = a.apply(&vals);
+        let alg = MeanValue;
+        for i in 0..4 {
+            let mut st = alg.init(i, vals[i]);
+            let inbox: Vec<(usize, Point<1>)> =
+                g.in_neighbors(i).map(|j| (j, vals[j])).collect();
+            alg.step(i, &mut st, &inbox, 1);
+            assert!((alg.output(&st)[0] - expected[i][0]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matrix_matches_self_weighted_execution() {
+        use crate::{Algorithm, SelfWeightedAverage};
+        let g = families::cycle(4);
+        let w = 0.25;
+        let vals: Vec<Point<1>> = [0.3, 0.9, 0.1, 0.5].iter().map(|&v| Point([v])).collect();
+        let a = StochasticMatrix::self_weighted(&g, w);
+        let expected = a.apply(&vals);
+        let alg = SelfWeightedAverage::new(w);
+        for i in 0..4 {
+            let mut st = alg.init(i, vals[i]);
+            let inbox: Vec<(usize, Point<1>)> =
+                g.in_neighbors(i).map(|j| (j, vals[j])).collect();
+            alg.step(i, &mut st, &inbox, 1);
+            assert!((alg.output(&st)[0] - expected[i][0]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn product_composition_order() {
+        // y(2) = A2 · (A1 · y0) = (A2 · A1) · y0.
+        let a1 = StochasticMatrix::equal_weights(&families::cycle(4));
+        let a2 = StochasticMatrix::equal_weights(&families::star_out(4, 0));
+        let vals: Vec<Point<1>> = [0.0, 1.0, 0.5, 0.25].iter().map(|&v| Point([v])).collect();
+        let seq = a2.apply(&a1.apply(&vals));
+        let prod = a2.product(&a1).apply(&vals);
+        for (x, y) in seq.iter().zip(prod) {
+            assert!((x[0] - y[0]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dobrushin_submultiplicative() {
+        let a1 = StochasticMatrix::equal_weights(&Digraph::complete(4).make_deaf(0));
+        let a2 = StochasticMatrix::equal_weights(&Digraph::complete(4).make_deaf(1));
+        let prod = a2.product(&a1);
+        assert!(prod.dobrushin() <= a1.dobrushin() * a2.dobrushin() + 1e-12);
+    }
+
+    #[test]
+    fn self_weighted_deaf_row_is_identity() {
+        let g = Digraph::complete(3).make_deaf(2);
+        let a = StochasticMatrix::self_weighted(&g, 0.5);
+        assert_eq!(a.get(2, 2), 1.0);
+        assert_eq!(a.get(2, 0), 0.0);
+    }
+}

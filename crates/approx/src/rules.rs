@@ -1,0 +1,137 @@
+//! Decision-round formulas: the matching upper bounds of [9] and the
+//! lower bounds of Theorems 8–11.
+
+/// `⌈log_b(x)⌉` computed robustly for `x ≥ 1`, clamped to ≥ 1.
+///
+/// A small relative guard absorbs the floating-point error of
+/// `ln(x)/ln(b)` at integer arguments (e.g. `log2(8) = 2.999…`).
+#[must_use]
+pub fn ceil_log(base: f64, x: f64) -> u64 {
+    assert!(base > 1.0 && x > 0.0);
+    if x <= 1.0 {
+        return 1;
+    }
+    let raw = x.ln() / base.ln();
+    let up = raw.ceil();
+    let fixed = if (up - raw) > 1.0 - 1e-9 && (base.powf(up - 1.0) - x).abs() / x < 1e-9 {
+        up - 1.0
+    } else {
+        up
+    };
+    (fixed as u64).max(1)
+}
+
+/// Decision round of the deciding **Algorithm 1** (two agents):
+/// `⌈log_3(Δ/ε)⌉` — optimal by Theorem 8.
+#[must_use]
+pub fn two_agent_decision_round(delta: f64, eps: f64) -> u64 {
+    ceil_log(3.0, delta / eps)
+}
+
+/// Decision round of the deciding **midpoint** algorithm in non-split
+/// models: `⌈log_2(Δ/ε)⌉` — optimal by Theorem 9.
+#[must_use]
+pub fn midpoint_decision_round(delta: f64, eps: f64) -> u64 {
+    ceil_log(2.0, delta / eps)
+}
+
+/// Decision round of the deciding **amortized midpoint** algorithm in
+/// rooted models: `(n−1)·⌈log_2(Δ/ε)⌉` — optimal within a factor
+/// `(n−1)/(n−2)` by Theorem 10.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn amortized_decision_round(n: usize, delta: f64, eps: f64) -> u64 {
+    assert!(n >= 2);
+    (n as u64 - 1) * ceil_log(2.0, delta / eps)
+}
+
+/// **Theorem 8** lower bound (n = 2, model ⊇ {H0,H1,H2}): every
+/// approximate consensus algorithm has an execution deciding no earlier
+/// than `log_3(Δ/ε)`.
+#[must_use]
+pub fn thm8_lower_bound(delta: f64, eps: f64) -> f64 {
+    (delta / eps).ln() / 3f64.ln()
+}
+
+/// **Theorem 9** lower bound (n ≥ 3, model ⊇ deaf(G)): `log_2(Δ/ε)`.
+#[must_use]
+pub fn thm9_lower_bound(delta: f64, eps: f64) -> f64 {
+    (delta / eps).ln() / 2f64.ln()
+}
+
+/// **Theorem 10** lower bound (n ≥ 4, model ⊇ Ψ): `(n−2)·log_2(Δ/ε)`.
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+#[must_use]
+pub fn thm10_lower_bound(n: usize, delta: f64, eps: f64) -> f64 {
+    assert!(n >= 4);
+    (n as f64 - 2.0) * (delta / eps).ln() / 2f64.ln()
+}
+
+/// **Theorem 11** lower bound (exact consensus unsolvable, α-diameter
+/// `D`): `log_{D+1}(Δ/(εn))`.
+///
+/// # Panics
+///
+/// Panics if `d_alpha == 0`.
+#[must_use]
+pub fn thm11_lower_bound(d_alpha: usize, n: usize, delta: f64, eps: f64) -> f64 {
+    assert!(d_alpha >= 1);
+    let x = delta / (eps * n as f64);
+    if x <= 1.0 {
+        0.0
+    } else {
+        x.ln() / (d_alpha as f64 + 1.0).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log_exact_powers() {
+        assert_eq!(ceil_log(2.0, 8.0), 3);
+        assert_eq!(ceil_log(2.0, 9.0), 4);
+        assert_eq!(ceil_log(3.0, 27.0), 3);
+        assert_eq!(ceil_log(3.0, 28.0), 4);
+        assert_eq!(ceil_log(2.0, 1.0), 1);
+        assert_eq!(ceil_log(2.0, 0.5), 1);
+    }
+
+    #[test]
+    fn decision_rounds() {
+        // Δ/ε = 1000.
+        assert_eq!(two_agent_decision_round(1.0, 1e-3), 7); // 3^7 = 2187
+        assert_eq!(midpoint_decision_round(1.0, 1e-3), 10); // 2^10 = 1024
+        assert_eq!(amortized_decision_round(5, 1.0, 1e-3), 40);
+    }
+
+    #[test]
+    fn lower_bounds_below_matching_upper_bounds() {
+        for k in 1..=6 {
+            let ratio = 10f64.powi(k);
+            let (delta, eps) = (ratio, 1.0);
+            assert!(thm8_lower_bound(delta, eps) <= two_agent_decision_round(delta, eps) as f64);
+            assert!(thm9_lower_bound(delta, eps) <= midpoint_decision_round(delta, eps) as f64);
+            for n in 4..=8 {
+                // Thm 10 bound (n−2)·log2 vs upper (n−1)·⌈log2⌉.
+                assert!(
+                    thm10_lower_bound(n, delta, eps)
+                        <= amortized_decision_round(n, delta, eps) as f64
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thm11_degenerate_ratio() {
+        assert_eq!(thm11_lower_bound(2, 4, 1.0, 1.0), 0.0);
+        assert!(thm11_lower_bound(2, 2, 100.0, 0.001) > 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Asynchronous message passing with crash faults (paper §8).
+//!
+//! §8 of *“Tight Bounds for Asymptotic and Approximate Consensus”*
+//! contrasts two kinds of algorithms in the classical asynchronous
+//! message-passing model with up to `f` crashes:
+//!
+//! * **Round-based** algorithms (wait for `n − f` round-`t` messages,
+//!   update, broadcast round `t+1`): each asynchronous round delivers, to
+//!   each agent, messages along *some* graph with in-degree ≥ `n − f` —
+//!   i.e. a graph of the network model `N_A(n, f)`. Theorem 6: their
+//!   contraction rate is ≥ `1/(⌈n/f⌉ + 1)` (per round, and by the delay
+//!   normalisation also per time unit).
+//! * **General** (non-round-based) algorithms: [`MinRelay`] reaches
+//!   *exact* agreement among correct agents by time `f + 1`
+//!   (Theorem 7), i.e. contraction rate 0 — the “price of rounds”.
+//!
+//! The crate provides:
+//!
+//! * [`engine`] — a deterministic discrete-event simulator: per-message
+//!   delays in `(0, 1]` (time is normalised to the largest end-to-end
+//!   delay, as in the paper), broadcast-counted **unclean crashes** (the
+//!   final broadcast reaches only a chosen subset);
+//! * [`rounds`] — the round-based executor running any
+//!   [`rounds::RoundRule`] (midpoint, mean) on the engine;
+//! * [`min_relay`] — the MinRelay algorithm of Theorem 7;
+//! * [`na_adversary`] — value-aware worst-case schedulers for the
+//!   synchronous `N_A(n, f)` view of round-based algorithms
+//!   (rotating Lemma 24 blocks, and the split-omission scheduler that
+//!   drives averaging to its `~f/(n−f)` worst case).
+//!
+//! # Example
+//!
+//! ```
+//! use consensus_asyncsim::min_relay::{self, MinRelay};
+//! use consensus_asyncsim::engine::{ConstantDelay, CrashSchedule, Simulation};
+//!
+//! // 4 agents, 1 cascading crash: exact agreement by time f + 1 = 2.
+//! let crashes = min_relay::cascade_crashes(4, 1);
+//! let mut sim = Simulation::new(
+//!     MinRelay,
+//!     &[0.0, 1.0, 2.0, 3.0],
+//!     1,
+//!     Box::new(ConstantDelay::new(1.0)),
+//!     crashes,
+//! );
+//! sim.run_until(2.0 + 1e-9);
+//! let outs = sim.correct_outputs();
+//! assert!(outs.iter().all(|&(_, y)| y == 0.0), "all decided min by f+1");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod min_relay;
+pub mod na_adversary;
+pub mod rounds;

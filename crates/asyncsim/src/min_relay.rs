@@ -1,0 +1,220 @@
+//! The **MinRelay** algorithm (paper §8.2, Theorem 7).
+//!
+//! MinRelay is *not* round-based: it is a non-terminating reliable
+//! broadcast. Each agent keeps the set `S_i` of initial values it knows
+//! (initially its own) and outputs `y_i = min(S_i)`. Whenever it
+//! receives a set `S ⊄ S_i`, it merges and rebroadcasts.
+//!
+//! Theorem 7: with up to `f < n` crashes, all correct agents' sets (and
+//! hence outputs) are **equal by time `f + 1`** — contraction rate 0.
+//! Compare with Theorem 6: any *round-based* algorithm is stuck at rate
+//! ≥ `1/(⌈n/f⌉+1)`. This is the paper's “price of rounds”.
+
+use crate::engine::{AsyncAlgorithm, Crash, CrashSchedule};
+
+/// The MinRelay algorithm. Values are compared with `f64::total_cmp`;
+/// sets are kept sorted and deduplicated so state equality is structural.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinRelay;
+
+/// State: the known set of initial values, sorted ascending.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinRelayState {
+    /// Sorted, deduplicated known initial values.
+    pub known: Vec<f64>,
+}
+
+impl MinRelayState {
+    fn merge(&mut self, other: &[f64]) -> bool {
+        let mut changed = false;
+        for &v in other {
+            if self
+                .known
+                .binary_search_by(|x| x.total_cmp(&v))
+                .is_err()
+            {
+                let pos = self
+                    .known
+                    .binary_search_by(|x| x.total_cmp(&v))
+                    .unwrap_err();
+                self.known.insert(pos, v);
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+impl AsyncAlgorithm for MinRelay {
+    type State = MinRelayState;
+    /// The full known set (the paper broadcasts `S_i`).
+    type Msg = Vec<f64>;
+
+    fn name(&self) -> String {
+        "min-relay".into()
+    }
+
+    fn init(&self, _agent: usize, y0: f64, _n: usize, _f: usize) -> (MinRelayState, Vec<Vec<f64>>) {
+        let st = MinRelayState { known: vec![y0] };
+        let msg = st.known.clone();
+        (st, vec![msg])
+    }
+
+    fn on_receive(
+        &self,
+        _agent: usize,
+        state: &mut MinRelayState,
+        _from: usize,
+        msg: &Vec<f64>,
+    ) -> Vec<Vec<f64>> {
+        if state.merge(msg) {
+            vec![state.known.clone()]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn output(&self, state: &MinRelayState) -> f64 {
+        *state
+            .known
+            .first()
+            .expect("the agent always knows its own value")
+    }
+}
+
+/// The worst-case **cascading crash schedule** used to show the `f + 1`
+/// time bound of Theorem 7 is tight: agent 0 (which should hold the
+/// minimum value) relays it to agent 1 only and dies; agent 1 relays to
+/// agent 2 only and dies; … agent `f−1` relays to agent `f` only and
+/// dies. The minimum thus needs `f + 1` hops of delay ≤ 1 each to reach
+/// the last correct agents.
+///
+/// # Panics
+///
+/// Panics if `f ≥ n`.
+#[must_use]
+pub fn cascade_crashes(n: usize, f: usize) -> CrashSchedule {
+    assert!(f < n, "need f < n");
+    let crashes = (0..f)
+        .map(|k| Crash {
+            agent: k,
+            // Broadcast #0 is the initial value broadcast for agent 0;
+            // for agents k ≥ 1 the fatal broadcast is the relay they
+            // emit after learning the minimum (their second broadcast).
+            fatal_broadcast: if k == 0 { 0 } else { 1 },
+            final_recipients: 1u64 << (k + 1),
+        })
+        .collect();
+    CrashSchedule::new(crashes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ConstantDelay, RandomDelay, Simulation};
+
+    #[test]
+    fn no_crashes_agreement_by_time_one() {
+        let mut sim = Simulation::new(
+            MinRelay,
+            &[3.0, 1.0, 2.0, 5.0],
+            1,
+            Box::new(ConstantDelay::new(1.0)),
+            CrashSchedule::none(),
+        );
+        sim.run_until(1.0 + 1e-12);
+        let outs = sim.correct_outputs();
+        assert!(
+            outs.iter().all(|&(_, y)| y == 1.0),
+            "minimum known everywhere by time 1: {outs:?}"
+        );
+    }
+
+    #[test]
+    fn theorem7_agreement_by_f_plus_1() {
+        for f in 1..=3 {
+            let n = 5;
+            // Agent 0 holds the unique minimum; everyone else starts at 1,
+            // so only the minimum's arrival triggers relays and the
+            // cascade's fatal-broadcast indices line up.
+            let mut inits = vec![1.0; n];
+            inits[0] = 0.0;
+            let mut sim = Simulation::new(
+                MinRelay,
+                &inits,
+                f,
+                Box::new(ConstantDelay::new(1.0)),
+                cascade_crashes(n, f),
+            );
+            sim.run_until(f as f64 + 1.0 + 1e-9);
+            let outs = sim.correct_outputs();
+            assert_eq!(outs.len(), n - f);
+            assert!(
+                outs.iter().all(|&(_, y)| y == 0.0),
+                "f = {f}: exact agreement on the min by time f+1; got {outs:?}"
+            );
+            assert_eq!(sim.correct_diameter(), 0.0, "contraction rate 0");
+        }
+    }
+
+    #[test]
+    fn cascade_is_tight_before_f_plus_1() {
+        // Just before time f + 1 the last agents have not yet heard the
+        // minimum — the bound is tight for this schedule.
+        let f = 2;
+        let n = 5;
+        let mut inits = vec![1.0; n];
+        inits[0] = 0.0;
+        let mut sim = Simulation::new(
+            MinRelay,
+            &inits,
+            f,
+            Box::new(ConstantDelay::new(1.0)),
+            cascade_crashes(n, f),
+        );
+        sim.run_until(f as f64 + 1.0 - 0.5);
+        let outs = sim.correct_outputs();
+        assert!(
+            outs.iter().any(|&(_, y)| y != 0.0),
+            "the minimum must still be in flight at time f + 1/2: {outs:?}"
+        );
+    }
+
+    #[test]
+    fn validity_min_of_initials() {
+        let mut sim = Simulation::new(
+            MinRelay,
+            &[0.4, 0.9, 0.7],
+            1,
+            Box::new(RandomDelay::new(0.3, 11)),
+            CrashSchedule::none(),
+        );
+        sim.run_to_quiescence(100_000);
+        for (_, y) in sim.correct_outputs() {
+            assert_eq!(y, 0.4, "limit is min of initial values (validity)");
+        }
+    }
+
+    #[test]
+    fn quiescence_is_guaranteed() {
+        // Sets only grow and are bounded by n distinct values, so the
+        // protocol quiesces after finitely many broadcasts.
+        let mut sim = Simulation::new(
+            MinRelay,
+            &[5.0, 4.0, 3.0, 2.0, 1.0, 0.0],
+            2,
+            Box::new(RandomDelay::new(0.1, 3)),
+            CrashSchedule::none(),
+        );
+        sim.run_to_quiescence(1_000_000);
+        assert_eq!(sim.correct_diameter(), 0.0);
+    }
+
+    #[test]
+    fn merge_dedups() {
+        let mut st = MinRelayState { known: vec![1.0, 3.0] };
+        assert!(st.merge(&[2.0, 3.0]));
+        assert_eq!(st.known, vec![1.0, 2.0, 3.0]);
+        assert!(!st.merge(&[1.0, 2.0]));
+    }
+}

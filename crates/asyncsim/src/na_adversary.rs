@@ -1,0 +1,260 @@
+//! Value-aware worst-case schedulers for the `N_A(n, f)` view of
+//! round-based algorithms (paper §8.1).
+//!
+//! A round of a round-based asynchronous algorithm is equivalent to one
+//! synchronous round under a communication graph from `N_A(n, f)` (every
+//! agent hears ≥ `n − f` agents — whichever messages the scheduler lets
+//! arrive first). Worst-case *scheduling* therefore equals worst-case
+//! *graph choice*, and the adversaries here drive the synchronous
+//! [`Execution`] engine with graphs chosen from the current values:
+//!
+//! * [`drive_split_omission`] — hides the `f` lowest senders from the
+//!   top half of receivers and the `f` highest senders from the bottom
+//!   half. Against averaging rules this forces the `~f/(n−f)` per-round
+//!   contraction that matches the `1/(⌈n/f⌉−1)` upper end of Table 1's
+//!   round-based interval.
+//! * [`drive_rotating_blocks`] — applies the Lemma 24 graphs
+//!   `K_1, K_2, …` cyclically (block `r` unheard in round `r`).
+
+use consensus_algorithms::{Algorithm, Point};
+use consensus_digraph::{families, Digraph};
+use consensus_dynamics::{Execution, Trace};
+
+/// Sorts agent indices by current scalar output (ascending).
+fn order_by_value<A, const D: usize>(exec: &Execution<A, D>) -> Vec<usize>
+where
+    A: Algorithm<D> + Clone,
+{
+    let outs = exec.outputs();
+    let mut idx: Vec<usize> = (0..exec.n()).collect();
+    idx.sort_by(|&a, &b| outs[a][0].total_cmp(&outs[b][0]));
+    idx
+}
+
+/// The split-omission graph for the current values: receivers in the top
+/// half do not hear the `f` lowest-valued senders; receivers in the
+/// bottom half do not hear the `f` highest-valued senders. Every
+/// in-degree is exactly `n − f` (self-loops are kept), so the graph is
+/// in `N_A(n, f)`.
+#[must_use]
+pub fn split_omission_graph<A, const D: usize>(exec: &Execution<A, D>, f: usize) -> Digraph
+where
+    A: Algorithm<D> + Clone,
+{
+    let n = exec.n();
+    assert!(f >= 1 && f < n, "need 0 < f < n");
+    let order = order_by_value(exec);
+    let lowest: u64 = order[..f].iter().map(|&i| 1u64 << i).sum();
+    let highest: u64 = order[n - f..].iter().map(|&i| 1u64 << i).sum();
+    let all = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut masks = vec![0u64; n];
+    for (rank, &agent) in order.iter().enumerate() {
+        let hide = if rank < n / 2 { highest } else { lowest };
+        masks[agent] = all & !hide;
+    }
+    Digraph::from_in_masks(&masks).expect("n validated")
+}
+
+/// Drives `exec` for `rounds` rounds under the split-omission scheduler.
+/// Returns the trace; its per-round ratios approach `f/(n−f)` for the
+/// mean rule and `1/2` for midpoint.
+pub fn drive_split_omission<A, const D: usize>(
+    exec: &mut Execution<A, D>,
+    f: usize,
+    rounds: usize,
+) -> Trace<D>
+where
+    A: Algorithm<D> + Clone,
+{
+    let mut trace = Trace::new(exec.outputs());
+    for _ in 0..rounds {
+        let g = split_omission_graph(exec, f);
+        exec.step(&g);
+        trace.record(g, exec.outputs());
+    }
+    trace
+}
+
+/// Drives `exec` for `rounds` rounds with the Lemma 24 witness graphs
+/// `K_1, …, K_q` cyclically (in round `t` the block `t mod q` is
+/// unheard by everyone).
+pub fn drive_rotating_blocks<A, const D: usize>(
+    exec: &mut Execution<A, D>,
+    f: usize,
+    rounds: usize,
+) -> Trace<D>
+where
+    A: Algorithm<D> + Clone,
+{
+    let n = exec.n();
+    assert!(f >= 1 && f < n, "need 0 < f < n");
+    let q = n.div_ceil(f);
+    let mut trace = Trace::new(exec.outputs());
+    for t in 0..rounds {
+        let g = families::lemma24_k(n, f, (t % q) + 1);
+        exec.step(&g);
+        trace.record(g, exec.outputs());
+    }
+    trace
+}
+
+/// Initial values that witness the worst case of the split-omission
+/// scheduler: half the agents at 0, half at 1 (ties broken by index).
+#[must_use]
+pub fn bipolar_inits(n: usize) -> Vec<Point<1>> {
+    (0..n)
+        .map(|i| Point([if i < n / 2 { 0.0 } else { 1.0 }]))
+        .collect()
+}
+
+/// Initial values that witness the worst case of the minority-isolation
+/// scheduler for midpoint-like rules: `f` agents at 0, the rest at 1.
+#[must_use]
+pub fn minority_inits(n: usize, f: usize) -> Vec<Point<1>> {
+    (0..n)
+        .map(|i| Point([if i < f { 0.0 } else { 1.0 }]))
+        .collect()
+}
+
+/// The minority-isolation graph: the `f` extreme-valued agents (the side
+/// currently farther from the rest) are unheard by everyone else, while
+/// they themselves hear everyone. In-degrees are ≥ `n − f`, so the graph
+/// is in `N_A(n, f)`. Against the midpoint rule this pins the majority
+/// and halves the spread each round — midpoint's async worst case.
+#[must_use]
+pub fn isolate_minority_graph<A, const D: usize>(exec: &Execution<A, D>, f: usize) -> Digraph
+where
+    A: Algorithm<D> + Clone,
+{
+    let n = exec.n();
+    assert!(f >= 1 && f < n, "need 0 < f < n");
+    let order = order_by_value(exec);
+    let minority: u64 = order[..f].iter().map(|&i| 1u64 << i).sum();
+    let all = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut masks = vec![0u64; n];
+    for agent in 0..n {
+        masks[agent] = if minority & (1u64 << agent) != 0 {
+            all
+        } else {
+            all & !minority
+        };
+    }
+    Digraph::from_in_masks(&masks).expect("n validated")
+}
+
+/// Drives `exec` for `rounds` rounds under the minority-isolation
+/// scheduler (worst case for midpoint-like rules: per-round ratio 1/2).
+pub fn drive_isolate_minority<A, const D: usize>(
+    exec: &mut Execution<A, D>,
+    f: usize,
+    rounds: usize,
+) -> Trace<D>
+where
+    A: Algorithm<D> + Clone,
+{
+    let mut trace = Trace::new(exec.outputs());
+    for _ in 0..rounds {
+        let g = isolate_minority_graph(exec, f);
+        exec.step(&g);
+        trace.record(g, exec.outputs());
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consensus_algorithms::{MeanValue, Midpoint};
+
+    #[test]
+    fn split_graph_is_in_na() {
+        let n = 6;
+        let f = 2;
+        let exec = Execution::new(MeanValue, &bipolar_inits(n));
+        let g = split_omission_graph(&exec, f);
+        for i in 0..n {
+            assert!(g.in_degree(i) >= n - f, "in-degree ≥ n − f");
+            assert!(g.has_edge(i, i));
+        }
+    }
+
+    #[test]
+    fn mean_contracts_at_f_over_n_minus_f() {
+        // The split-omission worst case for averaging: per-round ratio
+        // → f/(n−f) (= 1/(⌈n/f⌉−1) when f divides n).
+        for (n, f) in [(4usize, 1usize), (6, 2), (8, 2)] {
+            let mut exec = Execution::new(MeanValue, &bipolar_inits(n));
+            let trace = drive_split_omission(&mut exec, f, 20);
+            let rate = trace.rates().steady_state;
+            let target = f as f64 / (n - f) as f64;
+            assert!(
+                (rate - target).abs() < 0.12 * target.max(0.2),
+                "n={n}, f={f}: measured {rate}, expected ≈ {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn midpoint_contracts_at_half_under_minority_isolation() {
+        let n = 6;
+        let f = 1;
+        let mut exec = Execution::new(Midpoint, &minority_inits(n, f));
+        let trace = drive_isolate_minority(&mut exec, f, 16);
+        let rate = trace.rates().steady_state;
+        assert!(
+            (rate - 0.5).abs() < 1e-9,
+            "midpoint's async-round worst case is exactly 1/2: {rate}"
+        );
+    }
+
+    #[test]
+    fn mean_beats_midpoint_in_na_rounds() {
+        // The Table 1 “who wins” shape: comparing *worst-case* per-round
+        // rates in N_A(n, f) with small f/n, averaging (Fekete-style [18])
+        // contracts faster than midpoint (1/2).
+        let n = 8;
+        let f = 1;
+        // Mean's worst case: split omissions on bipolar values.
+        let mut em = Execution::new(MeanValue, &bipolar_inits(n));
+        let rm = drive_split_omission(&mut em, f, 16).rates().steady_state;
+        // Mean under the midpoint-worst-case scheduler is even faster.
+        let mut em2 = Execution::new(MeanValue, &minority_inits(n, f));
+        let rm2 = drive_isolate_minority(&mut em2, f, 16).rates().steady_state;
+        // Midpoint's worst case: isolated extreme minority.
+        let mut ed = Execution::new(Midpoint, &minority_inits(n, f));
+        let rd = drive_isolate_minority(&mut ed, f, 16).rates().steady_state;
+        let mean_worst = rm.max(rm2);
+        assert!(
+            mean_worst < rd - 0.2,
+            "mean (worst {mean_worst}) must beat midpoint ({rd})"
+        );
+    }
+
+    #[test]
+    fn rotating_blocks_stay_valid() {
+        let n = 5;
+        let f = 2;
+        let mut exec = Execution::new(Midpoint, &bipolar_inits(n));
+        let trace = drive_rotating_blocks(&mut exec, f, 12);
+        assert!(trace.validity_holds(1e-9));
+        assert!(trace.final_diameter() < trace.initial_diameter());
+    }
+
+    #[test]
+    fn theorem6_floor_respected() {
+        // No round-based schedule can contract *faster* than the
+        // Theorem 6 floor 1/(⌈n/f⌉+1) in the worst case — check that the
+        // measured worst-case rate of the best rule (mean) stays above.
+        for (n, f) in [(4usize, 1usize), (6, 2)] {
+            let q = n.div_ceil(f) as f64;
+            let floor = 1.0 / (q + 1.0);
+            let mut exec = Execution::new(MeanValue, &bipolar_inits(n));
+            let trace = drive_split_omission(&mut exec, f, 20);
+            let rate = trace.rates().steady_state;
+            assert!(
+                rate >= floor - 1e-9,
+                "n={n}, f={f}: measured {rate} below the Theorem 6 floor {floor}"
+            );
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Round-based algorithms on the asynchronous engine (paper §8.1).
+//!
+//! An algorithm *operates in rounds* if each agent waits for `n − f`
+//! messages of the current round, updates its state from them, and
+//! broadcasts the next round's message. Theorem 6: every such algorithm
+//! has contraction rate ≥ `1/(⌈n/f⌉+1)` — the engine realises the bound's
+//! communication graphs through the [`crate::engine::RotatingBlockDelay`]
+//! scheduler, and per-*time* contraction follows because a round always
+//! completes within one normalised delay unit.
+
+use crate::engine::AsyncAlgorithm;
+use std::collections::BTreeMap;
+
+/// The per-round update rule applied to the `n − f` received values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundRule {
+    /// Midpoint of the received extremes (async analogue of Algorithm 2).
+    Midpoint,
+    /// Arithmetic mean of the received values — the Fekete-style [18]
+    /// averaging whose worst case `~f/(n−f)` matches the upper end of
+    /// Table 1's round-based interval.
+    Mean,
+}
+
+impl RoundRule {
+    /// Applies the rule to a non-empty value slice.
+    #[must_use]
+    pub fn apply(self, values: &[f64]) -> f64 {
+        debug_assert!(!values.is_empty());
+        match self {
+            RoundRule::Midpoint => {
+                let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                (lo + hi) / 2.0
+            }
+            RoundRule::Mean => values.iter().sum::<f64>() / values.len() as f64,
+        }
+    }
+}
+
+/// A round-based asynchronous algorithm: waits for `n − f` round-`r`
+/// messages (its own arrives instantly), applies a [`RoundRule`], and
+/// broadcasts round `r + 1`.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundBased {
+    rule: RoundRule,
+    /// Stop issuing new rounds after this many (keeps simulations finite).
+    pub max_rounds: u64,
+}
+
+/// State of [`RoundBased`].
+#[derive(Debug, Clone)]
+pub struct RoundBasedState {
+    n: usize,
+    f: usize,
+    /// Current round (the round whose messages we are collecting).
+    round: u64,
+    y: f64,
+    /// Buffered values per round: round → sender → value.
+    inbox: BTreeMap<u64, BTreeMap<usize, f64>>,
+    /// Time-stamped round completions (round, value) for rate-vs-round
+    /// accounting by the harness.
+    pub history: Vec<(u64, f64)>,
+}
+
+impl RoundBased {
+    /// Creates a round-based algorithm with the given rule.
+    #[must_use]
+    pub fn new(rule: RoundRule, max_rounds: u64) -> Self {
+        RoundBased { rule, max_rounds }
+    }
+
+    /// The update rule.
+    #[must_use]
+    pub fn rule(&self) -> RoundRule {
+        self.rule
+    }
+}
+
+/// The message of a round-based algorithm: `(round, value)`.
+pub type RoundMsg = (u64, f64);
+
+impl AsyncAlgorithm for RoundBased {
+    type State = RoundBasedState;
+    type Msg = RoundMsg;
+
+    fn name(&self) -> String {
+        format!("round-based({:?})", self.rule)
+    }
+
+    fn init(&self, _agent: usize, y0: f64, n: usize, f: usize) -> (RoundBasedState, Vec<RoundMsg>) {
+        let st = RoundBasedState {
+            n,
+            f,
+            round: 1,
+            y: y0,
+            inbox: BTreeMap::new(),
+            history: vec![(0, y0)],
+        };
+        (st, vec![(1, y0)])
+    }
+
+    fn on_receive(
+        &self,
+        _agent: usize,
+        state: &mut RoundBasedState,
+        from: usize,
+        msg: &RoundMsg,
+    ) -> Vec<RoundMsg> {
+        let (round, value) = *msg;
+        if round < state.round {
+            return Vec::new(); // stale round; communication-closedness
+        }
+        state.inbox.entry(round).or_default().insert(from, value);
+        let mut out = Vec::new();
+        // Complete as many rounds as possible (messages may arrive for
+        // future rounds before the current one completes).
+        while state.round <= self.max_rounds {
+            let have = state
+                .inbox
+                .get(&state.round)
+                .map_or(0, BTreeMap::len);
+            if have < state.n - state.f {
+                break;
+            }
+            let values: Vec<f64> = state.inbox.remove(&state.round).expect("checked")
+                .into_values()
+                .collect();
+            state.y = self.rule.apply(&values);
+            state.history.push((state.round, state.y));
+            state.round += 1;
+            if state.round <= self.max_rounds {
+                out.push((state.round, state.y));
+            }
+        }
+        out
+    }
+
+    fn output(&self, state: &RoundBasedState) -> f64 {
+        state.y
+    }
+
+    /// The scheduler sees the message's round (for Lemma 24 rotation).
+    fn hint(&self, msg: &RoundMsg) -> u64 {
+        msg.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ConstantDelay, Crash, CrashSchedule, RotatingBlockDelay, Simulation};
+
+    fn spread(values: &[f64]) -> f64 {
+        values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - values.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn rules_apply() {
+        assert_eq!(RoundRule::Midpoint.apply(&[0.0, 4.0, 1.0]), 2.0);
+        assert!((RoundRule::Mean.apply(&[0.0, 4.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lockstep_rounds_without_faults() {
+        // f = 1, no crashes, constant delays: everyone hears everyone
+        // who is fast enough; with constant delays all n messages arrive
+        // together, so each agent still acts on the first n − 1 by seq
+        // order — the engine is deterministic.
+        let alg = RoundBased::new(RoundRule::Midpoint, 10);
+        let mut sim = Simulation::new(
+            alg,
+            &[0.0, 1.0, 0.5, 0.75],
+            1,
+            Box::new(ConstantDelay::new(0.9)),
+            CrashSchedule::none(),
+        );
+        sim.run_to_quiescence(1_000_000);
+        let outs = sim.outputs();
+        assert!(spread(&outs) < 0.05, "rounds contract: {outs:?}");
+        // 10 rounds complete within 10 normalised time units.
+        assert!(sim.time() <= 10.0 * 0.9 + 1e-9);
+    }
+
+    #[test]
+    fn survives_crashes() {
+        let alg = RoundBased::new(RoundRule::Mean, 12);
+        let crashes = CrashSchedule::new(vec![Crash {
+            agent: 3,
+            fatal_broadcast: 2,
+            final_recipients: 0b0001,
+        }]);
+        let mut sim = Simulation::new(
+            alg,
+            &[0.0, 1.0, 0.5, 0.9],
+            1,
+            Box::new(ConstantDelay::new(1.0)),
+            crashes,
+        );
+        sim.run_to_quiescence(1_000_000);
+        assert!(sim.is_dead(3));
+        let correct: Vec<f64> = sim.correct_outputs().iter().map(|&(_, y)| y).collect();
+        assert!(
+            spread(&correct) < 0.05,
+            "correct agents keep contracting despite the crash: {correct:?}"
+        );
+    }
+
+    #[test]
+    fn rotating_block_scheduler_drives_rounds() {
+        let n = 4;
+        let f = 1;
+        let alg = RoundBased::new(RoundRule::Midpoint, 8);
+        let mut sim = Simulation::new(
+            alg,
+            &[0.0, 1.0, 1.0, 1.0],
+            f,
+            Box::new(RotatingBlockDelay::new(n, f, 0.5)),
+            CrashSchedule::none(),
+        );
+        sim.run_to_quiescence(1_000_000);
+        // All agents completed all 8 rounds.
+        for i in 0..n {
+            let hist = &sim.state(i).history;
+            assert_eq!(hist.last().expect("history").0, 8);
+        }
+        // Spread strictly contracted.
+        let outs = sim.outputs();
+        assert!(spread(&outs) < 0.2);
+    }
+
+    #[test]
+    fn stale_messages_ignored() {
+        let alg = RoundBased::new(RoundRule::Mean, 4);
+        let (mut st, _) = alg.init(0, 0.5, 3, 1);
+        // Complete round 1 with two messages (n − f = 2).
+        let out1 = alg.on_receive(0, &mut st, 0, &(1, 0.5));
+        assert!(out1.is_empty());
+        let out2 = alg.on_receive(0, &mut st, 1, &(1, 1.0));
+        assert_eq!(out2.len(), 1, "round 2 broadcast issued");
+        // A late round-1 message changes nothing.
+        let out3 = alg.on_receive(0, &mut st, 2, &(1, 7.0));
+        assert!(out3.is_empty());
+        assert!((alg.output(&st) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn early_future_round_messages_buffered() {
+        let alg = RoundBased::new(RoundRule::Mean, 4);
+        let (mut st, _) = alg.init(0, 0.0, 3, 1);
+        // A round-2 message arrives before round 1 completes.
+        let out = alg.on_receive(0, &mut st, 1, &(2, 0.8));
+        assert!(out.is_empty());
+        // Round 1 completes; round 2 already has one message buffered,
+        // so the agent's own round-2 value plus the buffered one complete
+        // round 2 immediately after its own round-2 self-delivery.
+        let out = alg.on_receive(0, &mut st, 0, &(1, 0.0));
+        assert!(out.is_empty(), "self message alone: 1 < n - f");
+        let out = alg.on_receive(0, &mut st, 2, &(1, 0.4));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 2);
+    }
+}

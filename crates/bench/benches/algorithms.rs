@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks: per-round cost of each algorithm
+//! (engine throughput, not a paper claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tight_bounds_consensus::prelude::*;
+
+fn step_throughput(c: &mut Criterion) {
+    let n = 16;
+    let inits: Vec<Point<1>> = (0..n).map(|i| Point([i as f64 / 15.0])).collect();
+    let g = Digraph::complete(n);
+    let mut group = c.benchmark_group("one_round_16_agents");
+    group.sample_size(20);
+
+    group.bench_function(BenchmarkId::from_parameter("midpoint"), |b| {
+        b.iter(|| {
+            let mut e = Execution::new(Midpoint, &inits);
+            e.step(black_box(&g));
+            e.value_diameter()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("mean"), |b| {
+        b.iter(|| {
+            let mut e = Execution::new(MeanValue, &inits);
+            e.step(black_box(&g));
+            e.value_diameter()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("amortized-midpoint"), |b| {
+        b.iter(|| {
+            let mut e = Execution::new(AmortizedMidpoint::for_agents(n), &inits);
+            e.step(black_box(&g));
+            e.value_diameter()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("windowed-midpoint-4"), |b| {
+        b.iter(|| {
+            let mut e = Execution::new(WindowedMidpoint::new(4), &inits);
+            e.step(black_box(&g));
+            e.value_diameter()
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("full_convergence_8_agents");
+    group.sample_size(20);
+    let inits8: Vec<Point<1>> = (0..8).map(|i| Point([i as f64 / 7.0])).collect();
+    group.bench_function("midpoint_deaf_pattern_40_rounds", |b| {
+        let f0 = Digraph::complete(8).make_deaf(0);
+        b.iter(|| {
+            let mut e = Execution::new(Midpoint, &inits8);
+            for _ in 0..40 {
+                e.step(black_box(&f0));
+            }
+            e.value_diameter()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, step_throughput);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks: cost of the solvability machinery
+//! (α-diameter, β-classes) on enumerated models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tight_bounds_consensus::prelude::*;
+
+fn alpha_machinery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alpha_beta");
+    group.sample_size(10);
+
+    let two = NetworkModel::two_agent();
+    group.bench_function("alpha_diameter_two_agent", |b| {
+        b.iter(|| alpha::alpha_diameter(black_box(&two)))
+    });
+
+    let deaf6 = NetworkModel::deaf(&Digraph::complete(6));
+    group.bench_function("alpha_diameter_deaf_k6", |b| {
+        b.iter(|| alpha::alpha_diameter(black_box(&deaf6)))
+    });
+
+    let na31 = NetworkModel::async_crash(3, 1);
+    group.bench_function("alpha_diameter_na_3_1_(27_graphs)", |b| {
+        b.iter(|| alpha::alpha_diameter(black_box(&na31)))
+    });
+
+    let na41 = NetworkModel::async_crash(4, 1);
+    group.bench_function("alpha_diameter_na_4_1_(256_graphs)", |b| {
+        b.iter(|| alpha::alpha_diameter(black_box(&na41)))
+    });
+
+    let rooted3 = NetworkModel::all_rooted(3);
+    group.bench_function("beta_classes_rooted_3", |b| {
+        b.iter(|| beta::beta_classes(black_box(&rooted3)))
+    });
+
+    group.bench_function("solvability_na_4_1", |b| {
+        b.iter(|| beta::exact_consensus_solvable(black_box(&na41)))
+    });
+
+    group.bench_function("lemma24_certificate_n16_f5", |b| {
+        let g = Digraph::complete(16);
+        let mut h = Digraph::complete(16);
+        for i in 0..16 {
+            h.remove_edge((i + 1) % 16, i);
+        }
+        b.iter(|| alpha::lemma24_chain_check(black_box(&g), black_box(&h), 5))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, alpha_machinery);
+criterion_main!(benches);

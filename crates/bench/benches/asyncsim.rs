@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks: event-engine throughput (MinRelay and
+//! round-based executors).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tight_bounds_consensus::asyncsim::engine::{
+    ConstantDelay, CrashSchedule, RandomDelay, Simulation,
+};
+use tight_bounds_consensus::asyncsim::min_relay::{cascade_crashes, MinRelay};
+use tight_bounds_consensus::asyncsim::rounds::{RoundBased, RoundRule};
+
+fn async_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("asyncsim");
+    group.sample_size(20);
+
+    group.bench_function("min_relay_n8_f2_quiescence", |b| {
+        let mut inits = vec![1.0; 8];
+        inits[0] = 0.0;
+        b.iter(|| {
+            let mut sim = Simulation::new(
+                MinRelay,
+                &inits,
+                2,
+                Box::new(ConstantDelay::new(1.0)),
+                cascade_crashes(8, 2),
+            );
+            sim.run_to_quiescence(1_000_000);
+            sim.correct_diameter()
+        })
+    });
+
+    group.bench_function("round_based_mean_n8_f2_12_rounds", |b| {
+        let inits: Vec<f64> = (0..8).map(|i| i as f64 / 7.0).collect();
+        b.iter(|| {
+            let mut sim = Simulation::new(
+                RoundBased::new(RoundRule::Mean, 12),
+                &inits,
+                2,
+                Box::new(RandomDelay::new(0.3, 5)),
+                CrashSchedule::none(),
+            );
+            sim.run_to_quiescence(1_000_000);
+            sim.correct_diameter()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, async_engine);
+criterion_main!(benches);

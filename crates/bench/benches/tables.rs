@@ -1,0 +1,7 @@
+//! The reproduction driver: prints every table and figure of the paper
+//! with paper-vs-measured columns. Runs under `cargo bench` so the
+//! recorded bench output contains the full reproduction.
+
+fn main() {
+    println!("{}", consensus_bench::experiments::full_report(true));
+}

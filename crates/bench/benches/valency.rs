@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks: cost of valency probing and of one
+//! adversary step (the reproduction's inner loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tight_bounds_consensus::prelude::*;
+
+fn valency_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("valency");
+    group.sample_size(10);
+
+    let deaf4 = NetworkModel::deaf(&Digraph::complete(4));
+    let inits: Vec<Point<1>> = (0..4).map(|i| Point([i as f64 / 3.0])).collect();
+
+    group.bench_function("probe_estimate_deaf_k4_midpoint", |b| {
+        let probes = ProbeSet::deaf_continuations(&deaf4);
+        let exec = Execution::new(Midpoint, &inits);
+        b.iter(|| probes.estimate(black_box(&exec)).diameter())
+    });
+
+    group.bench_function("theorem2_adversary_step_k4", |b| {
+        let adv = adversary::theorem2(&Digraph::complete(4));
+        b.iter(|| {
+            let mut exec = Execution::new(Midpoint, &inits);
+            adv.drive(&mut exec, 1).per_round_rate()
+        })
+    });
+
+    group.bench_function("theorem3_sigma_step_n6", |b| {
+        let adv = adversary::theorem3(6);
+        let inits6: Vec<Point<1>> = (0..6).map(|i| Point([i as f64 / 5.0])).collect();
+        b.iter(|| {
+            let mut exec = Execution::new(AmortizedMidpoint::for_agents(6), &inits6);
+            adv.drive(&mut exec, 1).per_round_rate()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, valency_cost);
+criterion_main!(benches);

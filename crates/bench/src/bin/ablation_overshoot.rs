@@ -1,0 +1,4 @@
+//! Ablations: non-convex / memory-ful algorithms vs the Theorem 2 bound.
+fn main() {
+    println!("{}", consensus_bench::experiments::ablation(false));
+}

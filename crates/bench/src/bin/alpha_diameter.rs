@@ -1,0 +1,4 @@
+//! Solvability, β-classes and α-diameters (Theorems 4/5, §7, Lemma 24).
+fn main() {
+    println!("{}", consensus_bench::experiments::alpha_diameter_report());
+}

@@ -1,0 +1,4 @@
+//! Theorem 1/2/3 contraction-rate detail by algorithm.
+fn main() {
+    println!("{}", consensus_bench::experiments::contraction_rates(false));
+}

@@ -1,0 +1,4 @@
+//! Decision-time series for approximate consensus (Theorems 8–11).
+fn main() {
+    println!("{}", consensus_bench::experiments::decision_times(false));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figures 1 and 2 of the paper (ASCII + DOT + checks).
+fn main() {
+    println!("{}", consensus_bench::experiments::figures());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1 of the paper (full-effort parameters).
+fn main() {
+    println!("{}", consensus_bench::experiments::table1(false));
+}

@@ -1,0 +1,11 @@
+//! The reproduction harness: every table and figure of the paper as an
+//! executable experiment.
+//!
+//! Each public function in [`experiments`] regenerates one artefact
+//! (Table 1, Figures 1–2, the theorem series) and returns it as a
+//! printable report. The `tables` bench target prints all of them (so
+//! `cargo bench` reproduces the paper end-to-end), and each also has a
+//! standalone binary (`cargo run -p consensus-bench --bin table1`, …).
+
+pub mod experiments;
+pub mod tablefmt;

@@ -1,0 +1,68 @@
+//! # tight-bounds-consensus
+//!
+//! A full, executable reproduction of
+//! *“Tight Bounds for Asymptotic and Approximate Consensus”*
+//! (Matthias Függer, Thomas Nowak, Manfred Schwarz; PODC 2018,
+//! arXiv:1705.02898).
+//!
+//! The paper proves **tight lower bounds on the contraction rate** of
+//! asymptotic consensus algorithms in dynamic networks — bounds that
+//! hold for *arbitrary* algorithms (full-information, non-convex,
+//! higher-order) — and derives decision-time lower bounds for
+//! approximate consensus. This crate re-exports the whole system:
+//!
+//! | Layer | Crate | What it reproduces |
+//! |---|---|---|
+//! | [`digraph`] | `consensus-digraph` | communication graphs, products, `R(G)`, Figure 1–2 families, Lemma 24 graphs |
+//! | [`netmodel`] | `consensus-netmodel` | network models, `α`/`β` machinery, solvability (Thm 19), α-diameter (Def 22) |
+//! | [`algorithms`] | `consensus-algorithms` | Algorithm 1, midpoint, amortized midpoint, averaging, non-convex comparators |
+//! | [`dynamics`] | `consensus-dynamics` | Heard-Of-style round executor, patterns, traces, rate estimators |
+//! | [`valency`] | `consensus-valency` | valency probes and the Theorem 1/2/3/5 adversaries |
+//! | [`approx`] | `consensus-approx` | deciding wrappers, ε-agreement, decision-time measurement (Thms 8–11) |
+//! | [`asyncsim`] | `consensus-asyncsim` | asynchronous crashes, round-based executors, MinRelay (Thms 6–7) |
+//!
+//! plus [`bounds`] — every closed-form bound of Table 1 and Theorems
+//! 8–11 as documented, tested functions, and a machine-readable
+//! [`bounds::theorems`] registry used by the reproduction harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tight_bounds_consensus::prelude::*;
+//!
+//! // Midpoint on a random non-split dynamic network: converges, and
+//! // under the Theorem-2 adversary contracts at exactly 1/2.
+//! let inits = [Point([0.0]), Point([0.7]), Point([1.0])];
+//! let mut exec = Execution::new(Midpoint, &inits);
+//! let adv = adversary::theorem2(&Digraph::complete(3));
+//! let trace = adv.drive(&mut exec, 8);
+//! assert!((trace.per_round_rate() - 0.5).abs() < 1e-6);
+//! assert!((bounds::table1_nonsplit_lower(3) - 0.5).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use consensus_algorithms as algorithms;
+pub use consensus_approx as approx;
+pub use consensus_asyncsim as asyncsim;
+pub use consensus_digraph as digraph;
+pub use consensus_dynamics as dynamics;
+pub use consensus_netmodel as netmodel;
+pub use consensus_valency as valency;
+
+pub mod bounds;
+
+/// The things almost every user needs, importable in one line.
+pub mod prelude {
+    pub use crate::bounds;
+    pub use consensus_algorithms::{
+        Algorithm, AmortizedMidpoint, MassSplitting, MeanValue, Midpoint, Overshoot, Point,
+        QuantizedMidpoint, SelfWeightedAverage, TrimmedMean, TwoAgentThirds, WindowedMidpoint,
+    };
+    pub use consensus_approx::{rules as decision_rules, Decider};
+    pub use consensus_digraph::{families, Digraph};
+    pub use consensus_dynamics::{pattern, Execution, Trace};
+    pub use consensus_netmodel::{alpha, beta, NetworkModel};
+    pub use consensus_valency::{adversary, ProbeSet};
+}

@@ -1,0 +1,262 @@
+//! Exhaustive enumeration of small communication-graph classes.
+//!
+//! Network models in the paper are *sets* of communication graphs; several
+//! of them (all rooted graphs, all non-split graphs, the asynchronous-crash
+//! model `N_A`) are defined by predicates. This module enumerates those
+//! classes exactly for small `n`, which is what the α/β machinery of
+//! `consensus-netmodel` consumes.
+//!
+//! Enumeration cost: a graph on `n` agents with mandatory self-loops has
+//! `n(n−1)` free bits, so there are `2^{n(n−1)}` graphs — 64 for `n = 3`,
+//! 4096 for `n = 4`, ~1M for `n = 5`. The iterators below are lazy, and
+//! [`min_indegree_graphs`] enumerates per-row choices directly instead of
+//! filtering, so e.g. `N_A(4, 1)` (256 graphs) never touches the other
+//! 3840.
+
+use crate::graph::full_mask;
+use crate::Digraph;
+
+/// Iterates over **all** digraphs with self-loops on `n` agents.
+///
+/// The iteration order is stable: it is the lexicographic order of the
+/// in-mask rows with the self-loop bits removed.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 16` (beyond `n = 5` the class is already
+/// astronomically large; the hard cap keeps accidental blowups obvious).
+pub fn all_graphs(n: usize) -> impl Iterator<Item = Digraph> {
+    assert!(n >= 1 && n <= 16, "all_graphs: n = {n} out of supported range");
+    let free_bits = n * (n - 1);
+    let total: u128 = 1u128 << free_bits;
+    (0..total).map(move |code| decode(n, code))
+}
+
+/// Decodes the `code`-th graph in [`all_graphs`] order.
+fn decode(n: usize, mut code: u128) -> Digraph {
+    let mut masks = vec![0u64; n];
+    for (i, mask) in masks.iter_mut().enumerate() {
+        let mut row = 1u64 << i;
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            if code & 1 == 1 {
+                row |= 1u64 << j;
+            }
+            code >>= 1;
+        }
+        *mask = row;
+    }
+    Digraph::from_in_masks(&masks).expect("n validated")
+}
+
+/// Iterates over all **rooted** digraphs on `n` agents.
+///
+/// This is the largest network model in which asymptotic consensus is
+/// solvable (paper Theorem 1 / [8]).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 16` (see [`all_graphs`]).
+pub fn rooted_graphs(n: usize) -> impl Iterator<Item = Digraph> {
+    all_graphs(n).filter(Digraph::is_rooted)
+}
+
+/// Iterates over all **non-split** digraphs on `n` agents (§1: any two
+/// agents have a common in-neighbor).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 16` (see [`all_graphs`]).
+pub fn nonsplit_graphs(n: usize) -> impl Iterator<Item = Digraph> {
+    all_graphs(n).filter(Digraph::is_nonsplit)
+}
+
+/// Iterates over all digraphs on `n` agents in which **every** agent has
+/// in-degree at least `min_indeg` (self-loop included).
+///
+/// This is the asynchronous-crash network model `N_A` of §8.1 when
+/// `min_indeg = n − f`: *“each agent waits for n − f messages”*. The
+/// enumeration is direct (per-row subsets of the required size), not a
+/// filter over [`all_graphs`].
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `n > MAX_AGENTS`, or `min_indeg > n`.
+pub fn min_indegree_graphs(n: usize, min_indeg: usize) -> MinIndegreeGraphs {
+    assert!(n >= 1 && n <= 20 && min_indeg <= n, "enumeration needs n ≤ 20");
+    // Precompute, for one agent, all admissible rows (subsets of [n] that
+    // contain the agent and have ≥ min_indeg elements). Rows for agent i
+    // are rows for agent 0 with bits 0 and i swapped; we store rows for a
+    // "generic" agent as (subset containing bit 0) and swap on demand.
+    let mut rows0: Vec<u64> = Vec::new();
+    let all = full_mask(n);
+    for s in 0..=all {
+        if s & 1 == 1 && (s.count_ones() as usize) >= min_indeg {
+            rows0.push(s);
+        }
+    }
+    MinIndegreeGraphs {
+        n,
+        rows0,
+        counters: vec![0; n],
+        done: false,
+    }
+}
+
+/// Iterator returned by [`min_indegree_graphs`].
+pub struct MinIndegreeGraphs {
+    n: usize,
+    /// Admissible in-neighborhoods for agent 0 (each contains bit 0).
+    rows0: Vec<u64>,
+    /// Mixed-radix counter, one digit per agent.
+    counters: Vec<usize>,
+    done: bool,
+}
+
+impl MinIndegreeGraphs {
+    /// Total number of graphs in the class (`|rows|^n`).
+    #[must_use]
+    pub fn total(&self) -> u128 {
+        (self.rows0.len() as u128).pow(self.n as u32)
+    }
+
+    /// Swap bits 0 and i of mask (the agent-i admissible row from a
+    /// generic agent-0 row).
+    fn swap_bits(mask: u64, i: usize) -> u64 {
+        if i == 0 {
+            return mask;
+        }
+        let b0 = mask & 1;
+        let bi = (mask >> i) & 1;
+        if b0 == bi {
+            mask
+        } else {
+            mask ^ 1 ^ (1u64 << i)
+        }
+    }
+}
+
+impl Iterator for MinIndegreeGraphs {
+    type Item = Digraph;
+
+    fn next(&mut self) -> Option<Digraph> {
+        if self.done || self.rows0.is_empty() {
+            return None;
+        }
+        let masks: Vec<u64> = self
+            .counters
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| Self::swap_bits(self.rows0[c], i))
+            .collect();
+        // Advance the mixed-radix counter.
+        let mut i = 0;
+        loop {
+            if i == self.n {
+                self.done = true;
+                break;
+            }
+            self.counters[i] += 1;
+            if self.counters[i] < self.rows0.len() {
+                break;
+            }
+            self.counters[i] = 0;
+            i += 1;
+        }
+        Some(Digraph::from_in_masks(&masks).expect("validated"))
+    }
+}
+
+/// The number of digraphs with self-loops on `n` agents: `2^{n(n−1)}`.
+#[must_use]
+pub fn graph_class_size(n: usize) -> u128 {
+    1u128 << (n * (n - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn counts_for_two_agents() {
+        // 2^{2·1} = 4 graphs; 3 of them are rooted (Figure 1).
+        assert_eq!(all_graphs(2).count(), 4);
+        let rooted: Vec<_> = rooted_graphs(2).collect();
+        assert_eq!(rooted.len(), 3);
+        let fam: HashSet<_> = crate::families::two_agent().into_iter().collect();
+        let enumd: HashSet<_> = rooted.into_iter().collect();
+        assert_eq!(fam, enumd, "rooted(2) must equal {{H0,H1,H2}}");
+    }
+
+    #[test]
+    fn counts_for_three_agents() {
+        assert_eq!(graph_class_size(3), 64);
+        assert_eq!(all_graphs(3).count(), 64);
+        let rooted = rooted_graphs(3).count();
+        let nonsplit = nonsplit_graphs(3).count();
+        assert!(nonsplit <= rooted, "non-split graphs are rooted");
+        // Sanity: complete graph is in both classes.
+        assert!(rooted_graphs(3).any(|g| g.is_complete()));
+        assert!(nonsplit_graphs(3).any(|g| g.is_complete()));
+    }
+
+    #[test]
+    fn all_graphs_distinct() {
+        let set: HashSet<_> = all_graphs(3).collect();
+        assert_eq!(set.len(), 64);
+    }
+
+    #[test]
+    fn nonsplit_subset_of_rooted_n3() {
+        let rooted: HashSet<_> = rooted_graphs(3).collect();
+        for g in nonsplit_graphs(3) {
+            assert!(rooted.contains(&g), "non-split ⊄ rooted: {g}");
+        }
+    }
+
+    #[test]
+    fn min_indegree_matches_filter_n3() {
+        // N_A(3, 1): in-degree ≥ 2.
+        let direct: HashSet<_> = min_indegree_graphs(3, 2).collect();
+        let filtered: HashSet<_> = all_graphs(3)
+            .filter(|g| (0..3).all(|i| g.in_degree(i) >= 2))
+            .collect();
+        assert_eq!(direct, filtered);
+        // Each agent picks an in-set ⊇ {i} with ≥ 2 elements: 4 choices
+        // ({i,a},{i,b},{i,a,b} and... {i,a},{i,b},{i,a,b}) → 3+... compute:
+        // subsets of {0,1,2} containing i with |·| ≥ 2: {i,a},{i,b},{i,a,b} = 3.
+        assert_eq!(direct.len(), 27);
+    }
+
+    #[test]
+    fn min_indegree_total_matches_iteration() {
+        let it = min_indegree_graphs(4, 3);
+        let total = it.total();
+        assert_eq!(total, 4u128.pow(4)); // 4 admissible rows per agent
+        assert_eq!(it.count() as u128, total);
+    }
+
+    #[test]
+    fn min_indegree_all_members_valid() {
+        for g in min_indegree_graphs(4, 3) {
+            for i in 0..4 {
+                assert!(g.in_degree(i) >= 3);
+            }
+            // in-degree ≥ n − f with f < n/2 implies non-split:
+            // two agents' in-sets of size ≥ 3 in a 4-element universe
+            // must intersect.
+            assert!(g.is_nonsplit());
+        }
+    }
+
+    #[test]
+    fn decode_is_stable() {
+        let g0 = decode(3, 0);
+        assert_eq!(g0, Digraph::empty(3));
+        let g_last = decode(3, 63);
+        assert!(g_last.is_complete());
+    }
+}

@@ -1,0 +1,383 @@
+//! The witness communication graphs of the paper.
+//!
+//! * [`two_agent`] — `H0, H1, H2` of **Figure 1** (§4);
+//! * [`deaf_family`] — `deaf(G) = {F_1, …, F_n}` of **§5**;
+//! * [`psi`] / [`psi_family`] — the `Ψ_i` graphs of **Figure 2** (§6);
+//! * [`lemma24_h`] / [`lemma24_k`] — the interpolation graphs `H_r` and the
+//!   witness graphs `K_r` of **Lemma 24** (§8.1);
+//! * assorted classical topologies used by examples and tests.
+//!
+//! All constructors are 0-based; the paper’s agent `i ∈ {1..n}` is this
+//! crate’s agent `i − 1`. Doc comments spell out the translation whenever a
+//! paper definition is indexed.
+
+use crate::graph::full_mask;
+use crate::{Agent, Digraph};
+
+/// The three rooted two-agent graphs of Figure 1.
+///
+/// * `H0`: both messages delivered (complete graph `K_2`);
+/// * `H1`: agent 2 hears agent 1, but not vice versa — paper agent 1
+///   (our agent `0`) is **deaf** in `H1`;
+/// * `H2`: agent 1 hears agent 2, but not vice versa — paper agent 2
+///   (our agent `1`) is deaf in `H2`.
+///
+/// These are *all* rooted graphs on two agents, and all three are
+/// non-split. Together they form the network model of Theorem 1
+/// (lower bound 1/3 on the contraction rate for `n = 2`).
+///
+/// # Example
+///
+/// ```
+/// let [h0, h1, h2] = consensus_digraph::families::two_agent();
+/// assert!(h0.is_complete());
+/// assert!(h1.is_deaf(0) && !h1.is_deaf(1));
+/// assert!(h2.is_deaf(1) && !h2.is_deaf(0));
+/// ```
+#[must_use]
+pub fn two_agent() -> [Digraph; 3] {
+    let h0 = Digraph::complete(2);
+    let h1 = h0.make_deaf(0);
+    let h2 = h0.make_deaf(1);
+    [h0, h1, h2]
+}
+
+/// The family `deaf(G) = {F_1, …, F_n}` where `F_i` makes agent `i` deaf
+/// in `G` (§5). Returned in agent order (`F_i` at index `i`, 0-based).
+///
+/// For `G = K_n` this family is a subset of the non-split model; Theorem 2
+/// proves the 1/2 lower bound from it.
+#[must_use]
+pub fn deaf_family(g: &Digraph) -> Vec<Digraph> {
+    (0..g.n()).map(|i| g.make_deaf(i)).collect()
+}
+
+/// The graph `Ψ_i` of Figure 2 (§6), for paper agents `i ∈ {1, 2, 3}`.
+///
+/// Definition (paper, 1-based): agents `4 ≤ j ≤ n−1` form a path with
+/// edges `j → j+1`; agents `{1,2,3} \ {i}` have `n` as their in-neighbor
+/// and `4` as their out-neighbor; and `i` has `4` as its out-neighbor
+/// (so `i` is deaf in `Ψ_i`).
+///
+/// This function takes the **0-based** deaf agent `i ∈ {0, 1, 2}` and
+/// requires `n ≥ 4`.
+///
+/// # Panics
+///
+/// Panics if `n < 4` or `i ≥ 3`.
+///
+/// # Example
+///
+/// ```
+/// use consensus_digraph::families::psi;
+/// let g = psi(6, 0); // paper's Ψ_1 for n = 6
+/// assert!(g.is_rooted());
+/// assert!(g.is_deaf(0));
+/// assert!(g.has_edge(0, 3)); // paper: 1 → 4
+/// assert!(g.has_edge(5, 1)); // paper: 6 → 2
+/// ```
+#[must_use]
+pub fn psi(n: usize, i: Agent) -> Digraph {
+    assert!(n >= 4, "Ψ graphs require n ≥ 4 (got n = {n})");
+    assert!(i < 3, "the deaf agent of a Ψ graph is one of {{0,1,2}}");
+    let mut g = Digraph::empty(n);
+    // Path 4 → 5 → … → n (paper 1-based) = 3 → 4 → … → n-1 (0-based).
+    for j in 3..(n - 1) {
+        g.add_edge(j, j + 1);
+    }
+    for a in 0..3 {
+        if a == i {
+            // The deaf agent still talks to 4 (0-based 3).
+            g.add_edge(a, 3);
+        } else {
+            // n (0-based n-1) → a, and a → 4 (0-based 3).
+            g.add_edge(n - 1, a);
+            g.add_edge(a, 3);
+        }
+    }
+    g
+}
+
+/// The family `{Ψ_0, Ψ_1, Ψ_2}` (0-based deaf agents) for `n ≥ 4` agents.
+///
+/// Theorem 3 proves the `(1/2)^{1/(n−2)}` lower bound for any model that
+/// contains these three graphs.
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+#[must_use]
+pub fn psi_family(n: usize) -> [Digraph; 3] {
+    [psi(n, 0), psi(n, 1), psi(n, 2)]
+}
+
+/// The Lemma 24 block of paper agents `{(r−1)f+1, …, min(rf, n)}` as a
+/// 0-based bitmask, for `r ≥ 1`.
+#[must_use]
+pub fn lemma24_block(n: usize, f: usize, r: usize) -> u64 {
+    assert!(r >= 1, "blocks are indexed from 1");
+    let lo = (r - 1) * f; // 0-based inclusive
+    let hi = (r * f).min(n); // 0-based exclusive
+    if lo >= hi {
+        return 0;
+    }
+    let below_hi = full_mask(hi);
+    let below_lo = if lo == 0 { 0 } else { full_mask(lo) };
+    below_hi & !below_lo
+}
+
+/// The interpolation graph `H_r` of Lemma 24: agent `i` keeps its
+/// in-neighborhood from `g` if `i` lies in one of the first `r` blocks
+/// (paper: `1 ≤ i ≤ rf`), and from `h` otherwise.
+///
+/// `H_0 = h` and `H_q = g` for `q = ⌈n/f⌉`, so the chain walks from `h`
+/// to `g` in `q` α-steps witnessed by [`lemma24_k`].
+///
+/// # Panics
+///
+/// Panics if the graphs differ in size or `f == 0`.
+#[must_use]
+pub fn lemma24_h(g: &Digraph, h: &Digraph, f: usize, r: usize) -> Digraph {
+    assert_eq!(g.n(), h.n(), "Lemma 24 interpolates graphs of equal size");
+    assert!(f >= 1, "f must be positive");
+    let n = g.n();
+    let cut = (r * f).min(n); // agents 0..cut take g's rows
+    let masks: Vec<u64> = (0..n)
+        .map(|i| if i < cut { g.in_mask(i) } else { h.in_mask(i) })
+        .collect();
+    Digraph::from_in_masks(&masks).expect("sizes validated")
+}
+
+/// The witness graph `K_r` of Lemma 24: every agent hears all agents
+/// outside block `r` (plus its own mandatory self-loop).
+///
+/// Its root set is exactly `[n] \ block_r`, and every agent outside the
+/// block has identical in-neighborhoods in `H_{r−1}` and `H_r`, giving
+/// `H_{r−1} α_{N_A,K_r} H_r`.
+///
+/// # Panics
+///
+/// Panics if `f == 0` or `r == 0`.
+#[must_use]
+pub fn lemma24_k(n: usize, f: usize, r: usize) -> Digraph {
+    assert!(f >= 1 && r >= 1, "f and r must be positive");
+    let block = lemma24_block(n, f, r);
+    let heard = full_mask(n) & !block;
+    let masks: Vec<u64> = (0..n).map(|_| heard).collect();
+    // from_in_masks restores each agent's self-loop, including those in
+    // the block (the paper elides self-loops here; restoring them keeps
+    // the graph in the model and preserves R(K_r) = [n] \ block_r).
+    Digraph::from_in_masks(&masks).expect("sizes validated")
+}
+
+/// A directed cycle `0 → 1 → … → n−1 → 0`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 64`.
+#[must_use]
+pub fn cycle(n: usize) -> Digraph {
+    Digraph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).expect("size validated by caller")
+}
+
+/// A star: agent `center` sends to everyone (nobody else sends).
+/// Star graphs are non-split (everyone hears the center).
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `n > 64`, or `center ≥ n`.
+#[must_use]
+pub fn star_out(n: usize, center: Agent) -> Digraph {
+    assert!(center < n, "center out of range");
+    Digraph::from_edges(n, (0..n).filter(|&j| j != center).map(|j| (center, j)))
+        .expect("size validated")
+}
+
+/// An in-star: everyone sends to agent `center` only.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `n > 64`, or `center ≥ n`.
+#[must_use]
+pub fn star_in(n: usize, center: Agent) -> Digraph {
+    assert!(center < n, "center out of range");
+    Digraph::from_edges(n, (0..n).filter(|&j| j != center).map(|j| (j, center)))
+        .expect("size validated")
+}
+
+/// A directed path `0 → 1 → … → n−1`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 64`.
+#[must_use]
+pub fn path(n: usize) -> Digraph {
+    Digraph::from_edges(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1))).expect("size validated")
+}
+
+/// The bidirectional cycle (each agent hears both neighbors).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 64`.
+#[must_use]
+pub fn bidirectional_cycle(n: usize) -> Digraph {
+    let fwd = (0..n).map(|i| (i, (i + 1) % n));
+    let bwd = (0..n).map(|i| ((i + 1) % n, i));
+    Digraph::from_edges(n, fwd.chain(bwd)).expect("size validated")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_graphs() {
+        let [h0, h1, h2] = two_agent();
+        assert!(h0.is_complete());
+        assert!(h1.is_deaf(0));
+        assert!(!h1.is_deaf(1));
+        assert!(h1.has_edge(0, 1));
+        assert!(!h1.has_edge(1, 0));
+        assert!(h2.is_deaf(1));
+        assert!(h2.has_edge(1, 0));
+        for g in [&h0, &h1, &h2] {
+            assert!(g.is_rooted());
+            assert!(g.is_nonsplit());
+        }
+        // These are the only three rooted graphs on 2 agents.
+        assert_ne!(h0, h1);
+        assert_ne!(h0, h2);
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn deaf_family_of_k3() {
+        let fam = deaf_family(&Digraph::complete(3));
+        assert_eq!(fam.len(), 3);
+        for (i, f) in fam.iter().enumerate() {
+            assert!(f.is_deaf(i));
+            assert_eq!(f.roots(), 1 << i, "only the deaf agent roots F_i");
+            assert!(f.is_rooted());
+            // deaf(K_n) members are still non-split for n ≥ 3: any two
+            // agents share an in-neighbor (any agent other than both).
+            assert!(f.is_nonsplit());
+        }
+    }
+
+    #[test]
+    fn psi_structure_n6_matches_figure2() {
+        // Figure 2 shows Ψ_i for n = 6 with path 4 → 5 → 6.
+        let g = psi(6, 0); // paper Ψ_1
+        assert!(g.is_deaf(0));
+        // Path (0-based): 3 → 4 → 5.
+        assert!(g.has_edge(3, 4));
+        assert!(g.has_edge(4, 5));
+        // Paper agents 2, 3 (0-based 1, 2) hear paper 6 (0-based 5).
+        assert!(g.has_edge(5, 1));
+        assert!(g.has_edge(5, 2));
+        // All of paper {1,2,3} send to paper 4 (0-based 3).
+        assert!(g.has_edge(0, 3));
+        assert!(g.has_edge(1, 3));
+        assert!(g.has_edge(2, 3));
+        // Rooted with the deaf agent as the unique root.
+        assert_eq!(g.roots(), 0b000001);
+    }
+
+    #[test]
+    fn psi_minimum_size_n4() {
+        for i in 0..3 {
+            let g = psi(4, i);
+            assert!(g.is_deaf(i));
+            assert!(g.is_rooted());
+            assert_eq!(g.roots(), 1 << i);
+        }
+    }
+
+    #[test]
+    fn psi_family_all_rooted() {
+        for n in 4..=10 {
+            for g in psi_family(n) {
+                assert!(g.is_rooted(), "Ψ graph must be rooted (n = {n})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n ≥ 4")]
+    fn psi_rejects_small_n() {
+        let _ = psi(3, 0);
+    }
+
+    #[test]
+    fn sigma_products_are_rooted() {
+        // The product of the n-2 graphs Ψ_i (the macro-round σ_i of §6)
+        // is rooted with root i.
+        for n in 4..=8 {
+            for i in 0..3 {
+                let g = psi(n, i);
+                let mut prod = g.clone();
+                for _ in 1..(n - 2) {
+                    prod = prod.product(&g);
+                }
+                assert!(prod.is_rooted());
+                assert!(prod.roots() & (1 << i) != 0, "deaf agent roots σ_i");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma24_blocks_partition() {
+        let n: usize = 7;
+        let f = 3;
+        let q = n.div_ceil(f);
+        let mut acc = 0u64;
+        for r in 1..=q {
+            let b = lemma24_block(n, f, r);
+            assert_eq!(acc & b, 0, "blocks must be disjoint");
+            acc |= b;
+        }
+        assert_eq!(acc, (1u64 << n) - 1, "blocks must cover [n]");
+        assert_eq!(lemma24_block(n, f, q + 1), 0);
+    }
+
+    #[test]
+    fn lemma24_chain_endpoints() {
+        let n: usize = 6;
+        let f = 2;
+        let q = n.div_ceil(f);
+        // Pick two arbitrary graphs in N_A(n, f): in-degree ≥ n - f.
+        let g = Digraph::complete(n);
+        let mut h = Digraph::complete(n);
+        h.remove_edge(0, 1);
+        h.remove_edge(2, 3);
+        assert_eq!(lemma24_h(&g, &h, f, 0), h, "H_0 = H");
+        assert_eq!(lemma24_h(&g, &h, f, q), g, "H_q = G");
+    }
+
+    #[test]
+    fn lemma24_k_roots() {
+        let n: usize = 6;
+        let f = 2;
+        for r in 1..=n.div_ceil(f) {
+            let k = lemma24_k(n, f, r);
+            let block = lemma24_block(n, f, r);
+            assert_eq!(k.roots(), ((1u64 << n) - 1) & !block);
+            // K_r stays inside N_A: in-degree ≥ n - f.
+            for i in 0..n {
+                assert!(k.in_degree(i) >= n - f);
+            }
+        }
+    }
+
+    #[test]
+    fn topologies() {
+        assert!(cycle(5).is_strongly_connected());
+        assert!(path(5).is_rooted());
+        assert_eq!(path(5).roots(), 0b00001);
+        assert!(star_out(5, 2).is_nonsplit());
+        assert_eq!(star_out(5, 2).roots(), 0b00100);
+        assert!(!star_in(5, 2).is_rooted() || star_in(5, 2).n() == 1);
+        assert!(bidirectional_cycle(6).is_strongly_connected());
+    }
+}

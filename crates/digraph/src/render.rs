@@ -1,0 +1,165 @@
+//! Rendering of communication graphs as DOT and ASCII.
+//!
+//! Used by the benchmark harness to regenerate **Figure 1** (`H0,H1,H2`)
+//! and **Figure 2** (`Ψ_i` for `n = 6`) of the paper. Self-loops are
+//! omitted by default, exactly as in the paper’s figures.
+
+use std::fmt::Write as _;
+
+use crate::Digraph;
+
+/// Options controlling [`to_dot`] / [`to_ascii`].
+#[derive(Debug, Clone)]
+pub struct RenderOptions {
+    /// Include the mandatory self-loops (the paper's figures omit them).
+    pub self_loops: bool,
+    /// Use 1-based agent labels as in the paper (default `true`).
+    pub one_based: bool,
+    /// Graph name for DOT output.
+    pub name: String,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            self_loops: false,
+            one_based: true,
+            name: "G".to_owned(),
+        }
+    }
+}
+
+impl RenderOptions {
+    /// Options with a custom DOT graph name.
+    #[must_use]
+    pub fn named(name: &str) -> Self {
+        RenderOptions {
+            name: name.to_owned(),
+            ..Self::default()
+        }
+    }
+
+    fn label(&self, agent: usize) -> usize {
+        if self.one_based {
+            agent + 1
+        } else {
+            agent
+        }
+    }
+}
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// # Example
+///
+/// ```
+/// use consensus_digraph::{families, render};
+/// let [_, h1, _] = families::two_agent();
+/// let dot = render::to_dot(&h1, &render::RenderOptions::named("H1"));
+/// assert!(dot.contains("digraph H1"));
+/// assert!(dot.contains("1 -> 2")); // paper labels: agent 2 hears agent 1
+/// ```
+#[must_use]
+pub fn to_dot(g: &Digraph, opts: &RenderOptions) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph {} {{", opts.name);
+    let _ = writeln!(s, "  rankdir=LR;");
+    for i in 0..g.n() {
+        let _ = writeln!(s, "  {};", opts.label(i));
+    }
+    for (from, to) in g.edges() {
+        if from == to && !opts.self_loops {
+            continue;
+        }
+        let _ = writeln!(s, "  {} -> {};", opts.label(from), opts.label(to));
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Renders the graph as an ASCII edge list grouped by receiver, one agent
+/// per line: `agent <- {in-neighbors}` (paper-style 1-based by default).
+#[must_use]
+pub fn to_ascii(g: &Digraph, opts: &RenderOptions) -> String {
+    let mut s = String::new();
+    for i in 0..g.n() {
+        let ins: Vec<String> = g
+            .in_neighbors(i)
+            .filter(|&j| opts.self_loops || j != i)
+            .map(|j| opts.label(j).to_string())
+            .collect();
+        let _ = writeln!(s, "  {} <- {{{}}}", opts.label(i), ins.join(", "));
+    }
+    s
+}
+
+/// Renders an adjacency matrix (`X` marks `column hears row`), useful in
+/// test failure output. Always includes self-loops.
+#[must_use]
+pub fn to_matrix(g: &Digraph) -> String {
+    let mut s = String::from("    ");
+    for j in 0..g.n() {
+        let _ = write!(s, "{j:>3}");
+    }
+    s.push('\n');
+    for from in 0..g.n() {
+        let _ = write!(s, "{from:>3} ");
+        for to in 0..g.n() {
+            let c = if g.has_edge(from, to) { "  X" } else { "  ." };
+            s.push_str(c);
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+
+    #[test]
+    fn dot_output_for_figure1() {
+        let [h0, h1, h2] = families::two_agent();
+        let dot0 = to_dot(&h0, &RenderOptions::named("H0"));
+        assert!(dot0.contains("1 -> 2"));
+        assert!(dot0.contains("2 -> 1"));
+        let dot1 = to_dot(&h1, &RenderOptions::named("H1"));
+        assert!(dot1.contains("1 -> 2"));
+        assert!(!dot1.contains("2 -> 1"));
+        let dot2 = to_dot(&h2, &RenderOptions::named("H2"));
+        assert!(dot2.contains("2 -> 1"));
+        assert!(!dot2.contains("1 -> 2"));
+    }
+
+    #[test]
+    fn self_loops_toggle() {
+        let g = Digraph::empty(2);
+        let without = to_dot(&g, &RenderOptions::default());
+        assert!(!without.contains("->"));
+        let with = to_dot(
+            &g,
+            &RenderOptions {
+                self_loops: true,
+                ..RenderOptions::default()
+            },
+        );
+        assert!(with.contains("1 -> 1"));
+    }
+
+    #[test]
+    fn ascii_lists_in_neighbors() {
+        let g = families::psi(6, 0);
+        let a = to_ascii(&g, &RenderOptions::default());
+        // paper agent 4 (0-based 3) hears paper agents 1, 2, 3.
+        assert!(a.contains("4 <- {1, 2, 3}"));
+        // the deaf agent hears nobody (self-loop suppressed).
+        assert!(a.contains("1 <- {}"));
+    }
+
+    #[test]
+    fn matrix_render_nonempty() {
+        let m = to_matrix(&Digraph::complete(3));
+        assert_eq!(m.matches('X').count(), 9);
+    }
+}

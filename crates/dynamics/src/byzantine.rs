@@ -1,0 +1,244 @@
+//! Byzantine value-fault injection for scalar message algorithms.
+//!
+//! The paper's lineage starts with Byzantine approximate agreement
+//! (Dolev et al. [14]); its bounds concern benign dynamic faults, but
+//! the *algorithms* it proves optimal are often deployed where some
+//! senders lie. This harness runs a scalar-message algorithm with a set
+//! of **Byzantine agents** whose outgoing messages are replaced by an
+//! adversarial closure — *two-faced* behaviour included (different lies
+//! to different receivers). Honest agents cannot distinguish lies from
+//! values, which is exactly why the cautious (trimmed) rules of
+//! [14]/[17] exist; the tests and the integration suite show
+//! [`consensus_algorithms::TrimmedMean`] shrugging off `f` liars while
+//! plain averaging is dragged out of the honest hull.
+
+use consensus_algorithms::{Algorithm, Point};
+use consensus_digraph::{AgentSet, Digraph};
+
+use crate::pattern::PatternSource;
+use crate::Trace;
+
+/// A Byzantine message strategy: the value agent `byz` sends to
+/// `receiver` in `round` (may differ per receiver — two-faced faults).
+pub trait ByzantineStrategy {
+    /// The forged scalar message.
+    fn forge(&mut self, round: u64, byz: usize, receiver: usize) -> f64;
+}
+
+impl<F: FnMut(u64, usize, usize) -> f64> ByzantineStrategy for F {
+    fn forge(&mut self, round: u64, byz: usize, receiver: usize) -> f64 {
+        self(round, byz, receiver)
+    }
+}
+
+/// A two-faced strategy pushing each receiver toward an extreme based on
+/// the receiver's parity — the classic split attack.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitAttack {
+    /// Magnitude of the forged values (`±magnitude`).
+    pub magnitude: f64,
+}
+
+impl ByzantineStrategy for SplitAttack {
+    fn forge(&mut self, _round: u64, _byz: usize, receiver: usize) -> f64 {
+        if receiver % 2 == 0 {
+            self.magnitude
+        } else {
+            -self.magnitude
+        }
+    }
+}
+
+/// Runs `alg` for `rounds` rounds under `pattern`, with the agents in
+/// `byzantine` replaced by `strategy`. Returns the trace of the
+/// **honest** agents' outputs (Byzantine outputs are excluded from the
+/// recorded configuration, matching the correct-agents-only conditions
+/// of fault-tolerant agreement).
+///
+/// Only scalar-message algorithms (`Msg = Point<1>`) can be attacked
+/// this way; richer message types would need protocol-specific forgery.
+///
+/// # Panics
+///
+/// Panics if every agent is Byzantine or `inits.len()` exceeds 64.
+pub fn run_with_byzantine<A, P, S>(
+    alg: A,
+    inits: &[Point<1>],
+    pattern: &mut P,
+    byzantine: AgentSet,
+    strategy: &mut S,
+    rounds: usize,
+) -> Trace<1>
+where
+    A: Algorithm<1, Msg = Point<1>>,
+    P: PatternSource,
+    S: ByzantineStrategy,
+{
+    let n = inits.len();
+    assert!(n >= 1 && n <= 64, "need 1..=64 agents");
+    let honest: Vec<usize> = (0..n).filter(|&i| byzantine & (1 << i) == 0).collect();
+    assert!(!honest.is_empty(), "at least one honest agent required");
+
+    let mut states: Vec<A::State> = inits
+        .iter()
+        .enumerate()
+        .map(|(i, &y0)| alg.init(i, y0))
+        .collect();
+
+    let honest_outputs = |states: &[A::State]| -> Vec<Point<1>> {
+        honest.iter().map(|&i| alg.output(&states[i])).collect()
+    };
+
+    let mut trace = Trace::new(honest_outputs(&states));
+    for r in 1..=rounds as u64 {
+        let g: Digraph = pattern.next_graph(r);
+        assert_eq!(g.n(), n, "graph size must match agent count");
+        let msgs: Vec<Point<1>> = states.iter().map(|s| alg.message(s)).collect();
+        let mut next = states.clone();
+        for &i in &honest {
+            let inbox: Vec<(usize, Point<1>)> = g
+                .in_neighbors(i)
+                .map(|j| {
+                    let v = if byzantine & (1 << j) != 0 {
+                        Point([strategy.forge(r, j, i)])
+                    } else {
+                        msgs[j]
+                    };
+                    (j, v)
+                })
+                .collect();
+            alg.step(i, &mut next[i], &inbox, r);
+        }
+        states = next;
+        trace.record(g, honest_outputs(&states));
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::ConstantPattern;
+    use consensus_algorithms::{MeanValue, Midpoint, TrimmedMean};
+
+    fn honest_inits(n: usize) -> Vec<Point<1>> {
+        (0..n).map(|i| Point([i as f64 / (n - 1) as f64])).collect()
+    }
+
+    #[test]
+    fn trimmed_mean_survives_split_attack() {
+        // n = 7, two Byzantine agents, clique: trim = 2 discards the
+        // extremes, honest agents converge inside their initial hull.
+        let n = 7;
+        let byz: AgentSet = 0b1100000;
+        let mut strat = SplitAttack { magnitude: 1e6 };
+        let mut pat = ConstantPattern::new(Digraph::complete(n));
+        let trace = run_with_byzantine(
+            TrimmedMean::new(2),
+            &honest_inits(n),
+            &mut pat,
+            byz,
+            &mut strat,
+            40,
+        );
+        assert!(trace.final_diameter() < 1e-6, "honest agents agree");
+        assert!(
+            trace.validity_holds(1e-9),
+            "honest outputs never left the honest hull"
+        );
+    }
+
+    #[test]
+    fn plain_mean_is_dragged_away() {
+        let n = 7;
+        let byz: AgentSet = 0b1100000;
+        let mut strat = SplitAttack { magnitude: 1e6 };
+        let mut pat = ConstantPattern::new(Digraph::complete(n));
+        let trace = run_with_byzantine(
+            MeanValue,
+            &honest_inits(n),
+            &mut pat,
+            byz,
+            &mut strat,
+            3,
+        );
+        assert!(
+            !trace.validity_holds(1.0),
+            "unprotected averaging leaves the honest hull immediately"
+        );
+    }
+
+    #[test]
+    fn midpoint_is_also_vulnerable() {
+        // Midpoint uses the received extremes, so a single liar owns it.
+        let n = 5;
+        let byz: AgentSet = 0b10000;
+        let mut strat = SplitAttack { magnitude: 100.0 };
+        let mut pat = ConstantPattern::new(Digraph::complete(n));
+        let trace = run_with_byzantine(
+            Midpoint,
+            &honest_inits(n),
+            &mut pat,
+            byz,
+            &mut strat,
+            2,
+        );
+        assert!(!trace.validity_holds(1.0));
+    }
+
+    #[test]
+    fn insufficient_trim_fails_sufficient_trim_succeeds() {
+        let n = 9;
+        let byz: AgentSet = 0b110000000; // agents 7, 8 lie
+        for (trim, ok) in [(1usize, false), (2, true)] {
+            let mut strat = SplitAttack { magnitude: 1e3 };
+            let mut pat = ConstantPattern::new(Digraph::complete(n));
+            let trace = run_with_byzantine(
+                TrimmedMean::new(trim),
+                &honest_inits(n),
+                &mut pat,
+                byz,
+                &mut strat,
+                30,
+            );
+            assert_eq!(
+                trace.validity_holds(1e-6),
+                ok,
+                "trim = {trim} should {}",
+                if ok { "tolerate 2 liars" } else { "fail" }
+            );
+        }
+    }
+
+    #[test]
+    fn no_byzantine_agents_is_plain_execution() {
+        let n = 4;
+        let mut strat = SplitAttack { magnitude: 1e9 };
+        let mut pat = ConstantPattern::new(Digraph::complete(n));
+        let trace = run_with_byzantine(
+            Midpoint,
+            &honest_inits(n),
+            &mut pat,
+            0,
+            &mut strat,
+            5,
+        );
+        assert!(trace.final_diameter() < 1e-12);
+        assert!(trace.validity_holds(1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "honest")]
+    fn all_byzantine_rejected() {
+        let mut strat = SplitAttack { magnitude: 1.0 };
+        let mut pat = ConstantPattern::new(Digraph::complete(2));
+        let _ = run_with_byzantine(
+            Midpoint,
+            &honest_inits(2),
+            &mut pat,
+            0b11,
+            &mut strat,
+            1,
+        );
+    }
+}

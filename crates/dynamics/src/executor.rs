@@ -1,0 +1,286 @@
+//! The [`Execution`] engine: states, rounds, forking.
+
+use consensus_algorithms::{diameter, Algorithm, Point};
+use consensus_digraph::Digraph;
+
+use crate::pattern::PatternSource;
+use crate::Trace;
+
+/// A live execution of an algorithm: one state per agent, advanced one
+/// communication-closed round at a time (paper §2).
+///
+/// `Execution` is [`Clone`] (when the algorithm is), which is how the
+/// valency engine forks a configuration `C` into the different successor
+/// executions `G.C` needed by the lower-bound adversaries.
+#[derive(Clone)]
+pub struct Execution<A: Algorithm<D>, const D: usize> {
+    alg: A,
+    states: Vec<A::State>,
+    round: u64,
+}
+
+impl<A: Algorithm<D>, const D: usize> Execution<A, D> {
+    /// Starts an execution of `alg` from the given initial values
+    /// (one per agent; `inits.len()` is the number of agents `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inits` is empty or has more than 64 agents.
+    #[must_use]
+    pub fn new(alg: A, inits: &[Point<D>]) -> Self {
+        assert!(
+            !inits.is_empty() && inits.len() <= 64,
+            "need 1..=64 agents"
+        );
+        let states = inits
+            .iter()
+            .enumerate()
+            .map(|(i, &y0)| alg.init(i, y0))
+            .collect();
+        Execution {
+            alg,
+            states,
+            round: 0,
+        }
+    }
+
+    /// The number of agents.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The number of completed rounds (`t`; round 0 is the initial
+    /// configuration).
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The algorithm being executed.
+    #[must_use]
+    pub fn algorithm(&self) -> &A {
+        &self.alg
+    }
+
+    /// The current output vector `y(t) = (y_1(t), …, y_n(t))`.
+    #[must_use]
+    pub fn outputs(&self) -> Vec<Point<D>> {
+        self.states.iter().map(|s| self.alg.output(s)).collect()
+    }
+
+    /// The current value spread `Δ(y(t))` (paper §2.1).
+    #[must_use]
+    pub fn value_diameter(&self) -> f64 {
+        diameter(&self.outputs())
+    }
+
+    /// Read access to an agent's state (used by state-aware tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent ≥ n`.
+    #[must_use]
+    pub fn state(&self, agent: usize) -> &A::State {
+        &self.states[agent]
+    }
+
+    /// Executes one round with communication graph `g`: collect all
+    /// messages, deliver along `g`'s edges (in-neighbors, self included),
+    /// apply the transition function everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g.n() != self.n()`.
+    pub fn step(&mut self, g: &Digraph) {
+        assert_eq!(g.n(), self.n(), "graph size must match agent count");
+        self.round += 1;
+        let msgs: Vec<A::Msg> = self.states.iter().map(|s| self.alg.message(s)).collect();
+        for (i, state) in self.states.iter_mut().enumerate() {
+            let inbox: Vec<(usize, A::Msg)> =
+                g.in_neighbors(i).map(|j| (j, msgs[j].clone())).collect();
+            self.alg.step(i, state, &inbox, self.round);
+        }
+    }
+
+    /// Runs `rounds` rounds driven by `pattern`, recording a [`Trace`]
+    /// (which includes the configuration *before* the first recorded
+    /// round). The execution can be continued afterwards.
+    pub fn run<P: PatternSource>(&mut self, pattern: &mut P, rounds: usize) -> Trace<D> {
+        let mut trace = Trace::new(self.outputs());
+        for _ in 0..rounds {
+            let g = pattern.next_graph(self.round + 1);
+            self.step(&g);
+            trace.record(g, self.outputs());
+        }
+        trace
+    }
+
+    /// Runs until the value spread drops below `tol` or `max_rounds` is
+    /// reached, whichever comes first.
+    pub fn run_until_converged<P: PatternSource>(
+        &mut self,
+        pattern: &mut P,
+        tol: f64,
+        max_rounds: usize,
+    ) -> Trace<D> {
+        let mut trace = Trace::new(self.outputs());
+        for _ in 0..max_rounds {
+            if self.value_diameter() <= tol {
+                break;
+            }
+            let g = pattern.next_graph(self.round + 1);
+            self.step(&g);
+            trace.record(g, self.outputs());
+        }
+        trace
+    }
+
+    /// Runs under `pattern` until convergence and returns the common
+    /// limit estimate (the centroid of the final outputs). Used by the
+    /// valency engine as “the limit of this continuation”.
+    pub fn limit_estimate<P: PatternSource>(
+        &mut self,
+        pattern: &mut P,
+        tol: f64,
+        max_rounds: usize,
+    ) -> Point<D> {
+        self.run_until_converged(pattern, tol, max_rounds);
+        let outs = self.outputs();
+        let mut acc = Point::ZERO;
+        for p in &outs {
+            acc += *p;
+        }
+        acc * (1.0 / outs.len() as f64)
+    }
+}
+
+impl<A: Algorithm<D> + std::fmt::Debug, const D: usize> std::fmt::Debug for Execution<A, D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Execution")
+            .field("alg", &self.alg)
+            .field("round", &self.round)
+            .field("outputs", &self.outputs())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{ConstantPattern, PeriodicPattern};
+    use consensus_algorithms::{MeanValue, Midpoint, TwoAgentThirds};
+    use consensus_digraph::families;
+
+    fn pts(vals: &[f64]) -> Vec<Point<1>> {
+        vals.iter().map(|&v| Point([v])).collect()
+    }
+
+    #[test]
+    fn clique_midpoint_one_round() {
+        let mut e = Execution::new(Midpoint, &pts(&[0.0, 1.0, 0.3]));
+        e.step(&Digraph::complete(3));
+        let outs = e.outputs();
+        for o in outs {
+            assert!((o[0] - 0.5).abs() < 1e-15);
+        }
+        assert_eq!(e.round(), 1);
+    }
+
+    #[test]
+    fn deaf_adversary_halves_midpoint_diameter() {
+        // Constant F_0 (agent 0 deaf in K_3): spread halves every round.
+        let f0 = Digraph::complete(3).make_deaf(0);
+        let mut e = Execution::new(Midpoint, &pts(&[0.0, 1.0, 1.0]));
+        let mut d = e.value_diameter();
+        for _ in 0..20 {
+            e.step(&f0);
+            let nd = e.value_diameter();
+            assert!((nd - d / 2.0).abs() < 1e-12, "exact halving expected");
+            d = nd;
+        }
+    }
+
+    #[test]
+    fn two_agent_thirds_under_h1() {
+        let [_, h1, _] = families::two_agent();
+        let mut e = Execution::new(TwoAgentThirds, &pts(&[0.0, 1.0]));
+        let trace = e.run(&mut ConstantPattern::new(h1), 12);
+        let rate = trace.rates().t_root;
+        assert!((rate - 1.0 / 3.0).abs() < 1e-9, "rate = {rate}");
+    }
+
+    #[test]
+    fn run_until_converged_stops_early() {
+        let mut e = Execution::new(Midpoint, &pts(&[0.0, 8.0]));
+        let mut p = ConstantPattern::new(Digraph::complete(2));
+        let trace = e.run_until_converged(&mut p, 1e-9, 1_000);
+        assert!(trace.rounds() <= 2, "clique agreement is immediate");
+        assert!(e.value_diameter() <= 1e-9);
+    }
+
+    #[test]
+    fn periodic_pattern_cycles() {
+        let [h0, h1, h2] = families::two_agent();
+        let mut e = Execution::new(MeanValue, &pts(&[0.0, 1.0]));
+        let mut p = PeriodicPattern::new(vec![h0, h1, h2]);
+        let trace = e.run(&mut p, 6);
+        assert_eq!(trace.rounds(), 6);
+        assert!(trace.final_diameter() < trace.initial_diameter());
+    }
+
+    #[test]
+    fn fork_preserves_determinism() {
+        let mut a = Execution::new(Midpoint, &pts(&[0.0, 1.0, 0.5, 0.7]));
+        a.step(&families::star_out(4, 2));
+        let mut b = a.clone();
+        let g = families::cycle(4);
+        a.step(&g);
+        b.step(&g);
+        assert_eq!(a.outputs(), b.outputs(), "forked executions must agree");
+    }
+
+    #[test]
+    fn limit_estimate_on_clique_is_midrange() {
+        let mut e = Execution::new(Midpoint, &pts(&[0.0, 1.0]));
+        let mut p = ConstantPattern::new(Digraph::complete(2));
+        let lim = e.limit_estimate(&mut p, 1e-12, 100);
+        assert!((lim[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "graph size")]
+    fn size_mismatch_panics() {
+        let mut e = Execution::new(Midpoint, &pts(&[0.0, 1.0]));
+        e.step(&Digraph::complete(3));
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use consensus_algorithms::{MeanValue, Midpoint};
+
+    #[test]
+    fn single_agent_execution_is_trivial() {
+        let mut e = Execution::new(Midpoint, &[Point([0.7])]);
+        e.step(&Digraph::complete(1));
+        assert_eq!(e.outputs(), vec![Point([0.7])]);
+        assert_eq!(e.value_diameter(), 0.0);
+    }
+
+    #[test]
+    fn sixty_four_agents_supported() {
+        let inits: Vec<Point<1>> = (0..64).map(|i| Point([i as f64])).collect();
+        let mut e = Execution::new(MeanValue, &inits);
+        e.step(&Digraph::complete(64));
+        assert!(e.value_diameter() < 1e-9, "complete graph averages in one round");
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn sixty_five_agents_rejected() {
+        let inits: Vec<Point<1>> = (0..65).map(|i| Point([i as f64])).collect();
+        let _ = Execution::new(MeanValue, &inits);
+    }
+}

@@ -1,0 +1,45 @@
+//! Synchronous round-based execution engine for consensus in dynamic
+//! networks.
+//!
+//! This crate implements the computational model of the paper's §2 (in
+//! the spirit of the Heard-Of model [10]): computation proceeds in
+//! communication-closed rounds; in round `t` the adversary picks a
+//! communication graph `G_t` from the network model, every agent sends
+//! its message to its out-neighbors, receives from its in-neighbors
+//! (always including itself), and applies its deterministic transition
+//! function.
+//!
+//! * [`Execution`] — the live system: per-agent states, single-round
+//!   stepping, forking (for valency probes);
+//! * [`pattern`] — [`pattern::PatternSource`] implementations: constant,
+//!   periodic, sequential, sampled-random patterns;
+//! * [`Trace`] — the recorded run: per-round outputs, diameters
+//!   `Δ(y(t))`, and contraction-rate estimators matching the paper's
+//!   `sup_E limsup_t (δ(C_t))^{1/t}` definition (§3);
+//! * [`byzantine`] — value-fault injection (two-faced senders) for the
+//!   cautious-rule experiments tied to the Byzantine lineage [14].
+//!
+//! # Example
+//!
+//! ```
+//! use consensus_algorithms::{Midpoint, Point};
+//! use consensus_digraph::Digraph;
+//! use consensus_dynamics::{pattern::ConstantPattern, Execution};
+//!
+//! // Midpoint on a 3-clique: exact agreement after one round.
+//! let inits = [Point([0.0]), Point([1.0]), Point([0.25])];
+//! let mut exec = Execution::new(Midpoint, &inits);
+//! let trace = exec.run(&mut ConstantPattern::new(Digraph::complete(3)), 1);
+//! assert!(trace.final_diameter() < 1e-15);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod byzantine;
+mod executor;
+pub mod pattern;
+mod trace;
+
+pub use executor::Execution;
+pub use trace::{RateEstimate, Trace};

@@ -1,0 +1,503 @@
+//! The `α_{N,K}` relation (Definition 15), α-chains, and the α-diameter
+//! (Definition 22).
+//!
+//! `G α_{N,K} H` holds iff every root of `K` has identical in-neighborhoods
+//! in `G` and `H` (see the crate docs for why per-node equality is the
+//! faithful reading). The **α-graph** of a model `N` has the graphs of `N`
+//! as nodes and an edge `{G, H}` whenever some `K ∈ N` witnesses
+//! `G α_{N,K} H`; the **α-diameter** `D` is the maximum over pairs of the
+//! shortest α-path length (at least 1 by definition), or ∞ when the
+//! α-graph is disconnected.
+//!
+//! Theorem 5 of the paper: if exact consensus is unsolvable in `N`, every
+//! asymptotic consensus algorithm has contraction rate ≥ `1/(D+1)`.
+
+use std::collections::HashMap;
+
+use consensus_digraph::{agents_in, AgentSet, Digraph};
+
+use crate::NetworkModel;
+
+/// Whether `G α_{N,K} H`: every agent in `R(K)` has the same
+/// in-neighborhood in `G` and in `H`.
+///
+/// Note that the relation only depends on `K` through its root set, is
+/// reflexive and symmetric, and is vacuously true when `K` is unrooted
+/// (`R(K) = ∅`).
+#[must_use]
+pub fn alpha_related_via(g: &Digraph, h: &Digraph, k: &Digraph) -> bool {
+    alpha_related_via_roots(g, h, k.roots())
+}
+
+/// [`alpha_related_via`] with a precomputed root set.
+#[must_use]
+pub fn alpha_related_via_roots(g: &Digraph, h: &Digraph, roots: AgentSet) -> bool {
+    agents_in(roots).all(|i| g.in_mask(i) == h.in_mask(i))
+}
+
+/// Whether some `K ∈ N` witnesses `G α_{N,K} H` (a single α-step).
+#[must_use]
+pub fn alpha_related(model: &NetworkModel, g: &Digraph, h: &Digraph) -> bool {
+    model
+        .graphs()
+        .iter()
+        .any(|k| alpha_related_via(g, h, k))
+}
+
+/// The α-diameter of a network model (Definition 22).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AlphaDiameter {
+    /// All pairs are connected by an α-chain of at most this length (≥ 1).
+    Finite(usize),
+    /// The α-graph is disconnected.
+    Infinite,
+}
+
+impl AlphaDiameter {
+    /// The finite value, if any.
+    #[must_use]
+    pub fn finite(self) -> Option<usize> {
+        match self {
+            AlphaDiameter::Finite(d) => Some(d),
+            AlphaDiameter::Infinite => None,
+        }
+    }
+
+    /// The contraction-rate lower bound `1/(D+1)` of Theorem 5
+    /// (`0` for an infinite α-diameter, where Theorem 5 is vacuous).
+    #[must_use]
+    pub fn theorem5_bound(self) -> f64 {
+        match self {
+            AlphaDiameter::Finite(d) => 1.0 / (d as f64 + 1.0),
+            AlphaDiameter::Infinite => 0.0,
+        }
+    }
+}
+
+impl std::fmt::Display for AlphaDiameter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlphaDiameter::Finite(d) => write!(f, "{d}"),
+            AlphaDiameter::Infinite => write!(f, "∞"),
+        }
+    }
+}
+
+/// One step of an α-chain: move to graph `to`, witnessed by `witness`
+/// (indices into [`NetworkModel::graphs`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlphaStep {
+    /// Index of the next graph `H_r` in the chain.
+    pub to: usize,
+    /// Index of a witness `K_r` with `H_{r−1} α_{N,K_r} H_r`.
+    pub witness: usize,
+}
+
+/// Precomputed α-structure of a model: distinct witness root sets and the
+/// bucket partition they induce. Construction is `O(|N|·|S| + |N| log |N|)`
+/// per distinct root set `S`; all queries afterwards avoid rescanning `N`.
+#[derive(Debug, Clone)]
+pub struct AlphaAnalysis {
+    n_graphs: usize,
+    /// Distinct root sets `R(K)` over `K ∈ N`, each with one witness index.
+    root_sets: Vec<(AgentSet, usize)>,
+    /// For each distinct root set (outer index), the partition of graph
+    /// indices into buckets of pairwise α-related graphs.
+    buckets: Vec<Vec<Vec<u32>>>,
+    /// For each graph, the (root-set index, bucket index) pairs it is in.
+    membership: Vec<Vec<(u32, u32)>>,
+}
+
+impl AlphaAnalysis {
+    /// Analyses the α-structure of `model`.
+    #[must_use]
+    pub fn new(model: &NetworkModel) -> Self {
+        let graphs = model.graphs();
+        let n_graphs = graphs.len();
+
+        // Distinct root sets with a witness K for each.
+        let mut root_sets: Vec<(AgentSet, usize)> = Vec::new();
+        let mut seen: HashMap<AgentSet, usize> = HashMap::new();
+        for (ki, k) in graphs.iter().enumerate() {
+            let r = k.roots();
+            seen.entry(r).or_insert_with(|| {
+                root_sets.push((r, ki));
+                root_sets.len() - 1
+            });
+        }
+
+        // Bucket graphs by their in-neighborhood restricted to each S.
+        let mut buckets: Vec<Vec<Vec<u32>>> = Vec::with_capacity(root_sets.len());
+        let mut membership: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_graphs];
+        for (si, &(s, _)) in root_sets.iter().enumerate() {
+            let mut by_key: HashMap<Vec<AgentSet>, Vec<u32>> = HashMap::new();
+            for (gi, g) in graphs.iter().enumerate() {
+                let key: Vec<AgentSet> = agents_in(s).map(|i| g.in_mask(i)).collect();
+                by_key.entry(key).or_default().push(gi as u32);
+            }
+            let mut bs: Vec<Vec<u32>> = by_key.into_values().collect();
+            bs.sort(); // stable order for reproducibility
+            for (bi, b) in bs.iter().enumerate() {
+                for &gi in b {
+                    membership[gi as usize].push((si as u32, bi as u32));
+                }
+            }
+            buckets.push(bs);
+        }
+
+        AlphaAnalysis {
+            n_graphs,
+            root_sets,
+            buckets,
+            membership,
+        }
+    }
+
+    /// The distinct witness root sets `R(K)`, `K ∈ N`, with one witness
+    /// graph index each.
+    #[must_use]
+    pub fn root_sets(&self) -> &[(AgentSet, usize)] {
+        &self.root_sets
+    }
+
+    /// Whether graphs `gi` and `hi` (indices) are α-related in one step.
+    #[must_use]
+    pub fn one_step(&self, gi: usize, hi: usize) -> bool {
+        self.membership[gi]
+            .iter()
+            .any(|m| self.membership[hi].contains(m))
+    }
+
+    /// BFS distances (in α-steps) from graph index `src` to every graph;
+    /// `usize::MAX` marks unreachable graphs.
+    #[must_use]
+    pub fn distances_from(&self, src: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.n_graphs];
+        let mut bucket_done = vec![false; self.buckets.iter().map(Vec::len).sum::<usize>()];
+        // Flatten bucket ids: (si, bi) → offset.
+        let mut offsets = Vec::with_capacity(self.buckets.len());
+        let mut acc = 0usize;
+        for bs in &self.buckets {
+            offsets.push(acc);
+            acc += bs.len();
+        }
+        let flat = |si: u32, bi: u32| offsets[si as usize] + bi as usize;
+
+        let mut frontier = vec![src];
+        dist[src] = 0;
+        let mut d = 0usize;
+        while !frontier.is_empty() {
+            d += 1;
+            let mut next = Vec::new();
+            for &g in &frontier {
+                for &(si, bi) in &self.membership[g] {
+                    let fb = flat(si, bi);
+                    if bucket_done[fb] {
+                        continue;
+                    }
+                    bucket_done[fb] = true;
+                    for &h in &self.buckets[si as usize][bi as usize] {
+                        let h = h as usize;
+                        if dist[h] == usize::MAX {
+                            dist[h] = d;
+                            next.push(h);
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        dist
+    }
+
+    /// A shortest α-chain from graph `gi` to graph `hi`, as a list of
+    /// [`AlphaStep`]s (empty if `gi == hi`), or `None` if disconnected.
+    ///
+    /// The witness of each step is a graph whose root set certifies the
+    /// bucket shared by the consecutive chain graphs — exactly the `K_r`
+    /// needed by Lemma 20 / Theorem 5.
+    #[must_use]
+    pub fn chain(&self, gi: usize, hi: usize) -> Option<Vec<AlphaStep>> {
+        if gi == hi {
+            return Some(Vec::new());
+        }
+        // BFS from gi storing parents.
+        let mut parent: Vec<Option<AlphaStep>> = vec![None; self.n_graphs];
+        let mut visited = vec![false; self.n_graphs];
+        visited[gi] = true;
+        let mut frontier = vec![gi];
+        'outer: while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &g in &frontier {
+                for &(si, bi) in &self.membership[g] {
+                    let witness = self.root_sets[si as usize].1;
+                    for &h in &self.buckets[si as usize][bi as usize] {
+                        let h = h as usize;
+                        if !visited[h] {
+                            visited[h] = true;
+                            parent[h] = Some(AlphaStep { to: g, witness });
+                            next.push(h);
+                            if h == hi {
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        if !visited[hi] {
+            return None;
+        }
+        // Walk back from hi to gi; `parent[h].to` points toward the source.
+        let mut steps = Vec::new();
+        let mut cur = hi;
+        while cur != gi {
+            let p = parent[cur].expect("visited ⇒ parent chain");
+            steps.push(AlphaStep {
+                to: cur,
+                witness: p.witness,
+            });
+            cur = p.to;
+        }
+        steps.reverse();
+        Some(steps)
+    }
+
+    /// The α-diameter of the model (Definition 22): the maximum BFS
+    /// eccentricity, clamped to at least 1.
+    #[must_use]
+    pub fn diameter(&self) -> AlphaDiameter {
+        let mut best = 1usize;
+        for src in 0..self.n_graphs {
+            let dist = self.distances_from(src);
+            for &d in &dist {
+                if d == usize::MAX {
+                    return AlphaDiameter::Infinite;
+                }
+                best = best.max(d);
+            }
+        }
+        AlphaDiameter::Finite(best)
+    }
+
+    /// The connected components of the α-graph — these are the
+    /// `α*`-classes of the model (transitive closure of `⋃_K α_{N,K}`).
+    #[must_use]
+    pub fn alpha_star_classes(&self) -> Vec<Vec<usize>> {
+        let mut comp = vec![usize::MAX; self.n_graphs];
+        let mut classes: Vec<Vec<usize>> = Vec::new();
+        for src in 0..self.n_graphs {
+            if comp[src] != usize::MAX {
+                continue;
+            }
+            let id = classes.len();
+            let dist = self.distances_from(src);
+            let mut members = Vec::new();
+            for (g, &d) in dist.iter().enumerate() {
+                if d != usize::MAX && comp[g] == usize::MAX {
+                    comp[g] = id;
+                    members.push(g);
+                }
+            }
+            classes.push(members);
+        }
+        classes
+    }
+}
+
+/// Convenience: the α-diameter of a model (Definition 22).
+///
+/// # Example
+///
+/// ```
+/// use consensus_digraph::Digraph;
+/// use consensus_netmodel::{alpha, NetworkModel};
+///
+/// // §7: deaf(G) has α-diameter 1 for n ≥ 3…
+/// let deaf = NetworkModel::deaf(&Digraph::complete(3));
+/// assert_eq!(alpha::alpha_diameter(&deaf), alpha::AlphaDiameter::Finite(1));
+/// // …and the two-agent model has α-diameter 2.
+/// let two = NetworkModel::two_agent();
+/// assert_eq!(alpha::alpha_diameter(&two), alpha::AlphaDiameter::Finite(2));
+/// ```
+#[must_use]
+pub fn alpha_diameter(model: &NetworkModel) -> AlphaDiameter {
+    AlphaAnalysis::new(model).diameter()
+}
+
+/// Verifies the Lemma 24 chain for the asynchronous-crash model: walks
+/// from `g` to `h` through the interpolation graphs `H_r`, checking that
+/// each step is a valid α-step inside `N_A(n, f)` witnessed by `K_r`.
+///
+/// Returns the chain length `q = ⌈n/f⌉` on success. This is how the crate
+/// certifies `D ≤ ⌈n/f⌉` (Lemma 24) for models far too large to enumerate.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violated side
+/// condition (endpoint not in the model, witness not in the model, or a
+/// broken α-step).
+pub fn lemma24_chain_check(g: &Digraph, h: &Digraph, f: usize) -> Result<usize, String> {
+    use consensus_digraph::families;
+
+    let n = g.n();
+    if h.n() != n {
+        return Err(format!("size mismatch: {} vs {n}", h.n()));
+    }
+    let in_model = |x: &Digraph| (0..n).all(|i| x.in_degree(i) >= n - f);
+    if !in_model(g) {
+        return Err("G is not in N_A(n,f)".to_owned());
+    }
+    if !in_model(h) {
+        return Err("H is not in N_A(n,f)".to_owned());
+    }
+    let q = n.div_ceil(f);
+    for r in 1..=q {
+        let prev = families::lemma24_h(g, h, f, r - 1);
+        let cur = families::lemma24_h(g, h, f, r);
+        let k = families::lemma24_k(n, f, r);
+        if !in_model(&prev) || !in_model(&cur) {
+            return Err(format!("H_{r} or H_{} left the model", r - 1));
+        }
+        if !in_model(&k) {
+            return Err(format!("K_{r} is not in N_A(n,f)"));
+        }
+        if !alpha_related_via(&prev, &cur, &k) {
+            return Err(format!("H_{} α H_{r} not witnessed by K_{r}", r - 1));
+        }
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consensus_digraph::families;
+
+    #[test]
+    fn alpha_via_unrooted_witness_is_trivial() {
+        // An unrooted witness relates everything.
+        let g = Digraph::complete(3);
+        let mut h = Digraph::complete(3);
+        h.remove_edge(0, 1);
+        let unrooted = Digraph::empty(3); // every agent deaf ⇒ no root
+        assert_eq!(unrooted.roots(), 0);
+        assert!(alpha_related_via(&g, &h, &unrooted));
+    }
+
+    #[test]
+    fn two_agent_alpha_structure() {
+        let m = NetworkModel::two_agent();
+        let a = AlphaAnalysis::new(&m);
+        let [h0, h1, h2] = families::two_agent();
+        let i0 = m.index_of(&h0).unwrap();
+        let i1 = m.index_of(&h1).unwrap();
+        let i2 = m.index_of(&h2).unwrap();
+        // Edges: H0–H1 (witness H2: R = {1}); H0–H2 (witness H1: R = {0}).
+        assert!(a.one_step(i0, i1));
+        assert!(a.one_step(i0, i2));
+        assert!(!a.one_step(i1, i2));
+        assert_eq!(a.diameter(), AlphaDiameter::Finite(2));
+        // Chain H1 → H2 must go through H0.
+        let chain = a.chain(i1, i2).unwrap();
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[0].to, i0);
+        assert_eq!(chain[1].to, i2);
+    }
+
+    #[test]
+    fn deaf_model_diameter_is_one() {
+        for n in 3..=6 {
+            let m = NetworkModel::deaf(&Digraph::complete(n));
+            assert_eq!(
+                alpha_diameter(&m),
+                AlphaDiameter::Finite(1),
+                "deaf(K_{n}) must have α-diameter 1"
+            );
+        }
+    }
+
+    #[test]
+    fn deaf_model_n2_is_disconnected() {
+        // For n = 2 no third agent exists; F_0 and F_1 are only related
+        // via witnesses whose roots avoid both, which don't exist.
+        let m = NetworkModel::deaf(&Digraph::complete(2));
+        assert_eq!(alpha_diameter(&m), AlphaDiameter::Infinite);
+    }
+
+    #[test]
+    fn singleton_model_diameter_one() {
+        let m = NetworkModel::singleton(Digraph::complete(4));
+        assert_eq!(alpha_diameter(&m), AlphaDiameter::Finite(1));
+    }
+
+    #[test]
+    fn theorem5_bound_values() {
+        assert!((AlphaDiameter::Finite(1).theorem5_bound() - 0.5).abs() < 1e-12);
+        assert!((AlphaDiameter::Finite(2).theorem5_bound() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(AlphaDiameter::Infinite.theorem5_bound(), 0.0);
+    }
+
+    #[test]
+    fn async_crash_small_diameter_at_most_lemma24() {
+        // Exhaustive check for N_A(3,1): diameter ≤ ⌈3/1⌉ = 3.
+        let m = NetworkModel::async_crash(3, 1);
+        let d = alpha_diameter(&m).finite().expect("connected");
+        assert!(d <= 3, "Lemma 24 bound violated: D = {d}");
+        assert!(d >= 1);
+    }
+
+    #[test]
+    fn lemma24_chain_certifies() {
+        let n = 6;
+        let f = 2;
+        let g = Digraph::complete(n);
+        let mut h = Digraph::complete(n);
+        h.remove_edge(0, 1);
+        h.remove_edge(1, 2);
+        h.remove_edge(5, 3);
+        let q = lemma24_chain_check(&g, &h, f).expect("chain must certify");
+        assert_eq!(q, 3);
+    }
+
+    #[test]
+    fn lemma24_chain_rejects_outsiders() {
+        let n = 4;
+        let f = 1;
+        let g = Digraph::complete(n);
+        let mut h = Digraph::complete(n);
+        // Remove two incoming edges of agent 0: in-degree 2 < n − f = 3.
+        h.remove_edge(1, 0);
+        h.remove_edge(2, 0);
+        assert!(lemma24_chain_check(&g, &h, f).is_err());
+    }
+
+    #[test]
+    fn alpha_star_classes_of_two_agent() {
+        let m = NetworkModel::two_agent();
+        let a = AlphaAnalysis::new(&m);
+        let classes = a.alpha_star_classes();
+        assert_eq!(classes.len(), 1, "all three graphs are α*-related");
+        assert_eq!(classes[0].len(), 3);
+    }
+
+    #[test]
+    fn chain_to_self_is_empty() {
+        let m = NetworkModel::two_agent();
+        let a = AlphaAnalysis::new(&m);
+        assert_eq!(a.chain(0, 0), Some(vec![]));
+    }
+
+    #[test]
+    fn distances_are_symmetric() {
+        let m = NetworkModel::all_rooted(3);
+        let a = AlphaAnalysis::new(&m);
+        let d0 = a.distances_from(0);
+        for (g, &d) in d0.iter().enumerate() {
+            if d != usize::MAX {
+                assert_eq!(a.distances_from(g)[0], d);
+            }
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! β-classes (Definition 16), source-incompatibility (Definition 18), and
+//! the exact-consensus solvability characterisation (Theorem 19).
+//!
+//! Coulouma, Godard and Peters characterised the oblivious message
+//! adversaries for which **exact** consensus is solvable; the paper (§7)
+//! uses a strengthened form: *exact consensus is solvable in `N` iff no
+//! β-class of `N` is source-incompatible* (Theorem 19). The paper then
+//! links this to asymptotic consensus: valencies are singletons or
+//! disconnected iff exact consensus is solvable (Theorem 4), and a
+//! nontrivial contraction bound `1/(D+1)` holds otherwise (Theorem 5,
+//! Corollary 23).
+//!
+//! # Computing β by partition refinement
+//!
+//! `β_N` is the *coarsest* equivalence relation included in `α*_N` with
+//! the Closure Property: related graphs must be connected by an α-chain
+//! whose chain graphs `H_r` **and** witnesses `K_r` stay in the same
+//! β-class. We compute it as a greatest fixpoint:
+//!
+//! 1. start from the `α*`-classes (connected components of the α-graph);
+//! 2. for each class `B`, rebuild the α-graph *restricted to `B`*, using
+//!    only witnesses `K ∈ B`; split `B` into the connected components of
+//!    that restricted graph;
+//! 3. repeat until no class splits.
+//!
+//! Every split is forced (any valid β-class inside `B` stays connected
+//! using `B`-internal witnesses, hence lies inside one component), and the
+//! fixpoint itself satisfies the Closure Property — so the fixpoint is the
+//! coarsest such relation, i.e. `β_N`.
+
+use consensus_digraph::{agents_in, AgentSet};
+
+use crate::NetworkModel;
+
+/// The β-classes of the model, as sorted lists of graph indices into
+/// [`NetworkModel::graphs`]. Classes are sorted by their smallest member.
+#[must_use]
+pub fn beta_classes(model: &NetworkModel) -> Vec<Vec<usize>> {
+    let graphs = model.graphs();
+    let m = graphs.len();
+    // Precompute root sets once.
+    let roots: Vec<AgentSet> = graphs.iter().map(|g| g.roots()).collect();
+
+    // Start with one class containing everything; the first refinement
+    // pass (witnesses = the whole class = all of N) produces exactly the
+    // α*-classes, so no separate initialisation is needed.
+    let mut classes: Vec<Vec<usize>> = vec![(0..m).collect()];
+    loop {
+        let mut changed = false;
+        let mut next: Vec<Vec<usize>> = Vec::with_capacity(classes.len());
+        for class in &classes {
+            let parts = split_class(graphs, &roots, class);
+            if parts.len() > 1 {
+                changed = true;
+            }
+            next.extend(parts);
+        }
+        classes = next;
+        if !changed {
+            break;
+        }
+    }
+    classes.sort_by_key(|c| c[0]);
+    classes
+}
+
+/// Splits `class` into connected components of the α-graph restricted to
+/// `class`, using only witnesses inside `class`.
+fn split_class(
+    graphs: &[consensus_digraph::Digraph],
+    roots: &[AgentSet],
+    class: &[usize],
+) -> Vec<Vec<usize>> {
+    use std::collections::HashMap;
+
+    // Distinct root sets of witnesses inside the class.
+    let mut root_sets: Vec<AgentSet> = class.iter().map(|&k| roots[k]).collect();
+    root_sets.sort_unstable();
+    root_sets.dedup();
+
+    // Union-find over positions in `class`.
+    let mut parent: Vec<usize> = (0..class.len()).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    for &s in &root_sets {
+        // Graphs with identical in-rows on s belong to one α_{·,K}-clique.
+        let mut by_key: HashMap<Vec<AgentSet>, usize> = HashMap::new();
+        for (pos, &gi) in class.iter().enumerate() {
+            let key: Vec<AgentSet> = agents_in(s).map(|i| graphs[gi].in_mask(i)).collect();
+            match by_key.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let a = find(&mut parent, *e.get());
+                    let b = find(&mut parent, pos);
+                    parent[a.max(b)] = a.min(b);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(pos);
+                }
+            }
+        }
+    }
+
+    let mut comps: HashMap<usize, Vec<usize>> = HashMap::new();
+    for pos in 0..class.len() {
+        let r = find(&mut parent, pos);
+        comps.entry(r).or_default().push(class[pos]);
+    }
+    let mut out: Vec<Vec<usize>> = comps.into_values().collect();
+    for c in &mut out {
+        c.sort_unstable();
+    }
+    out.sort_by_key(|c| c[0]);
+    out
+}
+
+/// Whether a set of graphs (given by indices into the model) is
+/// **source-incompatible** (Definition 18): the intersection of the root
+/// sets over the class is empty.
+#[must_use]
+pub fn is_source_incompatible(model: &NetworkModel, class: &[usize]) -> bool {
+    let mut acc = if model.n() == 64 {
+        u64::MAX
+    } else {
+        (1u64 << model.n()) - 1
+    };
+    for &gi in class {
+        acc &= model.graphs()[gi].roots();
+    }
+    acc == 0
+}
+
+/// **Theorem 19** (Coulouma et al., strengthened form quoted by the
+/// paper): exact consensus is solvable in `N` iff **no** β-class of `N`
+/// is source-incompatible.
+///
+/// # Example
+///
+/// ```
+/// use consensus_digraph::Digraph;
+/// use consensus_netmodel::{beta, NetworkModel};
+///
+/// // A single rooted graph: solvable (flood from a root).
+/// assert!(beta::exact_consensus_solvable(
+///     &NetworkModel::singleton(Digraph::complete(3))));
+/// // The lossy-link model {H0,H1,H2}: unsolvable.
+/// assert!(!beta::exact_consensus_solvable(&NetworkModel::two_agent()));
+/// ```
+#[must_use]
+pub fn exact_consensus_solvable(model: &NetworkModel) -> bool {
+    beta_classes(model)
+        .iter()
+        .all(|class| !is_source_incompatible(model, class))
+}
+
+/// A compact solvability report for a model, used by the bench harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolvabilityReport {
+    /// Number of graphs in the model.
+    pub model_size: usize,
+    /// Whether every graph is rooted (asymptotic consensus solvable,
+    /// paper Theorem 1 / [8]).
+    pub asymptotic_solvable: bool,
+    /// β-class sizes, sorted descending.
+    pub beta_class_sizes: Vec<usize>,
+    /// Indices of source-incompatible β-classes.
+    pub incompatible_classes: Vec<usize>,
+    /// Whether exact consensus is solvable (Theorem 19).
+    pub exact_solvable: bool,
+}
+
+/// Produces a [`SolvabilityReport`] for the model.
+#[must_use]
+pub fn analyze(model: &NetworkModel) -> SolvabilityReport {
+    let classes = beta_classes(model);
+    let incompatible: Vec<usize> = classes
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| is_source_incompatible(model, c))
+        .map(|(i, _)| i)
+        .collect();
+    let mut sizes: Vec<usize> = classes.iter().map(Vec::len).collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    SolvabilityReport {
+        model_size: model.len(),
+        asymptotic_solvable: model.is_rooted_model(),
+        beta_class_sizes: sizes,
+        exact_solvable: incompatible.is_empty(),
+        incompatible_classes: incompatible,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consensus_digraph::{families, Digraph};
+
+    #[test]
+    fn singleton_complete_solvable() {
+        let m = NetworkModel::singleton(Digraph::complete(4));
+        let classes = beta_classes(&m);
+        assert_eq!(classes, vec![vec![0]]);
+        assert!(exact_consensus_solvable(&m));
+    }
+
+    #[test]
+    fn lossy_link_unsolvable() {
+        // {H0, H1, H2} is the classic lossy-link model: exact consensus
+        // impossible, asymptotic consensus solvable.
+        let m = NetworkModel::two_agent();
+        let classes = beta_classes(&m);
+        assert_eq!(classes.len(), 1, "single β-class");
+        assert!(is_source_incompatible(&m, &classes[0]));
+        assert!(!exact_consensus_solvable(&m));
+        assert!(m.is_rooted_model());
+    }
+
+    #[test]
+    fn deaf_model_unsolvable() {
+        for n in 3..=5 {
+            let m = NetworkModel::deaf(&Digraph::complete(n));
+            assert!(
+                !exact_consensus_solvable(&m),
+                "deaf(K_{n}) must be unsolvable"
+            );
+        }
+    }
+
+    #[test]
+    fn async_crash_unsolvable() {
+        // FLP-style: N_A(3,1) admits no exact consensus.
+        let m = NetworkModel::async_crash(3, 1);
+        assert!(!exact_consensus_solvable(&m));
+    }
+
+    #[test]
+    fn psi_model_unsolvable() {
+        let m = NetworkModel::psi(5);
+        assert!(!exact_consensus_solvable(&m));
+    }
+
+    #[test]
+    fn all_rooted_n2_unsolvable_n1_trivial() {
+        assert!(!exact_consensus_solvable(&NetworkModel::all_rooted(2)));
+    }
+
+    #[test]
+    fn solvable_pair_with_common_root() {
+        // Two star graphs broadcast from the same centre: agent 0 is a
+        // root of both, In_i is 0-governed... build: star_out(3,0) and
+        // K_3. Single β-class or not, every class contains graphs whose
+        // roots all include 0 ⇒ solvable.
+        let m = NetworkModel::new(
+            "stars",
+            [families::star_out(3, 0), Digraph::complete(3)],
+        )
+        .unwrap();
+        assert!(exact_consensus_solvable(&m));
+    }
+
+    #[test]
+    fn beta_refines_alpha_star() {
+        // Construct a model where β is strictly finer than α*:
+        // A and B are α-related ONLY via an outside witness C, and C is
+        // not α*-related to A or B. Then {A,B} splits into {A},{B}.
+        //
+        // n = 3, all graphs rooted (unrooted witnesses would relate
+        // everything vacuously). R(C) = {2} and In_2(A) = In_2(B), so C
+        // witnesses A α B; but A and B differ on agent 1's row, which
+        // every internal root set ({1} for A, {1,2} for B) inspects.
+        let a = Digraph::from_in_masks(&[0b011, 0b010, 0b110]).unwrap();
+        let b = Digraph::from_in_masks(&[0b111, 0b110, 0b110]).unwrap();
+        let c = Digraph::from_in_masks(&[0b101, 0b111, 0b100]).unwrap();
+        // Premises.
+        assert_eq!(a.roots(), 0b010, "R(A) = {{1}}");
+        assert_eq!(b.roots(), 0b110, "R(B) = {{1,2}}");
+        assert_eq!(c.roots(), 0b100, "R(C) must be {{2}}; got {:b}", c.roots());
+        assert_eq!(a.in_mask(2), b.in_mask(2), "C witnesses A α B");
+        // A and B must not be α-related via A or B themselves.
+        for w in [&a, &b] {
+            assert!(
+                !crate::alpha::alpha_related_via(&a, &b, w),
+                "premise: no internal witness relates A and B"
+            );
+        }
+        // C must not be α-related to A or B via any witness in the model
+        // (roots: R(A), R(B), R(C)).
+        let m = NetworkModel::new("split-demo", [a.clone(), b.clone(), c.clone()]).unwrap();
+        let analysis = crate::alpha::AlphaAnalysis::new(&m);
+        let ia = m.index_of(&a).unwrap();
+        let ib = m.index_of(&b).unwrap();
+        let ic = m.index_of(&c).unwrap();
+        assert!(analysis.one_step(ia, ib), "A α B via C");
+        assert!(!analysis.one_step(ia, ic));
+        assert!(!analysis.one_step(ib, ic));
+        // α*-classes: {A, B} and {C}. β must split {A, B}.
+        let stars = analysis.alpha_star_classes();
+        assert_eq!(stars.len(), 2);
+        let classes = beta_classes(&m);
+        assert_eq!(classes.len(), 3, "β splits the α*-class {{A,B}}");
+    }
+
+    #[test]
+    fn report_shape() {
+        let m = NetworkModel::two_agent();
+        let r = analyze(&m);
+        assert_eq!(r.model_size, 3);
+        assert!(r.asymptotic_solvable);
+        assert!(!r.exact_solvable);
+        assert_eq!(r.beta_class_sizes, vec![3]);
+        assert_eq!(r.incompatible_classes, vec![0]);
+    }
+}

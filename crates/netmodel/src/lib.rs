@@ -1,0 +1,60 @@
+//! Network models (oblivious message adversaries) and solvability theory.
+//!
+//! A *network model* `N` (paper §2) is a non-empty set of communication
+//! graphs; in each round the adversary picks an arbitrary `G ∈ N`. This
+//! crate provides:
+//!
+//! * [`NetworkModel`] — an explicit finite model with named constructors
+//!   for every model the paper analyses: the two-agent model `{H0,H1,H2}`
+//!   (Theorem 1), `deaf(G)` (Theorem 2), the `Ψ` model (Theorem 3), all
+//!   rooted / all non-split graphs, and the asynchronous-crash model
+//!   `N_A(n, f)` (§8.1);
+//! * [`alpha`] — the relation `α_{N,K}` of Coulouma–Godard–Peters
+//!   (Definition 15), its transitive closure, **α-chains** with witnesses,
+//!   and the **α-diameter** (Definition 22) that drives Theorem 5;
+//! * [`beta`] — β-classes (Definition 16) by partition refinement,
+//!   **source-incompatibility** (Definition 18) and the exact-consensus
+//!   solvability characterisation (Theorem 19);
+//! * [`sampler`] — random graph generators for the predicate-defined
+//!   models (`rooted(n)`, `nonsplit(n)`, `N_A(n,f)`) at sizes where
+//!   exhaustive enumeration is impossible;
+//! * [`property`] — the generalized model of §6.1: pattern *properties*
+//!   given by finite graph-labelled automata (e.g. the `P_seq` of
+//!   Theorem 3's macro-round construction).
+//!
+//! # A note on Definition 15
+//!
+//! The paper defines `In_S(G) = ⋃_{j∈S} In_j(G)` (§7) and writes
+//! `G α_{N,K} H ⟺ In_{R(K)}(G) = In_{R(K)}(H)`. Read literally as a union
+//! this would not support the indistinguishability argument of Lemma 20
+//! (and of Lemma 24, which checks `In_i(H_{r−1}) = In_i(H_r)` *for each*
+//! `i ∈ R(K_r)`). Following the proofs — and Coulouma et al.'s original
+//! definition — this crate implements `α` as **per-node** equality:
+//! `∀ i ∈ R(K): In_i(G) = In_i(H)`. Per-node equality implies union
+//! equality, so every lower bound derived here is also valid under the
+//! literal reading.
+//!
+//! # Example
+//!
+//! ```
+//! use consensus_netmodel::{alpha, beta, NetworkModel};
+//!
+//! // The two-agent model of Figure 1 / Theorem 1.
+//! let m = NetworkModel::two_agent();
+//! assert_eq!(alpha::alpha_diameter(&m), alpha::AlphaDiameter::Finite(2));
+//! // Exact consensus is not solvable over a lossy link…
+//! assert!(!beta::exact_consensus_solvable(&m));
+//! // …but asymptotic consensus is (every graph is rooted).
+//! assert!(m.is_rooted_model());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alpha;
+pub mod beta;
+mod model;
+pub mod property;
+pub mod sampler;
+
+pub use model::{ModelError, NetworkModel};

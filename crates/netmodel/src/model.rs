@@ -1,0 +1,369 @@
+//! The [`NetworkModel`] type and the paper's named models.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use consensus_digraph::{enumerate, families, Digraph};
+
+/// Error type for fallible [`NetworkModel`] constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A network model must be a non-empty set of graphs.
+    Empty,
+    /// All graphs in a model must have the same number of agents.
+    MixedSizes {
+        /// Size of the first graph.
+        expected: usize,
+        /// The offending size.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Empty => write!(f, "a network model must be non-empty"),
+            ModelError::MixedSizes { expected, found } => {
+                write!(f, "mixed graph sizes in model: {expected} vs {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// A finite network model: a non-empty set of communication graphs on a
+/// common agent set, with a human-readable name.
+///
+/// Graphs are deduplicated and stored in a stable (sorted) order;
+/// [`NetworkModel::graphs`] indexes are therefore reproducible and are the
+/// handles used by the [`crate::alpha`] and [`crate::beta`] machinery.
+#[derive(Clone)]
+pub struct NetworkModel {
+    name: String,
+    n: usize,
+    graphs: Vec<Digraph>,
+    index: HashMap<Digraph, usize>,
+}
+
+impl NetworkModel {
+    /// Builds a model from an iterator of graphs (deduplicated, sorted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Empty`] if no graph is supplied and
+    /// [`ModelError::MixedSizes`] if the graphs disagree on `n`.
+    pub fn new(
+        name: impl Into<String>,
+        graphs: impl IntoIterator<Item = Digraph>,
+    ) -> Result<Self, ModelError> {
+        let mut graphs: Vec<Digraph> = graphs.into_iter().collect();
+        let n = match graphs.first() {
+            None => return Err(ModelError::Empty),
+            Some(g) => g.n(),
+        };
+        if let Some(g) = graphs.iter().find(|g| g.n() != n) {
+            return Err(ModelError::MixedSizes {
+                expected: n,
+                found: g.n(),
+            });
+        }
+        graphs.sort();
+        graphs.dedup();
+        let index = graphs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (g.clone(), i))
+            .collect();
+        Ok(NetworkModel {
+            name: name.into(),
+            n,
+            graphs,
+            index,
+        })
+    }
+
+    /// The model containing a single graph.
+    #[must_use]
+    pub fn singleton(g: Digraph) -> Self {
+        let name = format!("singleton({g})");
+        Self::new(name, [g]).expect("non-empty by construction")
+    }
+
+    /// The two-agent model `{H0, H1, H2}` of Figure 1 / Theorem 1 —
+    /// all three rooted graphs on two agents.
+    #[must_use]
+    pub fn two_agent() -> Self {
+        Self::new("two-agent {H0,H1,H2}", families::two_agent())
+            .expect("non-empty by construction")
+    }
+
+    /// The model `deaf(G) = {F_1, …, F_n}` of §5 / Theorem 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g.n() < 2` (a one-agent deaf model is degenerate).
+    #[must_use]
+    pub fn deaf(g: &Digraph) -> Self {
+        assert!(g.n() >= 2, "deaf(G) needs at least two agents");
+        Self::new(format!("deaf({g})"), families::deaf_family(g))
+            .expect("non-empty by construction")
+    }
+
+    /// The model `{Ψ_0, Ψ_1, Ψ_2}` of §6 / Theorem 3, for `n ≥ 4` agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4`.
+    #[must_use]
+    pub fn psi(n: usize) -> Self {
+        Self::new(format!("Ψ({n})"), families::psi_family(n)).expect("non-empty by construction")
+    }
+
+    /// All rooted graphs on `n` agents — the weakest network model in
+    /// which asymptotic consensus is solvable (Theorem 1 of the paper).
+    ///
+    /// Exhaustive; intended for `n ≤ 4` (see `consensus_digraph::enumerate`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 16`.
+    #[must_use]
+    pub fn all_rooted(n: usize) -> Self {
+        Self::new(format!("rooted({n})"), enumerate::rooted_graphs(n))
+            .expect("class is non-empty")
+    }
+
+    /// All non-split graphs on `n` agents (§1).
+    ///
+    /// Exhaustive; intended for `n ≤ 4`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 16`.
+    #[must_use]
+    pub fn all_nonsplit(n: usize) -> Self {
+        Self::new(format!("nonsplit({n})"), enumerate::nonsplit_graphs(n))
+            .expect("class is non-empty")
+    }
+
+    /// The asynchronous-crash model `N_A(n, f)` of §8.1: all graphs in
+    /// which every agent has in-degree at least `n − f` (each agent waits
+    /// for `n − f` round-`t` messages).
+    ///
+    /// Exhaustive; the class has `(Σ_{k≥n-f-1} C(n-1,k))^n` members, so
+    /// keep `n` small (`n ≤ 4` for full α-analysis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f == 0` or `f ≥ n`.
+    #[must_use]
+    pub fn async_crash(n: usize, f: usize) -> Self {
+        assert!(f >= 1 && f < n, "need 0 < f < n");
+        Self::new(
+            format!("N_A({n},{f})"),
+            enumerate::min_indegree_graphs(n, n - f),
+        )
+        .expect("class is non-empty")
+    }
+
+    /// The human-readable model name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of agents common to all graphs.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The graphs of the model in stable, deduplicated order.
+    #[must_use]
+    pub fn graphs(&self) -> &[Digraph] {
+        &self.graphs
+    }
+
+    /// The number of graphs in the model.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Whether the model is empty (never true for a constructed model).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// Whether `g` belongs to the model.
+    #[must_use]
+    pub fn contains(&self, g: &Digraph) -> bool {
+        self.index.contains_key(g)
+    }
+
+    /// The stable index of `g` in [`NetworkModel::graphs`], if present.
+    #[must_use]
+    pub fn index_of(&self, g: &Digraph) -> Option<usize> {
+        self.index.get(g).copied()
+    }
+
+    /// Whether every graph is rooted — by Theorem 1 (due to [8]) this is
+    /// equivalent to asymptotic (and approximate) consensus being solvable
+    /// in the model.
+    #[must_use]
+    pub fn is_rooted_model(&self) -> bool {
+        self.graphs.iter().all(Digraph::is_rooted)
+    }
+
+    /// Whether every graph is non-split.
+    #[must_use]
+    pub fn is_nonsplit_model(&self) -> bool {
+        self.graphs.iter().all(Digraph::is_nonsplit)
+    }
+
+    /// Whether the model contains, for every agent `i`, a graph in which
+    /// `i` is deaf — the hypothesis of Lemma 8 (then the valency diameter
+    /// of an initial configuration equals the initial value spread).
+    #[must_use]
+    pub fn every_agent_deaf_somewhere(&self) -> bool {
+        (0..self.n).all(|i| self.graphs.iter().any(|g| g.is_deaf(i)))
+    }
+
+    /// Restricts the model to the graphs satisfying `keep`, renaming it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Empty`] if nothing survives the filter.
+    pub fn restrict(
+        &self,
+        name: impl Into<String>,
+        keep: impl FnMut(&Digraph) -> bool,
+    ) -> Result<Self, ModelError> {
+        let mut keep = keep;
+        Self::new(name, self.graphs.iter().filter(|g| keep(g)).cloned())
+    }
+
+    /// The union of two models on the same agent set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::MixedSizes`] if the models disagree on `n`.
+    pub fn union(&self, other: &NetworkModel) -> Result<Self, ModelError> {
+        Self::new(
+            format!("{} ∪ {}", self.name, other.name),
+            self.graphs.iter().chain(other.graphs.iter()).cloned(),
+        )
+    }
+}
+
+impl fmt::Debug for NetworkModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "NetworkModel({}, n={}, |N|={})",
+            self.name,
+            self.n,
+            self.graphs.len()
+        )
+    }
+}
+
+impl PartialEq for NetworkModel {
+    fn eq(&self, other: &Self) -> bool {
+        self.graphs == other.graphs
+    }
+}
+
+impl Eq for NetworkModel {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_agent_model() {
+        let m = NetworkModel::two_agent();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.n(), 2);
+        assert!(m.is_rooted_model());
+        assert!(m.is_nonsplit_model());
+        assert!(m.every_agent_deaf_somewhere());
+    }
+
+    #[test]
+    fn deaf_model_of_k4() {
+        let m = NetworkModel::deaf(&Digraph::complete(4));
+        assert_eq!(m.len(), 4);
+        assert!(m.is_rooted_model());
+        assert!(m.every_agent_deaf_somewhere());
+    }
+
+    #[test]
+    fn psi_model() {
+        let m = NetworkModel::psi(6);
+        assert_eq!(m.len(), 3);
+        assert!(m.is_rooted_model());
+        // Only agents 0,1,2 are ever deaf in Ψ graphs.
+        assert!(!m.every_agent_deaf_somewhere());
+    }
+
+    #[test]
+    fn rooted_model_counts() {
+        assert_eq!(NetworkModel::all_rooted(2).len(), 3);
+        let m3 = NetworkModel::all_rooted(3);
+        assert!(m3.is_rooted_model());
+        assert!(NetworkModel::all_nonsplit(3).len() <= m3.len());
+    }
+
+    #[test]
+    fn async_crash_model() {
+        let m = NetworkModel::async_crash(3, 1);
+        assert_eq!(m.len(), 27);
+        assert!(m.is_nonsplit_model(), "f < n/2 ⇒ N_A is non-split");
+        assert!(m.contains(&Digraph::complete(3)));
+    }
+
+    #[test]
+    fn async_crash_majority_faults_not_nonsplit() {
+        // f ≥ n/2 breaks the non-split property (in-sets can be disjoint).
+        let m = NetworkModel::async_crash(4, 2);
+        assert!(!m.is_nonsplit_model());
+    }
+
+    #[test]
+    fn dedup_and_stable_order() {
+        let g = Digraph::complete(3);
+        let m = NetworkModel::new("dup", vec![g.clone(), g.clone()]).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.index_of(&g), Some(0));
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            NetworkModel::new("empty", Vec::<Digraph>::new()).unwrap_err(),
+            ModelError::Empty
+        );
+        let err =
+            NetworkModel::new("mixed", vec![Digraph::complete(2), Digraph::complete(3)])
+                .unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::MixedSizes {
+                expected: 2,
+                found: 3
+            }
+        );
+    }
+
+    #[test]
+    fn restrict_and_union() {
+        let m = NetworkModel::all_rooted(3);
+        let ns = m.restrict("nonsplit part", Digraph::is_nonsplit).unwrap();
+        assert_eq!(ns.graphs().len(), NetworkModel::all_nonsplit(3).len());
+        let u = ns.union(&m).unwrap();
+        assert_eq!(u, m);
+    }
+}

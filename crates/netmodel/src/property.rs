@@ -1,0 +1,252 @@
+//! Pattern *properties* — the generalized system model of §6.1.
+//!
+//! Theorem 3's proof needs more than an oblivious network model: the
+//! adversary commits to **macro-rounds** `σ_i = Ψ_i^{n−2}`, so the set
+//! of allowed communication patterns (`P_seq` in the paper) is not of
+//! the form `N^ω`. §6.1 generalizes executions, valency and contraction
+//! rate from network models to arbitrary *properties* (sets of
+//! communication patterns).
+//!
+//! This module implements the constructive fragment sufficient for the
+//! paper (and for most safety properties): properties recognised by a
+//! finite **pattern automaton** whose transitions are labelled with
+//! communication graphs. An oblivious model is a one-state automaton;
+//! `P_seq` is the block automaton of [`PatternAutomaton::sigma_blocks`].
+
+use consensus_digraph::Digraph;
+
+/// A deterministic-transition automaton generating communication
+/// patterns: from each state the adversary picks any outgoing
+/// transition; the infinite walks are exactly the property's patterns.
+///
+/// Every state must have at least one outgoing transition (properties
+/// are sets of *infinite* patterns).
+#[derive(Debug, Clone)]
+pub struct PatternAutomaton {
+    n: usize,
+    start: usize,
+    /// `transitions[s]` lists `(graph, successor-state)`.
+    transitions: Vec<Vec<(Digraph, usize)>>,
+}
+
+impl PatternAutomaton {
+    /// Builds an automaton, validating totality and graph sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if a state has no outgoing transition, the
+    /// start state is out of range, or graph sizes are inconsistent.
+    pub fn new(
+        n: usize,
+        start: usize,
+        transitions: Vec<Vec<(Digraph, usize)>>,
+    ) -> Result<Self, String> {
+        if start >= transitions.len() {
+            return Err(format!("start state {start} out of range"));
+        }
+        for (s, outs) in transitions.iter().enumerate() {
+            if outs.is_empty() {
+                return Err(format!("state {s} has no outgoing transition"));
+            }
+            for (g, t) in outs {
+                if g.n() != n {
+                    return Err(format!("state {s}: graph size {} ≠ {n}", g.n()));
+                }
+                if *t >= transitions.len() {
+                    return Err(format!("state {s}: successor {t} out of range"));
+                }
+            }
+        }
+        Ok(PatternAutomaton {
+            n,
+            start,
+            transitions,
+        })
+    }
+
+    /// The one-state automaton of an oblivious network model `N^ω`.
+    #[must_use]
+    pub fn oblivious(model: &crate::NetworkModel) -> Self {
+        let transitions = vec![model
+            .graphs()
+            .iter()
+            .map(|g| (g.clone(), 0))
+            .collect::<Vec<_>>()];
+        PatternAutomaton {
+            n: model.n(),
+            start: 0,
+            transitions,
+        }
+    }
+
+    /// The `P_seq` property of §6: all concatenations of the macro-rounds
+    /// `σ_1, σ_2, σ_3` (each `σ_i` = the graph `Ψ_i` repeated `n − 2`
+    /// times). States: `0` = block boundary (choice point); `(i, k)` =
+    /// inside block `i` with `k` rounds still to go.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4`.
+    #[must_use]
+    pub fn sigma_blocks(n: usize) -> Self {
+        assert!(n >= 4, "σ blocks need n ≥ 4");
+        let psis: Vec<Digraph> = (0..3).map(|i| consensus_digraph::families::psi(n, i)).collect();
+        let block = n - 2;
+        // State layout: 0 is the boundary; block i occupies states
+        // 1 + i·(block−1) … i·(block−1) + (block−1) counting progress.
+        let inner = block - 1; // states strictly inside a block
+        let mut transitions: Vec<Vec<(Digraph, usize)>> = vec![Vec::new(); 1 + 3 * inner];
+        let state_of = |i: usize, step: usize| -> usize {
+            // step ∈ 1..block−1 completed rounds of block i.
+            1 + i * inner + (step - 1)
+        };
+        for (i, psi) in psis.iter().enumerate() {
+            if block == 1 {
+                transitions[0].push((psi.clone(), 0));
+                continue;
+            }
+            // boundary → first inner state.
+            transitions[0].push((psi.clone(), state_of(i, 1)));
+            for step in 1..block {
+                let from = state_of(i, step);
+                let to = if step + 1 == block { 0 } else { state_of(i, step + 1) };
+                transitions[from].push((psi.clone(), to));
+            }
+        }
+        PatternAutomaton {
+            n,
+            start: 0,
+            transitions,
+        }
+    }
+
+    /// The number of agents.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The start state.
+    #[must_use]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// The number of automaton states.
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The transitions available from `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[must_use]
+    pub fn choices(&self, state: usize) -> &[(Digraph, usize)] {
+        &self.transitions[state]
+    }
+
+    /// Whether `pattern_prefix` is a prefix of some pattern of the
+    /// property (i.e. the automaton can walk it from the start state).
+    #[must_use]
+    pub fn accepts_prefix(&self, pattern_prefix: &[Digraph]) -> bool {
+        let mut state = self.start;
+        'outer: for g in pattern_prefix {
+            for (h, t) in &self.transitions[state] {
+                if h == g {
+                    state = *t;
+                    continue 'outer;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// All graphs that can ever occur (the property's alphabet); for an
+    /// oblivious automaton this is the underlying network model.
+    #[must_use]
+    pub fn alphabet(&self) -> Vec<Digraph> {
+        let mut all: Vec<Digraph> = self
+            .transitions
+            .iter()
+            .flat_map(|outs| outs.iter().map(|(g, _)| g.clone()))
+            .collect();
+        all.sort();
+        all.dedup();
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkModel;
+    use consensus_digraph::families;
+
+    #[test]
+    fn oblivious_automaton() {
+        let m = NetworkModel::two_agent();
+        let a = PatternAutomaton::oblivious(&m);
+        assert_eq!(a.state_count(), 1);
+        assert_eq!(a.choices(0).len(), 3);
+        // Any sequence over the model is a prefix.
+        let [h0, h1, h2] = families::two_agent();
+        assert!(a.accepts_prefix(&[h0.clone(), h2.clone(), h1.clone(), h0.clone()]));
+        // A foreign graph is rejected.
+        let foreign = consensus_digraph::Digraph::empty(2);
+        assert!(!a.accepts_prefix(&[h1, foreign]));
+        assert_eq!(a.alphabet().len(), 3);
+    }
+
+    #[test]
+    fn sigma_blocks_structure() {
+        let n = 5;
+        let a = PatternAutomaton::sigma_blocks(n);
+        // boundary + 3 blocks × (n−3) inner states.
+        assert_eq!(a.state_count(), 1 + 3 * (n - 3));
+        assert_eq!(a.choices(a.start()).len(), 3, "three σ choices");
+        // Inside a block there is exactly one way forward.
+        for s in 1..a.state_count() {
+            assert_eq!(a.choices(s).len(), 1);
+        }
+    }
+
+    #[test]
+    fn sigma_blocks_accepts_exactly_block_concatenations() {
+        let n = 5;
+        let a = PatternAutomaton::sigma_blocks(n);
+        let psi0 = families::psi(n, 0);
+        let psi1 = families::psi(n, 1);
+        // σ_1 · σ_2 is accepted.
+        let mut pattern = vec![psi0.clone(); n - 2];
+        pattern.extend(vec![psi1.clone(); n - 2]);
+        assert!(a.accepts_prefix(&pattern));
+        // Switching mid-block is rejected.
+        let bad = vec![psi0.clone(), psi1.clone()];
+        assert!(!a.accepts_prefix(&bad));
+        // A partial block is a legal *prefix*.
+        assert!(a.accepts_prefix(&[psi0.clone(), psi0.clone()]));
+    }
+
+    #[test]
+    fn sigma_blocks_alphabet_is_psi_family() {
+        let a = PatternAutomaton::sigma_blocks(6);
+        let mut expect: Vec<_> = families::psi_family(6).to_vec();
+        expect.sort();
+        assert_eq!(a.alphabet(), expect);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let g = consensus_digraph::Digraph::complete(2);
+        // Dead state.
+        assert!(PatternAutomaton::new(2, 0, vec![vec![(g.clone(), 0)], vec![]]).is_err());
+        // Bad successor.
+        assert!(PatternAutomaton::new(2, 0, vec![vec![(g.clone(), 7)]]).is_err());
+        // Bad start.
+        assert!(PatternAutomaton::new(2, 3, vec![vec![(g, 0)]]).is_err());
+    }
+}

@@ -1,0 +1,458 @@
+//! The lower-bound adversaries of Theorems 1, 2, 3 and 5.
+//!
+//! Each proof in the paper constructs, round by (macro-)round, the
+//! execution that keeps the valency diameter large: among the available
+//! successor configurations, at least one keeps `δ ≥ δ_prev / c` (by the
+//! intersection lemmas 7/12/20 plus the triangle inequality). The
+//! [`GreedyValencyAdversary`] evaluates `δ̂` on every candidate successor
+//! and picks the best one — exactly the existential step of the proofs,
+//! made constructive by measurement.
+
+use consensus_algorithms::Algorithm;
+use consensus_digraph::{families, Digraph};
+use consensus_dynamics::Execution;
+use consensus_netmodel::alpha::AlphaAnalysis;
+use consensus_netmodel::NetworkModel;
+
+use crate::probe::ProbeSet;
+
+/// A move available to the adversary: a finite block of rounds applied
+/// atomically (length 1 for Theorems 1/2/5; `n − 2` for Theorem 3's σ
+/// macro-rounds).
+#[derive(Debug, Clone)]
+pub struct CandidateMove {
+    /// Human-readable label (used in bench output).
+    pub label: String,
+    /// The graphs applied, in order.
+    pub graphs: Vec<Digraph>,
+}
+
+/// The greedy valency-maximising adversary.
+///
+/// Drives an [`Execution`]: each step it forks the execution once per
+/// [`CandidateMove`], estimates the valency diameter `δ̂` of each
+/// successor with its [`ProbeSet`], applies the best move for real, and
+/// records the chosen `δ̂`. The per-step ratio of recorded `δ̂` values is
+/// the measured contraction of the *valency* — the quantity the paper's
+/// lower bounds constrain.
+#[derive(Debug, Clone)]
+pub struct GreedyValencyAdversary {
+    candidates: Vec<CandidateMove>,
+    probes: ProbeSet,
+    /// Rounds per adversary step (all candidates must have this length).
+    block_len: usize,
+}
+
+impl GreedyValencyAdversary {
+    /// Builds an adversary from explicit candidate moves and probes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty or the moves have unequal lengths.
+    #[must_use]
+    pub fn new(candidates: Vec<CandidateMove>, probes: ProbeSet) -> Self {
+        assert!(!candidates.is_empty(), "adversary needs candidates");
+        let block_len = candidates[0].graphs.len();
+        assert!(
+            candidates.iter().all(|c| c.graphs.len() == block_len),
+            "all candidate moves must have the same length"
+        );
+        assert!(block_len >= 1, "moves must contain at least one round");
+        GreedyValencyAdversary {
+            candidates,
+            probes,
+            block_len,
+        }
+    }
+
+    /// The number of rounds each adversary step applies.
+    #[must_use]
+    pub fn block_len(&self) -> usize {
+        self.block_len
+    }
+
+    /// The candidate moves.
+    #[must_use]
+    pub fn candidates(&self) -> &[CandidateMove] {
+        &self.candidates
+    }
+
+    /// The probe set used for valency estimation.
+    #[must_use]
+    pub fn probes(&self) -> &ProbeSet {
+        &self.probes
+    }
+
+    /// Drives `exec` for `steps` adversary steps (`steps · block_len`
+    /// rounds), returning the recorded valency diameters.
+    pub fn drive<A, const D: usize>(
+        &self,
+        exec: &mut Execution<A, D>,
+        steps: usize,
+    ) -> AdversaryTrace
+    where
+        A: Algorithm<D> + Clone,
+    {
+        let mut trace = AdversaryTrace {
+            block_len: self.block_len,
+            deltas: vec![self.probes.estimate(exec).diameter()],
+            value_diameters: vec![exec.value_diameter()],
+            chosen: Vec::new(),
+        };
+        for _ in 0..steps {
+            let mut best: Option<(usize, f64)> = None;
+            for (ci, cand) in self.candidates.iter().enumerate() {
+                let mut fork = exec.clone();
+                for g in &cand.graphs {
+                    fork.step(g);
+                }
+                let d = self.probes.estimate(&fork).diameter();
+                if best.map_or(true, |(_, bd)| d > bd) {
+                    best = Some((ci, d));
+                }
+            }
+            let (ci, d) = best.expect("at least one candidate");
+            for g in &self.candidates[ci].graphs {
+                exec.step(g);
+            }
+            trace.deltas.push(d);
+            trace.value_diameters.push(exec.value_diameter());
+            trace.chosen.push(ci);
+        }
+        trace
+    }
+}
+
+/// The record of an adversarial drive: valency-diameter estimates `δ̂`
+/// per adversary step (index 0 = initial configuration).
+#[derive(Debug, Clone)]
+pub struct AdversaryTrace {
+    /// Rounds per step.
+    pub block_len: usize,
+    /// `δ̂` after each step (`deltas[0]` is the initial estimate).
+    pub deltas: Vec<f64>,
+    /// Value spread `Δ(y)` after each step.
+    pub value_diameters: Vec<f64>,
+    /// Index of the chosen candidate at each step.
+    pub chosen: Vec<usize>,
+}
+
+impl AdversaryTrace {
+    /// The number of adversary steps.
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.deltas.len() - 1
+    }
+
+    /// Geometric-mean contraction of `δ̂` **per round**
+    /// (`(δ_T/δ_0)^{1/(T·block_len)}`) — compare against the paper's
+    /// per-round lower bounds.
+    #[must_use]
+    pub fn per_round_rate(&self) -> f64 {
+        let t = self.steps() * self.block_len;
+        let d0 = self.deltas[0];
+        let dt = *self.deltas.last().expect("non-empty");
+        if t == 0 || d0 <= 0.0 || dt <= 0.0 {
+            return 0.0;
+        }
+        (dt / d0).powf(1.0 / t as f64)
+    }
+
+    /// Geometric-mean contraction of `δ̂` per adversary **step**.
+    #[must_use]
+    pub fn per_step_rate(&self) -> f64 {
+        self.per_round_rate().powi(self.block_len as i32)
+    }
+
+    /// The worst single-step ratio `δ̂_{k+1}/δ̂_k` (the proofs guarantee a
+    /// per-step floor; this is the measured floor).
+    #[must_use]
+    pub fn min_step_ratio(&self) -> f64 {
+        self.deltas
+            .windows(2)
+            .filter(|w| w[0] > 1e-300)
+            .map(|w| w[1] / w[0])
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Checks the proofs' invariant `δ̂_k ≥ δ̂_0 · rate^{k·block_len} ·
+    /// (1 − slack)` for every step `k`.
+    #[must_use]
+    pub fn satisfies_lower_bound(&self, per_round_rate: f64, slack: f64) -> bool {
+        let d0 = self.deltas[0];
+        self.deltas.iter().enumerate().all(|(k, &d)| {
+            let want = d0 * per_round_rate.powi((k * self.block_len) as i32);
+            d >= want * (1.0 - slack)
+        })
+    }
+}
+
+/// The **Theorem 1** adversary (`n = 2`, model `{H0, H1, H2}`):
+/// candidates are the three Figure-1 graphs; probes are the two
+/// eventually-deaf continuations `H1^ω`, `H2^ω` used in the proof.
+///
+/// Guarantees `δ(C_t) ≥ δ(C_0)/3^t` against *any* algorithm; together
+/// with Algorithm 1 ([`consensus_algorithms::TwoAgentThirds`], rate 1/3)
+/// the bound is tight.
+#[must_use]
+pub fn theorem1() -> GreedyValencyAdversary {
+    let [h0, h1, h2] = families::two_agent();
+    let candidates = vec![
+        CandidateMove {
+            label: "H0".into(),
+            graphs: vec![h0],
+        },
+        CandidateMove {
+            label: "H1".into(),
+            graphs: vec![h1.clone()],
+        },
+        CandidateMove {
+            label: "H2".into(),
+            graphs: vec![h2.clone()],
+        },
+    ];
+    let probes = ProbeSet::new(vec![
+        crate::probe::ProbePattern::Constant(h1),
+        crate::probe::ProbePattern::Constant(h2),
+    ]);
+    GreedyValencyAdversary::new(candidates, probes)
+}
+
+/// The **Theorem 2** adversary (`n ≥ 3`, model `deaf(G)`): candidates
+/// are the `F_i` (agent `i` made deaf in `G`); probes are the constant
+/// continuations `F_i^ω` — precisely the executions the proof's
+/// Lemma 7 intersects.
+///
+/// Guarantees `δ(C_t) ≥ δ(C_0)/2^t`; tight for non-split models by the
+/// midpoint algorithm.
+///
+/// # Panics
+///
+/// Panics if `g.n() < 3` (the proof needs a third agent).
+#[must_use]
+pub fn theorem2(g: &Digraph) -> GreedyValencyAdversary {
+    assert!(g.n() >= 3, "Theorem 2 needs n ≥ 3");
+    let fam = families::deaf_family(g);
+    let candidates = fam
+        .iter()
+        .enumerate()
+        .map(|(i, f)| CandidateMove {
+            label: format!("F{}", i + 1),
+            graphs: vec![f.clone()],
+        })
+        .collect();
+    let probes = ProbeSet::new(
+        fam.into_iter()
+            .map(crate::probe::ProbePattern::Constant)
+            .collect(),
+    );
+    GreedyValencyAdversary::new(candidates, probes)
+}
+
+/// The **Theorem 3** adversary (`n ≥ 4`, Ψ model): candidates are the
+/// three macro-moves `σ_i = Ψ_i^{n−2}`; probes are the periodic
+/// continuations `σ_i^ω` (Lemma 12/14 of §6).
+///
+/// Guarantees `δ(S_t) ≥ δ(S_0)/2^{⌈t/(n−2)⌉}`, i.e. a per-round rate of
+/// `(1/2)^{1/(n−2)}`; the amortized midpoint algorithm achieves
+/// `(1/2)^{1/(n−1)}`, so the bound is asymptotically tight.
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+#[must_use]
+pub fn theorem3(n: usize) -> GreedyValencyAdversary {
+    assert!(n >= 4, "Theorem 3 needs n ≥ 4");
+    let candidates = (0..3)
+        .map(|i| CandidateMove {
+            label: format!("σ{}", i + 1),
+            graphs: vec![families::psi(n, i); n - 2],
+        })
+        .collect();
+    GreedyValencyAdversary::new(candidates, ProbeSet::sigma_psi(n))
+}
+
+/// The **Theorem 5** adversary for an arbitrary finite model `N` in
+/// which exact consensus is unsolvable: per round it considers every
+/// graph of `N` (these cover all chain graphs `H_r` of every α-chain),
+/// probing with the constant continuations `K^ω`, `K ∈ N` — the
+/// continuations Lemma 20 uses to intersect valencies along the chain.
+///
+/// Guarantees `δ(C_t) ≥ δ(C_0)/(D+1)^t` where `D` is the α-diameter.
+#[must_use]
+pub fn theorem5(model: &NetworkModel) -> GreedyValencyAdversary {
+    let candidates = model
+        .graphs()
+        .iter()
+        .enumerate()
+        .map(|(i, g)| CandidateMove {
+            label: format!("G{i}"),
+            graphs: vec![g.clone()],
+        })
+        .collect();
+    GreedyValencyAdversary::new(candidates, ProbeSet::constants(model))
+}
+
+/// Theorem 5's chain structure, exposed for inspection: for the two
+/// extreme successor graphs `G, H` of a configuration, returns the
+/// α-chain `G = H_0, …, H_q = H` (graph indices with witnesses) whose
+/// intermediate valencies the proof intersects. `None` if disconnected.
+#[must_use]
+pub fn theorem5_chain(
+    model: &NetworkModel,
+    g: &Digraph,
+    h: &Digraph,
+) -> Option<Vec<consensus_netmodel::alpha::AlphaStep>> {
+    let analysis = AlphaAnalysis::new(model);
+    let gi = model.index_of(g)?;
+    let hi = model.index_of(h)?;
+    analysis.chain(gi, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consensus_algorithms::{
+        MeanValue, Midpoint, Overshoot, Point, SelfWeightedAverage, TwoAgentThirds,
+    };
+
+    fn pts(vals: &[f64]) -> Vec<Point<1>> {
+        vals.iter().map(|&v| Point([v])).collect()
+    }
+
+    #[test]
+    fn theorem1_vs_optimal_algorithm_rate_is_one_third() {
+        let adv = theorem1();
+        let mut exec = Execution::new(TwoAgentThirds, &pts(&[0.0, 1.0]));
+        let trace = adv.drive(&mut exec, 10);
+        let rate = trace.per_round_rate();
+        assert!(
+            (rate - 1.0 / 3.0).abs() < 1e-6,
+            "Algorithm 1 is exactly 1/3-contracting under the Thm 1 adversary; got {rate}"
+        );
+        assert!(trace.satisfies_lower_bound(1.0 / 3.0, 1e-5));
+    }
+
+    #[test]
+    fn theorem1_vs_midpoint_still_at_least_one_third() {
+        // Midpoint on two agents is a different algorithm; the adversary
+        // must still hold δ ≥ δ0/3^t.
+        let adv = theorem1();
+        let mut exec = Execution::new(Midpoint, &pts(&[0.0, 1.0]));
+        let trace = adv.drive(&mut exec, 12);
+        assert!(
+            trace.per_round_rate() >= 1.0 / 3.0 - 1e-6,
+            "rate {} below 1/3",
+            trace.per_round_rate()
+        );
+    }
+
+    #[test]
+    fn theorem2_vs_midpoint_rate_is_half() {
+        let adv = theorem2(&Digraph::complete(3));
+        let mut exec = Execution::new(Midpoint, &pts(&[0.0, 1.0, 0.5]));
+        let trace = adv.drive(&mut exec, 12);
+        let rate = trace.per_round_rate();
+        assert!(
+            (rate - 0.5).abs() < 1e-6,
+            "midpoint is exactly 1/2-contracting; got {rate}"
+        );
+        assert!(trace.satisfies_lower_bound(0.5, 1e-5));
+        assert!(trace.min_step_ratio() >= 0.5 - 1e-6);
+    }
+
+    #[test]
+    fn theorem2_vs_mean_is_worse_than_half() {
+        // Plain averaging contracts *slower* than midpoint under the
+        // deaf adversary (its worst-case rate is 1 − 1/n), so δ̂ must
+        // shrink by a factor ≥ 1/2 — and indeed strictly more slowly.
+        let n = 4;
+        let adv = theorem2(&Digraph::complete(n));
+        let mut exec = Execution::new(MeanValue, &pts(&[0.0, 1.0, 1.0, 1.0]));
+        let trace = adv.drive(&mut exec, 10);
+        let rate = trace.per_round_rate();
+        assert!(rate >= 0.5 - 1e-9, "lower bound holds: {rate}");
+        assert!(
+            rate > 0.6,
+            "averaging should be visibly slower than midpoint: {rate}"
+        );
+    }
+
+    #[test]
+    fn theorem2_vs_overshoot_cannot_beat_half() {
+        // §1's point: non-convex (overshooting) updates don't help.
+        for kappa in [0.1, 0.3, 0.6] {
+            let adv = theorem2(&Digraph::complete(3));
+            let mut exec = Execution::new(Overshoot::new(kappa), &pts(&[0.0, 1.0, 0.5]));
+            let trace = adv.drive(&mut exec, 10);
+            assert!(
+                trace.per_round_rate() >= 0.5 - 1e-6,
+                "κ={kappa}: rate {} beat the bound",
+                trace.per_round_rate()
+            );
+        }
+    }
+
+    #[test]
+    fn theorem2_on_noncomplete_base_graph() {
+        // deaf(G) for a non-complete rooted G: bound still holds.
+        let g = consensus_digraph::Digraph::from_edges(
+            4,
+            [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)],
+        )
+        .unwrap();
+        let adv = theorem2(&g);
+        let mut exec = Execution::new(SelfWeightedAverage::new(0.5), &pts(&[0.0, 1.0, 0.2, 0.9]));
+        let trace = adv.drive(&mut exec, 8);
+        assert!(trace.per_round_rate() >= 0.5 - 1e-6);
+    }
+
+    #[test]
+    fn theorem3_macro_rate_at_least_half() {
+        let n = 5;
+        let adv = theorem3(n);
+        assert_eq!(adv.block_len(), n - 2);
+        let alg = consensus_algorithms::AmortizedMidpoint::for_agents(n);
+        let mut exec = Execution::new(alg, &pts(&[0.0, 1.0, 0.4, 0.7, 0.2]));
+        let trace = adv.drive(&mut exec, 8);
+        // Per macro-round (n−2 rounds) the valency shrinks by ≥ 1/2.
+        assert!(
+            trace.per_step_rate() >= 0.5 - 1e-6,
+            "per-σ rate {} below 1/2",
+            trace.per_step_rate()
+        );
+        // Per-round form: ≥ (1/2)^{1/(n−2)}.
+        let bound = 0.5f64.powf(1.0 / (n as f64 - 2.0));
+        assert!(trace.per_round_rate() >= bound - 1e-6);
+    }
+
+    #[test]
+    fn theorem5_on_two_agent_model_matches_theorem1() {
+        // The α-diameter of {H0,H1,H2} is 2, so Theorem 5 gives 1/3 —
+        // the same as Theorem 1.
+        let model = NetworkModel::two_agent();
+        let adv = theorem5(&model);
+        let mut exec = Execution::new(TwoAgentThirds, &pts(&[0.0, 1.0]));
+        let trace = adv.drive(&mut exec, 12);
+        assert!(trace.per_round_rate() >= 1.0 / 3.0 - 1e-6);
+    }
+
+    #[test]
+    fn theorem5_chain_for_two_agent_extremes() {
+        let model = NetworkModel::two_agent();
+        let [_, h1, h2] = families::two_agent();
+        let chain = theorem5_chain(&model, &h1, &h2).expect("connected");
+        assert_eq!(chain.len(), 2, "H1 → H0 → H2");
+    }
+
+    #[test]
+    fn adversary_trace_bookkeeping() {
+        let adv = theorem1();
+        let mut exec = Execution::new(TwoAgentThirds, &pts(&[0.0, 1.0]));
+        let trace = adv.drive(&mut exec, 5);
+        assert_eq!(trace.steps(), 5);
+        assert_eq!(trace.deltas.len(), 6);
+        assert_eq!(trace.chosen.len(), 5);
+        assert_eq!(exec.round(), 5);
+    }
+}

@@ -1,0 +1,56 @@
+//! The valency-based lower-bound engine of the paper.
+//!
+//! §3 of *“Tight Bounds for Asymptotic and Approximate Consensus”*
+//! (Függer, Nowak, Schwarz; PODC 2018) introduces the **valency** of a
+//! configuration `C` of an asymptotic consensus algorithm:
+//!
+//! > `Y*_N(C) = { y*_E ∈ R^d | C occurs in E ∈ E^N_A }` — the set of
+//! > limits reachable from `C`,
+//!
+//! and `δ_N(C) = diam(Y*_N(C))`. All lower bounds of the paper follow
+//! one recipe: exhibit an adversary that, each (macro-)round, keeps
+//! `δ(C_{t+1}) ≥ δ(C_t) / c`, which forces contraction rate ≥ `1/c`.
+//!
+//! This crate makes that recipe executable:
+//!
+//! * [`probe`] — **sound inner approximation** of `Y*(C)`: fork the
+//!   execution, continue it with a finite family of probe patterns
+//!   (constant graphs, eventually-deaf continuations, periodic
+//!   `σ_i = Ψ_i^{n−2}` macro-patterns), and collect the limits. Every
+//!   probe limit is a genuine element of `Y*(C)`, so the estimated
+//!   diameter `δ̂(C) ≤ δ(C)` — the safe direction for *measuring* the
+//!   adversary's guaranteed valency spread.
+//! * [`adversary`] — the proof adversaries: [`adversary::theorem1`]
+//!   (n = 2, rate ≥ 1/3), [`adversary::theorem2`] (deaf(G), rate ≥ 1/2),
+//!   [`adversary::theorem3`] (Ψ model, rate ≥ `(1/2)^{1/(n−2)}`), and
+//!   [`adversary::theorem5`] (any model, rate ≥ `1/(D+1)` via α-chains).
+//! * [`checks`] — executable forms of Lemma 8 (initial valency diameter
+//!   equals the initial value spread when every agent can be made deaf)
+//!   and of the per-round invariants the proofs maintain.
+//!
+//! # Example
+//!
+//! ```
+//! use consensus_algorithms::{Midpoint, Point};
+//! use consensus_digraph::Digraph;
+//! use consensus_dynamics::Execution;
+//! use consensus_valency::adversary;
+//!
+//! // Theorem 2's adversary vs the midpoint algorithm on deaf(K_3):
+//! // the valency diameter halves (and only halves) each round.
+//! let adv = adversary::theorem2(&Digraph::complete(3));
+//! let mut exec = Execution::new(Midpoint, &[Point([0.0]), Point([1.0]), Point([0.5])]);
+//! let trace = adv.drive(&mut exec, 10);
+//! let rate = trace.per_round_rate();
+//! assert!((rate - 0.5).abs() < 0.02, "measured {rate}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod checks;
+pub mod probe;
+
+pub use adversary::{AdversaryTrace, GreedyValencyAdversary};
+pub use probe::{ProbePattern, ProbeSet, ValencyEstimate};

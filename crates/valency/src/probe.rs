@@ -1,0 +1,232 @@
+//! Sound inner approximation of valencies by probe continuations.
+
+use consensus_algorithms::{diameter, Algorithm, Point};
+use consensus_digraph::Digraph;
+use consensus_dynamics::pattern::{ConstantPattern, PeriodicPattern};
+use consensus_dynamics::Execution;
+use consensus_netmodel::NetworkModel;
+
+/// One probe continuation: an eventually-periodic communication pattern
+/// from the model, used to realise one reachable limit from a
+/// configuration.
+#[derive(Debug, Clone)]
+pub enum ProbePattern {
+    /// `G^ω` — the constant continuation.
+    Constant(Digraph),
+    /// `(G_1 … G_k)^ω` — a periodic continuation (e.g. `σ_i^ω` in §6).
+    Periodic(Vec<Digraph>),
+}
+
+impl ProbePattern {
+    fn limit<A, const D: usize>(
+        &self,
+        exec: &Execution<A, D>,
+        tol: f64,
+        max_rounds: usize,
+    ) -> Point<D>
+    where
+        A: Algorithm<D> + Clone,
+    {
+        let mut fork = exec.clone();
+        match self {
+            ProbePattern::Constant(g) => {
+                let mut p = ConstantPattern::new(g.clone());
+                fork.limit_estimate(&mut p, tol, max_rounds)
+            }
+            ProbePattern::Periodic(gs) => {
+                let mut p = PeriodicPattern::new(gs.clone());
+                fork.limit_estimate(&mut p, tol, max_rounds)
+            }
+        }
+    }
+}
+
+/// A finite family of probe continuations; the estimated valency of a
+/// configuration is the set of their limits.
+///
+/// Soundness: every probe pattern is a legal continuation inside the
+/// network model, so each limit is a true member of `Y*(C)` and the
+/// estimated diameter `δ̂(C)` **never exceeds** the true `δ(C)`. The
+/// per-theorem constructors choose exactly the continuations the paper's
+/// proofs use, which is why `δ̂` tracks the proofs' quantities tightly.
+#[derive(Debug, Clone)]
+pub struct ProbeSet {
+    patterns: Vec<ProbePattern>,
+    /// Convergence tolerance for probe runs.
+    pub tol: f64,
+    /// Probe horizon (rounds) — probes stop early on convergence.
+    pub max_rounds: usize,
+}
+
+impl ProbeSet {
+    /// Builds a probe set from explicit patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns` is empty.
+    #[must_use]
+    pub fn new(patterns: Vec<ProbePattern>) -> Self {
+        assert!(!patterns.is_empty(), "need at least one probe");
+        ProbeSet {
+            patterns,
+            tol: 1e-12,
+            max_rounds: 600,
+        }
+    }
+
+    /// One constant probe `G^ω` per graph of the model — the generic
+    /// family used with Theorem 5's adversary.
+    #[must_use]
+    pub fn constants(model: &NetworkModel) -> Self {
+        Self::new(
+            model
+                .graphs()
+                .iter()
+                .cloned()
+                .map(ProbePattern::Constant)
+                .collect(),
+        )
+    }
+
+    /// Constant probes for the graphs in which some agent is deaf — the
+    /// family behind Lemma 7/Lemma 8 and Theorems 1 and 2. Falls back to
+    /// all constants if no graph has a deaf agent.
+    #[must_use]
+    pub fn deaf_continuations(model: &NetworkModel) -> Self {
+        let deaf: Vec<ProbePattern> = model
+            .graphs()
+            .iter()
+            .filter(|g| (0..g.n()).any(|i| g.is_deaf(i)))
+            .cloned()
+            .map(ProbePattern::Constant)
+            .collect();
+        if deaf.is_empty() {
+            Self::constants(model)
+        } else {
+            Self::new(deaf)
+        }
+    }
+
+    /// The periodic probes `σ_i^ω = (Ψ_i^{n−2})^ω` of §6 for `n ≥ 4`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4`.
+    #[must_use]
+    pub fn sigma_psi(n: usize) -> Self {
+        let probes = (0..3)
+            .map(|i| {
+                let psi = consensus_digraph::families::psi(n, i);
+                ProbePattern::Periodic(vec![psi; n - 2])
+            })
+            .collect();
+        Self::new(probes)
+    }
+
+    /// The probes in this set.
+    #[must_use]
+    pub fn patterns(&self) -> &[ProbePattern] {
+        &self.patterns
+    }
+
+    /// Estimates the valency of the configuration held by `exec`
+    /// (which is **not** advanced — probes run on forks).
+    #[must_use]
+    pub fn estimate<A, const D: usize>(&self, exec: &Execution<A, D>) -> ValencyEstimate<D>
+    where
+        A: Algorithm<D> + Clone,
+    {
+        let limits = self
+            .patterns
+            .iter()
+            .map(|p| p.limit(exec, self.tol, self.max_rounds))
+            .collect();
+        ValencyEstimate { limits }
+    }
+}
+
+/// The estimated valency `Ŷ*(C)`: the limits realised by the probes.
+#[derive(Debug, Clone)]
+pub struct ValencyEstimate<const D: usize> {
+    /// One reachable limit per probe pattern (same order).
+    pub limits: Vec<Point<D>>,
+}
+
+impl<const D: usize> ValencyEstimate<D> {
+    /// `δ̂(C) = diam(Ŷ*(C)) ≤ δ(C)`.
+    #[must_use]
+    pub fn diameter(&self) -> f64 {
+        diameter(&self.limits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consensus_algorithms::{MeanValue, Midpoint, TwoAgentThirds};
+
+    fn pts(vals: &[f64]) -> Vec<Point<1>> {
+        vals.iter().map(|&v| Point([v])).collect()
+    }
+
+    #[test]
+    fn two_agent_initial_valency_is_full_spread() {
+        // Lemma 8: with H1 (agent 0 deaf) and H2 (agent 1 deaf) in the
+        // model, δ(C_0) = Δ(y(0)).
+        let model = NetworkModel::two_agent();
+        let probes = ProbeSet::deaf_continuations(&model);
+        let exec = Execution::new(TwoAgentThirds, &pts(&[0.0, 1.0]));
+        let est = probes.estimate(&exec);
+        assert!((est.diameter() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deaf_probes_recover_agent_values_for_midpoint() {
+        let model = NetworkModel::deaf(&Digraph::complete(3));
+        let probes = ProbeSet::deaf_continuations(&model);
+        let exec = Execution::new(Midpoint, &pts(&[0.0, 0.25, 1.0]));
+        let est = probes.estimate(&exec);
+        // Under F_i^ω the midpoint system converges to y_i(0).
+        let mut limits: Vec<f64> = est.limits.iter().map(|p| p[0]).collect();
+        limits.sort_by(f64::total_cmp);
+        assert!((limits[0] - 0.0).abs() < 1e-9);
+        assert!((limits[1] - 0.25).abs() < 1e-9);
+        assert!((limits[2] - 1.0).abs() < 1e-9);
+        assert!((est.diameter() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probe_does_not_advance_the_execution() {
+        let model = NetworkModel::two_agent();
+        let probes = ProbeSet::constants(&model);
+        let exec = Execution::new(Midpoint, &pts(&[0.0, 1.0]));
+        let before = exec.outputs();
+        let _ = probes.estimate(&exec);
+        assert_eq!(exec.outputs(), before);
+        assert_eq!(exec.round(), 0);
+    }
+
+    #[test]
+    fn estimates_shrink_along_contraction() {
+        // δ̂ is monotone along midpoint rounds on the clique.
+        let model = NetworkModel::deaf(&Digraph::complete(3));
+        let probes = ProbeSet::deaf_continuations(&model);
+        let mut exec = Execution::new(MeanValue, &pts(&[0.0, 1.0, 0.5]));
+        let d0 = probes.estimate(&exec).diameter();
+        exec.step(&Digraph::complete(3));
+        let d1 = probes.estimate(&exec).diameter();
+        assert!(d1 <= d0 + 1e-12);
+    }
+
+    #[test]
+    fn sigma_probes_exist_and_converge() {
+        let n = 5;
+        let probes = ProbeSet::sigma_psi(n);
+        assert_eq!(probes.patterns().len(), 3);
+        let alg = consensus_algorithms::AmortizedMidpoint::for_agents(n);
+        let exec = Execution::new(alg, &pts(&[0.0, 1.0, 0.3, 0.8, 0.5]));
+        let est = probes.estimate(&exec);
+        assert!(est.diameter() > 0.0, "distinct σ-limits witness valency");
+        assert!(est.diameter() <= 1.0 + 1e-9, "validity keeps limits in hull");
+    }
+}

@@ -1,0 +1,75 @@
+//! The price of rounds (paper §8): round-based algorithms vs MinRelay
+//! in an asynchronous system with crashes.
+//!
+//! Round-based algorithms (wait for `n − f` messages per round) cannot
+//! contract faster than `1/(⌈n/f⌉+1)` per time unit (Theorem 6), while
+//! the non-round-based MinRelay reaches *exact* agreement of all correct
+//! agents by time `f + 1` (Theorem 7).
+//!
+//! Run with: `cargo run -p consensus-examples --example crash_tolerance`
+
+use tight_bounds_consensus::asyncsim::engine::{
+    ConstantDelay, Crash, CrashSchedule, RandomDelay, Simulation,
+};
+use tight_bounds_consensus::asyncsim::min_relay::{cascade_crashes, MinRelay};
+use tight_bounds_consensus::asyncsim::rounds::{RoundBased, RoundRule};
+use tight_bounds_consensus::prelude::bounds;
+
+fn main() {
+    let n = 6;
+    let f = 2;
+    let inits: Vec<f64> = (0..n).map(|i| i as f64 / (n - 1) as f64).collect();
+
+    println!("asynchronous system, n = {n}, up to f = {f} crashes\n");
+
+    // --- Round-based midpoint under random delays and one mid-run crash.
+    let crashes = CrashSchedule::new(vec![Crash {
+        agent: n - 1,
+        fatal_broadcast: 3,
+        final_recipients: 0b000001,
+    }]);
+    let alg = RoundBased::new(RoundRule::Midpoint, 14);
+    let mut sim = Simulation::new(
+        alg,
+        &inits,
+        f,
+        Box::new(RandomDelay::new(0.4, 99)),
+        crashes,
+    );
+    sim.run_to_quiescence(1_000_000);
+    println!("round-based midpoint: 14 rounds, one unclean crash");
+    println!("  finished at time {:.2} (≤ 1 time unit per round)", sim.time());
+    println!("  correct-agent spread: {:.2e}", sim.correct_diameter());
+    println!(
+        "  Theorem 6 floor (per round, worst case): {:.3}",
+        bounds::theorem6_lower(n, f)
+    );
+
+    // --- MinRelay under the worst-case cascading crash schedule.
+    let mut inits_mr = vec![1.0; n];
+    inits_mr[0] = 0.0; // unique minimum that must survive the cascade
+    let mut sim = Simulation::new(
+        MinRelay,
+        &inits_mr,
+        f,
+        Box::new(ConstantDelay::new(1.0)),
+        cascade_crashes(n, f),
+    );
+    sim.run_until(f as f64 + 1.0 + 1e-9);
+    println!("\nmin-relay (not round-based): worst-case cascading crashes");
+    println!(
+        "  at time f + 1 = {}: correct-agent spread = {:.1} (exact agreement)",
+        f + 1,
+        sim.correct_diameter()
+    );
+    println!(
+        "  paper Theorem 7: agreement by time {}, contraction rate {}",
+        bounds::theorem7_agreement_time(f),
+        bounds::theorem7_rate()
+    );
+    assert_eq!(sim.correct_diameter(), 0.0);
+
+    println!("\nthe price of rounds: waiting for n − f messages per round");
+    println!("caps the contraction rate at 1/(⌈n/f⌉+1) > 0, while an");
+    println!("event-driven relay protocol agrees exactly within f + 1 time.");
+}

@@ -1,0 +1,66 @@
+//! Rendezvous / flocking in the plane (`d = 2`).
+//!
+//! The paper's motivation includes rendezvous in space [22] and
+//! flocking [31]. Agents live in `R²`, hear only neighbours within a
+//! communication radius (plus a long-range rooted backbone simulating a
+//! leader beacon), and run the midpoint algorithm coordinate-wise. The
+//! value space being multidimensional exercises the `Point<2>` API; the
+//! paper's theorems are dimension-independent.
+//!
+//! Run with: `cargo run -p consensus-examples --example flocking`
+
+use tight_bounds_consensus::prelude::*;
+
+/// Proximity graph with a rooted backbone: edges between agents within
+/// `radius`, plus agent 0 broadcasting to everyone (the beacon), which
+/// keeps every round's graph rooted regardless of the geometry.
+fn proximity_graph(pos: &[Point<2>], radius: f64) -> Digraph {
+    let n = pos.len();
+    let mut g = Digraph::empty(n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && pos[i].dist(&pos[j]) <= radius {
+                g.add_edge(j, i);
+            }
+        }
+    }
+    for i in 1..n {
+        g.add_edge(0, i);
+    }
+    g
+}
+
+fn main() {
+    let n = 10;
+    // A scattered initial formation.
+    let inits: Vec<Point<2>> = (0..n)
+        .map(|i| {
+            let a = i as f64 * 2.399; // golden-angle scatter
+            Point([3.0 * a.cos() + 0.2 * i as f64, 2.0 * a.sin()])
+        })
+        .collect();
+    let mut exec = Execution::new(Midpoint, &inits);
+
+    println!("2-D rendezvous with midpoint, {n} agents, radius-1.5 proximity + beacon\n");
+    println!("round   spread (m)   all graphs rooted so far");
+    let mut rooted = true;
+    for t in 0..=24 {
+        if t > 0 {
+            let g = proximity_graph(&exec.outputs(), 1.5);
+            rooted &= g.is_rooted();
+            exec.step(&g);
+        }
+        if t % 4 == 0 {
+            println!("{t:>5}   {:<12.4e} {rooted}", exec.value_diameter());
+        }
+    }
+
+    let meet: Vec<f64> = (0..2).map(|c| exec.outputs()[0][c]).collect();
+    println!("\nagents meet near ({:.3}, {:.3})", meet[0], meet[1]);
+    let (lo, hi) = tight_bounds_consensus::algorithms::bounding_box(&inits);
+    println!(
+        "validity: meeting point inside the initial bounding box [{:.2},{:.2}]×[{:.2},{:.2}] ✓",
+        lo[0], hi[0], lo[1], hi[1]
+    );
+    assert!(exec.value_diameter() < 1e-3);
+}

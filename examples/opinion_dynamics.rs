@@ -1,0 +1,66 @@
+//! Opinion dynamics with bounded confidence (Hegselmann–Krause style).
+//!
+//! The paper's introduction motivates asymptotic consensus with natural
+//! systems such as opinion dynamics [20]. Here each agent only listens
+//! to opinions within its *confidence radius*; the influence topology is
+//! therefore state-dependent and changes every round — a dynamic
+//! network. When the radius keeps the graph rooted, the theory applies
+//! and opinions converge; when confidence is too narrow, the population
+//! splits into clusters (asymptotic consensus per cluster).
+//!
+//! Run with: `cargo run -p consensus-examples --example opinion_dynamics`
+
+use tight_bounds_consensus::prelude::*;
+
+/// Builds the bounded-confidence influence graph: `i` hears `j` iff
+/// `|y_i − y_j| ≤ radius` (self-loops always present).
+fn confidence_graph(opinions: &[Point<1>], radius: f64) -> Digraph {
+    let n = opinions.len();
+    let edges = (0..n).flat_map(|i| {
+        let opinions = opinions.to_vec();
+        (0..n)
+            .filter(move |&j| (opinions[i][0] - opinions[j][0]).abs() <= radius)
+            .map(move |j| (j, i))
+    });
+    Digraph::from_edges(n, edges).expect("valid size")
+}
+
+fn cluster_count(opinions: &[Point<1>], tol: f64) -> usize {
+    let mut sorted: Vec<f64> = opinions.iter().map(|p| p[0]).collect();
+    sorted.sort_by(f64::total_cmp);
+    1 + sorted.windows(2).filter(|w| w[1] - w[0] > tol).count()
+}
+
+fn simulate(radius: f64) -> (usize, Vec<Point<1>>, bool) {
+    let n = 12;
+    let inits: Vec<Point<1>> = (0..n).map(|i| Point([i as f64 / (n - 1) as f64])).collect();
+    let mut exec = Execution::new(MeanValue, &inits);
+    let mut rooted_throughout = true;
+    for _ in 0..60 {
+        let g = confidence_graph(&exec.outputs(), radius);
+        rooted_throughout &= g.is_rooted();
+        exec.step(&g);
+    }
+    let finals = exec.outputs();
+    (cluster_count(&finals, 1e-3), finals, rooted_throughout)
+}
+
+fn main() {
+    println!("bounded-confidence opinion dynamics, 12 agents on [0, 1]");
+    println!("(averaging algorithm; influence graph = opinions within radius)\n");
+    println!("radius   rooted-throughout   clusters   final opinions (rounded)");
+    for radius in [0.05, 0.10, 0.20, 0.50, 1.00] {
+        let (clusters, finals, rooted) = simulate(radius);
+        let mut vals: Vec<f64> = finals.iter().map(|p| (p[0] * 1000.0).round() / 1000.0).collect();
+        vals.sort_by(f64::total_cmp);
+        vals.dedup_by(|a, b| (*a - *b).abs() < 1e-3);
+        println!(
+            "{radius:<8.2} {rooted:<19} {clusters:<10} {vals:?}"
+        );
+    }
+    println!();
+    println!("interpretation (paper §1, Theorem 1 of [8]):");
+    println!("  • rooted influence graphs every round  ⇒ convergence to one opinion");
+    println!("  • narrow confidence breaks rootedness ⇒ the population fragments,");
+    println!("    and asymptotic consensus holds only within each cluster");
+}

@@ -1,0 +1,1 @@
+//! Shared helpers for the examples (kept intentionally empty; each example is self-contained).

@@ -1,0 +1,1 @@
+//! Integration test support crate; the tests live in `tests/tests/`.

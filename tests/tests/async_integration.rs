@@ -1,0 +1,155 @@
+//! Integration of the asynchronous layer with the paper's §8 claims:
+//! round-based executors live inside the `N_A(n, f)` envelope, their
+//! contraction respects Theorem 6, and MinRelay beats them all.
+
+use tight_bounds_consensus::asyncsim::engine::{
+    ConstantDelay, CrashSchedule, RandomDelay, RotatingBlockDelay, Simulation,
+};
+use tight_bounds_consensus::asyncsim::min_relay::{cascade_crashes, MinRelay};
+use tight_bounds_consensus::asyncsim::na_adversary;
+use tight_bounds_consensus::asyncsim::rounds::{RoundBased, RoundRule};
+use tight_bounds_consensus::prelude::*;
+
+#[test]
+fn round_based_contraction_between_bounds() {
+    // Against the synchronous N_A adversaries, worst-case rates sit in
+    // the paper's interval [1/(⌈n/f⌉+1), ~1/(⌈n/f⌉−1)] for the mean rule.
+    for (n, f) in [(4usize, 1usize), (6, 2), (8, 2)] {
+        let (lo, _) = bounds::table1_async_interval(n, f);
+        let mut exec = Execution::new(MeanValue, &na_adversary::bipolar_inits(n));
+        let r = na_adversary::drive_split_omission(&mut exec, f, 24)
+            .rates()
+            .steady_state;
+        assert!(r >= lo - 1e-9, "n={n} f={f}: {r} < floor {lo}");
+        let expected = f as f64 / (n - f) as f64;
+        assert!(
+            (r - expected).abs() < 0.1 * expected.max(0.2),
+            "n={n} f={f}: {r} vs f/(n−f) = {expected}"
+        );
+    }
+}
+
+#[test]
+fn engine_rounds_match_synchronous_na_semantics() {
+    // A round-based run on the event engine visits only N_A graphs:
+    // every completed round consumed ≥ n − f distinct senders.
+    let n = 5;
+    let f = 2;
+    let alg = RoundBased::new(RoundRule::Midpoint, 10);
+    let inits: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let mut sim = Simulation::new(
+        alg,
+        &inits,
+        f,
+        Box::new(RandomDelay::new(0.2, 17)),
+        CrashSchedule::none(),
+    );
+    sim.run_to_quiescence(1_000_000);
+    for i in 0..n {
+        let hist = &sim.state(i).history;
+        assert_eq!(hist.last().expect("non-empty").0, 10, "agent {i} finished");
+    }
+    // Spread contracted and outputs stayed in the initial hull.
+    let outs = sim.outputs();
+    let spread = outs.iter().cloned().fold(f64::MIN, f64::max)
+        - outs.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread < (n - 1) as f64 * 0.1);
+    for &y in &outs {
+        assert!((0.0..=(n - 1) as f64).contains(&y), "validity: {y}");
+    }
+}
+
+#[test]
+fn rotating_lemma24_schedule_completes_rounds_in_time() {
+    // Under the Lemma 24 rotation each round still completes within one
+    // normalised delay unit — the basis for “per round = per time”.
+    let n = 4;
+    let f = 1;
+    let rounds = 8;
+    let alg = RoundBased::new(RoundRule::Midpoint, rounds);
+    let mut sim = Simulation::new(
+        alg,
+        &[0.0, 1.0, 0.4, 0.8],
+        f,
+        Box::new(RotatingBlockDelay::new(n, f, 0.5)),
+        CrashSchedule::none(),
+    );
+    sim.run_to_quiescence(1_000_000);
+    assert!(
+        sim.time() <= rounds as f64 + 1e-9,
+        "{} rounds took {} time units",
+        rounds,
+        sim.time()
+    );
+}
+
+#[test]
+fn min_relay_beats_every_round_based_algorithm() {
+    let n = 6;
+    let f = 2;
+    // Round-based midpoint after ⌈time⌉ = f + 1 rounds: spread is still
+    // ≥ (1/2)^{f+1} of the initial spread in its worst case…
+    let mut exec = Execution::new(Midpoint, &na_adversary::minority_inits(n, f));
+    let trace = na_adversary::drive_isolate_minority(&mut exec, f, f + 1);
+    assert!(trace.final_diameter() >= 0.5f64.powi((f + 1) as i32) - 1e-9);
+    // …while MinRelay is exactly done by time f + 1.
+    let mut inits = vec![1.0; n];
+    inits[0] = 0.0;
+    let mut sim = Simulation::new(
+        MinRelay,
+        &inits,
+        f,
+        Box::new(ConstantDelay::new(1.0)),
+        cascade_crashes(n, f),
+    );
+    sim.run_until(f as f64 + 1.0 + 1e-9);
+    assert_eq!(sim.correct_diameter(), 0.0);
+}
+
+#[test]
+fn unclean_crash_is_visible_to_minority() {
+    // The final broadcast reaching a strict subset creates asymmetric
+    // knowledge — the phenomenon behind the N_A in-degree asymmetry.
+    let crashes = CrashSchedule::new(vec![
+        tight_bounds_consensus::asyncsim::engine::Crash {
+            agent: 0,
+            fatal_broadcast: 0,
+            final_recipients: 0b0010,
+        },
+    ]);
+    let mut sim = Simulation::new(
+        MinRelay,
+        &[0.0, 1.0, 1.0, 1.0],
+        1,
+        Box::new(ConstantDelay::new(1.0)),
+        crashes,
+    );
+    sim.run_until(1.0 + 1e-12);
+    let outs = sim.outputs();
+    assert_eq!(outs[1], 0.0, "agent 1 received the final broadcast");
+    assert_eq!(outs[2], 1.0, "agent 2 did not (yet)");
+    // After relaying, everyone correct agrees by f + 1 = 2.
+    sim.run_until(2.0 + 1e-9);
+    assert_eq!(sim.correct_diameter(), 0.0);
+}
+
+#[test]
+fn theorem6_floor_holds_for_both_rules() {
+    for (n, f) in [(4usize, 1usize), (6, 2)] {
+        let floor = bounds::theorem6_lower(n, f);
+        for rule in [0, 1] {
+            let r = if rule == 0 {
+                let mut e = Execution::new(MeanValue, &na_adversary::bipolar_inits(n));
+                na_adversary::drive_split_omission(&mut e, f, 20)
+                    .rates()
+                    .steady_state
+            } else {
+                let mut e = Execution::new(Midpoint, &na_adversary::minority_inits(n, f));
+                na_adversary::drive_isolate_minority(&mut e, f, 20)
+                    .rates()
+                    .steady_state
+            };
+            assert!(r >= floor - 1e-9, "n={n} f={f} rule={rule}: {r} < {floor}");
+        }
+    }
+}

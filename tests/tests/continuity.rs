@@ -1,0 +1,132 @@
+//! §2.2 Theorem 2 (executable form): the consensus function of a convex
+//! combination algorithm is continuous on the execution space — plus
+//! Lemma 4's valency branching property on probe limits.
+//!
+//! The execution-space metric is `dist(E, E') = 1/2^θ` with θ the first
+//! index where the executions differ; continuity means executions that
+//! share long prefixes have close limits.
+
+use tight_bounds_consensus::prelude::*;
+
+fn limit_of<A: Algorithm<1> + Clone>(
+    alg: A,
+    inits: &[Point<1>],
+    prefix: &[Digraph],
+    tail: &Digraph,
+) -> f64 {
+    let mut exec = Execution::new(alg, inits);
+    for g in prefix {
+        exec.step(g);
+    }
+    let mut pat = pattern::ConstantPattern::new(tail.clone());
+    exec.limit_estimate(&mut pat, 1e-13, 2000)[0]
+}
+
+#[test]
+fn consensus_function_is_continuous_for_midpoint() {
+    // E: the constant-K3 execution; E_s: share the s-round prefix of E,
+    // then switch to the deaf-0 graph forever. dist(E_s, E) → 0, so the
+    // limits must converge to y*(E) (Theorem 2 of §2.2).
+    let inits = [Point([0.0]), Point([1.0]), Point([0.4])];
+    let k3 = Digraph::complete(3);
+    let f0 = k3.make_deaf(0);
+    let y_star = limit_of(Midpoint, &inits, &[], &k3);
+
+    let mut prev_gap = f64::INFINITY;
+    for s in [0usize, 1, 2, 4, 8, 16] {
+        let prefix = vec![k3.clone(); s];
+        let y_s = limit_of(Midpoint, &inits, &prefix, &f0);
+        let gap = (y_s - y_star).abs();
+        assert!(
+            gap <= prev_gap + 1e-12,
+            "gaps must shrink as prefixes grow: s={s}, gap={gap}"
+        );
+        prev_gap = gap;
+    }
+    assert!(prev_gap < 1e-4, "limits converge: final gap {prev_gap}");
+}
+
+#[test]
+fn continuity_holds_for_all_convex_algorithms_tested() {
+    let inits = [Point([0.0]), Point([1.0]), Point([0.7]), Point([0.2])];
+    let k = Digraph::complete(4);
+    let alt = k.make_deaf(2);
+    // Convex combination algorithms with continuous consensus functions.
+    let gap_at = |s: usize| -> (f64, f64) {
+        let y_mid = limit_of(Midpoint, &inits, &vec![k.clone(); s], &alt);
+        let y_mid_star = limit_of(Midpoint, &inits, &vec![k.clone(); 24], &alt);
+        let y_mean = limit_of(MeanValue, &inits, &vec![k.clone(); s], &alt);
+        let y_mean_star = limit_of(MeanValue, &inits, &vec![k.clone(); 24], &alt);
+        ((y_mid - y_mid_star).abs(), (y_mean - y_mean_star).abs())
+    };
+    let (m8, a8) = gap_at(8);
+    let (m16, a16) = gap_at(16);
+    assert!(m16 <= m8 + 1e-12 && a16 <= a8 + 1e-12);
+    assert!(m16 < 1e-3 && a16 < 1e-3);
+}
+
+#[test]
+fn lemma4_probe_limits_are_shift_invariant() {
+    // Lemma 4: Y*(C) = ∪_G Y*(G.C). For the constant probe G^ω, the
+    // limit from C equals the G^ω-limit from G.C (the same execution,
+    // shifted one round) — the probe-level form of the branching
+    // property.
+    let inits = [Point([0.1]), Point([0.9]), Point([0.5])];
+    let model = NetworkModel::deaf(&Digraph::complete(3));
+    for g in model.graphs() {
+        let from_c = limit_of(Midpoint, &inits, &[], g);
+        let from_gc = limit_of(Midpoint, &inits, &[g.clone()], g);
+        assert!(
+            (from_c - from_gc).abs() < 1e-9,
+            "constant-probe limits must be shift-invariant on {g}"
+        );
+    }
+}
+
+#[test]
+fn theorem5_sweep_over_unsolvable_submodels() {
+    // Generalization check of the main theorem: for several sub-models of
+    // nonsplit(3) where exact consensus is unsolvable, the Theorem-5
+    // adversary keeps the measured rate ≥ 1/(D+1).
+    let base = NetworkModel::deaf(&Digraph::complete(3));
+    let k3 = Digraph::complete(3);
+    let submodels = vec![
+        base.clone(),
+        base.union(&NetworkModel::singleton(k3.clone())).unwrap(),
+        NetworkModel::new(
+            "two deaf",
+            vec![k3.make_deaf(0), k3.make_deaf(1), k3.clone()],
+        )
+        .unwrap(),
+    ];
+    for m in submodels {
+        if beta::exact_consensus_solvable(&m) {
+            continue;
+        }
+        let d = alpha::alpha_diameter(&m).finite().expect("finite here");
+        let bound = bounds::theorem5_lower(d);
+        let adv = adversary::theorem5(&m);
+        let mut exec = Execution::new(
+            Midpoint,
+            &[Point([0.0]), Point([1.0]), Point([0.5])],
+        );
+        let r = adv.drive(&mut exec, 8).per_round_rate();
+        assert!(
+            r >= bound - 1e-2,
+            "{}: rate {r} below 1/(D+1) = {bound}",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn two_deaf_graph_model_is_unsolvable_with_diameter_one() {
+    // {F_0, F_1, K_3}: roots {0}, {1}, {0,1,2}; any pair α-related via a
+    // witness whose roots avoid the differing rows?  Verify through the
+    // machinery rather than by hand, then check the adversary result.
+    let k3 = Digraph::complete(3);
+    let m = NetworkModel::new("two deaf", vec![k3.make_deaf(0), k3.make_deaf(1), k3]).unwrap();
+    assert!(!beta::exact_consensus_solvable(&m));
+    let d = alpha::alpha_diameter(&m).finite().expect("connected");
+    assert!(d >= 1);
+}

@@ -1,0 +1,165 @@
+//! Integration tests for the extension layers: stochastic-matrix
+//! cross-validation, trimmed-mean fault tolerance, quantized midpoint,
+//! and §6.1 pattern properties.
+
+use tight_bounds_consensus::algorithms::stochastic::StochasticMatrix;
+use tight_bounds_consensus::asyncsim::na_adversary;
+use tight_bounds_consensus::dynamics::pattern::AutomatonPattern;
+use tight_bounds_consensus::netmodel::property::PatternAutomaton;
+use tight_bounds_consensus::netmodel::sampler::{GraphSampler, NonsplitSampler};
+use tight_bounds_consensus::prelude::*;
+
+fn spread_inits(n: usize) -> Vec<Point<1>> {
+    (0..n).map(|i| Point([i as f64 / (n - 1) as f64])).collect()
+}
+
+#[test]
+fn dobrushin_bounds_executor_ratios() {
+    // For the linear MeanValue rule, every measured per-round ratio is
+    // bounded by the Dobrushin coefficient of that round's matrix.
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let sampler = NonsplitSampler::new(6, 0.3);
+    let mut exec = Execution::new(MeanValue, &spread_inits(6));
+    for _ in 0..30 {
+        let g = sampler.sample(&mut rng);
+        let a = StochasticMatrix::equal_weights(&g);
+        let before = exec.value_diameter();
+        exec.step(&g);
+        let after = exec.value_diameter();
+        if before > 1e-12 {
+            assert!(
+                after / before <= a.dobrushin() + 1e-9,
+                "ratio {} > δ(A) = {} on {g}",
+                after / before,
+                a.dobrushin()
+            );
+        }
+    }
+}
+
+#[test]
+fn averaging_worst_case_is_one_minus_one_over_n() {
+    // [7] (cited in the paper's related work): plain averaging contracts
+    // no faster than 1 − 1/n in non-split models. The deaf graph attains
+    // it — both in matrix theory and in simulation.
+    let n = 5;
+    let f0 = Digraph::complete(n).make_deaf(0);
+    let a = StochasticMatrix::equal_weights(&f0);
+    assert!((a.dobrushin() - (1.0 - 1.0 / n as f64)).abs() < 1e-12);
+    let mut exec = Execution::new(MeanValue, &{
+        let mut v = vec![Point([1.0]); n];
+        v[0] = Point([0.0]);
+        v
+    });
+    let before = exec.value_diameter();
+    exec.step(&f0);
+    let ratio = exec.value_diameter() / before;
+    assert!((ratio - (1.0 - 1.0 / n as f64)).abs() < 1e-12);
+}
+
+#[test]
+fn trimmed_mean_respects_theorem2() {
+    // The cautious rules of [14]/[17] are still subject to the bound.
+    for trim in [1usize, 2] {
+        let adv = adversary::theorem2(&Digraph::complete(5));
+        let mut exec = Execution::new(TrimmedMean::new(trim), &spread_inits(5));
+        let r = adv.drive(&mut exec, 8).per_round_rate();
+        assert!(r >= 0.5 - 1e-3, "trim = {trim}: rate {r}");
+    }
+}
+
+#[test]
+fn trimmed_mean_in_async_rounds() {
+    // Trimmed mean inside N_A(n, f): still above the Theorem 6 floor.
+    let n = 6;
+    let f = 2;
+    let floor = bounds::theorem6_lower(n, f);
+    let mut exec = Execution::new(TrimmedMean::new(f), &na_adversary::bipolar_inits(n));
+    let trace = na_adversary::drive_split_omission(&mut exec, f, 20);
+    let r = trace.rates().steady_state;
+    assert!(r >= floor - 1e-9, "trimmed mean rate {r} below floor {floor}");
+}
+
+#[test]
+fn quantized_midpoint_is_approximate_consensus() {
+    // Quantized midpoint with quantum q solves approximate consensus
+    // with ε = q under the deaf adversary, within ⌈log2(Δ/q)⌉ + 1 rounds.
+    let q = 1.0 / 128.0;
+    let alg = QuantizedMidpoint::new(q);
+    let f0 = Digraph::complete(4).make_deaf(0);
+    let mut exec = Execution::new(alg, &spread_inits(4));
+    let budget = decision_rules::midpoint_decision_round(1.0, q) + 1;
+    for _ in 0..budget {
+        exec.step(&f0);
+    }
+    assert!(
+        exec.value_diameter() <= q + 1e-12,
+        "spread {} > one quantum {q}",
+        exec.value_diameter()
+    );
+    // All outputs on the grid.
+    for p in exec.outputs() {
+        let r = (p[0] / q).round() * q;
+        assert!((p[0] - r).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn sigma_property_walks_contract_at_amortized_rate() {
+    // Random walks in the P_seq property (§6.1) are rooted-by-blocks, so
+    // the amortized midpoint halves its spread per macro-round.
+    let n = 5;
+    let automaton = PatternAutomaton::sigma_blocks(n);
+    for seed in [1u64, 7, 23] {
+        let mut pat = AutomatonPattern::new(automaton.clone(), seed);
+        let mut exec = Execution::new(AmortizedMidpoint::for_agents(n), &spread_inits(n));
+        let macros = 5;
+        let d0 = exec.value_diameter();
+        // Run enough σ-blocks to cover `macros` algorithm macro-rounds.
+        let rounds = (n - 1) * macros;
+        let trace = exec.run(&mut pat, rounds);
+        assert!(
+            trace.final_diameter() <= d0 * 0.5f64.powi(macros as i32) + 1e-9,
+            "seed {seed}: {d0} → {}",
+            trace.final_diameter()
+        );
+        assert!(trace.validity_holds(1e-9));
+    }
+}
+
+#[test]
+fn property_prefixes_recorded_by_executor_are_accepted() {
+    // The graphs the executor actually runs under an AutomatonPattern
+    // form a legal prefix of the property.
+    let n = 4;
+    let automaton = PatternAutomaton::sigma_blocks(n);
+    let mut pat = AutomatonPattern::new(automaton.clone(), 99);
+    let mut exec = Execution::new(Midpoint, &spread_inits(n));
+    let trace = exec.run(&mut pat, 3 * (n - 2));
+    let graphs: Vec<Digraph> = (1..=trace.rounds()).map(|t| trace.graph_at(t).clone()).collect();
+    assert!(automaton.accepts_prefix(&graphs));
+}
+
+#[test]
+fn scc_roots_agree_on_random_models() {
+    use tight_bounds_consensus::digraph::scc;
+    for g in NetworkModel::all_rooted(3).graphs() {
+        assert_eq!(scc::roots_via_condensation(g), g.roots());
+    }
+    for g in NetworkModel::async_crash(4, 1).graphs() {
+        assert_eq!(scc::roots_via_condensation(g), g.roots());
+    }
+}
+
+#[test]
+fn oblivious_automaton_equals_model_runs() {
+    // An oblivious automaton walk is just a random model pattern: both
+    // converge for midpoint on the two-agent model.
+    let m = NetworkModel::two_agent();
+    let automaton = PatternAutomaton::oblivious(&m);
+    let mut pat = AutomatonPattern::new(automaton, 5);
+    let mut exec = Execution::new(Midpoint, &[Point([0.0]), Point([1.0])]);
+    let trace = exec.run(&mut pat, 80);
+    assert!(trace.final_diameter() < 1e-6);
+}

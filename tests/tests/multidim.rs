@@ -1,0 +1,82 @@
+//! Multidimensional (`d > 1`) behaviour: the paper's statements are
+//! dimension-independent (§2.1 takes values in R^d); check the bounds
+//! and invariants survive in R² and R³.
+
+use tight_bounds_consensus::prelude::*;
+
+#[test]
+fn theorem2_rate_in_two_dimensions() {
+    let inits = [
+        Point([0.0, 1.0]),
+        Point([1.0, 0.0]),
+        Point([0.5, 0.5]),
+        Point([0.2, 0.9]),
+    ];
+    let adv = adversary::theorem2(&Digraph::complete(4));
+    let mut exec = Execution::new(Midpoint, &inits);
+    let trace = adv.drive(&mut exec, 10);
+    let r = trace.per_round_rate();
+    assert!((r - 0.5).abs() < 5e-3, "2-D rate {r}");
+}
+
+#[test]
+fn midpoint_is_coordinatewise_in_r3() {
+    // Running 3-D midpoint equals running three 1-D midpoints.
+    let inits3 = [
+        Point([0.0, 5.0, -1.0]),
+        Point([1.0, 3.0, 2.0]),
+        Point([0.5, 4.0, 0.0]),
+    ];
+    let g = families::star_out(3, 1);
+    let mut e3 = Execution::new(Midpoint, &inits3);
+    e3.step(&g);
+    for c in 0..3 {
+        let inits1: Vec<Point<1>> = inits3.iter().map(|p| Point([p[c]])).collect();
+        let mut e1 = Execution::new(Midpoint, &inits1);
+        e1.step(&g);
+        for (a, b) in e3.outputs().iter().zip(e1.outputs()) {
+            assert_eq!(a[c], b[0], "coordinate {c}");
+        }
+    }
+}
+
+#[test]
+fn validity_bounding_box_r2() {
+    let inits = [Point([0.0, 0.0]), Point([2.0, 1.0]), Point([1.0, 3.0])];
+    let mut exec = Execution::new(MeanValue, &inits);
+    let mut pat = pattern::PeriodicPattern::new(vec![
+        families::cycle(3),
+        families::star_out(3, 0),
+        Digraph::complete(3),
+    ]);
+    let trace = exec.run(&mut pat, 60);
+    assert!(trace.validity_holds(1e-9));
+    assert!(trace.final_diameter() < 1e-6);
+}
+
+#[test]
+fn two_agent_thirds_2d_rate() {
+    let adv = adversary::theorem1();
+    let inits = [Point([0.0, 1.0]), Point([1.0, 0.0])];
+    let mut exec = Execution::new(TwoAgentThirds, &inits);
+    let trace = adv.drive(&mut exec, 10);
+    assert!(
+        (trace.per_round_rate() - 1.0 / 3.0).abs() < 5e-3,
+        "rate {}",
+        trace.per_round_rate()
+    );
+}
+
+#[test]
+fn decider_in_r2() {
+    let inits = [Point([0.0, 0.0]), Point([1.0, 1.0]), Point([0.0, 1.0])];
+    let delta = tight_bounds_consensus::algorithms::diameter(&inits);
+    let eps = delta / 100.0;
+    let t = decision_rules::midpoint_decision_round(delta, eps);
+    let mut exec = Execution::new(Decider::new(Midpoint, t), &inits);
+    let mut pat = pattern::ConstantPattern::new(Digraph::complete(3));
+    exec.run(&mut pat, t as usize + 2);
+    let ds = exec.outputs();
+    assert!(tight_bounds_consensus::approx::epsilon_agreement(&ds, eps));
+    assert!(tight_bounds_consensus::approx::validity(&ds, &inits, 1e-9));
+}

@@ -1,0 +1,142 @@
+//! Property-based integration tests: the paper's invariants under
+//! randomly generated dynamic networks.
+
+use proptest::prelude::*;
+use tight_bounds_consensus::dynamics::pattern::RandomPattern;
+use tight_bounds_consensus::netmodel::sampler::{GraphSampler, NonsplitSampler, RootedSampler};
+use tight_bounds_consensus::prelude::*;
+
+fn arb_inits(n: usize) -> impl Strategy<Value = Vec<Point<1>>> {
+    prop::collection::vec((-100.0f64..100.0).prop_map(|v| Point([v])), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Midpoint halves the value spread in **every** non-split round —
+    /// the per-round upper bound behind Theorem 2's tightness.
+    #[test]
+    fn midpoint_halves_in_any_nonsplit_round(
+        inits in arb_inits(6),
+        seed in 0u64..1000,
+        density in 0.0f64..0.9,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = NonsplitSampler::new(6, density).sample(&mut rng);
+        let mut exec = Execution::new(Midpoint, &inits);
+        let before = exec.value_diameter();
+        exec.step(&g);
+        let after = exec.value_diameter();
+        prop_assert!(
+            after <= before / 2.0 + 1e-9,
+            "non-split round must halve the spread: {before} → {after} under {g}"
+        );
+    }
+
+    /// Midpoint under random rooted patterns: validity always, and
+    /// convergence within a generous horizon.
+    #[test]
+    fn midpoint_converges_on_rooted_patterns(
+        inits in arb_inits(5),
+        seed in 0u64..1000,
+    ) {
+        let mut exec = Execution::new(Midpoint, &inits);
+        let mut pat = RandomPattern::new(RootedSampler::new(5, 0.3), seed);
+        let trace = exec.run(&mut pat, 400);
+        prop_assert!(trace.validity_holds(1e-9));
+        prop_assert!(
+            trace.final_diameter() <= trace.initial_diameter() * 1e-6 + 1e-9,
+            "rooted patterns must drive midpoint to agreement"
+        );
+    }
+
+    /// The amortized midpoint never exceeds its `(1/2)^{1/(n−1)}`
+    /// guarantee at macro-round boundaries, for any rooted pattern.
+    #[test]
+    fn amortized_midpoint_respects_upper_bound(
+        inits in arb_inits(5),
+        seed in 0u64..1000,
+    ) {
+        let n = 5;
+        let mut exec = Execution::new(AmortizedMidpoint::for_agents(n), &inits);
+        let mut pat = RandomPattern::new(RootedSampler::new(n, 0.2), seed);
+        let macros = 6;
+        let d0 = exec.value_diameter();
+        let trace = exec.run(&mut pat, (n - 1) * macros);
+        let dt = trace.final_diameter();
+        prop_assert!(
+            dt <= d0 * 0.5f64.powi(macros as i32) + 1e-9,
+            "spread must halve per macro-round: {d0} → {dt}"
+        );
+    }
+
+    /// Mean-value averaging: validity and monotone non-expansion of the
+    /// spread under arbitrary (even unrooted) graphs.
+    #[test]
+    fn averaging_never_expands(
+        inits in arb_inits(6),
+        masks in prop::collection::vec(0u64..64, 6),
+    ) {
+        let g = Digraph::from_in_masks(&masks).expect("validated");
+        let mut exec = Execution::new(MeanValue, &inits);
+        let before = exec.value_diameter();
+        exec.step(&g);
+        prop_assert!(exec.value_diameter() <= before + 1e-9);
+    }
+
+    /// The Theorem-2 adversary invariant holds against randomized initial
+    /// configurations: δ̂ shrinks by at least (almost exactly) 1/2.
+    #[test]
+    fn theorem2_invariant_randomized(inits in arb_inits(4)) {
+        let spread = tight_bounds_consensus::algorithms::diameter(&inits);
+        prop_assume!(spread > 1e-3);
+        let adv = adversary::theorem2(&Digraph::complete(4));
+        let mut exec = Execution::new(Midpoint, &inits);
+        let trace = adv.drive(&mut exec, 5);
+        prop_assert!(trace.satisfies_lower_bound(0.5, 1e-4));
+    }
+
+    /// ε-agreement + validity of the deciding midpoint wrapper under
+    /// random non-split patterns, at the formula decision round.
+    #[test]
+    fn deciding_midpoint_contract(
+        inits in arb_inits(5),
+        seed in 0u64..1000,
+    ) {
+        let delta = tight_bounds_consensus::algorithms::diameter(&inits);
+        prop_assume!(delta > 1e-6);
+        let eps = delta / 64.0;
+        let t = decision_rules::midpoint_decision_round(delta, eps);
+        let alg = Decider::new(Midpoint, t);
+        let mut exec = Execution::new(alg, &inits);
+        let mut pat = RandomPattern::new(NonsplitSampler::new(5, 0.4), seed);
+        exec.run(&mut pat, t as usize + 3);
+        let decisions = exec.outputs();
+        prop_assert!(
+            tight_bounds_consensus::approx::epsilon_agreement(&decisions, eps + 1e-9),
+            "decisions {decisions:?} exceed ε = {eps}"
+        );
+        prop_assert!(tight_bounds_consensus::approx::validity(
+            &decisions, &inits, 1e-9
+        ));
+    }
+
+    /// Graph-level: the product of any n−1 randomly sampled rooted graphs
+    /// is non-split, and midpoint's macro-contraction follows.
+    #[test]
+    fn rooted_products_support_amortized_contraction(
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let n = 5;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let s = RootedSampler::new(n, 0.15);
+        let gs: Vec<Digraph> = (0..n - 1).map(|_| s.sample(&mut rng)).collect();
+        let mut p = gs[0].clone();
+        for g in &gs[1..] {
+            p = p.product(g);
+        }
+        prop_assert!(p.is_nonsplit());
+    }
+}

@@ -1,0 +1,156 @@
+//! Cross-crate consistency of the solvability theory (§7) with the
+//! executable bounds: α-diameter, β-classes, Theorem 19, Theorem 5.
+
+use tight_bounds_consensus::netmodel::alpha::AlphaDiameter;
+use tight_bounds_consensus::prelude::*;
+
+#[test]
+fn paper_examples_of_alpha_diameter() {
+    // §7: D({H0,H1,H2}) = 2, D(deaf(G)) = 1.
+    assert_eq!(
+        alpha::alpha_diameter(&NetworkModel::two_agent()),
+        AlphaDiameter::Finite(2)
+    );
+    for n in 3..=6 {
+        assert_eq!(
+            alpha::alpha_diameter(&NetworkModel::deaf(&Digraph::complete(n))),
+            AlphaDiameter::Finite(1),
+            "deaf(K_{n})"
+        );
+    }
+}
+
+#[test]
+fn theorem5_bound_matches_diameter() {
+    let two = NetworkModel::two_agent();
+    let d = alpha::alpha_diameter(&two).finite().expect("finite");
+    assert!((bounds::theorem5_lower(d) - 1.0 / 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn classic_unsolvability_results() {
+    // Lossy link (two generals): unsolvable.
+    assert!(!beta::exact_consensus_solvable(&NetworkModel::two_agent()));
+    // deaf models: unsolvable.
+    assert!(!beta::exact_consensus_solvable(&NetworkModel::deaf(
+        &Digraph::complete(4)
+    )));
+    // FLP-flavoured: asynchronous rounds with one crash, unsolvable.
+    assert!(!beta::exact_consensus_solvable(&NetworkModel::async_crash(
+        3, 1
+    )));
+    // Ψ model: unsolvable.
+    assert!(!beta::exact_consensus_solvable(&NetworkModel::psi(5)));
+    // All rooted graphs: unsolvable for n ≥ 2 (contains the above).
+    assert!(!beta::exact_consensus_solvable(&NetworkModel::all_rooted(3)));
+}
+
+#[test]
+fn solvable_models() {
+    assert!(beta::exact_consensus_solvable(&NetworkModel::singleton(
+        Digraph::complete(4)
+    )));
+    assert!(beta::exact_consensus_solvable(&NetworkModel::singleton(
+        families::star_out(5, 2)
+    )));
+    // Two graphs sharing a common root are solvable.
+    let m = NetworkModel::new(
+        "common-root",
+        [families::star_out(4, 0), Digraph::complete(4)],
+    )
+    .expect("non-empty");
+    assert!(beta::exact_consensus_solvable(&m));
+}
+
+#[test]
+fn asymptotic_solvability_is_rootedness() {
+    // Theorem 1 of the paper ([8]): asymptotic consensus solvable iff
+    // all graphs rooted. Check the model-level predicate plus actual
+    // convergence of the midpoint algorithm on rooted samples.
+    let m = NetworkModel::all_rooted(3);
+    assert!(m.is_rooted_model());
+    for (k, g) in m.graphs().iter().enumerate().step_by(5) {
+        let mut exec = Execution::new(
+            Midpoint,
+            &[Point([0.0]), Point([0.6]), Point([1.0])],
+        );
+        let trace = exec.run(&mut pattern::ConstantPattern::new(g.clone()), 200);
+        assert!(
+            trace.final_diameter() < 1e-6,
+            "graph #{k} ({g}) did not converge"
+        );
+    }
+}
+
+#[test]
+fn unrooted_graph_breaks_convergence() {
+    // A model with an unrooted graph: two isolated cliques never agree.
+    let mut g = Digraph::empty(4);
+    g.add_edge(0, 1);
+    g.add_edge(1, 0);
+    g.add_edge(2, 3);
+    g.add_edge(3, 2);
+    assert!(!g.is_rooted());
+    let mut exec = Execution::new(
+        Midpoint,
+        &[Point([0.0]), Point([0.0]), Point([1.0]), Point([1.0])],
+    );
+    let trace = exec.run(&mut pattern::ConstantPattern::new(g), 100);
+    assert!(trace.final_diameter() > 0.99, "split groups stay apart");
+}
+
+#[test]
+fn theorem4_topology_of_valencies() {
+    // Solvable model: valencies of the exact-consensus-derived algorithm
+    // are finite sets (singleton or disconnected). We check the probe
+    // estimate on a solvable singleton model collapses to one point
+    // after a single round (decision).
+    let m = NetworkModel::singleton(Digraph::complete(3));
+    let probes = ProbeSet::constants(&m);
+    let mut exec = Execution::new(Midpoint, &[Point([0.0]), Point([0.5]), Point([1.0])]);
+    exec.step(&m.graphs()[0]);
+    let est = probes.estimate(&exec);
+    assert!(est.diameter() < 1e-12, "valency is a singleton after deciding");
+
+    // Unsolvable model: the initial valency is a non-degenerate set
+    // (Lemma 21: δ(C₀) ≥ Δ/n); with deaf graphs it is the full spread.
+    let m = NetworkModel::deaf(&Digraph::complete(3));
+    let probes = ProbeSet::deaf_continuations(&m);
+    let exec = Execution::new(Midpoint, &[Point([0.0]), Point([0.5]), Point([1.0])]);
+    let est = probes.estimate(&exec);
+    assert!(est.diameter() >= 1.0 - 1e-9, "Lemma 8: δ(C₀) = Δ(y(0))");
+    assert!(est.diameter() >= 1.0 / 3.0, "Lemma 21: δ(C₀) ≥ Δ/n");
+}
+
+#[test]
+fn lemma24_certificates_scale() {
+    for (n, f) in [(6usize, 2usize), (9, 3), (12, 5), (20, 7)] {
+        let g = Digraph::complete(n);
+        let mut h = Digraph::complete(n);
+        for i in 0..n {
+            h.remove_edge((i + 2) % n, i);
+        }
+        let q = alpha::lemma24_chain_check(&g, &h, f).expect("certifies");
+        assert_eq!(q, n.div_ceil(f), "N_A({n},{f})");
+    }
+}
+
+#[test]
+fn beta_classes_partition_the_model() {
+    for m in [
+        NetworkModel::two_agent(),
+        NetworkModel::deaf(&Digraph::complete(4)),
+        NetworkModel::async_crash(3, 1),
+        NetworkModel::all_nonsplit(3),
+    ] {
+        let classes = beta::beta_classes(&m);
+        let total: usize = classes.iter().map(Vec::len).sum();
+        assert_eq!(total, m.len(), "classes partition {}", m.name());
+        let mut seen = std::collections::HashSet::new();
+        for c in &classes {
+            for &g in c {
+                assert!(seen.insert(g), "graph {g} appears twice");
+            }
+        }
+    }
+}
