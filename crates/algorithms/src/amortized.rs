@@ -156,8 +156,16 @@ mod tests {
         assert_eq!(s.lo, Point([0.5]));
         assert_eq!(s.hi, Point([2.0]));
         alg.step(0, &mut s, &[(0, (Point([0.9]), Point([1.1])))], 2);
-        assert_eq!(s.lo, Point([0.5]), "lo never increases within a macro-round");
-        assert_eq!(s.hi, Point([2.0]), "hi never decreases within a macro-round");
+        assert_eq!(
+            s.lo,
+            Point([0.5]),
+            "lo never increases within a macro-round"
+        );
+        assert_eq!(
+            s.hi,
+            Point([2.0]),
+            "hi never decreases within a macro-round"
+        );
     }
 
     #[test]
@@ -181,9 +189,8 @@ mod tests {
     fn clique_contracts_half_per_macro_round() {
         let n = 5;
         let alg = AmortizedMidpoint::for_agents(n);
-        let mut states: Vec<AmortizedState<1>> = (0..n)
-            .map(|i| alg.init(i, Point([i as f64])))
-            .collect();
+        let mut states: Vec<AmortizedState<1>> =
+            (0..n).map(|i| alg.init(i, Point([i as f64]))).collect();
         let spread = |sts: &[AmortizedState<1>]| {
             let outs: Vec<f64> = sts.iter().map(|s| alg.output(s)[0]).collect();
             outs.iter().cloned().fold(f64::MIN, f64::max)

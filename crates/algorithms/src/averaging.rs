@@ -120,7 +120,10 @@ mod tests {
     use super::*;
 
     fn inbox1(vals: &[f64]) -> Vec<(Agent, Point<1>)> {
-        vals.iter().enumerate().map(|(i, &v)| (i, Point([v]))).collect()
+        vals.iter()
+            .enumerate()
+            .map(|(i, &v)| (i, Point([v])))
+            .collect()
     }
 
     #[test]
@@ -165,7 +168,7 @@ mod tests {
         let vals = [0.7, -0.3, 1.9, 0.0];
         alg.step(0, &mut s, &inbox1(&vals), 1);
         let out = <MeanValue as Algorithm<1>>::output(&alg, &s)[0];
-        assert!(out >= -0.3 && out <= 1.9);
+        assert!((-0.3..=1.9).contains(&out));
     }
 
     #[test]

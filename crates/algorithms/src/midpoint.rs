@@ -145,7 +145,10 @@ mod tests {
     use super::*;
 
     fn inbox1(vals: &[f64]) -> Vec<(Agent, Point<1>)> {
-        vals.iter().enumerate().map(|(i, &v)| (i, Point([v]))).collect()
+        vals.iter()
+            .enumerate()
+            .map(|(i, &v)| (i, Point([v])))
+            .collect()
     }
 
     #[test]

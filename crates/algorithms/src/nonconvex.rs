@@ -192,10 +192,8 @@ mod tests {
             let msgs: Vec<Point<1>> = states.iter().map(|s| alg.message(s)).collect();
             let old = states.clone();
             for i in 0..4 {
-                let inbox: Vec<(Agent, Point<1>)> = g
-                    .in_neighbors(i)
-                    .map(|j| (j, msgs[j]))
-                    .collect();
+                let inbox: Vec<(Agent, Point<1>)> =
+                    g.in_neighbors(i).map(|j| (j, msgs[j])).collect();
                 let mut s = old[i];
                 alg.step(i, &mut s, &inbox, round);
                 states[i] = s;
@@ -238,7 +236,9 @@ mod tests {
         alg2.step(0, &mut s, &inbox, 1);
         // y0' = 1/1 + 1/2 + 1/2 = 2 > max received value 1: outside hull.
         assert!((s[0] - 2.0).abs() < 1e-12);
-        assert!(!<MassSplitting as Algorithm<1>>::is_convex_combination(&alg2));
+        assert!(!<MassSplitting as Algorithm<1>>::is_convex_combination(
+            &alg2
+        ));
         let _ = alg; // first graph used above for mass conservation intuition
     }
 
@@ -292,16 +292,11 @@ mod tests {
                 .enumerate()
                 .map(|(i, s)| (i, o.message(s)))
                 .collect();
-            for i in 0..3 {
-                let mut s = states[i];
-                o.step(i, &mut s, &msgs, round);
-                states[i] = s;
+            for (i, st) in states.iter_mut().enumerate() {
+                o.step(i, st, &msgs, round);
             }
         }
-        let spread = states
-            .iter()
-            .map(|s| s.y[0])
-            .fold(f64::MIN, f64::max)
+        let spread = states.iter().map(|s| s.y[0]).fold(f64::MIN, f64::max)
             - states.iter().map(|s| s.y[0]).fold(f64::MAX, f64::min);
         assert!(spread < 1e-6, "overshoot with κ<1 converges on a clique");
     }

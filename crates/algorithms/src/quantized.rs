@@ -94,7 +94,10 @@ mod tests {
     use super::*;
 
     fn inbox1(vals: &[f64]) -> Vec<(Agent, Point<1>)> {
-        vals.iter().enumerate().map(|(i, &v)| (i, Point([v]))).collect()
+        vals.iter()
+            .enumerate()
+            .map(|(i, &v)| (i, Point([v])))
+            .collect()
     }
 
     #[test]
@@ -128,10 +131,8 @@ mod tests {
                 .enumerate()
                 .map(|(i, s)| (i, q.message(s)))
                 .collect();
-            for i in 0..n {
-                let mut s = states[i];
-                <QuantizedMidpoint as Algorithm<1>>::step(&q, i, &mut s, &msgs, rounds);
-                states[i] = s;
+            for (i, st) in states.iter_mut().enumerate() {
+                <QuantizedMidpoint as Algorithm<1>>::step(&q, i, st, &msgs, rounds);
             }
         }
         // ⌈log2(1/step)⌉ = 6 rounds suffice on the clique (actually 1

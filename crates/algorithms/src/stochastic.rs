@@ -290,11 +290,7 @@ mod tests {
         // non-split. Check over all 3-agent graphs.
         for g in consensus_digraph::enumerate::all_graphs(3) {
             let a = StochasticMatrix::equal_weights(&g);
-            assert_eq!(
-                a.is_scrambling(),
-                g.is_nonsplit(),
-                "mismatch on {g}"
-            );
+            assert_eq!(a.is_scrambling(), g.is_nonsplit(), "mismatch on {g}");
             assert_eq!(a.support(), g);
         }
     }
@@ -335,8 +331,7 @@ mod tests {
         let alg = MeanValue;
         for i in 0..4 {
             let mut st = alg.init(i, vals[i]);
-            let inbox: Vec<(usize, Point<1>)> =
-                g.in_neighbors(i).map(|j| (j, vals[j])).collect();
+            let inbox: Vec<(usize, Point<1>)> = g.in_neighbors(i).map(|j| (j, vals[j])).collect();
             alg.step(i, &mut st, &inbox, 1);
             assert!((alg.output(&st)[0] - expected[i][0]).abs() < 1e-12);
         }
@@ -353,8 +348,7 @@ mod tests {
         let alg = SelfWeightedAverage::new(w);
         for i in 0..4 {
             let mut st = alg.init(i, vals[i]);
-            let inbox: Vec<(usize, Point<1>)> =
-                g.in_neighbors(i).map(|j| (j, vals[j])).collect();
+            let inbox: Vec<(usize, Point<1>)> = g.in_neighbors(i).map(|j| (j, vals[j])).collect();
             alg.step(i, &mut st, &inbox, 1);
             assert!((alg.output(&st)[0] - expected[i][0]).abs() < 1e-12);
         }

@@ -85,7 +85,10 @@ mod tests {
     use super::*;
 
     fn inbox1(vals: &[f64]) -> Vec<(Agent, Point<1>)> {
-        vals.iter().enumerate().map(|(i, &v)| (i, Point([v]))).collect()
+        vals.iter()
+            .enumerate()
+            .map(|(i, &v)| (i, Point([v])))
+            .collect()
     }
 
     #[test]
@@ -147,6 +150,9 @@ mod tests {
         let alg = TrimmedMean::new(2);
         let mut s = <TrimmedMean as Algorithm<1>>::init(&alg, 0, Point([0.33]));
         alg.step(0, &mut s, &inbox1(&[0.33]), 1);
-        assert_eq!(<TrimmedMean as Algorithm<1>>::output(&alg, &s), Point([0.33]));
+        assert_eq!(
+            <TrimmedMean as Algorithm<1>>::output(&alg, &s),
+            Point([0.33])
+        );
     }
 }

@@ -74,7 +74,10 @@ mod tests {
         let mut s = alg.init(1, Point([0.4]));
         let inbox = vec![(1, Point([0.4]))];
         alg.step(1, &mut s, &inbox, 1);
-        assert_eq!(<TwoAgentThirds as Algorithm<1>>::output(&alg, &s), Point([0.4]));
+        assert_eq!(
+            <TwoAgentThirds as Algorithm<1>>::output(&alg, &s),
+            Point([0.4])
+        );
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Property tests for `Point<N>` arithmetic and the convex-hull /
+//! containment invariants that the validity arguments of the paper rest
+//! on: midpoints lie in the hull, convex combinations stay in the
+//! bounding box, and averaging never expands the diameter.
+
+use consensus_algorithms::{bounding_box, convex_combination, diameter, in_bounding_box, Point};
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-9;
+
+fn arb_point3() -> impl Strategy<Value = Point<3>> {
+    (-100.0f64..100.0, -100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y, z)| Point([x, y, z]))
+}
+
+fn arb_points3(n: usize) -> impl Strategy<Value = Vec<Point<3>>> {
+    prop::collection::vec(arb_point3(), n)
+}
+
+/// Non-negative weights summing to 1 (a row of a stochastic matrix).
+fn arb_weights(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.001f64..1.0, n).prop_map(|raw| {
+        let sum: f64 = raw.iter().sum();
+        raw.into_iter().map(|w| w / sum).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Vector-space laws: commutativity, identity, inverses (exact in
+    /// floating point), and associativity up to rounding.
+    #[test]
+    fn addition_laws(a in arb_point3(), b in arb_point3(), c in arb_point3()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a + Point::ZERO, a);
+        prop_assert_eq!(a - a, Point::ZERO);
+        prop_assert_eq!(-(-a), a);
+        prop_assert!(((a + b) + c).dist(&(a + (b + c))) <= TOL);
+        prop_assert!(((a + b) - b).dist(&a) <= TOL);
+    }
+
+    /// Scalar multiplication: unit, zero, and compatibility with norm.
+    #[test]
+    fn scaling_laws(a in arb_point3(), s in -10.0f64..10.0) {
+        prop_assert_eq!(a * 1.0, a);
+        prop_assert_eq!(a * 0.0, Point::<3>::ZERO);
+        prop_assert!(((a * s).norm() - s.abs() * a.norm()).abs() <= TOL * (1.0 + a.norm()));
+    }
+
+    /// The metric is sound: symmetry, identity, triangle inequality.
+    #[test]
+    fn metric_laws(a in arb_point3(), b in arb_point3(), c in arb_point3()) {
+        prop_assert!((a.dist(&b) - b.dist(&a)).abs() <= TOL);
+        prop_assert!(a.dist(&a) <= TOL);
+        prop_assert!(a.dist(&c) <= a.dist(&b) + b.dist(&c) + TOL);
+    }
+
+    /// The midpoint lies in the convex hull of its endpoints, is
+    /// symmetric, and is equidistant from both.
+    #[test]
+    fn midpoint_lies_in_hull(a in arb_point3(), b in arb_point3()) {
+        let m = a.midpoint(&b);
+        prop_assert!(in_bounding_box(&m, &[a, b], TOL),
+            "midpoint {m} escaped box of {a}, {b}");
+        prop_assert_eq!(m, b.midpoint(&a));
+        prop_assert!((m.dist(&a) - m.dist(&b)).abs() <= TOL * (1.0 + a.dist(&b)));
+        prop_assert!((m.dist(&a) - a.dist(&b) / 2.0).abs() <= TOL * (1.0 + a.dist(&b)));
+    }
+
+    /// Any convex combination stays in the bounding box of its inputs,
+    /// and its distance to each input is at most the set diameter.
+    #[test]
+    fn convex_combinations_stay_in_hull(
+        pts in arb_points3(6),
+        ws in arb_weights(6),
+    ) {
+        let c = convex_combination(&pts, &ws);
+        prop_assert!(in_bounding_box(&c, &pts, TOL));
+        let d = diameter(&pts);
+        for p in &pts {
+            prop_assert!(c.dist(p) <= d + TOL,
+                "combination {c} further than diam {d} from input {p}");
+        }
+    }
+
+    /// **Non-expansiveness of averaging** (the heart of every upper
+    /// bound in Table 1): replacing every point by a convex combination
+    /// of the point set never increases the diameter.
+    #[test]
+    fn diameter_nonexpansive_under_averaging(
+        pts in arb_points3(5),
+        rows in prop::collection::vec(arb_weights(5), 5),
+    ) {
+        let before = diameter(&pts);
+        let averaged: Vec<Point<3>> =
+            rows.iter().map(|ws| convex_combination(&pts, ws)).collect();
+        prop_assert!(diameter(&averaged) <= before + TOL,
+            "averaging expanded the diameter: {before} → {}", diameter(&averaged));
+    }
+
+    /// One full midpoint round on the whole set halves the diameter of a
+    /// two-point set and never expands any set (1-D, the paper's Δ).
+    #[test]
+    fn pairwise_midpoints_contract(xs in prop::collection::vec(-50.0f64..50.0, 4)) {
+        let pts: Vec<Point<1>> = xs.iter().map(|&v| Point([v])).collect();
+        let before = diameter(&pts);
+        let (lo, hi) = bounding_box(&pts);
+        let mid = lo.midpoint(&hi);
+        let pulled: Vec<Point<1>> = pts.iter().map(|p| p.midpoint(&mid)).collect();
+        prop_assert!(diameter(&pulled) <= before / 2.0 + TOL,
+            "pulling toward the box midpoint must halve the spread");
+        prop_assert!(in_bounding_box(&mid, &pts, TOL));
+    }
+
+    /// `diameter` matches its definition: it is realised by some pair
+    /// and dominates every pairwise distance.
+    #[test]
+    fn diameter_is_max_pairwise(pts in arb_points3(5)) {
+        let d = diameter(&pts);
+        let mut max_seen = 0.0f64;
+        for (i, a) in pts.iter().enumerate() {
+            for b in &pts[i + 1..] {
+                prop_assert!(a.dist(b) <= d + TOL);
+                max_seen = max_seen.max(a.dist(b));
+            }
+        }
+        prop_assert!((d - max_seen).abs() <= TOL);
+    }
+}

@@ -116,11 +116,7 @@ mod tests {
         for eps in [0.1, 1e-2, 1e-4] {
             let t = minimal_decision_round(Midpoint, &adv, &pts(&[0.0, 1.0, 0.5]), eps, 64)
                 .expect("converges");
-            assert_eq!(
-                t,
-                rules::midpoint_decision_round(1.0, eps),
-                "eps = {eps}"
-            );
+            assert_eq!(t, rules::midpoint_decision_round(1.0, eps), "eps = {eps}");
             assert!(
                 (t as f64) >= rules::thm9_lower_bound(1.0, eps) - 1e-9,
                 "Theorem 9 lower bound"

@@ -28,15 +28,7 @@ impl MinRelayState {
     fn merge(&mut self, other: &[f64]) -> bool {
         let mut changed = false;
         for &v in other {
-            if self
-                .known
-                .binary_search_by(|x| x.total_cmp(&v))
-                .is_err()
-            {
-                let pos = self
-                    .known
-                    .binary_search_by(|x| x.total_cmp(&v))
-                    .unwrap_err();
+            if let Err(pos) = self.known.binary_search_by(|x| x.total_cmp(&v)) {
                 self.known.insert(pos, v);
                 changed = true;
             }
@@ -212,7 +204,9 @@ mod tests {
 
     #[test]
     fn merge_dedups() {
-        let mut st = MinRelayState { known: vec![1.0, 3.0] };
+        let mut st = MinRelayState {
+            known: vec![1.0, 3.0],
+        };
         assert!(st.merge(&[2.0, 3.0]));
         assert_eq!(st.known, vec![1.0, 2.0, 3.0]);
         assert!(!st.merge(&[1.0, 2.0]));

@@ -132,8 +132,8 @@ where
     let minority: u64 = order[..f].iter().map(|&i| 1u64 << i).sum();
     let all = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
     let mut masks = vec![0u64; n];
-    for agent in 0..n {
-        masks[agent] = if minority & (1u64 << agent) != 0 {
+    for (agent, mask) in masks.iter_mut().enumerate() {
+        *mask = if minority & (1u64 << agent) != 0 {
             all
         } else {
             all & !minority

@@ -116,14 +116,14 @@ impl AsyncAlgorithm for RoundBased {
         // Complete as many rounds as possible (messages may arrive for
         // future rounds before the current one completes).
         while state.round <= self.max_rounds {
-            let have = state
-                .inbox
-                .get(&state.round)
-                .map_or(0, BTreeMap::len);
+            let have = state.inbox.get(&state.round).map_or(0, BTreeMap::len);
             if have < state.n - state.f {
                 break;
             }
-            let values: Vec<f64> = state.inbox.remove(&state.round).expect("checked")
+            let values: Vec<f64> = state
+                .inbox
+                .remove(&state.round)
+                .expect("checked")
                 .into_values()
                 .collect();
             state.y = self.rule.apply(&values);

@@ -1,4 +1,7 @@
 //! Asynchronous systems with crashes (Theorems 6–7): the price of rounds.
 fn main() {
-    println!("{}", consensus_bench::experiments::async_price_of_rounds(false));
+    println!(
+        "{}",
+        consensus_bench::experiments::async_price_of_rounds(false)
+    );
 }

@@ -1,4 +1,7 @@
 //! Contraction curves: δ̂ and Δ per round under the proof adversaries.
 fn main() {
-    println!("{}", consensus_bench::experiments::convergence_curves(false));
+    println!(
+        "{}",
+        consensus_bench::experiments::convergence_curves(false)
+    );
 }

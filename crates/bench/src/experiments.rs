@@ -4,13 +4,13 @@
 //! columns; see `DESIGN.md` (per-experiment index) and `EXPERIMENTS.md`
 //! (recorded results) at the repository root.
 
+use tight_bounds_consensus::approx;
 use tight_bounds_consensus::asyncsim::engine::{ConstantDelay, Simulation};
 use tight_bounds_consensus::asyncsim::min_relay::{cascade_crashes, MinRelay};
 use tight_bounds_consensus::asyncsim::na_adversary;
 use tight_bounds_consensus::digraph::render::{to_ascii, to_dot, RenderOptions};
 use tight_bounds_consensus::prelude::*;
 use tight_bounds_consensus::valency::adversary::GreedyValencyAdversary;
-use tight_bounds_consensus::approx;
 
 use crate::tablefmt::{check, interval, rate, section, Table};
 
@@ -38,10 +38,13 @@ pub fn table1(quick: bool) -> String {
     let mut out = section("Table 1 — lower/upper bounds on contraction rates (paper vs measured)");
 
     // --- Row n = 2. ---
-    let mut t = Table::new(&[
-        "cell", "paper", "measured", "witness", "ok",
-    ]);
-    let r = drive_rate(TwoAgentThirds, &adversary::theorem1(), &spread_inits(2), steps);
+    let mut t = Table::new(&["cell", "paper", "measured", "witness", "ok"]);
+    let r = drive_rate(
+        TwoAgentThirds,
+        &adversary::theorem1(),
+        &spread_inits(2),
+        steps,
+    );
     t.row(&[
         "n=2, non-split {H0,H1,H2}".into(),
         "1/3 (tight)".into(),
@@ -51,7 +54,12 @@ pub fn table1(quick: bool) -> String {
     ]);
     let two = NetworkModel::two_agent();
     let d2 = alpha::alpha_diameter(&two).finite().expect("finite");
-    let r5 = drive_rate(TwoAgentThirds, &adversary::theorem5(&two), &spread_inits(2), steps);
+    let r5 = drive_rate(
+        TwoAgentThirds,
+        &adversary::theorem5(&two),
+        &spread_inits(2),
+        steps,
+    );
     t.row(&[
         "n=2, α-diameter D=2 model".into(),
         format!("1/(D+1) = {}", rate(1.0 / (d2 as f64 + 1.0))),
@@ -85,7 +93,11 @@ pub fn table1(quick: bool) -> String {
     t.row(&[
         "n=4, exact-solvable model {K_4}".into(),
         "0 (exact consensus)".into(),
-        rate(if exec.value_diameter() < 1e-12 { 0.0 } else { 1.0 }),
+        rate(if exec.value_diameter() < 1e-12 {
+            0.0
+        } else {
+            1.0
+        }),
         "midpoint agrees in 1 round".into(),
         check(solv && exec.value_diameter() < 1e-12),
     ]);
@@ -94,7 +106,12 @@ pub fn table1(quick: bool) -> String {
     t.row(&[
         "n=4, unsolvable, D=1 (deaf)".into(),
         "1/(D+1) = 0.5000".into(),
-        rate(drive_rate(Midpoint, &adversary::theorem5(&deaf4), &spread_inits(4), steps)),
+        rate(drive_rate(
+            Midpoint,
+            &adversary::theorem5(&deaf4),
+            &spread_inits(4),
+            steps,
+        )),
         format!("Thm-5 adversary, D={d_deaf}"),
         check(d_deaf == 1),
     ]);
@@ -247,12 +264,22 @@ pub fn contraction_rates(quick: bool) -> String {
     // Theorem 1.
     let adv1 = adversary::theorem1();
     let algs1: Vec<(String, f64)> = vec![
-        ("two-agent-thirds (optimal)".into(),
-         drive_rate(TwoAgentThirds, &adv1, &spread_inits(2), steps)),
-        ("midpoint".into(), drive_rate(Midpoint, &adv1, &spread_inits(2), steps)),
-        ("mean-value".into(), drive_rate(MeanValue, &adv1, &spread_inits(2), steps)),
-        ("overshoot(0.4)".into(),
-         drive_rate(Overshoot::new(0.4), &adv1, &spread_inits(2), steps)),
+        (
+            "two-agent-thirds (optimal)".into(),
+            drive_rate(TwoAgentThirds, &adv1, &spread_inits(2), steps),
+        ),
+        (
+            "midpoint".into(),
+            drive_rate(Midpoint, &adv1, &spread_inits(2), steps),
+        ),
+        (
+            "mean-value".into(),
+            drive_rate(MeanValue, &adv1, &spread_inits(2), steps),
+        ),
+        (
+            "overshoot(0.4)".into(),
+            drive_rate(Overshoot::new(0.4), &adv1, &spread_inits(2), steps),
+        ),
     ];
     for (name, r) in algs1 {
         t.row(&[
@@ -268,13 +295,26 @@ pub fn contraction_rates(quick: bool) -> String {
     let adv2 = adversary::theorem2(&Digraph::complete(4));
     let i4 = spread_inits(4);
     let algs2: Vec<(String, f64)> = vec![
-        ("midpoint (optimal)".into(), drive_rate(Midpoint, &adv2, &i4, steps)),
-        ("mean-value".into(), drive_rate(MeanValue, &adv2, &i4, steps)),
-        ("windowed-midpoint(3)".into(),
-         drive_rate(WindowedMidpoint::new(3), &adv2, &i4, steps)),
-        ("overshoot(0.6)".into(), drive_rate(Overshoot::new(0.6), &adv2, &i4, steps)),
-        ("self-weighted(0.5)".into(),
-         drive_rate(SelfWeightedAverage::new(0.5), &adv2, &i4, steps)),
+        (
+            "midpoint (optimal)".into(),
+            drive_rate(Midpoint, &adv2, &i4, steps),
+        ),
+        (
+            "mean-value".into(),
+            drive_rate(MeanValue, &adv2, &i4, steps),
+        ),
+        (
+            "windowed-midpoint(3)".into(),
+            drive_rate(WindowedMidpoint::new(3), &adv2, &i4, steps),
+        ),
+        (
+            "overshoot(0.6)".into(),
+            drive_rate(Overshoot::new(0.6), &adv2, &i4, steps),
+        ),
+        (
+            "self-weighted(0.5)".into(),
+            drive_rate(SelfWeightedAverage::new(0.5), &adv2, &i4, steps),
+        ),
     ];
     for (name, r) in algs2 {
         t.row(&[
@@ -327,7 +367,13 @@ pub fn contraction_rates(quick: bool) -> String {
 pub fn alpha_diameter_report() -> String {
     let mut out = section("Theorems 4/5 & §7 — solvability, β-classes and α-diameter");
     let mut t = Table::new(&[
-        "model", "|N|", "rooted", "exact-solvable", "β-classes", "α-diam D", "Thm-5 bound",
+        "model",
+        "|N|",
+        "rooted",
+        "exact-solvable",
+        "β-classes",
+        "α-diam D",
+        "Thm-5 bound",
     ]);
     let models: Vec<NetworkModel> = vec![
         NetworkModel::two_agent(),
@@ -388,7 +434,12 @@ pub fn decision_times(quick: bool) -> String {
     };
     let mut out = section("Theorems 8–11 — decision times for approximate consensus");
     let mut t = Table::new(&[
-        "setting", "Δ/ε", "lower bound", "measured T", "matching alg. T", "ok",
+        "setting",
+        "Δ/ε",
+        "lower bound",
+        "measured T",
+        "matching alg. T",
+        "ok",
     ]);
 
     for &r in &ratios {
@@ -396,7 +447,11 @@ pub fn decision_times(quick: bool) -> String {
         // Theorem 8: n = 2.
         let adv = adversary::theorem1();
         let m = approx::measure::minimal_decision_round(
-            TwoAgentThirds, &adv, &spread_inits(2), eps, 80,
+            TwoAgentThirds,
+            &adv,
+            &spread_inits(2),
+            eps,
+            80,
         );
         let lbd = approx::rules::thm8_lower_bound(1.0, eps);
         let upper = approx::rules::two_agent_decision_round(1.0, eps);
@@ -452,7 +507,11 @@ pub fn decision_times(quick: bool) -> String {
         let d = alpha::alpha_diameter(&two).finite().expect("finite");
         let adv = adversary::theorem5(&two);
         let m = approx::measure::minimal_decision_round(
-            TwoAgentThirds, &adv, &spread_inits(2), eps, 80,
+            TwoAgentThirds,
+            &adv,
+            &spread_inits(2),
+            eps,
+            80,
         );
         let lbd = approx::rules::thm11_lower_bound(d, 2, 1.0, eps);
         t.row(&[
@@ -476,7 +535,12 @@ pub fn async_price_of_rounds(quick: bool) -> String {
     let rounds = if quick { 16 } else { 24 };
     let mut out = section("Theorems 6–7 — asynchronous systems with crashes");
     let mut t = Table::new(&[
-        "n", "f", "paper interval (round-based)", "mean (worst)", "midpoint (worst)", "ok",
+        "n",
+        "f",
+        "paper interval (round-based)",
+        "mean (worst)",
+        "midpoint (worst)",
+        "ok",
     ]);
     for (n, f) in [(4usize, 1usize), (6, 1), (6, 2), (8, 2), (8, 3)] {
         let (lo, hi) = bounds::table1_async_interval(n, f);
@@ -509,7 +573,12 @@ pub fn async_price_of_rounds(quick: bool) -> String {
 
     out.push_str("\nTheorem 7 (general algorithms — MinRelay):\n");
     let mut t = Table::new(&[
-        "n", "f", "spread @ t=f+1/2", "spread @ t=f+1", "paper", "ok",
+        "n",
+        "f",
+        "spread @ t=f+1/2",
+        "spread @ t=f+1",
+        "paper",
+        "ok",
     ]);
     for (n, f) in [(4usize, 1usize), (6, 2), (8, 3)] {
         let mut inits = vec![1.0; n];

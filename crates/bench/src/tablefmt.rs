@@ -79,7 +79,11 @@ pub fn interval(lo: f64, hi: f64) -> String {
 /// A ✓/✗ marker for a boolean check.
 #[must_use]
 pub fn check(ok: bool) -> String {
-    if ok { "✓".to_owned() } else { "✗ MISMATCH".to_owned() }
+    if ok {
+        "✓".to_owned()
+    } else {
+        "✗ MISMATCH".to_owned()
+    }
 }
 
 /// A section header.

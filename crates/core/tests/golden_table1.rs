@@ -1,0 +1,196 @@
+//! Golden test: the `bounds::theorems` registry and the closed-form
+//! bound functions must match Table 1 of the paper (and Theorems 8–11's
+//! decision-time formulas) at representative parameter points.
+//!
+//! Every expected value below is written as an independently derived
+//! literal (not computed through the functions under test), so a
+//! regression in any formula fails loudly against the paper.
+
+use tight_bounds_consensus::approx::rules;
+use tight_bounds_consensus::bounds::{self, BoundKind};
+
+const TOL: f64 = 1e-12;
+
+fn assert_close(actual: f64, expected: f64, what: &str) {
+    assert!(
+        (actual - expected).abs() < TOL,
+        "{what}: got {actual}, Table 1 says {expected}"
+    );
+}
+
+/// Registry shape: 11 quantitative claims, in paper order, with the
+/// bound kinds of Table 1's rows.
+#[test]
+fn registry_matches_paper_order_and_kinds() {
+    let reg = bounds::theorems();
+    let expected: [(&str, BoundKind); 11] = [
+        ("Theorem 1", BoundKind::ContractionLower),
+        ("Theorem 2", BoundKind::ContractionLower),
+        ("Theorem 3", BoundKind::ContractionLower),
+        ("Theorem 4", BoundKind::Upper),
+        ("Theorem 5", BoundKind::ContractionLower),
+        ("Theorem 6", BoundKind::ContractionLower),
+        ("Theorem 7", BoundKind::Upper),
+        ("Theorem 8", BoundKind::DecisionTimeLower),
+        ("Theorem 9", BoundKind::DecisionTimeLower),
+        ("Theorem 10", BoundKind::DecisionTimeLower),
+        ("Theorem 11", BoundKind::DecisionTimeLower),
+    ];
+    assert_eq!(
+        reg.len(),
+        expected.len(),
+        "registry must cover Theorems 1–11"
+    );
+    for (entry, (id, kind)) in reg.iter().zip(expected) {
+        assert_eq!(entry.id, id, "registry order must follow the paper");
+        assert_eq!(entry.kind, kind, "{id} has the wrong bound kind");
+        assert!(!entry.statement.is_empty(), "{id} needs a statement");
+    }
+}
+
+/// Theorem 1 and the n = 2 non-split cell of Table 1: exactly 1/3.
+#[test]
+fn theorem1_cell() {
+    assert_close(bounds::theorem1_lower(), 1.0 / 3.0, "Theorem 1");
+    assert_close(
+        bounds::table1_nonsplit_lower(2),
+        1.0 / 3.0,
+        "Table 1 non-split, n=2",
+    );
+}
+
+/// Theorem 2 and the n ≥ 3 non-split cell of Table 1: exactly 1/2.
+#[test]
+fn theorem2_cell() {
+    assert_close(bounds::theorem2_lower(), 0.5, "Theorem 2");
+    for n in [3, 4, 7, 100] {
+        assert_close(
+            bounds::table1_nonsplit_lower(n),
+            0.5,
+            "Table 1 non-split, n≥3",
+        );
+    }
+}
+
+/// Theorem 3 and the rooted cell of Table 1: the interval
+/// `[(1/2)^{1/(n−2)}, (1/2)^{1/(n−1)}]` at n = 4, 5, 6, 10.
+#[test]
+fn theorem3_cell() {
+    // (1/2)^{1/2} = 1/√2, (1/2)^{1/3} = 0.7937…, etc. — literals
+    // computed by hand from the closed form.
+    let golden = [
+        (
+            4usize,
+            std::f64::consts::FRAC_1_SQRT_2,
+            0.793_700_525_984_099_8,
+        ),
+        (5, 0.793_700_525_984_099_8, 0.840_896_415_253_714_5),
+        (6, 0.840_896_415_253_714_5, 0.870_550_563_296_124_1),
+        (10, 0.917_004_043_204_671_2, 0.925_874_712_287_290_5),
+    ];
+    for (n, lo_expect, hi_expect) in golden {
+        let (lo, hi) = bounds::table1_rooted_interval(n);
+        assert_close(lo, lo_expect, "Theorem 3 lower, rooted cell");
+        assert_close(hi, hi_expect, "amortized-midpoint upper, rooted cell");
+        assert_close(bounds::theorem3_lower(n), lo_expect, "Theorem 3");
+        assert_close(
+            bounds::amortized_midpoint_upper(n),
+            hi_expect,
+            "upper bound [9]",
+        );
+        assert!(lo < hi, "rooted interval must be non-degenerate at n={n}");
+    }
+}
+
+/// Theorem 5 / Corollary 23: `1/(D+1)` at the paper's own examples —
+/// D = 2 recovers Theorem 1's 1/3, D = 1 recovers Theorem 2's 1/2.
+#[test]
+fn theorem5_cell() {
+    assert_close(bounds::theorem5_lower(1), 0.5, "Theorem 5, D=1");
+    assert_close(bounds::theorem5_lower(2), 1.0 / 3.0, "Theorem 5, D=2");
+    assert_close(bounds::theorem5_lower(4), 0.2, "Theorem 5, D=4");
+}
+
+/// Theorem 6 and the async round-based cell of Table 1:
+/// `[1/(⌈n/f⌉+1), 1/(⌈n/f⌉−1)]` at representative (n, f).
+#[test]
+fn theorem6_cell() {
+    // ⌈n/f⌉ hand-computed: (3,1)→3, (8,3)→3, (9,4)→3, (10,2)→5.
+    let golden = [
+        (3usize, 1usize, 0.25, 0.5),
+        (8, 3, 0.25, 0.5),
+        (9, 4, 0.25, 0.5),
+        (10, 2, 1.0 / 6.0, 0.25),
+    ];
+    for (n, f, lo_expect, hi_expect) in golden {
+        let (lo, hi) = bounds::table1_async_interval(n, f);
+        assert_close(lo, lo_expect, "Theorem 6 lower, async cell");
+        assert_close(hi, hi_expect, "round-based upper, async cell");
+        assert_close(bounds::theorem6_lower(n, f), lo_expect, "Theorem 6");
+        assert_close(
+            bounds::round_based_upper(n, f),
+            hi_expect,
+            "upper bound [18]",
+        );
+    }
+}
+
+/// Theorem 7: MinRelay decides exactly (rate 0) by time f + 1.
+#[test]
+fn theorem7_cell() {
+    assert_close(bounds::theorem7_rate(), 0.0, "Theorem 7 rate");
+    for f in [1usize, 2, 5] {
+        assert_close(
+            bounds::theorem7_agreement_time(f),
+            (f + 1) as f64,
+            "Theorem 7 agreement time",
+        );
+    }
+}
+
+/// Theorems 8–11: the decision-time lower bounds at Δ = 1024, ε = 1.
+#[test]
+fn decision_time_cells() {
+    let (delta, eps) = (1024.0, 1.0);
+    // log3(1024) = 10·log3(2) = 6.309297535714574…
+    assert_close(
+        rules::thm8_lower_bound(delta, eps),
+        6.309_297_535_714_574,
+        "Theorem 8: log3(Δ/ε)",
+    );
+    // log2(1024) = 10.
+    assert_close(
+        rules::thm9_lower_bound(delta, eps),
+        10.0,
+        "Theorem 9: log2(Δ/ε)",
+    );
+    // (n−2)·log2(Δ/ε) at n = 6: 4 · 10 = 40.
+    assert_close(
+        rules::thm10_lower_bound(6, delta, eps),
+        40.0,
+        "Theorem 10: (n−2)·log2(Δ/ε)",
+    );
+    // log_{D+1}(Δ/(ε·n)) at D = 2, n = 4: log3(256) = 5.047438028571659…
+    assert_close(
+        rules::thm11_lower_bound(2, 4, delta, eps),
+        5.047_438_028_571_659,
+        "Theorem 11: log_{D+1}(Δ/(εn))",
+    );
+}
+
+/// The deciding wrappers' round formulas are the ⌈·⌉ of the matching
+/// lower bounds — tightness as stated in Theorems 8 and 9.
+#[test]
+fn decision_rounds_match_bounds() {
+    let (delta, eps) = (1000.0, 0.5);
+    assert_eq!(
+        rules::two_agent_decision_round(delta, eps),
+        rules::thm8_lower_bound(delta, eps).ceil() as u64,
+        "Algorithm 1 decides at ⌈log3(Δ/ε)⌉"
+    );
+    assert_eq!(
+        rules::midpoint_decision_round(delta, eps),
+        rules::thm9_lower_bound(delta, eps).ceil() as u64,
+        "midpoint decides at ⌈log2(Δ/ε)⌉"
+    );
+}

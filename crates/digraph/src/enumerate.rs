@@ -26,7 +26,10 @@ use crate::Digraph;
 /// Panics if `n == 0` or `n > 16` (beyond `n = 5` the class is already
 /// astronomically large; the hard cap keeps accidental blowups obvious).
 pub fn all_graphs(n: usize) -> impl Iterator<Item = Digraph> {
-    assert!(n >= 1 && n <= 16, "all_graphs: n = {n} out of supported range");
+    assert!(
+        (1..=16).contains(&n),
+        "all_graphs: n = {n} out of supported range"
+    );
     let free_bits = n * (n - 1);
     let total: u128 = 1u128 << free_bits;
     (0..total).map(move |code| decode(n, code))
@@ -85,7 +88,10 @@ pub fn nonsplit_graphs(n: usize) -> impl Iterator<Item = Digraph> {
 ///
 /// Panics if `n == 0`, `n > MAX_AGENTS`, or `min_indeg > n`.
 pub fn min_indegree_graphs(n: usize, min_indeg: usize) -> MinIndegreeGraphs {
-    assert!(n >= 1 && n <= 20 && min_indeg <= n, "enumeration needs n ≤ 20");
+    assert!(
+        (1..=20).contains(&n) && min_indeg <= n,
+        "enumeration needs n ≤ 20"
+    );
     // Precompute, for one agent, all admissible rows (subsets of [n] that
     // contain the agent and have ≥ min_indeg elements). Rows for agent i
     // are rows for agent 0 with bits 0 and i swapped; we store rows for a

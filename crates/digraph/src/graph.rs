@@ -12,7 +12,7 @@ pub type AgentSet = u64;
 /// Returns the full agent set `{0, …, n-1}` as a bitmask.
 #[inline]
 pub(crate) fn full_mask(n: usize) -> AgentSet {
-    debug_assert!(n >= 1 && n <= MAX_AGENTS);
+    debug_assert!((1..=MAX_AGENTS).contains(&n));
     if n == MAX_AGENTS {
         u64::MAX
     } else {
@@ -495,7 +495,6 @@ impl Iterator for BitIter {
 }
 
 /// Iterates over the agents in a bitmask set, ascending.
-#[must_use]
 pub fn agents_in(set: AgentSet) -> impl Iterator<Item = Agent> {
     BitIter(set)
 }

@@ -206,11 +206,7 @@ mod tests {
     #[test]
     fn agrees_with_direct_roots_exhaustively_n3() {
         for g in crate::enumerate::all_graphs(3) {
-            assert_eq!(
-                roots_via_condensation(&g),
-                g.roots(),
-                "mismatch on {g}"
-            );
+            assert_eq!(roots_via_condensation(&g), g.roots(), "mismatch on {g}");
             assert!(sccs_partition(&g));
         }
     }

@@ -41,7 +41,7 @@ pub struct SplitAttack {
 
 impl ByzantineStrategy for SplitAttack {
     fn forge(&mut self, _round: u64, _byz: usize, receiver: usize) -> f64 {
-        if receiver % 2 == 0 {
+        if receiver.is_multiple_of(2) {
             self.magnitude
         } else {
             -self.magnitude
@@ -75,7 +75,7 @@ where
     S: ByzantineStrategy,
 {
     let n = inits.len();
-    assert!(n >= 1 && n <= 64, "need 1..=64 agents");
+    assert!((1..=64).contains(&n), "need 1..=64 agents");
     let honest: Vec<usize> = (0..n).filter(|&i| byzantine & (1 << i) == 0).collect();
     assert!(!honest.is_empty(), "at least one honest agent required");
 
@@ -154,14 +154,7 @@ mod tests {
         let byz: AgentSet = 0b1100000;
         let mut strat = SplitAttack { magnitude: 1e6 };
         let mut pat = ConstantPattern::new(Digraph::complete(n));
-        let trace = run_with_byzantine(
-            MeanValue,
-            &honest_inits(n),
-            &mut pat,
-            byz,
-            &mut strat,
-            3,
-        );
+        let trace = run_with_byzantine(MeanValue, &honest_inits(n), &mut pat, byz, &mut strat, 3);
         assert!(
             !trace.validity_holds(1.0),
             "unprotected averaging leaves the honest hull immediately"
@@ -175,14 +168,7 @@ mod tests {
         let byz: AgentSet = 0b10000;
         let mut strat = SplitAttack { magnitude: 100.0 };
         let mut pat = ConstantPattern::new(Digraph::complete(n));
-        let trace = run_with_byzantine(
-            Midpoint,
-            &honest_inits(n),
-            &mut pat,
-            byz,
-            &mut strat,
-            2,
-        );
+        let trace = run_with_byzantine(Midpoint, &honest_inits(n), &mut pat, byz, &mut strat, 2);
         assert!(!trace.validity_holds(1.0));
     }
 
@@ -215,14 +201,7 @@ mod tests {
         let n = 4;
         let mut strat = SplitAttack { magnitude: 1e9 };
         let mut pat = ConstantPattern::new(Digraph::complete(n));
-        let trace = run_with_byzantine(
-            Midpoint,
-            &honest_inits(n),
-            &mut pat,
-            0,
-            &mut strat,
-            5,
-        );
+        let trace = run_with_byzantine(Midpoint, &honest_inits(n), &mut pat, 0, &mut strat, 5);
         assert!(trace.final_diameter() < 1e-12);
         assert!(trace.validity_holds(1e-12));
     }
@@ -232,13 +211,6 @@ mod tests {
     fn all_byzantine_rejected() {
         let mut strat = SplitAttack { magnitude: 1.0 };
         let mut pat = ConstantPattern::new(Digraph::complete(2));
-        let _ = run_with_byzantine(
-            Midpoint,
-            &honest_inits(2),
-            &mut pat,
-            0b11,
-            &mut strat,
-            1,
-        );
+        let _ = run_with_byzantine(Midpoint, &honest_inits(2), &mut pat, 0b11, &mut strat, 1);
     }
 }

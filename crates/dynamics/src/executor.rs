@@ -28,10 +28,7 @@ impl<A: Algorithm<D>, const D: usize> Execution<A, D> {
     /// Panics if `inits` is empty or has more than 64 agents.
     #[must_use]
     pub fn new(alg: A, inits: &[Point<D>]) -> Self {
-        assert!(
-            !inits.is_empty() && inits.len() <= 64,
-            "need 1..=64 agents"
-        );
+        assert!(!inits.is_empty() && inits.len() <= 64, "need 1..=64 agents");
         let states = inits
             .iter()
             .enumerate()
@@ -274,7 +271,10 @@ mod edge_tests {
         let inits: Vec<Point<1>> = (0..64).map(|i| Point([i as f64])).collect();
         let mut e = Execution::new(MeanValue, &inits);
         e.step(&Digraph::complete(64));
-        assert!(e.value_diameter() < 1e-9, "complete graph averages in one round");
+        assert!(
+            e.value_diameter() < 1e-9,
+            "complete graph averages in one round"
+        );
     }
 
     #[test]

@@ -247,7 +247,9 @@ mod tests {
         let a = PatternAutomaton::sigma_blocks(n);
         let mut p = AutomatonPattern::new(a.clone(), 3);
         // Collect 4 blocks worth of graphs; the prefix must be accepted.
-        let graphs: Vec<Digraph> = (0..4 * (n - 2) as u64).map(|r| p.next_graph(r + 1)).collect();
+        let graphs: Vec<Digraph> = (0..4 * (n - 2) as u64)
+            .map(|r| p.next_graph(r + 1))
+            .collect();
         assert!(a.accepts_prefix(&graphs));
         // Each block is constant: graphs within a block are equal.
         for b in 0..4 {
@@ -259,7 +261,7 @@ mod tests {
     #[test]
     fn fn_pattern_sees_round_number() {
         let mut p = FnPattern(|round: u64| {
-            if round % 2 == 0 {
+            if round.is_multiple_of(2) {
                 Digraph::complete(2)
             } else {
                 Digraph::empty(2)

@@ -122,10 +122,7 @@ impl<const D: usize> Trace<D> {
         const FLOOR: f64 = 1e-280;
         let d = self.diameters();
         // Longest prefix with strictly positive spreads.
-        let last = d
-            .iter()
-            .rposition(|&x| x > FLOOR)
-            .unwrap_or(0);
+        let last = d.iter().rposition(|&x| x > FLOOR).unwrap_or(0);
         let t_root = if last == 0 || d[0] <= FLOOR {
             0.0
         } else {
@@ -144,11 +141,7 @@ impl<const D: usize> Trace<D> {
             let log_sum: f64 = tail.iter().map(|r| r.max(FLOOR).ln()).sum();
             (log_sum / tail.len() as f64).exp()
         };
-        let worst_round = self
-            .round_ratios(FLOOR)
-            .iter()
-            .cloned()
-            .fold(0.0, f64::max);
+        let worst_round = self.round_ratios(FLOOR).iter().cloned().fold(0.0, f64::max);
         RateEstimate {
             t_root,
             steady_state,

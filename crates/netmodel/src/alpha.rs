@@ -38,10 +38,7 @@ pub fn alpha_related_via_roots(g: &Digraph, h: &Digraph, roots: AgentSet) -> boo
 /// Whether some `K ∈ N` witnesses `G α_{N,K} H` (a single α-step).
 #[must_use]
 pub fn alpha_related(model: &NetworkModel, g: &Digraph, h: &Digraph) -> bool {
-    model
-        .graphs()
-        .iter()
-        .any(|k| alpha_related_via(g, h, k))
+    model.graphs().iter().any(|k| alpha_related_via(g, h, k))
 }
 
 /// The α-diameter of a network model (Definition 22).

@@ -80,7 +80,7 @@ fn split_class(
 
     // Union-find over positions in `class`.
     let mut parent: Vec<usize> = (0..class.len()).collect();
-    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+    fn find(parent: &mut [usize], x: usize) -> usize {
         let mut root = x;
         while parent[root] != root {
             root = parent[root];
@@ -113,9 +113,9 @@ fn split_class(
     }
 
     let mut comps: HashMap<usize, Vec<usize>> = HashMap::new();
-    for pos in 0..class.len() {
+    for (pos, &gi) in class.iter().enumerate() {
         let r = find(&mut parent, pos);
-        comps.entry(r).or_default().push(class[pos]);
+        comps.entry(r).or_default().push(gi);
     }
     let mut out: Vec<Vec<usize>> = comps.into_values().collect();
     for c in &mut out {
@@ -261,11 +261,8 @@ mod tests {
         // root of both, In_i is 0-governed... build: star_out(3,0) and
         // K_3. Single β-class or not, every class contains graphs whose
         // roots all include 0 ⇒ solvable.
-        let m = NetworkModel::new(
-            "stars",
-            [families::star_out(3, 0), Digraph::complete(3)],
-        )
-        .unwrap();
+        let m =
+            NetworkModel::new("stars", [families::star_out(3, 0), Digraph::complete(3)]).unwrap();
         assert!(exact_consensus_solvable(&m));
     }
 

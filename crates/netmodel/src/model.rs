@@ -94,8 +94,7 @@ impl NetworkModel {
     /// all three rooted graphs on two agents.
     #[must_use]
     pub fn two_agent() -> Self {
-        Self::new("two-agent {H0,H1,H2}", families::two_agent())
-            .expect("non-empty by construction")
+        Self::new("two-agent {H0,H1,H2}", families::two_agent()).expect("non-empty by construction")
     }
 
     /// The model `deaf(G) = {F_1, …, F_n}` of §5 / Theorem 2.
@@ -130,8 +129,7 @@ impl NetworkModel {
     /// Panics if `n == 0` or `n > 16`.
     #[must_use]
     pub fn all_rooted(n: usize) -> Self {
-        Self::new(format!("rooted({n})"), enumerate::rooted_graphs(n))
-            .expect("class is non-empty")
+        Self::new(format!("rooted({n})"), enumerate::rooted_graphs(n)).expect("class is non-empty")
     }
 
     /// All non-split graphs on `n` agents (§1).
@@ -346,9 +344,8 @@ mod tests {
             NetworkModel::new("empty", Vec::<Digraph>::new()).unwrap_err(),
             ModelError::Empty
         );
-        let err =
-            NetworkModel::new("mixed", vec![Digraph::complete(2), Digraph::complete(3)])
-                .unwrap_err();
+        let err = NetworkModel::new("mixed", vec![Digraph::complete(2), Digraph::complete(3)])
+            .unwrap_err();
         assert_eq!(
             err,
             ModelError::MixedSizes {

@@ -90,7 +90,9 @@ impl PatternAutomaton {
     #[must_use]
     pub fn sigma_blocks(n: usize) -> Self {
         assert!(n >= 4, "σ blocks need n ≥ 4");
-        let psis: Vec<Digraph> = (0..3).map(|i| consensus_digraph::families::psi(n, i)).collect();
+        let psis: Vec<Digraph> = (0..3)
+            .map(|i| consensus_digraph::families::psi(n, i))
+            .collect();
         let block = n - 2;
         // State layout: 0 is the boundary; block i occupies states
         // 1 + i·(block−1) … i·(block−1) + (block−1) counting progress.
@@ -109,7 +111,11 @@ impl PatternAutomaton {
             transitions[0].push((psi.clone(), state_of(i, 1)));
             for step in 1..block {
                 let from = state_of(i, step);
-                let to = if step + 1 == block { 0 } else { state_of(i, step + 1) };
+                let to = if step + 1 == block {
+                    0
+                } else {
+                    state_of(i, step + 1)
+                };
                 transitions[from].push((psi.clone(), to));
             }
         }

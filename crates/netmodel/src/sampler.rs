@@ -56,7 +56,7 @@ impl RootedSampler {
     /// Panics if `n == 0`, `n > 64`, or `density ∉ [0, 1]`.
     #[must_use]
     pub fn new(n: usize, density: f64) -> Self {
-        assert!(n >= 1 && n <= 64);
+        assert!((1..=64).contains(&n));
         assert!((0.0..=1.0).contains(&density), "density must be in [0,1]");
         RootedSampler { n, density }
     }
@@ -113,7 +113,7 @@ impl NonsplitSampler {
     /// Panics if `n == 0`, `n > 64`, or `density ∉ [0, 1]`.
     #[must_use]
     pub fn new(n: usize, density: f64) -> Self {
-        assert!(n >= 1 && n <= 64);
+        assert!((1..=64).contains(&n));
         assert!((0.0..=1.0).contains(&density), "density must be in [0,1]");
         NonsplitSampler { n, density }
     }

@@ -107,7 +107,7 @@ impl GreedyValencyAdversary {
                     fork.step(g);
                 }
                 let d = self.probes.estimate(&fork).diameter();
-                if best.map_or(true, |(_, bd)| d > bd) {
+                if best.is_none_or(|(_, bd)| d > bd) {
                     best = Some((ci, d));
                 }
             }
@@ -396,11 +396,8 @@ mod tests {
     #[test]
     fn theorem2_on_noncomplete_base_graph() {
         // deaf(G) for a non-complete rooted G: bound still holds.
-        let g = consensus_digraph::Digraph::from_edges(
-            4,
-            [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)],
-        )
-        .unwrap();
+        let g = consensus_digraph::Digraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+            .unwrap();
         let adv = theorem2(&g);
         let mut exec = Execution::new(SelfWeightedAverage::new(0.5), &pts(&[0.0, 1.0, 0.2, 0.9]));
         let trace = adv.drive(&mut exec, 8);

@@ -227,6 +227,9 @@ mod tests {
         let exec = Execution::new(alg, &pts(&[0.0, 1.0, 0.3, 0.8, 0.5]));
         let est = probes.estimate(&exec);
         assert!(est.diameter() > 0.0, "distinct σ-limits witness valency");
-        assert!(est.diameter() <= 1.0 + 1e-9, "validity keeps limits in hull");
+        assert!(
+            est.diameter() <= 1.0 + 1e-9,
+            "validity keeps limits in hull"
+        );
     }
 }

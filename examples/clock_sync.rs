@@ -49,7 +49,10 @@ fn main() {
         - drift.iter().cloned().fold(f64::INFINITY, f64::min))
         * period;
     println!("\ndrift accumulated per period: {drift_per_period:.4}");
-    println!("steady-state skew bound (rate 1/2 ⇒ ×2): {:.4}", 2.0 * drift_per_period);
+    println!(
+        "steady-state skew bound (rate 1/2 ⇒ ×2): {:.4}",
+        2.0 * drift_per_period
+    );
     assert!(
         max_after <= 2.0 * drift_per_period + 1e-9,
         "skew stayed within the contraction-rate bound"

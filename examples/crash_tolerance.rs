@@ -29,16 +29,13 @@ fn main() {
         final_recipients: 0b000001,
     }]);
     let alg = RoundBased::new(RoundRule::Midpoint, 14);
-    let mut sim = Simulation::new(
-        alg,
-        &inits,
-        f,
-        Box::new(RandomDelay::new(0.4, 99)),
-        crashes,
-    );
+    let mut sim = Simulation::new(alg, &inits, f, Box::new(RandomDelay::new(0.4, 99)), crashes);
     sim.run_to_quiescence(1_000_000);
     println!("round-based midpoint: 14 rounds, one unclean crash");
-    println!("  finished at time {:.2} (≤ 1 time unit per round)", sim.time());
+    println!(
+        "  finished at time {:.2} (≤ 1 time unit per round)",
+        sim.time()
+    );
     println!("  correct-agent spread: {:.2e}", sim.correct_diameter());
     println!(
         "  Theorem 6 floor (per round, worst case): {:.3}",

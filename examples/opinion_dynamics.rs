@@ -51,12 +51,13 @@ fn main() {
     println!("radius   rooted-throughout   clusters   final opinions (rounded)");
     for radius in [0.05, 0.10, 0.20, 0.50, 1.00] {
         let (clusters, finals, rooted) = simulate(radius);
-        let mut vals: Vec<f64> = finals.iter().map(|p| (p[0] * 1000.0).round() / 1000.0).collect();
+        let mut vals: Vec<f64> = finals
+            .iter()
+            .map(|p| (p[0] * 1000.0).round() / 1000.0)
+            .collect();
         vals.sort_by(f64::total_cmp);
         vals.dedup_by(|a, b| (*a - *b).abs() < 1e-3);
-        println!(
-            "{radius:<8.2} {rooted:<19} {clusters:<10} {vals:?}"
-        );
+        println!("{radius:<8.2} {rooted:<19} {clusters:<10} {vals:?}");
     }
     println!();
     println!("interpretation (paper §1, Theorem 1 of [8]):");

@@ -54,6 +54,9 @@ fn main() {
     );
     println!("and midpoint never exceeds 0.500 on non-split graphs (ICALP'16).");
     assert!(rates.worst_round <= 0.5 + 1e-9);
-    assert!(trace.validity_holds(1e-9), "outputs stayed in the initial hull");
+    assert!(
+        trace.validity_holds(1e-9),
+        "outputs stayed in the initial hull"
+    );
     println!("\nvalidity: all outputs stayed in the convex hull of initial values ✓");
 }

@@ -17,6 +17,7 @@ use tight_bounds_consensus::prelude::*;
 fn main() {
     let n = 9;
     let q = 1.0 / 256.0; // 8-bit fixed point on [0, 1]
+
     // Noisy readings of a true value 0.62.
     let truth = 0.62;
     let inits: Vec<Point<1>> = (0..n)

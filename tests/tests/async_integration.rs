@@ -110,13 +110,11 @@ fn min_relay_beats_every_round_based_algorithm() {
 fn unclean_crash_is_visible_to_minority() {
     // The final broadcast reaching a strict subset creates asymmetric
     // knowledge — the phenomenon behind the N_A in-degree asymmetry.
-    let crashes = CrashSchedule::new(vec![
-        tight_bounds_consensus::asyncsim::engine::Crash {
-            agent: 0,
-            fatal_broadcast: 0,
-            final_recipients: 0b0010,
-        },
-    ]);
+    let crashes = CrashSchedule::new(vec![tight_bounds_consensus::asyncsim::engine::Crash {
+        agent: 0,
+        fatal_broadcast: 0,
+        final_recipients: 0b0010,
+    }]);
     let mut sim = Simulation::new(
         MinRelay,
         &[0.0, 1.0, 1.0, 1.0],

@@ -75,7 +75,7 @@ fn lemma4_probe_limits_are_shift_invariant() {
     let model = NetworkModel::deaf(&Digraph::complete(3));
     for g in model.graphs() {
         let from_c = limit_of(Midpoint, &inits, &[], g);
-        let from_gc = limit_of(Midpoint, &inits, &[g.clone()], g);
+        let from_gc = limit_of(Midpoint, &inits, std::slice::from_ref(g), g);
         assert!(
             (from_c - from_gc).abs() < 1e-9,
             "constant-probe limits must be shift-invariant on {g}"
@@ -106,10 +106,7 @@ fn theorem5_sweep_over_unsolvable_submodels() {
         let d = alpha::alpha_diameter(&m).finite().expect("finite here");
         let bound = bounds::theorem5_lower(d);
         let adv = adversary::theorem5(&m);
-        let mut exec = Execution::new(
-            Midpoint,
-            &[Point([0.0]), Point([1.0]), Point([0.5])],
-        );
+        let mut exec = Execution::new(Midpoint, &[Point([0.0]), Point([1.0]), Point([0.5])]);
         let r = adv.drive(&mut exec, 8).per_round_rate();
         assert!(
             r >= bound - 1e-2,

@@ -78,7 +78,10 @@ fn trimmed_mean_in_async_rounds() {
     let mut exec = Execution::new(TrimmedMean::new(f), &na_adversary::bipolar_inits(n));
     let trace = na_adversary::drive_split_omission(&mut exec, f, 20);
     let r = trace.rates().steady_state;
-    assert!(r >= floor - 1e-9, "trimmed mean rate {r} below floor {floor}");
+    assert!(
+        r >= floor - 1e-9,
+        "trimmed mean rate {r} below floor {floor}"
+    );
 }
 
 #[test]
@@ -137,7 +140,9 @@ fn property_prefixes_recorded_by_executor_are_accepted() {
     let mut pat = AutomatonPattern::new(automaton.clone(), 99);
     let mut exec = Execution::new(Midpoint, &spread_inits(n));
     let trace = exec.run(&mut pat, 3 * (n - 2));
-    let graphs: Vec<Digraph> = (1..=trace.rounds()).map(|t| trace.graph_at(t).clone()).collect();
+    let graphs: Vec<Digraph> = (1..=trace.rounds())
+        .map(|t| trace.graph_at(t).clone())
+        .collect();
     assert!(automaton.accepts_prefix(&graphs));
 }
 

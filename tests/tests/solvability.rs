@@ -42,7 +42,9 @@ fn classic_unsolvability_results() {
     // Ψ model: unsolvable.
     assert!(!beta::exact_consensus_solvable(&NetworkModel::psi(5)));
     // All rooted graphs: unsolvable for n ≥ 2 (contains the above).
-    assert!(!beta::exact_consensus_solvable(&NetworkModel::all_rooted(3)));
+    assert!(!beta::exact_consensus_solvable(&NetworkModel::all_rooted(
+        3
+    )));
 }
 
 #[test]
@@ -70,10 +72,7 @@ fn asymptotic_solvability_is_rootedness() {
     let m = NetworkModel::all_rooted(3);
     assert!(m.is_rooted_model());
     for (k, g) in m.graphs().iter().enumerate().step_by(5) {
-        let mut exec = Execution::new(
-            Midpoint,
-            &[Point([0.0]), Point([0.6]), Point([1.0])],
-        );
+        let mut exec = Execution::new(Midpoint, &[Point([0.0]), Point([0.6]), Point([1.0])]);
         let trace = exec.run(&mut pattern::ConstantPattern::new(g.clone()), 200);
         assert!(
             trace.final_diameter() < 1e-6,
@@ -110,7 +109,10 @@ fn theorem4_topology_of_valencies() {
     let mut exec = Execution::new(Midpoint, &[Point([0.0]), Point([0.5]), Point([1.0])]);
     exec.step(&m.graphs()[0]);
     let est = probes.estimate(&exec);
-    assert!(est.diameter() < 1e-12, "valency is a singleton after deciding");
+    assert!(
+        est.diameter() < 1e-12,
+        "valency is a singleton after deciding"
+    );
 
     // Unsolvable model: the initial valency is a non-degenerate set
     // (Lemma 21: δ(C₀) ≥ Δ/n); with deaf graphs it is the full spread.

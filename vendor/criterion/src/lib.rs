@@ -1,0 +1,203 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of the criterion 0.5 API the workspace's bench
+//! targets use: [`Criterion::benchmark_group`], `sample_size`,
+//! `bench_function`, [`Bencher::iter`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Instead of
+//! statistical analysis it runs a fixed warm-up plus `sample_size` timed
+//! samples and prints the median per-iteration wall time — enough to
+//! compare hot paths between commits, and compiled with the exact same
+//! bench-target source as upstream.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter, `name/param`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl From<BenchmarkId> for String {
+    fn from(id: BenchmarkId) -> Self {
+        id.id
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    samples: usize,
+    per_iter: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running warm-up iterations followed by timed
+    /// samples. The routine's output is passed through [`black_box`] so
+    /// the computation cannot be optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        self.per_iter.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.per_iter.push(start.elapsed());
+        }
+        self.per_iter.sort();
+    }
+
+    fn median(&self) -> Duration {
+        self.per_iter
+            .get(self.per_iter.len() / 2)
+            .copied()
+            .unwrap_or_default()
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark, printing its median per-iteration time.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            per_iter: Vec::new(),
+        };
+        f(&mut b);
+        println!(
+            "{}/{:<40} time: [{:>12.3?} median of {} samples]",
+            self.name,
+            id.id,
+            b.median(),
+            self.sample_size
+        );
+        self
+    }
+
+    /// Finishes the group. No summary beyond the per-bench lines.
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// An opaque barrier to constant folding, re-exported for convenience.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` for a set of [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("test_group");
+        g.sample_size(5);
+        g.bench_function(BenchmarkId::from_parameter("sum"), |b| {
+            b.iter(|| (0..1000u64).sum::<u64>())
+        });
+        g.bench_function("plain-str-id", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    criterion_group!(benches, sum_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(String::from(BenchmarkId::new("f", 3)), "f/3");
+        assert_eq!(String::from(BenchmarkId::from_parameter("p")), "p");
+    }
+}

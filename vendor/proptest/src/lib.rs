@@ -1,0 +1,339 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of the proptest API the workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map`, range and tuple and
+//! [`collection::vec`] strategies, [`ProptestConfig`], and the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] /
+//! [`prop_assume!`] macros.
+//!
+//! Differences from upstream, none of which the tests depend on:
+//! * no shrinking — a failing case reports its inputs via the assertion
+//!   message instead of a minimized counterexample;
+//! * generation is deterministic per test (seeded from the test name), so
+//!   failures are reproducible by re-running the test;
+//! * `prop_assume!` skips the case without regenerating a replacement.
+
+use std::ops::Range;
+
+pub use rand::{Rng, RngCore, SeedableRng};
+
+/// Execution configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The generator driving value production, deterministic per test.
+#[derive(Debug, Clone)]
+pub struct TestRng(rand::rngs::StdRng);
+
+impl TestRng {
+    /// Seeds the generator from a test name (FNV-1a), so every test has
+    /// its own reproducible stream.
+    #[must_use]
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(rand::rngs::StdRng::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A recipe for generating values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy producing a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        rng.random_range(f64::from(self.start)..f64::from(self.end)) as f32
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Vec`s of a fixed length.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    /// Generates `Vec`s of exactly `len` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The customary glob import for property tests.
+
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+
+    /// Namespace mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Runs `cases` generated cases of a closure-shaped property test.
+///
+/// Used by the [`proptest!`] expansion; not part of the public upstream
+/// API surface.
+pub fn run_cases(name: &str, cases: u32, mut case: impl FnMut(&mut TestRng) -> Result<(), String>) {
+    let mut rng = TestRng::deterministic(name);
+    for i in 0..cases {
+        if let Err(msg) = case(&mut rng) {
+            panic!("property `{name}` failed at case {i}: {msg}");
+        }
+    }
+}
+
+/// Declares property tests: each `fn` runs its body for many generated
+/// inputs drawn from the `in` strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    (
+        $(#[$meta:meta])*
+        fn $name:ident $args:tt $body:block
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default())
+            $(#[$meta])* fn $name $args $body $($rest)*);
+    };
+    (@fns ($cfg:expr)) => {};
+    (
+        @fns ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(stringify!($name), cfg.cases, |rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), rng);)*
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+}
+
+/// Like `assert!`, but reports the failing generated case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", ::std::stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but reports the failing generated case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                ::std::stringify!($left),
+                ::std::stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                ::std::format!($($fmt)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 0u64..100, y in -2.0f64..2.0) {
+            prop_assert!(x < 100);
+            prop_assert!((-2.0..2.0).contains(&y), "y={y} escaped");
+        }
+
+        #[test]
+        fn map_and_vec_compose(
+            v in prop::collection::vec((0u64..10).prop_map(|n| n * 2), 5),
+        ) {
+            prop_assert_eq!(v.len(), 5);
+            for x in v {
+                prop_assert!(x % 2 == 0);
+                prop_assert!(x < 20);
+            }
+        }
+
+        #[test]
+        fn tuples_and_assume(pair in (0usize..10, 0usize..10)) {
+            let (a, b) = pair;
+            prop_assume!(a != b);
+            prop_assert!(a != b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic() {
+        crate::run_cases("failures_panic", 10, |_| Err("boom".into()));
+    }
+}
