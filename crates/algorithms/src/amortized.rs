@@ -1,9 +1,11 @@
-//! The amortized midpoint algorithm ([9], used in §6 of the paper).
+//! The amortized midpoint algorithm (\[9\], used in §6 of the paper).
 
-use crate::{Agent, Algorithm, Point};
+use std::borrow::Cow;
+
+use crate::{Agent, Algorithm, Inbox, Point};
 
 /// The **amortized midpoint** algorithm of Charron-Bost, Függer and
-/// Nowak [9], the matching upper bound for Theorem 3.
+/// Nowak \[9\], the matching upper bound for Theorem 3.
 ///
 /// Agents operate in *macro-rounds* of `period` ordinary rounds
 /// (`period = n − 1` for a rooted model on `n` agents). During a
@@ -12,7 +14,7 @@ use crate::{Agent, Algorithm, Point};
 /// bounds with all received bounds. At the end of the macro-round it sets
 /// `y_i ← (lo_i + hi_i)/2` and restarts the interval at `[y_i, y_i]`.
 ///
-/// Because any product of `n − 1` rooted graphs is non-split ([8]; a
+/// Because any product of `n − 1` rooted graphs is non-split (\[8\]; a
 /// property test in `consensus-digraph` checks this), each macro-round
 /// contracts the value spread by `1/2`, i.e. a per-round contraction of
 /// `(1/2)^{1/(n−1)}`. Theorem 3 of the paper shows no algorithm can beat
@@ -69,8 +71,8 @@ impl<const D: usize> Algorithm<D> for AmortizedMidpoint {
     /// The relayed interval `(lo, hi)`.
     type Msg = (Point<D>, Point<D>);
 
-    fn name(&self) -> String {
-        format!("amortized-midpoint(P={})", self.period)
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Owned(format!("amortized-midpoint(P={})", self.period))
     }
 
     fn init(&self, _agent: Agent, y0: Point<D>) -> AmortizedState<D> {
@@ -90,7 +92,7 @@ impl<const D: usize> Algorithm<D> for AmortizedMidpoint {
         &self,
         _agent: Agent,
         state: &mut AmortizedState<D>,
-        inbox: &[(Agent, (Point<D>, Point<D>))],
+        inbox: Inbox<'_, (Point<D>, Point<D>)>,
         _round: u64,
     ) {
         for (_, (lo, hi)) in inbox {
@@ -118,13 +120,10 @@ mod tests {
     /// Runs one round of the algorithm on a clique of `states`, delivering
     /// everyone's message to everyone.
     fn clique_round(alg: &AmortizedMidpoint, states: &mut [AmortizedState<1>], round: u64) {
-        let msgs: Vec<(Agent, (Point<1>, Point<1>))> = states
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (i, alg.message(s)))
-            .collect();
+        let slate: Vec<(Point<1>, Point<1>)> = states.iter().map(|s| alg.message(s)).collect();
+        let all = (1u64 << states.len()) - 1;
         for (i, s) in states.iter_mut().enumerate() {
-            alg.step(i, s, &msgs, round);
+            alg.step(i, s, Inbox::new(all, &slate), round);
         }
     }
 
@@ -152,10 +151,12 @@ mod tests {
     fn interval_join_is_monotone() {
         let alg = AmortizedMidpoint::new(5);
         let mut s = alg.init(0, Point([1.0]));
-        alg.step(0, &mut s, &[(0, (Point([0.5]), Point([2.0])))], 1);
+        let buf = crate::InboxBuffer::from_pairs(&[(0, (Point([0.5]), Point([2.0])))]);
+        alg.step(0, &mut s, buf.as_inbox(), 1);
         assert_eq!(s.lo, Point([0.5]));
         assert_eq!(s.hi, Point([2.0]));
-        alg.step(0, &mut s, &[(0, (Point([0.9]), Point([1.1])))], 2);
+        let buf = crate::InboxBuffer::from_pairs(&[(0, (Point([0.9]), Point([1.1])))]);
+        alg.step(0, &mut s, buf.as_inbox(), 2);
         assert_eq!(
             s.lo,
             Point([0.5]),
@@ -177,10 +178,13 @@ mod tests {
         let mut sm = <crate::Midpoint as Algorithm<1>>::init(&mp, 0, Point([0.0]));
         for round in 1..=5 {
             let v = round as f64;
-            let inbox_a = vec![(0, am.message(&sa)), (1, (Point([v]), Point([v])))];
-            let inbox_m = vec![(0, mp.message(&sm)), (1, Point([v]))];
-            am.step(0, &mut sa, &inbox_a, round);
-            mp.step(0, &mut sm, &inbox_m, round);
+            let inbox_a = crate::InboxBuffer::from_pairs(&[
+                (0, am.message(&sa)),
+                (1, (Point([v]), Point([v]))),
+            ]);
+            let inbox_m = crate::InboxBuffer::from_pairs(&[(0, mp.message(&sm)), (1, Point([v]))]);
+            am.step(0, &mut sa, inbox_a.as_inbox(), round);
+            mp.step(0, &mut sm, inbox_m.as_inbox(), round);
             assert_eq!(am.output(&sa), mp.output(&sm));
         }
     }

@@ -1,19 +1,21 @@
 //! Classic averaging (convex combination) algorithms.
 //!
 //! These are the “deceptively simple” algorithms of Charron-Bost et
-//! al. [8] (§2.2): each agent updates to a weighted average of the values
+//! al. \[8\] (§2.2): each agent updates to a weighted average of the values
 //! it received, with weights depending only on the current round's
 //! inbox. They solve asymptotic consensus in every rooted network model,
 //! are memoryless and anonymous, and have *continuous* consensus
 //! functions (paper Theorem 2 of §2.2).
 
-use crate::{Agent, Algorithm, Point};
+use std::borrow::Cow;
+
+use crate::{Agent, Algorithm, Inbox, Point};
 
 /// Plain averaging: `y_i ← mean of the received values` (uniform weights
 /// over the inbox, self included).
 ///
 /// In non-split models its per-round contraction is only `1 − 1/n` in the
-/// worst case ([7]), far from the optimal `1/2` of the midpoint algorithm
+/// worst case (\[7\]), far from the optimal `1/2` of the midpoint algorithm
 /// — the bench harness shows this gap.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MeanValue;
@@ -22,8 +24,8 @@ impl<const D: usize> Algorithm<D> for MeanValue {
     type State = Point<D>;
     type Msg = Point<D>;
 
-    fn name(&self) -> String {
-        "mean-value".to_owned()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("mean-value")
     }
 
     fn init(&self, _agent: Agent, y0: Point<D>) -> Point<D> {
@@ -34,7 +36,7 @@ impl<const D: usize> Algorithm<D> for MeanValue {
         *state
     }
 
-    fn step(&self, _agent: Agent, state: &mut Point<D>, inbox: &[(Agent, Point<D>)], _round: u64) {
+    fn step(&self, _agent: Agent, state: &mut Point<D>, inbox: Inbox<'_, Point<D>>, _round: u64) {
         debug_assert!(!inbox.is_empty());
         let mut acc = Point::ZERO;
         for (_, p) in inbox {
@@ -59,11 +61,11 @@ pub struct SelfWeightedAverage {
 }
 
 impl SelfWeightedAverage {
-    /// Creates the rule with the given self-weight `w ∈ [0, 1]`.
+    /// Creates the rule with the given self-weight `w ∈ \[0, 1\]`.
     ///
     /// # Panics
     ///
-    /// Panics if `w ∉ [0, 1]`.
+    /// Panics if `w ∉ \[0, 1\]`.
     #[must_use]
     pub fn new(self_weight: f64) -> Self {
         assert!(
@@ -84,8 +86,8 @@ impl<const D: usize> Algorithm<D> for SelfWeightedAverage {
     type State = Point<D>;
     type Msg = Point<D>;
 
-    fn name(&self) -> String {
-        format!("self-weighted-average(w={})", self.self_weight)
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Owned(format!("self-weighted-average(w={})", self.self_weight))
     }
 
     fn init(&self, _agent: Agent, y0: Point<D>) -> Point<D> {
@@ -96,11 +98,11 @@ impl<const D: usize> Algorithm<D> for SelfWeightedAverage {
         *state
     }
 
-    fn step(&self, agent: Agent, state: &mut Point<D>, inbox: &[(Agent, Point<D>)], _round: u64) {
+    fn step(&self, agent: Agent, state: &mut Point<D>, inbox: Inbox<'_, Point<D>>, _round: u64) {
         let mut acc = Point::ZERO;
         let mut count = 0usize;
         for (from, p) in inbox {
-            if *from != agent {
+            if from != agent {
                 acc += *p;
                 count += 1;
             }
@@ -119,20 +121,22 @@ impl<const D: usize> Algorithm<D> for SelfWeightedAverage {
 mod tests {
     use super::*;
 
-    fn inbox1(vals: &[f64]) -> Vec<(Agent, Point<1>)> {
-        vals.iter()
+    fn inbox1(vals: &[f64]) -> crate::InboxBuffer<Point<1>> {
+        let pairs: Vec<(Agent, Point<1>)> = vals
+            .iter()
             .enumerate()
             .map(|(i, &v)| (i, Point([v])))
-            .collect()
+            .collect();
+        crate::InboxBuffer::from_pairs(&pairs)
     }
 
     #[test]
     fn mean_of_inbox() {
         let alg = MeanValue;
         let mut s = alg.init(0, Point([3.0]));
-        alg.step(0, &mut s, &inbox1(&[3.0, 0.0, 6.0]), 1);
+        alg.step(0, &mut s, inbox1(&[3.0, 0.0, 6.0]).as_inbox(), 1);
         assert_eq!(<MeanValue as Algorithm<1>>::output(&alg, &s), Point([3.0]));
-        alg.step(0, &mut s, &inbox1(&[1.0, 3.0]), 2);
+        alg.step(0, &mut s, inbox1(&[1.0, 3.0]).as_inbox(), 2);
         assert_eq!(<MeanValue as Algorithm<1>>::output(&alg, &s), Point([2.0]));
     }
 
@@ -140,7 +144,7 @@ mod tests {
     fn self_weight_half() {
         let alg = SelfWeightedAverage::new(0.5);
         let mut s = alg.init(0, Point([0.0]));
-        alg.step(0, &mut s, &inbox1(&[0.0, 1.0]), 1);
+        alg.step(0, &mut s, inbox1(&[0.0, 1.0]).as_inbox(), 1);
         assert_eq!(
             <SelfWeightedAverage as Algorithm<1>>::output(&alg, &s),
             Point([0.5])
@@ -154,8 +158,8 @@ mod tests {
         let mut sa = <SelfWeightedAverage as Algorithm<1>>::init(&a, 0, Point([0.2]));
         let mut sb = <crate::TwoAgentThirds as Algorithm<1>>::init(&b, 0, Point([0.2]));
         let inbox = inbox1(&[0.2, 0.9]);
-        a.step(0, &mut sa, &inbox, 1);
-        b.step(0, &mut sb, &inbox, 1);
+        a.step(0, &mut sa, inbox.as_inbox(), 1);
+        b.step(0, &mut sb, inbox.as_inbox(), 1);
         let va = <SelfWeightedAverage as Algorithm<1>>::output(&a, &sa)[0];
         let vb = <crate::TwoAgentThirds as Algorithm<1>>::output(&b, &sb)[0];
         assert!((va - vb).abs() < 1e-12);
@@ -166,7 +170,7 @@ mod tests {
         let alg = MeanValue;
         let mut s = alg.init(0, Point([0.7]));
         let vals = [0.7, -0.3, 1.9, 0.0];
-        alg.step(0, &mut s, &inbox1(&vals), 1);
+        alg.step(0, &mut s, inbox1(&vals).as_inbox(), 1);
         let out = <MeanValue as Algorithm<1>>::output(&alg, &s)[0];
         assert!((-0.3..=1.9).contains(&out));
     }

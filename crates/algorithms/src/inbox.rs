@@ -1,0 +1,245 @@
+//! Zero-allocation inbox views over a shared per-round message slate.
+//!
+//! The executor gathers every agent's message **once** per round into a
+//! flat slate (one slot per agent) and hands each agent an [`Inbox`]: a
+//! borrowed view of that slate restricted to the agent's in-neighbors by
+//! the round graph's in-neighborhood bitmask. Nothing is cloned and
+//! nothing is allocated per agent — stepping a round is O(n) slate
+//! writes plus the algorithms' own reads.
+//!
+//! Unit tests and harnesses that want to hand-craft an inbox without an
+//! executor use [`InboxBuffer`], the owned counterpart.
+
+use crate::Agent;
+use consensus_digraph::AgentSet;
+
+/// A borrowed view of the messages one agent receives in one round:
+/// the senders' bitmask plus the round's shared message slate
+/// (`slate[j]` is agent `j`'s broadcast).
+///
+/// The view is `Copy` (a `u64` and a slice reference); iteration yields
+/// `(sender, &message)` pairs in ascending sender order, which always
+/// include the receiving agent's own message (communication graphs have
+/// mandatory self-loops).
+#[derive(Debug, Clone, Copy)]
+pub struct Inbox<'a, M> {
+    senders: AgentSet,
+    slate: &'a [M],
+}
+
+impl<'a, M> Inbox<'a, M> {
+    /// Creates the view of `slate` restricted to the `senders` bitmask.
+    /// Bits at or beyond `slate.len()` are ignored.
+    #[must_use]
+    pub fn new(senders: AgentSet, slate: &'a [M]) -> Self {
+        let valid = if slate.len() >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << slate.len()) - 1
+        };
+        Inbox {
+            senders: senders & valid,
+            slate,
+        }
+    }
+
+    /// The senders as a bitmask (bit `j` ⇔ a message from agent `j`).
+    #[inline]
+    #[must_use]
+    pub fn senders(&self) -> AgentSet {
+        self.senders
+    }
+
+    /// The number of received messages.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.senders.count_ones() as usize
+    }
+
+    /// Whether the inbox is empty (never the case under the paper's
+    /// self-loop convention).
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.senders == 0
+    }
+
+    /// Whether a message from `agent` was received.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, agent: Agent) -> bool {
+        agent < 64 && self.senders & (1u64 << agent) != 0
+    }
+
+    /// The message from `agent`, if one was received.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, agent: Agent) -> Option<&'a M> {
+        if self.contains(agent) {
+            Some(&self.slate[agent])
+        } else {
+            None
+        }
+    }
+
+    /// The lowest-indexed `(sender, message)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inbox is empty.
+    #[must_use]
+    pub fn first(&self) -> (Agent, &'a M) {
+        let j = self.senders.trailing_zeros() as usize;
+        assert!(j < 64, "first() on an empty inbox");
+        (j, &self.slate[j])
+    }
+
+    /// Iterates over `(sender, &message)` pairs in ascending sender
+    /// order.
+    #[must_use]
+    pub fn iter(&self) -> InboxIter<'a, M> {
+        InboxIter {
+            rem: self.senders,
+            slate: self.slate,
+        }
+    }
+}
+
+impl<'a, M> IntoIterator for Inbox<'a, M> {
+    type Item = (Agent, &'a M);
+    type IntoIter = InboxIter<'a, M>;
+
+    fn into_iter(self) -> InboxIter<'a, M> {
+        self.iter()
+    }
+}
+
+/// Iterator over the `(sender, &message)` pairs of an [`Inbox`].
+#[derive(Debug, Clone)]
+pub struct InboxIter<'a, M> {
+    rem: AgentSet,
+    slate: &'a [M],
+}
+
+impl<'a, M> Iterator for InboxIter<'a, M> {
+    type Item = (Agent, &'a M);
+
+    #[inline]
+    fn next(&mut self) -> Option<(Agent, &'a M)> {
+        if self.rem == 0 {
+            return None;
+        }
+        let j = self.rem.trailing_zeros() as usize;
+        self.rem &= self.rem - 1;
+        Some((j, &self.slate[j]))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.rem.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl<M> ExactSizeIterator for InboxIter<'_, M> {}
+
+/// An owned inbox for hand-crafted deliveries (unit tests, harnesses):
+/// a dense slate plus the senders mask, viewable as an [`Inbox`].
+#[derive(Debug, Clone)]
+pub struct InboxBuffer<M> {
+    senders: AgentSet,
+    slate: Vec<M>,
+}
+
+impl<M: Clone> InboxBuffer<M> {
+    /// Builds an inbox from explicit `(sender, message)` pairs. Slate
+    /// slots for non-senders are filled with a clone of the first
+    /// message (they are never read through the mask).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is empty, a sender id is ≥ 64, or a sender
+    /// appears twice.
+    #[must_use]
+    pub fn from_pairs(pairs: &[(Agent, M)]) -> Self {
+        assert!(!pairs.is_empty(), "an inbox needs at least one message");
+        let top = pairs.iter().map(|&(j, _)| j).max().expect("non-empty");
+        assert!(top < 64, "sender id {top} out of range (max 63)");
+        let mut slate = vec![pairs[0].1.clone(); top + 1];
+        let mut senders: AgentSet = 0;
+        for (j, msg) in pairs {
+            assert!(senders & (1u64 << j) == 0, "duplicate sender {j}");
+            senders |= 1u64 << j;
+            slate[*j] = msg.clone();
+        }
+        InboxBuffer { senders, slate }
+    }
+}
+
+impl<M> InboxBuffer<M> {
+    /// Borrows the buffer as an [`Inbox`] view.
+    #[must_use]
+    pub fn as_inbox(&self) -> Inbox<'_, M> {
+        Inbox {
+            senders: self.senders,
+            slate: &self.slate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_iterates_masked_ascending() {
+        let slate = [10, 20, 30, 40];
+        let inbox = Inbox::new(0b1011, &slate);
+        let got: Vec<(usize, i32)> = inbox.iter().map(|(j, &m)| (j, m)).collect();
+        assert_eq!(got, vec![(0, 10), (1, 20), (3, 40)]);
+        assert_eq!(inbox.len(), 3);
+        assert!(!inbox.is_empty());
+        assert_eq!(inbox.first(), (0, &10));
+        assert_eq!(inbox.get(3), Some(&40));
+        assert_eq!(inbox.get(2), None);
+        assert!(inbox.contains(1));
+        assert!(!inbox.contains(2));
+    }
+
+    #[test]
+    fn out_of_range_bits_are_ignored() {
+        let slate = [1, 2];
+        let inbox = Inbox::new(u64::MAX, &slate);
+        assert_eq!(inbox.len(), 2);
+        assert_eq!(inbox.senders(), 0b11);
+    }
+
+    #[test]
+    fn into_iterator_matches_iter() {
+        let slate = [5, 6, 7];
+        let inbox = Inbox::new(0b101, &slate);
+        let a: Vec<_> = inbox.iter().collect();
+        let b: Vec<_> = inbox.into_iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn buffer_from_pairs_roundtrips() {
+        let buf = InboxBuffer::from_pairs(&[(1, "b"), (4, "e")]);
+        let inbox = buf.as_inbox();
+        let got: Vec<(usize, &str)> = inbox.iter().map(|(j, &m)| (j, m)).collect();
+        assert_eq!(got, vec![(1, "b"), (4, "e")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate sender")]
+    fn buffer_rejects_duplicates() {
+        let _ = InboxBuffer::from_pairs(&[(2, 0.0), (2, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one message")]
+    fn buffer_rejects_empty() {
+        let _ = InboxBuffer::<f64>::from_pairs(&[]);
+    }
+}

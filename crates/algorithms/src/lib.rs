@@ -8,14 +8,14 @@
 //! | Algorithm | Paper reference | Contraction (upper bound) |
 //! |---|---|---|
 //! | [`TwoAgentThirds`] | Algorithm 1 (§4) | `1/3` in `{H0,H1,H2}` |
-//! | [`Midpoint`] | Algorithm 2 (§5), from [9] | `1/2` in non-split models |
-//! | [`AmortizedMidpoint`] | §6, from [9] | `(1/2)^{1/(n−1)}` in rooted models |
-//! | [`MeanValue`] / [`SelfWeightedAverage`] | classic averaging ([8]) | model-dependent |
+//! | [`Midpoint`] | Algorithm 2 (§5), from \[9\] | `1/2` in non-split models |
+//! | [`AmortizedMidpoint`] | §6, from \[9\] | `(1/2)^{1/(n−1)}` in rooted models |
+//! | [`MeanValue`] / [`SelfWeightedAverage`] | classic averaging (\[8\]) | model-dependent |
 //! | [`WindowedMidpoint`] | “non-memoryless” example (§1 (ii)) | — |
 //! | [`MassSplitting`] | “non-convex” example (§1 (i)) | fixed-graph only |
 //! | [`Overshoot`] | second-order controller example (§1) | — |
-//! | [`TrimmedMean`] | cautious functions of Dolev et al. [14] / Fekete [17,18] | — |
-//! | [`QuantizedMidpoint`] | the “quantizable” variant of [9] | one quantum in `⌈log₂(Δ/q)⌉` rounds |
+//! | [`TrimmedMean`] | cautious functions of Dolev et al. \[14\] / Fekete \[17,18\] | — |
+//! | [`QuantizedMidpoint`] | the “quantizable” variant of \[9\] | one quantum in `⌈log₂(Δ/q)⌉` rounds |
 //!
 //! The [`stochastic`] module provides the row-stochastic-matrix view of
 //! the linear rules (Dobrushin coefficients, products, support graphs)
@@ -31,13 +31,13 @@
 //! # Example
 //!
 //! ```
-//! use consensus_algorithms::{Algorithm, Midpoint, Point};
+//! use consensus_algorithms::{Algorithm, InboxBuffer, Midpoint, Point};
 //!
 //! let alg = Midpoint;
 //! let mut state = alg.init(0, Point([0.0]));
 //! // Agent 0 hears itself (0.0) and agent 1 (1.0):
-//! let inbox = vec![(0, alg.message(&state)), (1, Point([1.0]))];
-//! alg.step(0, &mut state, &inbox, 1);
+//! let inbox = InboxBuffer::from_pairs(&[(0, alg.message(&state)), (1, Point([1.0]))]);
+//! alg.step(0, &mut state, inbox.as_inbox(), 1);
 //! assert_eq!(alg.output(&state), Point([0.5]));
 //! ```
 
@@ -46,6 +46,7 @@
 
 mod amortized;
 mod averaging;
+mod inbox;
 mod midpoint;
 mod nonconvex;
 mod point;
@@ -56,6 +57,7 @@ mod two_agent;
 
 pub use amortized::AmortizedMidpoint;
 pub use averaging::{MeanValue, SelfWeightedAverage};
+pub use inbox::{Inbox, InboxBuffer, InboxIter};
 pub use midpoint::{Midpoint, WindowedMidpoint};
 pub use nonconvex::{MassSplitting, Overshoot};
 pub use point::{bounding_box, convex_combination, diameter, in_bounding_box, Point};
@@ -69,10 +71,11 @@ pub type Agent = consensus_digraph::Agent;
 /// A deterministic round-based asymptotic consensus algorithm (paper §2).
 ///
 /// One round for agent `i`:
-/// 1. the harness collects `message(&state_i)`;
-/// 2. the harness delivers to `i` the messages of its in-neighbors in the
-///    round's communication graph — **always** including `i`'s own message
-///    (self-loops are mandatory);
+/// 1. the harness collects `message(&state_i)` from every agent into the
+///    round's shared message slate;
+/// 2. the harness hands `i` an [`Inbox`] view of that slate restricted
+///    to `i`'s in-neighbors in the round's communication graph —
+///    **always** including `i`'s own message (self-loops are mandatory);
 /// 3. `step` updates the state; `output` reads the current value `y_i`.
 ///
 /// Determinism is part of the model: identical inboxes must produce
@@ -84,8 +87,10 @@ pub trait Algorithm<const D: usize> {
     /// The message broadcast each round.
     type Msg: Clone + std::fmt::Debug;
 
-    /// A short human-readable name (used in bench tables).
-    fn name(&self) -> String;
+    /// A short human-readable name (used in bench tables). Borrowed for
+    /// the common parameter-free case; parameterised algorithms return
+    /// an owned formatted name.
+    fn name(&self) -> std::borrow::Cow<'static, str>;
 
     /// The initial state of `agent` with initial value `y0`.
     fn init(&self, agent: Agent, y0: Point<D>) -> Self::State;
@@ -93,10 +98,11 @@ pub trait Algorithm<const D: usize> {
     /// The message the agent broadcasts in the *next* round.
     fn message(&self, state: &Self::State) -> Self::Msg;
 
-    /// One state update. `inbox` holds `(sender, message)` pairs sorted by
-    /// sender, always containing the agent's own message. `round` counts
+    /// One state update. `inbox` is a borrowed view over the round's
+    /// message slate (ascending sender order, always containing the
+    /// agent's own message); nothing is cloned per agent. `round` counts
     /// from 1 as in the paper.
-    fn step(&self, agent: Agent, state: &mut Self::State, inbox: &[(Agent, Self::Msg)], round: u64);
+    fn step(&self, agent: Agent, state: &mut Self::State, inbox: Inbox<'_, Self::Msg>, round: u64);
 
     /// The current output value `y_i(t)`.
     fn output(&self, state: &Self::State) -> Point<D>;
@@ -117,8 +123,8 @@ mod trait_tests {
     // a compile-time check that common algorithms share a call pattern.
     fn exercise<A: Algorithm<1>>(alg: &A) -> Point<1> {
         let mut s = alg.init(0, Point([1.0]));
-        let inbox = vec![(0, alg.message(&s))];
-        alg.step(0, &mut s, &inbox, 1);
+        let inbox = InboxBuffer::from_pairs(&[(0, alg.message(&s))]);
+        alg.step(0, &mut s, inbox.as_inbox(), 1);
         alg.output(&s)
     }
 
@@ -141,8 +147,8 @@ mod trait_tests {
         fn check<A: Algorithm<1>>(alg: &A) {
             let mut s = alg.init(0, Point([0.75]));
             for round in 1..=5 {
-                let inbox = vec![(0, alg.message(&s))];
-                alg.step(0, &mut s, &inbox, round);
+                let inbox = InboxBuffer::from_pairs(&[(0, alg.message(&s))]);
+                alg.step(0, &mut s, inbox.as_inbox(), round);
                 assert_eq!(
                     alg.output(&s),
                     Point([0.75]),

@@ -1,10 +1,12 @@
-//! The midpoint algorithm (paper Algorithm 2, from [9]) and its
+//! The midpoint algorithm (paper Algorithm 2, from \[9\]) and its
 //! windowed (non-memoryless) generalisation.
 
-use crate::{Agent, Algorithm, Point};
+use std::borrow::Cow;
+
+use crate::{Agent, Algorithm, Inbox, Point};
 
 /// **Algorithm 2** of the paper — the midpoint algorithm of Charron-Bost,
-/// Függer and Nowak [9].
+/// Függer and Nowak \[9\].
 ///
 /// Each round, every agent sets its value to the midpoint of the extremes
 /// of the values it received (coordinate-wise for `D > 1`):
@@ -21,8 +23,8 @@ impl<const D: usize> Algorithm<D> for Midpoint {
     type State = Point<D>;
     type Msg = Point<D>;
 
-    fn name(&self) -> String {
-        "midpoint".to_owned()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("midpoint")
     }
 
     fn init(&self, _agent: Agent, y0: Point<D>) -> Point<D> {
@@ -33,11 +35,13 @@ impl<const D: usize> Algorithm<D> for Midpoint {
         *state
     }
 
-    fn step(&self, _agent: Agent, state: &mut Point<D>, inbox: &[(Agent, Point<D>)], _round: u64) {
+    fn step(&self, _agent: Agent, state: &mut Point<D>, inbox: Inbox<'_, Point<D>>, _round: u64) {
         debug_assert!(!inbox.is_empty(), "self-loop guarantees a message");
-        let mut lo = inbox[0].1;
-        let mut hi = inbox[0].1;
-        for (_, p) in &inbox[1..] {
+        let mut it = inbox.iter();
+        let (_, &first) = it.next().expect("self-loop guarantees a message");
+        let mut lo = first;
+        let mut hi = first;
+        for (_, p) in it {
             lo = lo.min(p);
             hi = hi.max(p);
         }
@@ -88,8 +92,8 @@ impl<const D: usize> Algorithm<D> for WindowedMidpoint {
     type State = WindowedState<D>;
     type Msg = Point<D>;
 
-    fn name(&self) -> String {
-        format!("windowed-midpoint(w={})", self.window)
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Owned(format!("windowed-midpoint(w={})", self.window))
     }
 
     fn init(&self, _agent: Agent, y0: Point<D>) -> WindowedState<D> {
@@ -108,7 +112,7 @@ impl<const D: usize> Algorithm<D> for WindowedMidpoint {
         &self,
         _agent: Agent,
         state: &mut WindowedState<D>,
-        inbox: &[(Agent, Point<D>)],
+        inbox: Inbox<'_, Point<D>>,
         _round: u64,
     ) {
         if state.window.len() == state.capacity {
@@ -117,8 +121,9 @@ impl<const D: usize> Algorithm<D> for WindowedMidpoint {
         state
             .window
             .push_back(inbox.iter().map(|(_, p)| *p).collect());
-        let mut lo = inbox[0].1;
-        let mut hi = inbox[0].1;
+        let (_, &first) = inbox.first();
+        let mut lo = first;
+        let mut hi = first;
         for batch in &state.window {
             for p in batch {
                 lo = lo.min(p);
@@ -143,19 +148,22 @@ impl<const D: usize> Algorithm<D> for WindowedMidpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::InboxBuffer;
 
-    fn inbox1(vals: &[f64]) -> Vec<(Agent, Point<1>)> {
-        vals.iter()
+    fn inbox1(vals: &[f64]) -> InboxBuffer<Point<1>> {
+        let pairs: Vec<(Agent, Point<1>)> = vals
+            .iter()
             .enumerate()
             .map(|(i, &v)| (i, Point([v])))
-            .collect()
+            .collect();
+        InboxBuffer::from_pairs(&pairs)
     }
 
     #[test]
     fn midpoint_of_received_values() {
         let alg = Midpoint;
         let mut s = alg.init(0, Point([10.0]));
-        alg.step(0, &mut s, &inbox1(&[10.0, 0.0, 4.0]), 1);
+        alg.step(0, &mut s, inbox1(&[10.0, 0.0, 4.0]).as_inbox(), 1);
         assert_eq!(<Midpoint as Algorithm<1>>::output(&alg, &s), Point([5.0]));
     }
 
@@ -163,12 +171,12 @@ mod tests {
     fn midpoint_multidim_is_coordinatewise() {
         let alg = Midpoint;
         let mut s = alg.init(0, Point([0.0, 8.0]));
-        let inbox = vec![
+        let inbox = InboxBuffer::from_pairs(&[
             (0, Point([0.0, 8.0])),
             (1, Point([4.0, 0.0])),
             (2, Point([2.0, 2.0])),
-        ];
-        alg.step(0, &mut s, &inbox, 1);
+        ]);
+        alg.step(0, &mut s, inbox.as_inbox(), 1);
         assert_eq!(alg.output(&s), Point([2.0, 4.0]));
     }
 
@@ -179,8 +187,8 @@ mod tests {
         let mut s0 = alg.init(0, Point([0.0]));
         let mut s1 = alg.init(1, Point([1.0]));
         // G: 0 → 1 plus self-loops (0 deaf, non-split on 2 agents).
-        alg.step(0, &mut s0, &inbox1(&[0.0]), 1);
-        alg.step(1, &mut s1, &inbox1(&[0.0, 1.0]), 1);
+        alg.step(0, &mut s0, inbox1(&[0.0]).as_inbox(), 1);
+        alg.step(1, &mut s1, inbox1(&[0.0, 1.0]).as_inbox(), 1);
         let d = (<Midpoint as Algorithm<1>>::output(&alg, &s1)[0]
             - <Midpoint as Algorithm<1>>::output(&alg, &s0)[0])
             .abs();
@@ -195,8 +203,8 @@ mod tests {
         let mut sm = <Midpoint as Algorithm<1>>::init(&m, 0, Point([3.0]));
         for round in 1..=4 {
             let inbox = inbox1(&[3.0, round as f64]);
-            w.step(0, &mut sw, &inbox, round as u64);
-            m.step(0, &mut sm, &inbox, round as u64);
+            w.step(0, &mut sw, inbox.as_inbox(), round as u64);
+            m.step(0, &mut sm, inbox.as_inbox(), round as u64);
             assert_eq!(w.output(&sw), m.output(&sm));
         }
     }
@@ -206,15 +214,15 @@ mod tests {
         let w = WindowedMidpoint::new(2);
         let mut s = <WindowedMidpoint as Algorithm<1>>::init(&w, 0, Point([0.0]));
         // Round 1: hears 0 and 10 → midpoint 5.
-        w.step(0, &mut s, &inbox1(&[0.0, 10.0]), 1);
+        w.step(0, &mut s, inbox1(&[0.0, 10.0]).as_inbox(), 1);
         assert_eq!(w.output(&s), Point([5.0]));
         // Round 2: hears only itself (5), but remembers round-1 extremes
         // {0, 10} → stays at 5 instead of keeping 5 as trivial midpoint.
-        w.step(0, &mut s, &inbox1(&[5.0]), 2);
+        w.step(0, &mut s, inbox1(&[5.0]).as_inbox(), 2);
         assert_eq!(w.output(&s), Point([5.0]));
         // Round 3: window slides; round-1 extremes forgotten, only round-2
         // {5} and round-3 {5, 1} remain → midpoint(1,5) = 3.
-        w.step(0, &mut s, &inbox1(&[5.0, 1.0]), 3);
+        w.step(0, &mut s, inbox1(&[5.0, 1.0]).as_inbox(), 3);
         assert_eq!(w.output(&s), Point([3.0]));
     }
 

@@ -9,7 +9,9 @@
 //! The ablation benches run these against the proof adversaries and show
 //! they cannot beat the bounds either.
 
-use crate::{Agent, Algorithm, Point};
+use std::borrow::Cow;
+
+use crate::{Agent, Algorithm, Inbox, Point};
 use consensus_digraph::Digraph;
 
 /// The paper's §1 example of a **non-convex** asymptotic consensus
@@ -58,8 +60,8 @@ impl<const D: usize> Algorithm<D> for MassSplitting {
     /// The mass share sent to *each* out-neighbor.
     type Msg = Point<D>;
 
-    fn name(&self) -> String {
-        "mass-splitting".to_owned()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("mass-splitting")
     }
 
     fn init(&self, _agent: Agent, y0: Point<D>) -> Point<D> {
@@ -73,10 +75,10 @@ impl<const D: usize> Algorithm<D> for MassSplitting {
         *state
     }
 
-    fn step(&self, _agent: Agent, state: &mut Point<D>, inbox: &[(Agent, Point<D>)], _round: u64) {
+    fn step(&self, _agent: Agent, state: &mut Point<D>, inbox: Inbox<'_, Point<D>>, _round: u64) {
         let mut acc = Point::ZERO;
         for (from, p) in inbox {
-            acc += *p * (1.0 / self.out_degrees[*from] as f64);
+            acc += *p * (1.0 / self.out_degrees[from] as f64);
         }
         *state = acc;
     }
@@ -97,7 +99,7 @@ pub struct OvershootState<const D: usize> {
 }
 
 /// A second-order “overshooting controller” on top of the midpoint rule
-/// (§1 cites such controllers from control theory [3]):
+/// (§1 cites such controllers from control theory \[3\]):
 ///
 /// `y_i ← m + κ·(m − y_i)` where `m` is the midpoint of the received
 /// extremes.
@@ -136,8 +138,8 @@ impl<const D: usize> Algorithm<D> for Overshoot {
     type State = OvershootState<D>;
     type Msg = Point<D>;
 
-    fn name(&self) -> String {
-        format!("overshoot(κ={})", self.kappa)
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Owned(format!("overshoot(κ={})", self.kappa))
     }
 
     fn init(&self, _agent: Agent, y0: Point<D>) -> OvershootState<D> {
@@ -152,12 +154,14 @@ impl<const D: usize> Algorithm<D> for Overshoot {
         &self,
         _agent: Agent,
         state: &mut OvershootState<D>,
-        inbox: &[(Agent, Point<D>)],
+        inbox: Inbox<'_, Point<D>>,
         _round: u64,
     ) {
-        let mut lo = inbox[0].1;
-        let mut hi = inbox[0].1;
-        for (_, p) in &inbox[1..] {
+        let mut it = inbox.iter();
+        let (_, &first) = it.next().expect("self-loop guarantees a message");
+        let mut lo = first;
+        let mut hi = first;
+        for (_, p) in it {
             lo = lo.min(p);
             hi = hi.max(p);
         }
@@ -192,10 +196,8 @@ mod tests {
             let msgs: Vec<Point<1>> = states.iter().map(|s| alg.message(s)).collect();
             let old = states.clone();
             for i in 0..4 {
-                let inbox: Vec<(Agent, Point<1>)> =
-                    g.in_neighbors(i).map(|j| (j, msgs[j])).collect();
                 let mut s = old[i];
-                alg.step(i, &mut s, &inbox, round);
+                alg.step(i, &mut s, Inbox::new(g.in_mask(i), &msgs), round);
                 states[i] = s;
             }
             let mass: f64 = states.iter().map(|s| s[0]).sum();
@@ -230,10 +232,13 @@ mod tests {
         let g2 = consensus_digraph::Digraph::from_edges(3, [(1, 0), (2, 0)]).unwrap();
         let alg2 = MassSplitting::new(&g2);
         // out-degrees: 0 → {0}: 1; 1 → {0,1}: 2; 2 → {0,2}: 2.
-        let inbox: Vec<(Agent, Point<1>)> =
-            vec![(0, Point([1.0])), (1, Point([1.0])), (2, Point([1.0]))];
+        let inbox = crate::InboxBuffer::from_pairs(&[
+            (0, Point([1.0])),
+            (1, Point([1.0])),
+            (2, Point([1.0])),
+        ]);
         let mut s = <MassSplitting as Algorithm<1>>::init(&alg2, 0, Point([1.0]));
-        alg2.step(0, &mut s, &inbox, 1);
+        alg2.step(0, &mut s, inbox.as_inbox(), 1);
         // y0' = 1/1 + 1/2 + 1/2 = 2 > max received value 1: outside hull.
         assert!((s[0] - 2.0).abs() < 1e-12);
         assert!(!<MassSplitting as Algorithm<1>>::is_convex_combination(
@@ -248,9 +253,9 @@ mod tests {
         let m = crate::Midpoint;
         let mut so = <Overshoot as Algorithm<1>>::init(&o, 0, Point([0.0]));
         let mut sm = <crate::Midpoint as Algorithm<1>>::init(&m, 0, Point([0.0]));
-        let inbox = vec![(0, Point([0.0])), (1, Point([1.0]))];
-        o.step(0, &mut so, &inbox, 1);
-        m.step(0, &mut sm, &inbox, 1);
+        let inbox = crate::InboxBuffer::from_pairs(&[(0, Point([0.0])), (1, Point([1.0]))]);
+        o.step(0, &mut so, inbox.as_inbox(), 1);
+        m.step(0, &mut sm, inbox.as_inbox(), 1);
         assert_eq!(o.output(&so), m.output(&sm));
     }
 
@@ -258,21 +263,21 @@ mod tests {
     fn overshoot_leaves_hull() {
         let o = Overshoot::new(0.5);
         let mut s = <Overshoot as Algorithm<1>>::init(&o, 0, Point([0.0]));
-        let inbox = vec![(0, Point([0.0])), (1, Point([1.0]))];
-        o.step(0, &mut s, &inbox, 1);
+        let inbox = crate::InboxBuffer::from_pairs(&[(0, Point([0.0])), (1, Point([1.0]))]);
+        o.step(0, &mut s, inbox.as_inbox(), 1);
         // m = 0.5; y = 0.5 + 0.5·(0.5 − 0) = 0.75 — still in [0,1]; the
         // violation appears relative to the *next* inbox: hull of round-2
         // received values {0.75} but y moves to 0.75 + ... stays. The
         // sharp check: start above the received range.
         let mut s2 = <Overshoot as Algorithm<1>>::init(&o, 0, Point([2.0]));
-        let inbox2 = vec![(0, Point([2.0])), (1, Point([0.0]))];
-        o.step(0, &mut s2, &inbox2, 1);
+        let inbox2 = crate::InboxBuffer::from_pairs(&[(0, Point([2.0])), (1, Point([0.0]))]);
+        o.step(0, &mut s2, inbox2.as_inbox(), 1);
         // m = 1, y = 1 + 0.5·(1 − 2) = 0.5 ∈ [0,2]. Third try with the
         // previous output *outside* the received set: receive only the
         // other agent's value.
         let mut s3 = <Overshoot as Algorithm<1>>::init(&o, 0, Point([2.0]));
-        let inbox3 = vec![(1, Point([0.0])), (2, Point([1.0]))];
-        o.step(0, &mut s3, &inbox3, 1);
+        let inbox3 = crate::InboxBuffer::from_pairs(&[(1, Point([0.0])), (2, Point([1.0]))]);
+        o.step(0, &mut s3, inbox3.as_inbox(), 1);
         // m = 0.5, y = 0.5 + 0.5·(0.5 − 2) = −0.25 ∉ hull [0, 1].
         assert!((s3.y[0] + 0.25).abs() < 1e-12);
         assert!(s3.y[0] < 0.0, "output left the hull of received values");
@@ -287,13 +292,10 @@ mod tests {
             .map(|(i, &v)| <Overshoot as Algorithm<1>>::init(&o, i, Point([v])))
             .collect();
         for round in 1..=60 {
-            let msgs: Vec<(Agent, Point<1>)> = states
-                .iter()
-                .enumerate()
-                .map(|(i, s)| (i, o.message(s)))
-                .collect();
+            let slate: Vec<Point<1>> = states.iter().map(|s| o.message(s)).collect();
+            let all = (1u64 << states.len()) - 1;
             for (i, st) in states.iter_mut().enumerate() {
-                o.step(i, st, &msgs, round);
+                o.step(i, st, Inbox::new(all, &slate), round);
             }
         }
         let spread = states.iter().map(|s| s.y[0]).fold(f64::MIN, f64::max)

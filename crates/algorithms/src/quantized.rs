@@ -1,4 +1,4 @@
-//! Quantized midpoint — the “quantizable” aspect of [9].
+//! Quantized midpoint — the “quantizable” aspect of \[9\].
 //!
 //! The paper's matching upper bounds come from *“Fast, robust,
 //! quantizable approximate consensus”* (Charron-Bost, Függer, Nowak;
@@ -13,7 +13,9 @@
 //! deciding version decides within one quantum, i.e. solves approximate
 //! consensus with `ε = q`.
 
-use crate::{Agent, Algorithm, Point};
+use std::borrow::Cow;
+
+use crate::{Agent, Algorithm, Inbox, Point};
 
 /// Midpoint with outputs rounded to the grid `step·Z` (per coordinate,
 /// round-half-down via `floor(x/step + 1/2)`).
@@ -56,8 +58,8 @@ impl<const D: usize> Algorithm<D> for QuantizedMidpoint {
     type State = Point<D>;
     type Msg = Point<D>;
 
-    fn name(&self) -> String {
-        format!("quantized-midpoint(q={})", self.step)
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Owned(format!("quantized-midpoint(q={})", self.step))
     }
 
     fn init(&self, _agent: Agent, y0: Point<D>) -> Point<D> {
@@ -68,10 +70,12 @@ impl<const D: usize> Algorithm<D> for QuantizedMidpoint {
         *state
     }
 
-    fn step(&self, _agent: Agent, state: &mut Point<D>, inbox: &[(Agent, Point<D>)], _round: u64) {
-        let mut lo = inbox[0].1;
-        let mut hi = inbox[0].1;
-        for (_, p) in &inbox[1..] {
+    fn step(&self, _agent: Agent, state: &mut Point<D>, inbox: Inbox<'_, Point<D>>, _round: u64) {
+        let mut it = inbox.iter();
+        let (_, &first) = it.next().expect("self-loop guarantees a message");
+        let mut lo = first;
+        let mut hi = first;
+        for (_, p) in it {
             lo = lo.min(p);
             hi = hi.max(p);
         }
@@ -93,11 +97,13 @@ impl<const D: usize> Algorithm<D> for QuantizedMidpoint {
 mod tests {
     use super::*;
 
-    fn inbox1(vals: &[f64]) -> Vec<(Agent, Point<1>)> {
-        vals.iter()
+    fn inbox1(vals: &[f64]) -> crate::InboxBuffer<Point<1>> {
+        let pairs: Vec<(Agent, Point<1>)> = vals
+            .iter()
             .enumerate()
             .map(|(i, &v)| (i, Point([v])))
-            .collect()
+            .collect();
+        crate::InboxBuffer::from_pairs(&pairs)
     }
 
     #[test]
@@ -105,7 +111,13 @@ mod tests {
         let q = QuantizedMidpoint::new(0.25);
         let mut s = <QuantizedMidpoint as Algorithm<1>>::init(&q, 0, Point([0.3]));
         assert_eq!(s[0], 0.25);
-        <QuantizedMidpoint as Algorithm<1>>::step(&q, 0, &mut s, &inbox1(&[0.25, 1.0]), 1);
+        <QuantizedMidpoint as Algorithm<1>>::step(
+            &q,
+            0,
+            &mut s,
+            inbox1(&[0.25, 1.0]).as_inbox(),
+            1,
+        );
         let v = <QuantizedMidpoint as Algorithm<1>>::output(&q, &s)[0];
         assert_eq!(v, 0.75, "midpoint 0.625 rounds to 0.75 on the 0.25 grid");
         assert_eq!((v / 0.25).fract(), 0.0);
@@ -126,13 +138,16 @@ mod tests {
         let mut rounds = 0;
         while spread(&states) > step && rounds < 30 {
             rounds += 1;
-            let msgs: Vec<(Agent, Point<1>)> = states
-                .iter()
-                .enumerate()
-                .map(|(i, s)| (i, q.message(s)))
-                .collect();
+            let slate: Vec<Point<1>> = states.iter().map(|s| q.message(s)).collect();
+            let all = (1u64 << states.len()) - 1;
             for (i, st) in states.iter_mut().enumerate() {
-                <QuantizedMidpoint as Algorithm<1>>::step(&q, i, st, &msgs, rounds);
+                <QuantizedMidpoint as Algorithm<1>>::step(
+                    &q,
+                    i,
+                    st,
+                    Inbox::new(all, &slate),
+                    rounds,
+                );
             }
         }
         // ⌈log2(1/step)⌉ = 6 rounds suffice on the clique (actually 1
@@ -155,17 +170,32 @@ mod tests {
         let mut s1 = <QuantizedMidpoint as Algorithm<1>>::init(&q, 1, Point([1.0]));
         let mut s2 = <QuantizedMidpoint as Algorithm<1>>::init(&q, 2, Point([1.0]));
         for round in 1..=12 {
-            let msgs = [
-                (0, q.message(&s0)),
-                (1, q.message(&s1)),
-                (2, q.message(&s2)),
-            ];
+            let slate = [q.message(&s0), q.message(&s1), q.message(&s2)];
             let mut n0 = s0;
-            <QuantizedMidpoint as Algorithm<1>>::step(&q, 0, &mut n0, &msgs[..1], round); // deaf
+            // Deaf: agent 0 hears only itself.
+            <QuantizedMidpoint as Algorithm<1>>::step(
+                &q,
+                0,
+                &mut n0,
+                Inbox::new(0b001, &slate),
+                round,
+            );
             let mut n1 = s1;
-            <QuantizedMidpoint as Algorithm<1>>::step(&q, 1, &mut n1, &msgs, round);
+            <QuantizedMidpoint as Algorithm<1>>::step(
+                &q,
+                1,
+                &mut n1,
+                Inbox::new(0b111, &slate),
+                round,
+            );
             let mut n2 = s2;
-            <QuantizedMidpoint as Algorithm<1>>::step(&q, 2, &mut n2, &msgs, round);
+            <QuantizedMidpoint as Algorithm<1>>::step(
+                &q,
+                2,
+                &mut n2,
+                Inbox::new(0b111, &slate),
+                round,
+            );
             (s0, s1, s2) = (n0, n1, n2);
         }
         assert_eq!(s0[0], 0.0);
@@ -176,7 +206,13 @@ mod tests {
     fn validity_within_half_quantum() {
         let q = QuantizedMidpoint::new(0.1);
         let mut s = <QuantizedMidpoint as Algorithm<1>>::init(&q, 0, Point([0.0]));
-        <QuantizedMidpoint as Algorithm<1>>::step(&q, 0, &mut s, &inbox1(&[0.0, 0.13]), 1);
+        <QuantizedMidpoint as Algorithm<1>>::step(
+            &q,
+            0,
+            &mut s,
+            inbox1(&[0.0, 0.13]).as_inbox(),
+            1,
+        );
         // Midpoint 0.065 rounds to 0.1 — within step/2 of the hull.
         assert!(s[0] <= 0.13 + 0.05 + 1e-12);
     }

@@ -15,7 +15,7 @@
 //! matrix theory: the per-round ratios measured by
 //! `consensus-dynamics` for linear algorithms never exceed the Dobrushin
 //! coefficient of the corresponding matrix, and the `1 − 1/n` worst case
-//! of plain averaging in non-split models (cited by the paper from [7])
+//! of plain averaging in non-split models (cited by the paper from \[7\])
 //! is exhibited exactly by `deaf(K_n)` matrices.
 
 use consensus_digraph::Digraph;
@@ -92,7 +92,7 @@ impl StochasticMatrix {
     ///
     /// # Panics
     ///
-    /// Panics if `w ∉ [0, 1]`.
+    /// Panics if `w ∉ \[0, 1\]`.
     #[must_use]
     pub fn self_weighted(g: &Digraph, w: f64) -> Self {
         assert!((0.0..=1.0).contains(&w));
@@ -177,7 +177,7 @@ impl StochasticMatrix {
     }
 
     /// The **Dobrushin ergodicity coefficient**
-    /// `δ(A) = 1 − min_{i,j} Σ_k min(a_ik, a_jk) ∈ [0, 1]`.
+    /// `δ(A) = 1 − min_{i,j} Σ_k min(a_ik, a_jk) ∈ \[0, 1\]`.
     #[must_use]
     pub fn dobrushin(&self) -> f64 {
         let mut min_overlap = f64::INFINITY;
@@ -331,8 +331,7 @@ mod tests {
         let alg = MeanValue;
         for i in 0..4 {
             let mut st = alg.init(i, vals[i]);
-            let inbox: Vec<(usize, Point<1>)> = g.in_neighbors(i).map(|j| (j, vals[j])).collect();
-            alg.step(i, &mut st, &inbox, 1);
+            alg.step(i, &mut st, crate::Inbox::new(g.in_mask(i), &vals), 1);
             assert!((alg.output(&st)[0] - expected[i][0]).abs() < 1e-12);
         }
     }
@@ -348,8 +347,7 @@ mod tests {
         let alg = SelfWeightedAverage::new(w);
         for i in 0..4 {
             let mut st = alg.init(i, vals[i]);
-            let inbox: Vec<(usize, Point<1>)> = g.in_neighbors(i).map(|j| (j, vals[j])).collect();
-            alg.step(i, &mut st, &inbox, 1);
+            alg.step(i, &mut st, crate::Inbox::new(g.in_mask(i), &vals), 1);
             assert!((alg.output(&st)[0] - expected[i][0]).abs() < 1e-12);
         }
     }

@@ -1,7 +1,7 @@
 //! The trimmed-mean family of fault-tolerant averaging rules.
 //!
 //! These are the approximate-agreement update rules of the classical
-//! literature the paper builds on: Dolev et al. [14] and Fekete [17, 18]
+//! literature the paper builds on: Dolev et al. \[14\] and Fekete \[17, 18\]
 //! repeatedly apply *cautious* functions — drop the `t` most extreme
 //! values on each side, then average what remains. With `t = f` the rule
 //! tolerates `f` crash/Byzantine values per round; Theorem 6 of the
@@ -11,7 +11,9 @@
 //! The implementation is one-dimensional in spirit (the classical rule
 //! sorts scalars) and is applied coordinate-wise for `D > 1`.
 
-use crate::{Agent, Algorithm, Point};
+use std::borrow::Cow;
+
+use crate::{Agent, Algorithm, Inbox, Point};
 
 /// Trimmed-mean averaging: per coordinate, sort the received values,
 /// drop the lowest `trim` and highest `trim` (clamped so at least one
@@ -54,8 +56,8 @@ impl<const D: usize> Algorithm<D> for TrimmedMean {
     type State = Point<D>;
     type Msg = Point<D>;
 
-    fn name(&self) -> String {
-        format!("trimmed-mean(t={})", self.trim)
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Owned(format!("trimmed-mean(t={})", self.trim))
     }
 
     fn init(&self, _agent: Agent, y0: Point<D>) -> Point<D> {
@@ -66,7 +68,7 @@ impl<const D: usize> Algorithm<D> for TrimmedMean {
         *state
     }
 
-    fn step(&self, _agent: Agent, state: &mut Point<D>, inbox: &[(Agent, Point<D>)], _round: u64) {
+    fn step(&self, _agent: Agent, state: &mut Point<D>, inbox: Inbox<'_, Point<D>>, _round: u64) {
         let mut out = Point::ZERO;
         for c in 0..D {
             let coord: Vec<f64> = inbox.iter().map(|(_, p)| p[c]).collect();
@@ -84,11 +86,13 @@ impl<const D: usize> Algorithm<D> for TrimmedMean {
 mod tests {
     use super::*;
 
-    fn inbox1(vals: &[f64]) -> Vec<(Agent, Point<1>)> {
-        vals.iter()
+    fn inbox1(vals: &[f64]) -> crate::InboxBuffer<Point<1>> {
+        let pairs: Vec<(Agent, Point<1>)> = vals
+            .iter()
             .enumerate()
             .map(|(i, &v)| (i, Point([v])))
-            .collect()
+            .collect();
+        crate::InboxBuffer::from_pairs(&pairs)
     }
 
     #[test]
@@ -118,7 +122,7 @@ mod tests {
         // ignores it entirely.
         let alg = TrimmedMean::new(1);
         let mut s = <TrimmedMean as Algorithm<1>>::init(&alg, 0, Point([0.5]));
-        alg.step(0, &mut s, &inbox1(&[0.5, 0.4, 0.6, 0.5, 1e9]), 1);
+        alg.step(0, &mut s, inbox1(&[0.5, 0.4, 0.6, 0.5, 1e9]).as_inbox(), 1);
         let out = <TrimmedMean as Algorithm<1>>::output(&alg, &s)[0];
         assert!((0.4..=0.6).contains(&out), "outlier ignored: {out}");
     }
@@ -127,7 +131,12 @@ mod tests {
     fn stays_in_received_hull() {
         let alg = TrimmedMean::new(2);
         let mut s = <TrimmedMean as Algorithm<1>>::init(&alg, 0, Point([0.0]));
-        alg.step(0, &mut s, &inbox1(&[0.0, 1.0, 0.2, 0.9, 0.5, 0.7]), 1);
+        alg.step(
+            0,
+            &mut s,
+            inbox1(&[0.0, 1.0, 0.2, 0.9, 0.5, 0.7]).as_inbox(),
+            1,
+        );
         let out = <TrimmedMean as Algorithm<1>>::output(&alg, &s)[0];
         assert!((0.0..=1.0).contains(&out));
     }
@@ -136,12 +145,12 @@ mod tests {
     fn multidim_coordinatewise() {
         let alg = TrimmedMean::new(1);
         let mut s = alg.init(0, Point([0.0, 0.0]));
-        let inbox = vec![
+        let inbox = crate::InboxBuffer::from_pairs(&[
             (0, Point([0.0, 9.0])),
             (1, Point([1.0, 1.0])),
             (2, Point([2.0, 2.0])),
-        ];
-        alg.step(0, &mut s, &inbox, 1);
+        ]);
+        alg.step(0, &mut s, inbox.as_inbox(), 1);
         assert_eq!(alg.output(&s), Point([1.0, 2.0]));
     }
 
@@ -149,7 +158,7 @@ mod tests {
     fn deaf_round_is_identity() {
         let alg = TrimmedMean::new(2);
         let mut s = <TrimmedMean as Algorithm<1>>::init(&alg, 0, Point([0.33]));
-        alg.step(0, &mut s, &inbox1(&[0.33]), 1);
+        alg.step(0, &mut s, inbox1(&[0.33]).as_inbox(), 1);
         assert_eq!(
             <TrimmedMean as Algorithm<1>>::output(&alg, &s),
             Point([0.33])

@@ -1,7 +1,9 @@
 //! Algorithm 1 of the paper: the optimal two-agent algorithm with
 //! contraction rate 1/3.
 
-use crate::{Agent, Algorithm, Point};
+use std::borrow::Cow;
+
+use crate::{Agent, Algorithm, Inbox, Point};
 
 /// **Algorithm 1** of the paper (§4): the two-agent convex combination
 /// algorithm achieving contraction rate `1/3` in `{H0, H1, H2}`.
@@ -22,8 +24,8 @@ impl<const D: usize> Algorithm<D> for TwoAgentThirds {
     type State = Point<D>;
     type Msg = Point<D>;
 
-    fn name(&self) -> String {
-        "two-agent-thirds".to_owned()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("two-agent-thirds")
     }
 
     fn init(&self, _agent: Agent, y0: Point<D>) -> Point<D> {
@@ -34,11 +36,11 @@ impl<const D: usize> Algorithm<D> for TwoAgentThirds {
         *state
     }
 
-    fn step(&self, agent: Agent, state: &mut Point<D>, inbox: &[(Agent, Point<D>)], _round: u64) {
+    fn step(&self, agent: Agent, state: &mut Point<D>, inbox: Inbox<'_, Point<D>>, _round: u64) {
         let mut others = Point::ZERO;
         let mut count = 0usize;
         for (from, p) in inbox {
-            if *from != agent {
+            if from != agent {
                 others += *p;
                 count += 1;
             }
@@ -63,8 +65,8 @@ mod tests {
     fn paper_update_rule() {
         let alg = TwoAgentThirds;
         let mut s = alg.init(0, Point([0.0]));
-        let inbox = vec![(0, Point([0.0])), (1, Point([1.0]))];
-        alg.step(0, &mut s, &inbox, 1);
+        let inbox = crate::InboxBuffer::from_pairs(&[(0, Point([0.0])), (1, Point([1.0]))]);
+        alg.step(0, &mut s, inbox.as_inbox(), 1);
         assert!((<TwoAgentThirds as Algorithm<1>>::output(&alg, &s)[0] - 2.0 / 3.0).abs() < 1e-12);
     }
 
@@ -72,8 +74,8 @@ mod tests {
     fn no_message_keeps_value() {
         let alg = TwoAgentThirds;
         let mut s = alg.init(1, Point([0.4]));
-        let inbox = vec![(1, Point([0.4]))];
-        alg.step(1, &mut s, &inbox, 1);
+        let inbox = crate::InboxBuffer::from_pairs(&[(1, Point([0.4]))]);
+        alg.step(1, &mut s, inbox.as_inbox(), 1);
         assert_eq!(
             <TwoAgentThirds as Algorithm<1>>::output(&alg, &s),
             Point([0.4])
@@ -92,8 +94,9 @@ mod tests {
             let m0 = <TwoAgentThirds as Algorithm<1>>::message(&alg, &y0);
             let m1 = <TwoAgentThirds as Algorithm<1>>::message(&alg, &y1);
             // H1: 0 hears only itself; 1 hears both.
-            alg.step(0, &mut y0, &[(0, m0)], round);
-            alg.step(1, &mut y1, &[(0, m0), (1, m1)], round);
+            let slate = [m0, m1];
+            alg.step(0, &mut y0, Inbox::new(0b01, &slate), round);
+            alg.step(1, &mut y1, Inbox::new(0b11, &slate), round);
             let new_spread = (<TwoAgentThirds as Algorithm<1>>::output(&alg, &y1)[0]
                 - <TwoAgentThirds as Algorithm<1>>::output(&alg, &y0)[0])
                 .abs();
@@ -114,8 +117,9 @@ mod tests {
         let mut y1 = alg.init(1, Point([3.0]));
         let m0 = <TwoAgentThirds as Algorithm<1>>::message(&alg, &y0);
         let m1 = <TwoAgentThirds as Algorithm<1>>::message(&alg, &y1);
-        alg.step(0, &mut y0, &[(0, m0), (1, m1)], 1);
-        alg.step(1, &mut y1, &[(0, m0), (1, m1)], 1);
+        let slate = [m0, m1];
+        alg.step(0, &mut y0, Inbox::new(0b11, &slate), 1);
+        alg.step(1, &mut y1, Inbox::new(0b11, &slate), 1);
         assert!((<TwoAgentThirds as Algorithm<1>>::output(&alg, &y0)[0] - 2.0).abs() < 1e-12);
         assert!((<TwoAgentThirds as Algorithm<1>>::output(&alg, &y1)[0] - 1.0).abs() < 1e-12);
     }

@@ -13,7 +13,7 @@
 //! | 10 | Ψ graphs, n ≥ 4 | `(n−2)·log_2 (Δ/ε)` |
 //! | 11 | exact consensus unsolvable | `log_{D+1} (Δ/(εn))` |
 //!
-//! The deciding versions of the algorithms of [9] match these bounds
+//! The deciding versions of the algorithms of \[9\] match these bounds
 //! (up to the stated factors), which this crate makes executable:
 //!
 //! * [`Decider`] — wraps any asymptotic algorithm with a decision round
@@ -46,7 +46,7 @@
 pub mod measure;
 pub mod rules;
 
-use consensus_algorithms::{Agent, Algorithm, Point};
+use consensus_algorithms::{Agent, Algorithm, Inbox, Point};
 
 /// A deciding wrapper: runs the base algorithm and irrevocably decides
 /// the base output at round `decision_round` (paper §9: `d_i` is written
@@ -92,8 +92,12 @@ impl<A: Algorithm<D>, const D: usize> Algorithm<D> for Decider<A> {
     type State = DeciderState<A::State, D>;
     type Msg = A::Msg;
 
-    fn name(&self) -> String {
-        format!("decide@{}({})", self.decision_round, self.base.name())
+    fn name(&self) -> std::borrow::Cow<'static, str> {
+        std::borrow::Cow::Owned(format!(
+            "decide@{}({})",
+            self.decision_round,
+            self.base.name()
+        ))
     }
 
     fn init(&self, agent: Agent, y0: Point<D>) -> Self::State {
@@ -107,7 +111,7 @@ impl<A: Algorithm<D>, const D: usize> Algorithm<D> for Decider<A> {
         self.base.message(&state.base)
     }
 
-    fn step(&self, agent: Agent, state: &mut Self::State, inbox: &[(Agent, A::Msg)], round: u64) {
+    fn step(&self, agent: Agent, state: &mut Self::State, inbox: Inbox<'_, A::Msg>, round: u64) {
         self.base.step(agent, &mut state.base, inbox, round);
         if state.decision.is_none() && round >= self.decision_round {
             state.decision = Some(self.base.output(&state.base));
@@ -146,7 +150,7 @@ mod tests {
     use super::*;
     use consensus_algorithms::Midpoint;
     use consensus_digraph::Digraph;
-    use consensus_dynamics::{pattern::ConstantPattern, Execution};
+    use consensus_dynamics::{pattern::ConstantPattern, Execution, Scenario};
 
     #[test]
     fn decider_freezes_output() {
@@ -169,10 +173,9 @@ mod tests {
     fn decided_values_satisfy_contract() {
         let inits = [Point([0.0]), Point([0.6]), Point([1.0])];
         let alg = Decider::new(Midpoint, 12);
-        let mut exec = Execution::new(alg, &inits);
-        let mut p = ConstantPattern::new(Digraph::complete(3));
-        exec.run(&mut p, 14);
-        let ds = exec.outputs();
+        let mut sc = Scenario::new(alg, &inits).pattern(ConstantPattern::new(Digraph::complete(3)));
+        sc.advance(14);
+        let ds = sc.execution().outputs();
         assert!(epsilon_agreement(&ds, 1e-3));
         assert!(validity(&ds, &inits, 1e-12));
     }

@@ -6,16 +6,24 @@
 //! with spread ≤ ε therefore measures the minimal safe decision round of
 //! the deciding version of that algorithm — the quantity Theorems 8–11
 //! bound from below.
+//!
+//! These helpers are thin wrappers over the
+//! [`Scenario`] builder
+//! (`Scenario::new(alg, inits).adversary(adv.driver()).decide(eps)`):
+//! use the builder directly when you also need the trace or the
+//! adversary's `δ̂` record.
 
 use consensus_algorithms::{Algorithm, Point};
-use consensus_dynamics::Execution;
+use consensus_dynamics::Scenario;
 use consensus_valency::GreedyValencyAdversary;
 
 /// The first round `t` at which the adversarial execution's value spread
 /// drops to ≤ `eps`, or `None` if it stays above within `max_rounds`.
 ///
-/// The adversary is driven in its own block size; the returned round is
-/// exact (checked after every single round inside a block).
+/// The adversary moves in whole blocks and the spread is checked at
+/// block boundaries; for single-round blocks the answer is exact, and
+/// for σ-blocks the paper's bounds are also stated per macro-round, so
+/// block granularity matches the theorem statements.
 #[must_use]
 pub fn minimal_decision_round<A, const D: usize>(
     alg: A,
@@ -27,48 +35,10 @@ pub fn minimal_decision_round<A, const D: usize>(
 where
     A: Algorithm<D> + Clone,
 {
-    let mut exec = Execution::new(alg, inits);
-    if exec.value_diameter() <= eps {
-        return Some(0);
-    }
-    let steps = max_rounds.div_ceil(adversary.block_len());
-    for _ in 0..steps {
-        // One adversary step = block_len rounds; drive() records only the
-        // block ends, so replay the chosen block round by round.
-        let before = exec.round();
-        let _ = adversary.drive(&mut exec, 1);
-        let _after = exec.round();
-        // Check intermediate rounds by re-simulating the block on a fork
-        // is unnecessary: spreads are monotone within the blocks used by
-        // our adversaries (they apply a single graph repeatedly), so the
-        // first sub-eps round is found by bisecting on the recorded
-        // boundary. For exactness we simply check every round: rewind is
-        // impossible, so test after the block and accept block-end
-        // granularity refined below.
-        if exec.value_diameter() <= eps {
-            // Found within this block. Re-run the block from the fork
-            // point to locate the exact round.
-            return Some(locate_within_block(&mut exec, before, eps));
-        }
-    }
-    None
-}
-
-/// The adversaries apply one graph per block repeatedly, so within a
-/// block the spread after each single round is available by replaying;
-/// [`minimal_decision_round`] already advanced past the block, so the
-/// conservative exact answer is the block end. For single-round blocks
-/// this *is* exact; for σ-blocks the paper's bound is also stated per
-/// macro-round, so block-end granularity matches the theorem statement.
-fn locate_within_block<A, const D: usize>(
-    exec: &mut Execution<A, D>,
-    _block_start: u64,
-    _eps: f64,
-) -> u64
-where
-    A: Algorithm<D> + Clone,
-{
-    exec.round()
+    Scenario::new(alg, inits)
+        .adversary(adversary.driver())
+        .decide(eps)
+        .decision_round(max_rounds)
 }
 
 /// Sweeps `Δ/ε` ratios and returns `(ratio, measured_round)` pairs for

@@ -1,4 +1,4 @@
-//! Decision-round formulas: the matching upper bounds of [9] and the
+//! Decision-round formulas: the matching upper bounds of \[9\] and the
 //! lower bounds of Theorems 8–11.
 
 /// `⌈log_b(x)⌉` computed robustly for `x ≥ 1`, clamped to ≥ 1.

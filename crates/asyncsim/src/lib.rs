@@ -10,7 +10,7 @@
 //!   i.e. a graph of the network model `N_A(n, f)`. Theorem 6: their
 //!   contraction rate is ≥ `1/(⌈n/f⌉ + 1)` (per round, and by the delay
 //!   normalisation also per time unit).
-//! * **General** (non-round-based) algorithms: [`MinRelay`] reaches
+//! * **General** (non-round-based) algorithms: [`min_relay::MinRelay`] reaches
 //!   *exact* agreement among correct agents by time `f + 1`
 //!   (Theorem 7), i.e. contraction rate 0 — the “price of rounds”.
 //!

@@ -5,27 +5,45 @@
 //! synchronous round under a communication graph from `N_A(n, f)` (every
 //! agent hears ≥ `n − f` agents — whichever messages the scheduler lets
 //! arrive first). Worst-case *scheduling* therefore equals worst-case
-//! *graph choice*, and the adversaries here drive the synchronous
-//! [`Execution`] engine with graphs chosen from the current values:
+//! *graph choice*, and the schedulers here are
+//! [`Driver`]s choosing graphs
+//! from the current values, pluggable into
+//! [`Scenario`](consensus_dynamics::Scenario) — see the crate
+//! example below:
 //!
-//! * [`drive_split_omission`] — hides the `f` lowest senders from the
-//!   top half of receivers and the `f` highest senders from the bottom
-//!   half. Against averaging rules this forces the `~f/(n−f)` per-round
+//! * [`SplitOmission`] — hides the `f` lowest senders from the top half
+//!   of receivers and the `f` highest senders from the bottom half.
+//!   Against averaging rules this forces the `~f/(n−f)` per-round
 //!   contraction that matches the `1/(⌈n/f⌉−1)` upper end of Table 1's
 //!   round-based interval.
-//! * [`drive_rotating_blocks`] — applies the Lemma 24 graphs
-//!   `K_1, K_2, …` cyclically (block `r` unheard in round `r`).
+//! * [`IsolateMinority`] — the `f` extreme agents are unheard by the
+//!   rest (midpoint's async worst case: exactly `1/2` per round).
+//! * [`RotatingBlocks`] — applies the Lemma 24 graphs `K_1, K_2, …`
+//!   cyclically (block `r` unheard in round `r`).
+//!
+//! ```
+//! use consensus_algorithms::MeanValue;
+//! use consensus_asyncsim::na_adversary::{bipolar_inits, SplitOmission};
+//! use consensus_dynamics::Scenario;
+//!
+//! let trace = Scenario::new(MeanValue, &bipolar_inits(6))
+//!     .adversary(SplitOmission::new(2))
+//!     .run(20);
+//! // f/(n−f) = 1/2 per round for the mean rule on bipolar values.
+//! assert!((trace.rates().steady_state - 0.5).abs() < 0.1);
+//! ```
 
 use consensus_algorithms::{Algorithm, Point};
 use consensus_digraph::{families, Digraph};
-use consensus_dynamics::{Execution, Trace};
+use consensus_dynamics::scenario::Driver;
+use consensus_dynamics::Execution;
 
 /// Sorts agent indices by current scalar output (ascending).
 fn order_by_value<A, const D: usize>(exec: &Execution<A, D>) -> Vec<usize>
 where
-    A: Algorithm<D> + Clone,
+    A: Algorithm<D>,
 {
-    let outs = exec.outputs();
+    let outs = exec.outputs_slice();
     let mut idx: Vec<usize> = (0..exec.n()).collect();
     idx.sort_by(|&a, &b| outs[a][0].total_cmp(&outs[b][0]));
     idx
@@ -39,7 +57,7 @@ where
 #[must_use]
 pub fn split_omission_graph<A, const D: usize>(exec: &Execution<A, D>, f: usize) -> Digraph
 where
-    A: Algorithm<D> + Clone,
+    A: Algorithm<D>,
 {
     let n = exec.n();
     assert!(f >= 1 && f < n, "need 0 < f < n");
@@ -55,47 +73,113 @@ where
     Digraph::from_in_masks(&masks).expect("n validated")
 }
 
-/// Drives `exec` for `rounds` rounds under the split-omission scheduler.
-/// Returns the trace; its per-round ratios approach `f/(n−f)` for the
-/// mean rule and `1/2` for midpoint.
-pub fn drive_split_omission<A, const D: usize>(
-    exec: &mut Execution<A, D>,
-    f: usize,
-    rounds: usize,
-) -> Trace<D>
+/// The minority-isolation graph: the `f` extreme-valued agents (the side
+/// currently farther from the rest) are unheard by everyone else, while
+/// they themselves hear everyone. In-degrees are ≥ `n − f`, so the graph
+/// is in `N_A(n, f)`. Against the midpoint rule this pins the majority
+/// and halves the spread each round — midpoint's async worst case.
+#[must_use]
+pub fn isolate_minority_graph<A, const D: usize>(exec: &Execution<A, D>, f: usize) -> Digraph
 where
-    A: Algorithm<D> + Clone,
-{
-    let mut trace = Trace::new(exec.outputs());
-    for _ in 0..rounds {
-        let g = split_omission_graph(exec, f);
-        exec.step(&g);
-        trace.record(g, exec.outputs());
-    }
-    trace
-}
-
-/// Drives `exec` for `rounds` rounds with the Lemma 24 witness graphs
-/// `K_1, …, K_q` cyclically (in round `t` the block `t mod q` is
-/// unheard by everyone).
-pub fn drive_rotating_blocks<A, const D: usize>(
-    exec: &mut Execution<A, D>,
-    f: usize,
-    rounds: usize,
-) -> Trace<D>
-where
-    A: Algorithm<D> + Clone,
+    A: Algorithm<D>,
 {
     let n = exec.n();
     assert!(f >= 1 && f < n, "need 0 < f < n");
-    let q = n.div_ceil(f);
-    let mut trace = Trace::new(exec.outputs());
-    for t in 0..rounds {
-        let g = families::lemma24_k(n, f, (t % q) + 1);
-        exec.step(&g);
-        trace.record(g, exec.outputs());
+    let order = order_by_value(exec);
+    let minority: u64 = order[..f].iter().map(|&i| 1u64 << i).sum();
+    let all = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut masks = vec![0u64; n];
+    for (agent, mask) in masks.iter_mut().enumerate() {
+        *mask = if minority & (1u64 << agent) != 0 {
+            all
+        } else {
+            all & !minority
+        };
     }
-    trace
+    Digraph::from_in_masks(&masks).expect("n validated")
+}
+
+/// The split-omission scheduler as a [`Driver`]; its per-round ratios
+/// approach `f/(n−f)` for the mean rule and `1/2` for midpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitOmission {
+    f: usize,
+}
+
+impl SplitOmission {
+    /// Creates the scheduler hiding `f ≥ 1` senders per receiver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f == 0`.
+    #[must_use]
+    pub fn new(f: usize) -> Self {
+        assert!(f >= 1, "need at least one omission");
+        SplitOmission { f }
+    }
+}
+
+impl<A: Algorithm<D>, const D: usize> Driver<A, D> for SplitOmission {
+    fn next_block(&mut self, exec: &Execution<A, D>, out: &mut Vec<Digraph>) {
+        out.push(split_omission_graph(exec, self.f));
+    }
+}
+
+/// The minority-isolation scheduler as a [`Driver`] (worst case for
+/// midpoint-like rules: per-round ratio `1/2`).
+#[derive(Debug, Clone, Copy)]
+pub struct IsolateMinority {
+    f: usize,
+}
+
+impl IsolateMinority {
+    /// Creates the scheduler isolating the `f ≥ 1` extreme agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f == 0`.
+    #[must_use]
+    pub fn new(f: usize) -> Self {
+        assert!(f >= 1, "need at least one isolated agent");
+        IsolateMinority { f }
+    }
+}
+
+impl<A: Algorithm<D>, const D: usize> Driver<A, D> for IsolateMinority {
+    fn next_block(&mut self, exec: &Execution<A, D>, out: &mut Vec<Digraph>) {
+        out.push(isolate_minority_graph(exec, self.f));
+    }
+}
+
+/// The Lemma 24 rotation as a [`Driver`]: in round `t` the witness
+/// graph `K_{(t mod q) + 1}` is applied, `q = ⌈n/f⌉` (block `t mod q`
+/// unheard by everyone).
+#[derive(Debug, Clone, Copy)]
+pub struct RotatingBlocks {
+    f: usize,
+}
+
+impl RotatingBlocks {
+    /// Creates the rotation for `f ≥ 1` crashes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f == 0`.
+    #[must_use]
+    pub fn new(f: usize) -> Self {
+        assert!(f >= 1, "need at least one crash");
+        RotatingBlocks { f }
+    }
+}
+
+impl<A: Algorithm<D>, const D: usize> Driver<A, D> for RotatingBlocks {
+    fn next_block(&mut self, exec: &Execution<A, D>, out: &mut Vec<Digraph>) {
+        let n = exec.n();
+        assert!(self.f < n, "need 0 < f < n");
+        let q = n.div_ceil(self.f);
+        let t = exec.round() as usize;
+        out.push(families::lemma24_k(n, self.f, (t % q) + 1));
+    }
 }
 
 /// Initial values that witness the worst case of the split-omission
@@ -116,55 +200,11 @@ pub fn minority_inits(n: usize, f: usize) -> Vec<Point<1>> {
         .collect()
 }
 
-/// The minority-isolation graph: the `f` extreme-valued agents (the side
-/// currently farther from the rest) are unheard by everyone else, while
-/// they themselves hear everyone. In-degrees are ≥ `n − f`, so the graph
-/// is in `N_A(n, f)`. Against the midpoint rule this pins the majority
-/// and halves the spread each round — midpoint's async worst case.
-#[must_use]
-pub fn isolate_minority_graph<A, const D: usize>(exec: &Execution<A, D>, f: usize) -> Digraph
-where
-    A: Algorithm<D> + Clone,
-{
-    let n = exec.n();
-    assert!(f >= 1 && f < n, "need 0 < f < n");
-    let order = order_by_value(exec);
-    let minority: u64 = order[..f].iter().map(|&i| 1u64 << i).sum();
-    let all = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
-    let mut masks = vec![0u64; n];
-    for (agent, mask) in masks.iter_mut().enumerate() {
-        *mask = if minority & (1u64 << agent) != 0 {
-            all
-        } else {
-            all & !minority
-        };
-    }
-    Digraph::from_in_masks(&masks).expect("n validated")
-}
-
-/// Drives `exec` for `rounds` rounds under the minority-isolation
-/// scheduler (worst case for midpoint-like rules: per-round ratio 1/2).
-pub fn drive_isolate_minority<A, const D: usize>(
-    exec: &mut Execution<A, D>,
-    f: usize,
-    rounds: usize,
-) -> Trace<D>
-where
-    A: Algorithm<D> + Clone,
-{
-    let mut trace = Trace::new(exec.outputs());
-    for _ in 0..rounds {
-        let g = isolate_minority_graph(exec, f);
-        exec.step(&g);
-        trace.record(g, exec.outputs());
-    }
-    trace
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use consensus_algorithms::{MeanValue, Midpoint};
+    use consensus_dynamics::Scenario;
 
     #[test]
     fn split_graph_is_in_na() {
@@ -183,8 +223,9 @@ mod tests {
         // The split-omission worst case for averaging: per-round ratio
         // → f/(n−f) (= 1/(⌈n/f⌉−1) when f divides n).
         for (n, f) in [(4usize, 1usize), (6, 2), (8, 2)] {
-            let mut exec = Execution::new(MeanValue, &bipolar_inits(n));
-            let trace = drive_split_omission(&mut exec, f, 20);
+            let trace = Scenario::new(MeanValue, &bipolar_inits(n))
+                .adversary(SplitOmission::new(f))
+                .run(20);
             let rate = trace.rates().steady_state;
             let target = f as f64 / (n - f) as f64;
             assert!(
@@ -198,8 +239,9 @@ mod tests {
     fn midpoint_contracts_at_half_under_minority_isolation() {
         let n = 6;
         let f = 1;
-        let mut exec = Execution::new(Midpoint, &minority_inits(n, f));
-        let trace = drive_isolate_minority(&mut exec, f, 16);
+        let trace = Scenario::new(Midpoint, &minority_inits(n, f))
+            .adversary(IsolateMinority::new(f))
+            .run(16);
         let rate = trace.rates().steady_state;
         assert!(
             (rate - 0.5).abs() < 1e-9,
@@ -215,14 +257,23 @@ mod tests {
         let n = 8;
         let f = 1;
         // Mean's worst case: split omissions on bipolar values.
-        let mut em = Execution::new(MeanValue, &bipolar_inits(n));
-        let rm = drive_split_omission(&mut em, f, 16).rates().steady_state;
+        let rm = Scenario::new(MeanValue, &bipolar_inits(n))
+            .adversary(SplitOmission::new(f))
+            .run(16)
+            .rates()
+            .steady_state;
         // Mean under the midpoint-worst-case scheduler is even faster.
-        let mut em2 = Execution::new(MeanValue, &minority_inits(n, f));
-        let rm2 = drive_isolate_minority(&mut em2, f, 16).rates().steady_state;
+        let rm2 = Scenario::new(MeanValue, &minority_inits(n, f))
+            .adversary(IsolateMinority::new(f))
+            .run(16)
+            .rates()
+            .steady_state;
         // Midpoint's worst case: isolated extreme minority.
-        let mut ed = Execution::new(Midpoint, &minority_inits(n, f));
-        let rd = drive_isolate_minority(&mut ed, f, 16).rates().steady_state;
+        let rd = Scenario::new(Midpoint, &minority_inits(n, f))
+            .adversary(IsolateMinority::new(f))
+            .run(16)
+            .rates()
+            .steady_state;
         let mean_worst = rm.max(rm2);
         assert!(
             mean_worst < rd - 0.2,
@@ -234,8 +285,9 @@ mod tests {
     fn rotating_blocks_stay_valid() {
         let n = 5;
         let f = 2;
-        let mut exec = Execution::new(Midpoint, &bipolar_inits(n));
-        let trace = drive_rotating_blocks(&mut exec, f, 12);
+        let trace = Scenario::new(Midpoint, &bipolar_inits(n))
+            .adversary(RotatingBlocks::new(f))
+            .run(12);
         assert!(trace.validity_holds(1e-9));
         assert!(trace.final_diameter() < trace.initial_diameter());
     }
@@ -248,8 +300,9 @@ mod tests {
         for (n, f) in [(4usize, 1usize), (6, 2)] {
             let q = n.div_ceil(f) as f64;
             let floor = 1.0 / (q + 1.0);
-            let mut exec = Execution::new(MeanValue, &bipolar_inits(n));
-            let trace = drive_split_omission(&mut exec, f, 20);
+            let trace = Scenario::new(MeanValue, &bipolar_inits(n))
+                .adversary(SplitOmission::new(f))
+                .run(20);
             let rate = trace.rates().steady_state;
             assert!(
                 rate >= floor - 1e-9,

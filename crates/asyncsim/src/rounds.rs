@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 pub enum RoundRule {
     /// Midpoint of the received extremes (async analogue of Algorithm 2).
     Midpoint,
-    /// Arithmetic mean of the received values — the Fekete-style [18]
+    /// Arithmetic mean of the received values — the Fekete-style \[18\]
     /// averaging whose worst case `~f/(n−f)` matches the upper end of
     /// Table 1's round-based interval.
     Mean,

@@ -1,0 +1,70 @@
+//! Criterion micro-benchmark: per-round executor cost, legacy
+//! gather-and-clone inboxes vs the zero-allocation [`Inbox`] slate path.
+//!
+//! The legacy path replicates the seed semantics: per agent per round,
+//! collect the in-neighbors' messages into a freshly allocated buffer
+//! (O(n·deg) clones + allocations per round). The `Inbox` path is
+//! `Execution::step`: one shared slate written once per round, per-agent
+//! views are a bitmask + slice borrow — no per-round heap allocation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tight_bounds_consensus::prelude::*;
+
+fn inits(n: usize) -> Vec<Point<1>> {
+    (0..n).map(|i| Point([i as f64 / (n - 1) as f64])).collect()
+}
+
+/// One legacy-style round: fresh per-agent inbox buffers, messages
+/// cloned out of the slate (the seed executor's allocation profile).
+fn legacy_round(alg: &Midpoint, states: &mut [Point<1>], g: &Digraph, round: u64) {
+    let msgs: Vec<Point<1>> = states
+        .iter()
+        .map(|s| <Midpoint as Algorithm<1>>::message(alg, s))
+        .collect();
+    for (i, state) in states.iter_mut().enumerate() {
+        let pairs: Vec<(usize, Point<1>)> = g.in_neighbors(i).map(|j| (j, msgs[j])).collect();
+        let buf = InboxBuffer::from_pairs(&pairs);
+        alg.step(i, state, buf.as_inbox(), round);
+    }
+}
+
+fn round_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor_round_throughput");
+    group.sample_size(20);
+    const ROUNDS: u64 = 100;
+
+    for n in [8usize, 32, 64] {
+        let g = Digraph::complete(n);
+        let start = inits(n);
+
+        group.bench_function(BenchmarkId::new("legacy_gather_clone", n), |b| {
+            b.iter(|| {
+                let alg = Midpoint;
+                let mut states: Vec<Point<1>> = start
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &y)| <Midpoint as Algorithm<1>>::init(&alg, i, y))
+                    .collect();
+                for round in 1..=ROUNDS {
+                    legacy_round(&alg, &mut states, black_box(&g), round);
+                }
+                states[0]
+            })
+        });
+
+        group.bench_function(BenchmarkId::new("inbox_slate", n), |b| {
+            b.iter(|| {
+                let mut e = Execution::new(Midpoint, &start);
+                for _ in 0..ROUNDS {
+                    e.step(black_box(&g));
+                }
+                e.value_diameter()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, round_throughput);
+criterion_main!(benches);

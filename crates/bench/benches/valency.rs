@@ -21,8 +21,9 @@ fn valency_cost(c: &mut Criterion) {
     group.bench_function("theorem2_adversary_step_k4", |b| {
         let adv = adversary::theorem2(&Digraph::complete(4));
         b.iter(|| {
-            let mut exec = Execution::new(Midpoint, &inits);
-            adv.drive(&mut exec, 1).per_round_rate()
+            let mut sc = Scenario::new(Midpoint, &inits).adversary(adv.driver());
+            sc.advance(1);
+            sc.driver().record().per_round_rate()
         })
     });
 
@@ -30,8 +31,10 @@ fn valency_cost(c: &mut Criterion) {
         let adv = adversary::theorem3(6);
         let inits6: Vec<Point<1>> = (0..6).map(|i| Point([i as f64 / 5.0])).collect();
         b.iter(|| {
-            let mut exec = Execution::new(AmortizedMidpoint::for_agents(6), &inits6);
-            adv.drive(&mut exec, 1).per_round_rate()
+            let mut sc =
+                Scenario::new(AmortizedMidpoint::for_agents(6), &inits6).adversary(adv.driver());
+            sc.advance(adv.block_len());
+            sc.driver().record().per_round_rate()
         })
     });
 

@@ -14,7 +14,7 @@ use tight_bounds_consensus::valency::adversary::GreedyValencyAdversary;
 
 use crate::tablefmt::{check, interval, rate, section, Table};
 
-/// Evenly spread initial values on `[0, 1]` for `n` agents.
+/// Evenly spread initial values on `\[0, 1\]` for `n` agents.
 #[must_use]
 pub fn spread_inits(n: usize) -> Vec<Point<1>> {
     (0..n)
@@ -26,8 +26,9 @@ fn drive_rate<A>(alg: A, adv: &GreedyValencyAdversary, inits: &[Point<1>], steps
 where
     A: Algorithm<1> + Clone,
 {
-    let mut exec = Execution::new(alg, inits);
-    adv.drive(&mut exec, steps).per_round_rate()
+    let mut sc = Scenario::new(alg, inits).adversary(adv.driver());
+    sc.advance(steps * adv.block_len());
+    sc.driver().record().per_round_rate()
 }
 
 /// **E-T1 — Table 1**: the paper's summary of contraction-rate bounds,
@@ -127,8 +128,11 @@ pub fn table1(quick: bool) -> String {
         let lo = bounds::theorem3_lower(n);
         let hi = bounds::amortized_midpoint_upper(n);
         let steps3 = if quick { 6 } else { 10 };
-        let mut exec = Execution::new(AmortizedMidpoint::for_agents(n), &spread_inits(n));
-        let tr = adversary::theorem3(n).drive(&mut exec, steps3);
+        let adv3 = adversary::theorem3(n);
+        let mut sc = Scenario::new(AmortizedMidpoint::for_agents(n), &spread_inits(n))
+            .adversary(adv3.driver());
+        sc.advance(steps3 * adv3.block_len());
+        let tr = sc.driver().record();
         let adv_rate = tr.per_round_rate();
         let aligned = (1..tr.value_diameters.len())
             .rev()
@@ -148,8 +152,9 @@ pub fn table1(quick: bool) -> String {
     // --- Async round-based (f < n/2). ---
     for (n, f) in [(4usize, 1usize), (6, 2), (8, 3)] {
         let (lo, hi) = bounds::table1_async_interval(n, f);
-        let mut exec = Execution::new(MeanValue, &na_adversary::bipolar_inits(n));
-        let trace = na_adversary::drive_split_omission(&mut exec, f, 20);
+        let trace = Scenario::new(MeanValue, &na_adversary::bipolar_inits(n))
+            .adversary(na_adversary::SplitOmission::new(f))
+            .run(20);
         let r = trace.rates().steady_state;
         t.row(&[
             format!("async n={n}, f={f}, round-based"),
@@ -446,13 +451,10 @@ pub fn decision_times(quick: bool) -> String {
         let eps = 1.0 / r;
         // Theorem 8: n = 2.
         let adv = adversary::theorem1();
-        let m = approx::measure::minimal_decision_round(
-            TwoAgentThirds,
-            &adv,
-            &spread_inits(2),
-            eps,
-            80,
-        );
+        let m = Scenario::new(TwoAgentThirds, &spread_inits(2))
+            .adversary(adv.driver())
+            .decide(eps)
+            .decision_round(80);
         let lbd = approx::rules::thm8_lower_bound(1.0, eps);
         let upper = approx::rules::two_agent_decision_round(1.0, eps);
         t.row(&[
@@ -466,7 +468,10 @@ pub fn decision_times(quick: bool) -> String {
 
         // Theorem 9: deaf(K_3).
         let adv = adversary::theorem2(&Digraph::complete(3));
-        let m = approx::measure::minimal_decision_round(Midpoint, &adv, &spread_inits(3), eps, 80);
+        let m = Scenario::new(Midpoint, &spread_inits(3))
+            .adversary(adv.driver())
+            .decide(eps)
+            .decision_round(80);
         let lbd = approx::rules::thm9_lower_bound(1.0, eps);
         let upper = approx::rules::midpoint_decision_round(1.0, eps);
         t.row(&[
@@ -481,13 +486,10 @@ pub fn decision_times(quick: bool) -> String {
         // Theorem 10: Ψ(5), measured at σ-block granularity.
         let n = 5;
         let adv = adversary::theorem3(n);
-        let m = approx::measure::minimal_decision_round(
-            AmortizedMidpoint::for_agents(n),
-            &adv,
-            &spread_inits(n),
-            eps,
-            400,
-        );
+        let m = Scenario::new(AmortizedMidpoint::for_agents(n), &spread_inits(n))
+            .adversary(adv.driver())
+            .decide(eps)
+            .decision_round(400);
         let lbd = approx::rules::thm10_lower_bound(n, 1.0, eps);
         let upper = approx::rules::amortized_decision_round(n, 1.0, eps);
         // Measured T is reported at σ-block granularity (blocks of n−2
@@ -506,13 +508,10 @@ pub fn decision_times(quick: bool) -> String {
         let two = NetworkModel::two_agent();
         let d = alpha::alpha_diameter(&two).finite().expect("finite");
         let adv = adversary::theorem5(&two);
-        let m = approx::measure::minimal_decision_round(
-            TwoAgentThirds,
-            &adv,
-            &spread_inits(2),
-            eps,
-            80,
-        );
+        let m = Scenario::new(TwoAgentThirds, &spread_inits(2))
+            .adversary(adv.driver())
+            .decide(eps)
+            .decision_round(80);
         let lbd = approx::rules::thm11_lower_bound(d, 2, 1.0, eps);
         t.row(&[
             "Thm 11 (D=2)".into(),
@@ -544,12 +543,14 @@ pub fn async_price_of_rounds(quick: bool) -> String {
     ]);
     for (n, f) in [(4usize, 1usize), (6, 1), (6, 2), (8, 2), (8, 3)] {
         let (lo, hi) = bounds::table1_async_interval(n, f);
-        let mut em = Execution::new(MeanValue, &na_adversary::bipolar_inits(n));
-        let mean_rate = na_adversary::drive_split_omission(&mut em, f, rounds)
+        let mean_rate = Scenario::new(MeanValue, &na_adversary::bipolar_inits(n))
+            .adversary(na_adversary::SplitOmission::new(f))
+            .run(rounds)
             .rates()
             .steady_state;
-        let mut ed = Execution::new(Midpoint, &na_adversary::minority_inits(n, f));
-        let mid_rate = na_adversary::drive_isolate_minority(&mut ed, f, rounds)
+        let mid_rate = Scenario::new(Midpoint, &na_adversary::minority_inits(n, f))
+            .adversary(na_adversary::IsolateMinority::new(f))
+            .run(rounds)
             .rates()
             .steady_state;
         t.row(&[
@@ -645,11 +646,12 @@ pub fn ablation(quick: bool) -> String {
     let g = families::cycle(5);
     let alg = MassSplitting::new(&g);
     let inits = spread_inits(5);
-    let mut exec = Execution::new(alg, &inits);
-    let mut pat = pattern::ConstantPattern::new(g);
-    let trace = exec.run_until_converged(&mut pat, 1e-9, 2000);
+    let mut sc = Scenario::new(alg, &inits)
+        .pattern(pattern::ConstantPattern::new(g))
+        .until_converged(1e-9);
+    let trace = sc.run(2000);
     let avg = inits.iter().map(|p| p[0]).sum::<f64>() / 5.0;
-    let got = exec.outputs()[0][0];
+    let got = sc.execution().outputs_slice()[0][0];
     out.push_str(&format!(
         "\nmass splitting on the fixed 5-cycle (out-degree regular): converged in {} rounds\n\
          to {:.6} (true average {:.6}) {} — a non-convex-combination algorithm that\n\
@@ -674,11 +676,13 @@ pub fn convergence_curves(quick: bool) -> String {
 
     let mut t = Table::new(&["round", "Thm1 δ̂", "Thm1 (1/3)^t", "Thm2 δ̂", "Thm2 (1/2)^t"]);
     let adv1 = adversary::theorem1();
-    let mut e1 = Execution::new(TwoAgentThirds, &spread_inits(2));
-    let tr1 = adv1.drive(&mut e1, steps);
+    let mut s1 = Scenario::new(TwoAgentThirds, &spread_inits(2)).adversary(adv1.driver());
+    s1.advance(steps);
+    let tr1 = s1.driver().record().clone();
     let adv2 = adversary::theorem2(&Digraph::complete(4));
-    let mut e2 = Execution::new(Midpoint, &spread_inits(4));
-    let tr2 = adv2.drive(&mut e2, steps);
+    let mut s2 = Scenario::new(Midpoint, &spread_inits(4)).adversary(adv2.driver());
+    s2.advance(steps);
+    let tr2 = s2.driver().record().clone();
     for k in 0..=steps {
         t.row(&[
             k.to_string(),
@@ -693,8 +697,10 @@ pub fn convergence_curves(quick: bool) -> String {
     // Amortized midpoint under σ-blocks: value spread staircase.
     let n = 6;
     let adv3 = adversary::theorem3(n);
-    let mut e3 = Execution::new(AmortizedMidpoint::for_agents(n), &spread_inits(n));
-    let tr3 = adv3.drive(&mut e3, if quick { 5 } else { 8 });
+    let mut s3 =
+        Scenario::new(AmortizedMidpoint::for_agents(n), &spread_inits(n)).adversary(adv3.driver());
+    s3.advance(if quick { 5 } else { 8 } * adv3.block_len());
+    let tr3 = s3.driver().record().clone();
     let mut t = Table::new(&["σ-block (×4 rounds)", "δ̂ (valency)", "Δ (values)"]);
     for k in 0..tr3.deltas.len() {
         t.row(&[

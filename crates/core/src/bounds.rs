@@ -34,7 +34,7 @@ pub fn theorem3_lower(n: usize) -> f64 {
 }
 
 /// Matching upper bound for rooted models: the amortized midpoint
-/// algorithm contracts at `(1/2)^{1/(n−1)}` per round ([9]).
+/// algorithm contracts at `(1/2)^{1/(n−1)}` per round (\[9\]).
 ///
 /// # Panics
 ///
@@ -72,7 +72,7 @@ pub fn theorem6_lower(n: usize, f: usize) -> f64 {
 }
 
 /// Upper end of Table 1's round-based interval: Fekete-style averaging
-/// achieves `≈ 1/(⌈n/f⌉−1)` per round ([18]; realised here by the
+/// achieves `≈ 1/(⌈n/f⌉−1)` per round (\[18\]; realised here by the
 /// `RoundRule::Mean` executor whose worst case is `f/(n−f)`).
 ///
 /// # Panics

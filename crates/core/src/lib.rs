@@ -27,16 +27,22 @@
 //!
 //! ## Quickstart
 //!
+//! Every experiment is *"an algorithm, driven by a pattern source or
+//! adversary, possibly with faults, measured by a trace"* — the
+//! [`Scenario`](dynamics::Scenario) builder expresses exactly that:
+//!
 //! ```
 //! use tight_bounds_consensus::prelude::*;
 //!
-//! // Midpoint on a random non-split dynamic network: converges, and
-//! // under the Theorem-2 adversary contracts at exactly 1/2.
+//! // Midpoint under the Theorem-2 lower-bound adversary: the valency
+//! // diameter δ̂ contracts at exactly 1/2 per round — the tight bound.
 //! let inits = [Point([0.0]), Point([0.7]), Point([1.0])];
-//! let mut exec = Execution::new(Midpoint, &inits);
 //! let adv = adversary::theorem2(&Digraph::complete(3));
-//! let trace = adv.drive(&mut exec, 8);
-//! assert!((trace.per_round_rate() - 0.5).abs() < 1e-6);
+//! let mut sc = Scenario::new(Midpoint, &inits).adversary(adv.driver());
+//! let trace = sc.run(8);
+//! assert_eq!(trace.rounds(), 8);
+//! let rate = sc.driver().record().per_round_rate();
+//! assert!((rate - 0.5).abs() < 1e-6);
 //! assert!((bounds::table1_nonsplit_lower(3) - 0.5).abs() < 1e-12);
 //! ```
 
@@ -57,12 +63,13 @@ pub mod bounds;
 pub mod prelude {
     pub use crate::bounds;
     pub use consensus_algorithms::{
-        Algorithm, AmortizedMidpoint, MassSplitting, MeanValue, Midpoint, Overshoot, Point,
-        QuantizedMidpoint, SelfWeightedAverage, TrimmedMean, TwoAgentThirds, WindowedMidpoint,
+        Algorithm, AmortizedMidpoint, Inbox, InboxBuffer, MassSplitting, MeanValue, Midpoint,
+        Overshoot, Point, QuantizedMidpoint, SelfWeightedAverage, TrimmedMean, TwoAgentThirds,
+        WindowedMidpoint,
     };
     pub use consensus_approx::{rules as decision_rules, Decider};
     pub use consensus_digraph::{families, Digraph};
-    pub use consensus_dynamics::{pattern, Execution, Trace};
+    pub use consensus_dynamics::{pattern, scenario, Execution, Scenario, Trace};
     pub use consensus_netmodel::{alpha, beta, NetworkModel};
     pub use consensus_valency::{adversary, ProbeSet};
 }

@@ -57,7 +57,7 @@ fn decode(n: usize, mut code: u128) -> Digraph {
 /// Iterates over all **rooted** digraphs on `n` agents.
 ///
 /// This is the largest network model in which asymptotic consensus is
-/// solvable (paper Theorem 1 / [8]).
+/// solvable (paper Theorem 1 / \[8\]).
 ///
 /// # Panics
 ///

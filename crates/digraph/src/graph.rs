@@ -358,7 +358,7 @@ impl Digraph {
 
     /// Whether the graph contains a rooted spanning tree, i.e. `R(G) ≠ ∅`.
     ///
-    /// Theorem 1 of the paper (due to Charron-Bost et al. [8]): asymptotic
+    /// Theorem 1 of the paper (due to Charron-Bost et al. \[8\]): asymptotic
     /// consensus is solvable in a network model iff every graph is rooted.
     #[must_use]
     pub fn is_rooted(&self) -> bool {
@@ -369,7 +369,7 @@ impl Digraph {
 
     /// Whether the graph is *non-split*: any two agents have a common
     /// in-neighbor (§1). Non-split graphs are rooted, and products of
-    /// `n - 1` rooted graphs are non-split ([8], tested in this crate).
+    /// `n - 1` rooted graphs are non-split (\[8\], tested in this crate).
     #[must_use]
     pub fn is_nonsplit(&self) -> bool {
         for i in 0..self.n {

@@ -1,7 +1,7 @@
 //! Property-based tests for the digraph substrate.
 //!
 //! The central property is Charron-Bost et al.'s product lemma (paper §1,
-//! [8]): **any product of n−1 rooted graphs on n agents is non-split** —
+//! \[8\]): **any product of n−1 rooted graphs on n agents is non-split** —
 //! the structural fact behind the amortized midpoint algorithm and the
 //! paper's Theorem 3 tightness discussion.
 
@@ -67,7 +67,7 @@ proptest! {
         }
     }
 
-    /// **Charron-Bost et al. [8]**: any product of n−1 rooted graphs with
+    /// **Charron-Bost et al. \[8\]**: any product of n−1 rooted graphs with
     /// n nodes is non-split. This is the paper's bridge between rooted and
     /// non-split models (§1) and the reason the amortized midpoint
     /// algorithm contracts per macro-round.

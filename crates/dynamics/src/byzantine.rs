@@ -1,22 +1,34 @@
-//! Byzantine value-fault injection for scalar message algorithms.
+//! Byzantine value-fault strategies for scalar message algorithms.
 //!
 //! The paper's lineage starts with Byzantine approximate agreement
-//! (Dolev et al. [14]); its bounds concern benign dynamic faults, but
+//! (Dolev et al. \[14\]); its bounds concern benign dynamic faults, but
 //! the *algorithms* it proves optimal are often deployed where some
-//! senders lie. This harness runs a scalar-message algorithm with a set
-//! of **Byzantine agents** whose outgoing messages are replaced by an
-//! adversarial closure — *two-faced* behaviour included (different lies
-//! to different receivers). Honest agents cannot distinguish lies from
+//! senders lie. A [`ByzantineStrategy`] forges the messages of a set of
+//! Byzantine agents — *two-faced* behaviour included (different lies to
+//! different receivers). Honest agents cannot distinguish lies from
 //! values, which is exactly why the cautious (trimmed) rules of
-//! [14]/[17] exist; the tests and the integration suite show
-//! [`consensus_algorithms::TrimmedMean`] shrugging off `f` liars while
-//! plain averaging is dragged out of the honest hull.
-
-use consensus_algorithms::{Algorithm, Point};
-use consensus_digraph::{AgentSet, Digraph};
-
-use crate::pattern::PatternSource;
-use crate::Trace;
+//! \[14\]/\[17\] exist.
+//!
+//! Fault injection is part of the [`crate::Scenario`] builder:
+//!
+//! ```
+//! use consensus_algorithms::{Point, TrimmedMean};
+//! use consensus_digraph::Digraph;
+//! use consensus_dynamics::byzantine::SplitAttack;
+//! use consensus_dynamics::{pattern::ConstantPattern, Scenario};
+//!
+//! let inits: Vec<Point<1>> = (0..7).map(|i| Point([i as f64 / 6.0])).collect();
+//! let trace = Scenario::new(TrimmedMean::new(2), &inits)
+//!     .pattern(ConstantPattern::new(Digraph::complete(7)))
+//!     .faults(0b1100000, SplitAttack { magnitude: 1e6 })
+//!     .run(40);
+//! assert!(trace.final_diameter() < 1e-6, "honest agents agree");
+//! assert!(trace.validity_holds(1e-9), "…inside the honest hull");
+//! ```
+//!
+//! The integration suite shows [`consensus_algorithms::TrimmedMean`]
+//! shrugging off `f` liars while plain averaging is dragged out of the
+//! honest hull.
 
 /// A Byzantine message strategy: the value agent `byz` sends to
 /// `receiver` in `round` (may differ per receiver — two-faced faults).
@@ -49,96 +61,38 @@ impl ByzantineStrategy for SplitAttack {
     }
 }
 
-/// Runs `alg` for `rounds` rounds under `pattern`, with the agents in
-/// `byzantine` replaced by `strategy`. Returns the trace of the
-/// **honest** agents' outputs (Byzantine outputs are excluded from the
-/// recorded configuration, matching the correct-agents-only conditions
-/// of fault-tolerant agreement).
-///
-/// Only scalar-message algorithms (`Msg = Point<1>`) can be attacked
-/// this way; richer message types would need protocol-specific forgery.
-///
-/// # Panics
-///
-/// Panics if every agent is Byzantine or `inits.len()` exceeds 64.
-pub fn run_with_byzantine<A, P, S>(
-    alg: A,
-    inits: &[Point<1>],
-    pattern: &mut P,
-    byzantine: AgentSet,
-    strategy: &mut S,
-    rounds: usize,
-) -> Trace<1>
-where
-    A: Algorithm<1, Msg = Point<1>>,
-    P: PatternSource,
-    S: ByzantineStrategy,
-{
-    let n = inits.len();
-    assert!((1..=64).contains(&n), "need 1..=64 agents");
-    let honest: Vec<usize> = (0..n).filter(|&i| byzantine & (1 << i) == 0).collect();
-    assert!(!honest.is_empty(), "at least one honest agent required");
-
-    let mut states: Vec<A::State> = inits
-        .iter()
-        .enumerate()
-        .map(|(i, &y0)| alg.init(i, y0))
-        .collect();
-
-    let honest_outputs = |states: &[A::State]| -> Vec<Point<1>> {
-        honest.iter().map(|&i| alg.output(&states[i])).collect()
-    };
-
-    let mut trace = Trace::new(honest_outputs(&states));
-    for r in 1..=rounds as u64 {
-        let g: Digraph = pattern.next_graph(r);
-        assert_eq!(g.n(), n, "graph size must match agent count");
-        let msgs: Vec<Point<1>> = states.iter().map(|s| alg.message(s)).collect();
-        let mut next = states.clone();
-        for &i in &honest {
-            let inbox: Vec<(usize, Point<1>)> = g
-                .in_neighbors(i)
-                .map(|j| {
-                    let v = if byzantine & (1 << j) != 0 {
-                        Point([strategy.forge(r, j, i)])
-                    } else {
-                        msgs[j]
-                    };
-                    (j, v)
-                })
-                .collect();
-            alg.step(i, &mut next[i], &inbox, r);
-        }
-        states = next;
-        trace.record(g, honest_outputs(&states));
-    }
-    trace
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::pattern::ConstantPattern;
-    use consensus_algorithms::{MeanValue, Midpoint, TrimmedMean};
+    use crate::{Scenario, Trace};
+    use consensus_algorithms::{Algorithm, MeanValue, Midpoint, Point, TrimmedMean};
+    use consensus_digraph::{AgentSet, Digraph};
 
     fn honest_inits(n: usize) -> Vec<Point<1>> {
         (0..n).map(|i| Point([i as f64 / (n - 1) as f64])).collect()
+    }
+
+    fn attack<A, S>(alg: A, n: usize, byz: AgentSet, strategy: S, rounds: usize) -> Trace<1>
+    where
+        A: Algorithm<1, Msg = Point<1>>,
+        S: ByzantineStrategy,
+    {
+        Scenario::new(alg, &honest_inits(n))
+            .pattern(ConstantPattern::new(Digraph::complete(n)))
+            .faults(byz, strategy)
+            .run(rounds)
     }
 
     #[test]
     fn trimmed_mean_survives_split_attack() {
         // n = 7, two Byzantine agents, clique: trim = 2 discards the
         // extremes, honest agents converge inside their initial hull.
-        let n = 7;
-        let byz: AgentSet = 0b1100000;
-        let mut strat = SplitAttack { magnitude: 1e6 };
-        let mut pat = ConstantPattern::new(Digraph::complete(n));
-        let trace = run_with_byzantine(
+        let trace = attack(
             TrimmedMean::new(2),
-            &honest_inits(n),
-            &mut pat,
-            byz,
-            &mut strat,
+            7,
+            0b1100000,
+            SplitAttack { magnitude: 1e6 },
             40,
         );
         assert!(trace.final_diameter() < 1e-6, "honest agents agree");
@@ -150,11 +104,7 @@ mod tests {
 
     #[test]
     fn plain_mean_is_dragged_away() {
-        let n = 7;
-        let byz: AgentSet = 0b1100000;
-        let mut strat = SplitAttack { magnitude: 1e6 };
-        let mut pat = ConstantPattern::new(Digraph::complete(n));
-        let trace = run_with_byzantine(MeanValue, &honest_inits(n), &mut pat, byz, &mut strat, 3);
+        let trace = attack(MeanValue, 7, 0b1100000, SplitAttack { magnitude: 1e6 }, 3);
         assert!(
             !trace.validity_holds(1.0),
             "unprotected averaging leaves the honest hull immediately"
@@ -164,11 +114,7 @@ mod tests {
     #[test]
     fn midpoint_is_also_vulnerable() {
         // Midpoint uses the received extremes, so a single liar owns it.
-        let n = 5;
-        let byz: AgentSet = 0b10000;
-        let mut strat = SplitAttack { magnitude: 100.0 };
-        let mut pat = ConstantPattern::new(Digraph::complete(n));
-        let trace = run_with_byzantine(Midpoint, &honest_inits(n), &mut pat, byz, &mut strat, 2);
+        let trace = attack(Midpoint, 5, 0b10000, SplitAttack { magnitude: 100.0 }, 2);
         assert!(!trace.validity_holds(1.0));
     }
 
@@ -177,14 +123,11 @@ mod tests {
         let n = 9;
         let byz: AgentSet = 0b110000000; // agents 7, 8 lie
         for (trim, ok) in [(1usize, false), (2, true)] {
-            let mut strat = SplitAttack { magnitude: 1e3 };
-            let mut pat = ConstantPattern::new(Digraph::complete(n));
-            let trace = run_with_byzantine(
+            let trace = attack(
                 TrimmedMean::new(trim),
-                &honest_inits(n),
-                &mut pat,
+                n,
                 byz,
-                &mut strat,
+                SplitAttack { magnitude: 1e3 },
                 30,
             );
             assert_eq!(
@@ -198,19 +141,21 @@ mod tests {
 
     #[test]
     fn no_byzantine_agents_is_plain_execution() {
-        let n = 4;
-        let mut strat = SplitAttack { magnitude: 1e9 };
-        let mut pat = ConstantPattern::new(Digraph::complete(n));
-        let trace = run_with_byzantine(Midpoint, &honest_inits(n), &mut pat, 0, &mut strat, 5);
+        let trace = attack(Midpoint, 4, 0, SplitAttack { magnitude: 1e9 }, 5);
         assert!(trace.final_diameter() < 1e-12);
         assert!(trace.validity_holds(1e-12));
     }
 
     #[test]
-    #[should_panic(expected = "honest")]
-    fn all_byzantine_rejected() {
-        let mut strat = SplitAttack { magnitude: 1.0 };
-        let mut pat = ConstantPattern::new(Digraph::complete(2));
-        let _ = run_with_byzantine(Midpoint, &honest_inits(2), &mut pat, 0b11, &mut strat, 1);
+    fn closure_strategies_forge_per_receiver() {
+        // A custom two-faced closure: each receiver is told its own id.
+        let trace = attack(
+            Midpoint,
+            4,
+            0b1000,
+            |_round: u64, _byz: usize, receiver: usize| receiver as f64 * 100.0,
+            1,
+        );
+        assert!(!trace.validity_holds(1.0), "lies differ per receiver");
     }
 }

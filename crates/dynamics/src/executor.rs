@@ -1,13 +1,19 @@
 //! The [`Execution`] engine: states, rounds, forking.
 
-use consensus_algorithms::{diameter, Algorithm, Point};
-use consensus_digraph::Digraph;
+use consensus_algorithms::{diameter, Algorithm, Inbox, Point};
+use consensus_digraph::{agents_in, AgentSet, Digraph};
 
+use crate::byzantine::ByzantineStrategy;
 use crate::pattern::PatternSource;
-use crate::Trace;
 
 /// A live execution of an algorithm: one state per agent, advanced one
 /// communication-closed round at a time (paper §2).
+///
+/// `Execution` is the low-level stepper: it owns the per-agent states,
+/// a reused message slate (gathered once per round — stepping performs
+/// **no per-round heap allocation** after warm-up), and a cache of the
+/// current outputs. High-level runs (patterns, adversaries, faults,
+/// decision measurement) go through [`crate::Scenario`].
 ///
 /// `Execution` is [`Clone`] (when the algorithm is), which is how the
 /// valency engine forks a configuration `C` into the different successor
@@ -16,6 +22,13 @@ use crate::Trace;
 pub struct Execution<A: Algorithm<D>, const D: usize> {
     alg: A,
     states: Vec<A::State>,
+    /// Cached `y(t)`, refreshed after every step.
+    outs: Vec<Point<D>>,
+    /// Reused per-round message slate (`msgs[j]` = agent `j`'s broadcast).
+    msgs: Vec<A::Msg>,
+    /// Reused forged-slate scratch for [`Execution::step_with_faults`]
+    /// (empty unless faults are injected).
+    fault_msgs: Vec<A::Msg>,
     round: u64,
 }
 
@@ -29,14 +42,18 @@ impl<A: Algorithm<D>, const D: usize> Execution<A, D> {
     #[must_use]
     pub fn new(alg: A, inits: &[Point<D>]) -> Self {
         assert!(!inits.is_empty() && inits.len() <= 64, "need 1..=64 agents");
-        let states = inits
+        let states: Vec<A::State> = inits
             .iter()
             .enumerate()
             .map(|(i, &y0)| alg.init(i, y0))
             .collect();
+        let outs = states.iter().map(|s| alg.output(s)).collect();
         Execution {
             alg,
             states,
+            outs,
+            msgs: Vec::with_capacity(inits.len()),
+            fault_msgs: Vec::new(),
             round: 0,
         }
     }
@@ -60,16 +77,25 @@ impl<A: Algorithm<D>, const D: usize> Execution<A, D> {
         &self.alg
     }
 
-    /// The current output vector `y(t) = (y_1(t), …, y_n(t))`.
+    /// The current output vector `y(t) = (y_1(t), …, y_n(t))`, borrowed
+    /// from the executor's cache — no allocation.
     #[must_use]
-    pub fn outputs(&self) -> Vec<Point<D>> {
-        self.states.iter().map(|s| self.alg.output(s)).collect()
+    pub fn outputs_slice(&self) -> &[Point<D>] {
+        &self.outs
     }
 
-    /// The current value spread `Δ(y(t))` (paper §2.1).
+    /// The current output vector as an owned `Vec` (a copy of the
+    /// cache). Prefer [`Execution::outputs_slice`] on hot paths.
+    #[must_use]
+    pub fn outputs(&self) -> Vec<Point<D>> {
+        self.outs.clone()
+    }
+
+    /// The current value spread `Δ(y(t))` (paper §2.1). Reads the output
+    /// cache; no allocation.
     #[must_use]
     pub fn value_diameter(&self) -> f64 {
-        diameter(&self.outputs())
+        diameter(&self.outs)
     }
 
     /// Read access to an agent's state (used by state-aware tests).
@@ -82,8 +108,15 @@ impl<A: Algorithm<D>, const D: usize> Execution<A, D> {
         &self.states[agent]
     }
 
-    /// Executes one round with communication graph `g`: collect all
-    /// messages, deliver along `g`'s edges (in-neighbors, self included),
+    fn refresh_outputs(&mut self) {
+        self.outs.clear();
+        let alg = &self.alg;
+        self.outs.extend(self.states.iter().map(|s| alg.output(s)));
+    }
+
+    /// Executes one round with communication graph `g`: gather all
+    /// messages once into the shared slate, hand every agent an
+    /// [`Inbox`] view masked by its in-neighborhood (self included),
     /// apply the transition function everywhere.
     ///
     /// # Panics
@@ -92,63 +125,84 @@ impl<A: Algorithm<D>, const D: usize> Execution<A, D> {
     pub fn step(&mut self, g: &Digraph) {
         assert_eq!(g.n(), self.n(), "graph size must match agent count");
         self.round += 1;
-        let msgs: Vec<A::Msg> = self.states.iter().map(|s| self.alg.message(s)).collect();
+        self.msgs.clear();
+        let alg = &self.alg;
+        self.msgs.extend(self.states.iter().map(|s| alg.message(s)));
         for (i, state) in self.states.iter_mut().enumerate() {
-            let inbox: Vec<(usize, A::Msg)> =
-                g.in_neighbors(i).map(|j| (j, msgs[j].clone())).collect();
-            self.alg.step(i, state, &inbox, self.round);
+            let inbox = Inbox::new(g.in_mask(i), &self.msgs);
+            self.alg.step(i, state, inbox, self.round);
         }
+        self.refresh_outputs();
     }
 
-    /// Runs `rounds` rounds driven by `pattern`, recording a [`Trace`]
-    /// (which includes the configuration *before* the first recorded
-    /// round). The execution can be continued afterwards.
-    pub fn run<P: PatternSource>(&mut self, pattern: &mut P, rounds: usize) -> Trace<D> {
-        let mut trace = Trace::new(self.outputs());
-        for _ in 0..rounds {
-            let g = pattern.next_graph(self.round + 1);
-            self.step(&g);
-            trace.record(g, self.outputs());
-        }
-        trace
-    }
-
-    /// Runs until the value spread drops below `tol` or `max_rounds` is
-    /// reached, whichever comes first.
-    pub fn run_until_converged<P: PatternSource>(
-        &mut self,
-        pattern: &mut P,
-        tol: f64,
-        max_rounds: usize,
-    ) -> Trace<D> {
-        let mut trace = Trace::new(self.outputs());
-        for _ in 0..max_rounds {
-            if self.value_diameter() <= tol {
-                break;
-            }
-            let g = pattern.next_graph(self.round + 1);
-            self.step(&g);
-            trace.record(g, self.outputs());
-        }
-        trace
-    }
-
-    /// Runs under `pattern` until convergence and returns the common
-    /// limit estimate (the centroid of the final outputs). Used by the
-    /// valency engine as “the limit of this continuation”.
+    /// Runs under `pattern` until the spread drops to ≤ `tol` (or
+    /// `max_rounds` elapse) and returns the common limit estimate (the
+    /// centroid of the final outputs). Used by the valency engine as
+    /// "the limit of this continuation"; records no trace and performs
+    /// no per-round allocation beyond the pattern's own graphs.
     pub fn limit_estimate<P: PatternSource>(
         &mut self,
         pattern: &mut P,
         tol: f64,
         max_rounds: usize,
     ) -> Point<D> {
-        self.run_until_converged(pattern, tol, max_rounds);
-        let outs = self.outputs();
+        for _ in 0..max_rounds {
+            if self.value_diameter() <= tol {
+                break;
+            }
+            let g = pattern.next_graph(self.round + 1);
+            self.step(&g);
+        }
         let mut acc = Point::ZERO;
-        for p in &outs {
+        for p in &self.outs {
             acc += *p;
         }
-        acc * (1.0 / outs.len() as f64)
+        acc * (1.0 / self.outs.len() as f64)
+    }
+}
+
+impl<A: Algorithm<1, Msg = Point<1>>> Execution<A, 1> {
+    /// Executes one round with the agents in `byzantine` replaced by
+    /// `strategy`: honest agents receive the slate with the liars' slots
+    /// overwritten by forged values (per receiver — two-faced faults),
+    /// Byzantine agents' states are frozen. Only scalar-message
+    /// algorithms can be attacked this way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g.n() != self.n()` or every agent is Byzantine.
+    pub fn step_with_faults(
+        &mut self,
+        g: &Digraph,
+        byzantine: AgentSet,
+        strategy: &mut dyn ByzantineStrategy,
+    ) {
+        assert_eq!(g.n(), self.n(), "graph size must match agent count");
+        let n = self.n();
+        let all: AgentSet = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let honest = all & !byzantine;
+        assert!(honest != 0, "at least one honest agent required");
+        self.round += 1;
+        self.msgs.clear();
+        let alg = &self.alg;
+        self.msgs.extend(self.states.iter().map(|s| alg.message(s)));
+        // Reused scratch slate: forge only the liars' slots per receiver
+        // (two-faced strategies send different lies to each agent) and
+        // restore them afterwards — O(f) per receiver, no allocation.
+        self.fault_msgs.clear();
+        self.fault_msgs.extend(self.msgs.iter().copied());
+        for i in agents_in(honest) {
+            let forged = g.in_mask(i) & byzantine;
+            for j in agents_in(forged) {
+                self.fault_msgs[j] = Point([strategy.forge(self.round, j, i)]);
+            }
+            let inbox = Inbox::new(g.in_mask(i), &self.fault_msgs);
+            self.alg.step(i, &mut self.states[i], inbox, self.round);
+            for j in agents_in(forged) {
+                self.fault_msgs[j] = self.msgs[j];
+            }
+        }
+        self.refresh_outputs();
     }
 }
 
@@ -157,7 +211,7 @@ impl<A: Algorithm<D> + std::fmt::Debug, const D: usize> std::fmt::Debug for Exec
         f.debug_struct("Execution")
             .field("alg", &self.alg)
             .field("round", &self.round)
-            .field("outputs", &self.outputs())
+            .field("outputs", &self.outs)
             .finish()
     }
 }
@@ -166,6 +220,7 @@ impl<A: Algorithm<D> + std::fmt::Debug, const D: usize> std::fmt::Debug for Exec
 mod tests {
     use super::*;
     use crate::pattern::{ConstantPattern, PeriodicPattern};
+    use crate::Scenario;
     use consensus_algorithms::{MeanValue, Midpoint, TwoAgentThirds};
     use consensus_digraph::families;
 
@@ -201,27 +256,29 @@ mod tests {
     #[test]
     fn two_agent_thirds_under_h1() {
         let [_, h1, _] = families::two_agent();
-        let mut e = Execution::new(TwoAgentThirds, &pts(&[0.0, 1.0]));
-        let trace = e.run(&mut ConstantPattern::new(h1), 12);
+        let trace = Scenario::new(TwoAgentThirds, &pts(&[0.0, 1.0]))
+            .pattern(ConstantPattern::new(h1))
+            .run(12);
         let rate = trace.rates().t_root;
         assert!((rate - 1.0 / 3.0).abs() < 1e-9, "rate = {rate}");
     }
 
     #[test]
-    fn run_until_converged_stops_early() {
-        let mut e = Execution::new(Midpoint, &pts(&[0.0, 8.0]));
-        let mut p = ConstantPattern::new(Digraph::complete(2));
-        let trace = e.run_until_converged(&mut p, 1e-9, 1_000);
+    fn until_converged_stops_early() {
+        let mut sc = Scenario::new(Midpoint, &pts(&[0.0, 8.0]))
+            .pattern(ConstantPattern::new(Digraph::complete(2)))
+            .until_converged(1e-9);
+        let trace = sc.run(1_000);
         assert!(trace.rounds() <= 2, "clique agreement is immediate");
-        assert!(e.value_diameter() <= 1e-9);
+        assert!(sc.execution().value_diameter() <= 1e-9);
     }
 
     #[test]
     fn periodic_pattern_cycles() {
         let [h0, h1, h2] = families::two_agent();
-        let mut e = Execution::new(MeanValue, &pts(&[0.0, 1.0]));
-        let mut p = PeriodicPattern::new(vec![h0, h1, h2]);
-        let trace = e.run(&mut p, 6);
+        let trace = Scenario::new(MeanValue, &pts(&[0.0, 1.0]))
+            .pattern(PeriodicPattern::new(vec![h0, h1, h2]))
+            .run(6);
         assert_eq!(trace.rounds(), 6);
         assert!(trace.final_diameter() < trace.initial_diameter());
     }
@@ -243,6 +300,15 @@ mod tests {
         let mut p = ConstantPattern::new(Digraph::complete(2));
         let lim = e.limit_estimate(&mut p, 1e-12, 100);
         assert!((lim[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outputs_slice_matches_outputs() {
+        let mut e = Execution::new(Midpoint, &pts(&[0.0, 1.0, 0.4]));
+        assert_eq!(e.outputs_slice(), e.outputs().as_slice());
+        e.step(&Digraph::complete(3));
+        assert_eq!(e.outputs_slice(), e.outputs().as_slice());
+        assert_eq!(e.outputs_slice().len(), 3);
     }
 
     #[test]

@@ -2,34 +2,43 @@
 //! networks.
 //!
 //! This crate implements the computational model of the paper's §2 (in
-//! the spirit of the Heard-Of model [10]): computation proceeds in
+//! the spirit of the Heard-Of model \[10\]): computation proceeds in
 //! communication-closed rounds; in round `t` the adversary picks a
 //! communication graph `G_t` from the network model, every agent sends
 //! its message to its out-neighbors, receives from its in-neighbors
 //! (always including itself), and applies its deterministic transition
 //! function.
 //!
-//! * [`Execution`] — the live system: per-agent states, single-round
-//!   stepping, forking (for valency probes);
+//! * [`Scenario`] — **the** entry point: a builder over *algorithm ×
+//!   driver × faults × stop condition* that runs any experiment shape
+//!   of the paper and returns a [`Trace`];
+//! * [`Execution`] — the low-level stepper: per-agent states,
+//!   zero-allocation single-round stepping over a shared message slate,
+//!   forking (for valency probes);
+//! * [`scenario::Driver`] — the graph-choice abstraction behind
+//!   [`Scenario`]: pattern replay, state-dependent topologies, and the
+//!   probing lower-bound adversaries all implement it;
 //! * [`pattern`] — [`pattern::PatternSource`] implementations: constant,
 //!   periodic, sequential, sampled-random patterns;
 //! * [`Trace`] — the recorded run: per-round outputs, diameters
 //!   `Δ(y(t))`, and contraction-rate estimators matching the paper's
 //!   `sup_E limsup_t (δ(C_t))^{1/t}` definition (§3);
-//! * [`byzantine`] — value-fault injection (two-faced senders) for the
-//!   cautious-rule experiments tied to the Byzantine lineage [14].
+//! * [`byzantine`] — value-fault strategies (two-faced senders) for the
+//!   cautious-rule experiments tied to the Byzantine lineage \[14\],
+//!   injected via [`Scenario::faults`].
 //!
 //! # Example
 //!
 //! ```
 //! use consensus_algorithms::{Midpoint, Point};
 //! use consensus_digraph::Digraph;
-//! use consensus_dynamics::{pattern::ConstantPattern, Execution};
+//! use consensus_dynamics::{pattern::ConstantPattern, Scenario};
 //!
 //! // Midpoint on a 3-clique: exact agreement after one round.
 //! let inits = [Point([0.0]), Point([1.0]), Point([0.25])];
-//! let mut exec = Execution::new(Midpoint, &inits);
-//! let trace = exec.run(&mut ConstantPattern::new(Digraph::complete(3)), 1);
+//! let trace = Scenario::new(Midpoint, &inits)
+//!     .pattern(ConstantPattern::new(Digraph::complete(3)))
+//!     .run(1);
 //! assert!(trace.final_diameter() < 1e-15);
 //! ```
 
@@ -39,7 +48,9 @@
 pub mod byzantine;
 mod executor;
 pub mod pattern;
+pub mod scenario;
 mod trace;
 
 pub use executor::Execution;
+pub use scenario::{FaultyScenario, Scenario};
 pub use trace::{RateEstimate, Trace};

@@ -15,6 +15,12 @@ pub trait PatternSource {
     fn next_graph(&mut self, round: u64) -> Digraph;
 }
 
+impl<P: PatternSource + ?Sized> PatternSource for &mut P {
+    fn next_graph(&mut self, round: u64) -> Digraph {
+        (**self).next_graph(round)
+    }
+}
+
 /// The constant pattern `G, G, G, …`.
 #[derive(Debug, Clone)]
 pub struct ConstantPattern {
@@ -129,7 +135,9 @@ impl<S> std::fmt::Debug for RandomPattern<S> {
     }
 }
 
-/// A uniformly random walk over a [`PatternAutomaton`] — samples
+/// A uniformly random walk over a
+/// [`PatternAutomaton`](consensus_netmodel::property::PatternAutomaton) —
+/// samples
 /// patterns from a §6.1 property (e.g. `P_seq`, the σ-block property of
 /// Theorem 3).
 pub struct AutomatonPattern {

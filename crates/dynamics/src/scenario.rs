@@ -1,0 +1,517 @@
+//! The unified [`Scenario`] driver: one builder for every experiment
+//! shape of the paper.
+//!
+//! Every lower-bound experiment is *"an algorithm, driven by a pattern
+//! source or adversary, possibly with faults, measured by a trace"*.
+//! [`Scenario`] expresses exactly that shape:
+//!
+//! ```text
+//! Scenario::new(alg, &inits)
+//!     .pattern(p)      // graphs from a PatternSource, or
+//!     .graphs(f)       // graphs computed from the live state, or
+//!     .adversary(d)    // any Driver (e.g. the valency adversaries)
+//!     .decide(eps)     // optional: stop at the first spread ≤ ε
+//!     .faults(b, s)    // optional: Byzantine senders (scalar messages)
+//!     .run(rounds)     // -> Trace
+//! ```
+//!
+//! The graph choice per round-block is abstracted by the [`Driver`]
+//! trait, so pattern sources, state-dependent schedulers (the `N_A`
+//! adversaries of `consensus-asyncsim`) and the valency-probing proof
+//! adversaries of `consensus-valency` all drive the same loop.
+
+use consensus_algorithms::{Algorithm, Point};
+use consensus_digraph::{agents_in, AgentSet, Digraph};
+
+use crate::byzantine::ByzantineStrategy;
+use crate::pattern::PatternSource;
+use crate::{Execution, Trace};
+
+/// Chooses the communication graphs of an execution, one block of
+/// rounds at a time (blocks have length 1 for ordinary patterns; the
+/// Theorem-3 adversary moves in σ-blocks of `n − 2` rounds).
+///
+/// Implementors see the *current* execution, so choices may depend on
+/// live state — probing adversaries fork it, value-aware schedulers
+/// sort by it, plain patterns ignore it.
+pub trait Driver<A: Algorithm<D>, const D: usize> {
+    /// Rounds per block (≥ 1). Stop conditions are checked at block
+    /// boundaries, matching the paper's per-(macro-)round granularity.
+    fn block_len(&self) -> usize {
+        1
+    }
+
+    /// Appends the next block's graphs (exactly [`Driver::block_len`]
+    /// of them) to `out`.
+    fn next_block(&mut self, exec: &Execution<A, D>, out: &mut Vec<Digraph>);
+
+    /// Called once after each block has been applied (bookkeeping hook;
+    /// the valency adversary records value spreads here).
+    fn observe(&mut self, exec: &Execution<A, D>) {
+        let _ = exec;
+    }
+}
+
+/// A [`Driver`] that replays a [`PatternSource`], one graph per round.
+#[derive(Debug, Clone)]
+pub struct PatternDriver<P>(pub P);
+
+impl<A: Algorithm<D>, const D: usize, P: PatternSource> Driver<A, D> for PatternDriver<P> {
+    fn next_block(&mut self, exec: &Execution<A, D>, out: &mut Vec<Digraph>) {
+        out.push(self.0.next_graph(exec.round() + 1));
+    }
+}
+
+/// A [`Driver`] that computes each round's graph from the live
+/// execution — proximity topologies, bounded-confidence influence
+/// graphs, value-aware schedulers.
+#[derive(Debug, Clone)]
+pub struct FnDriver<F>(pub F);
+
+impl<A: Algorithm<D>, const D: usize, F> Driver<A, D> for FnDriver<F>
+where
+    F: FnMut(&Execution<A, D>) -> Digraph,
+{
+    fn next_block(&mut self, exec: &Execution<A, D>, out: &mut Vec<Digraph>) {
+        out.push((self.0)(exec));
+    }
+}
+
+/// The builder state before a driver is chosen ([`Scenario::new`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoDriver;
+
+/// One configured experiment: an algorithm, a graph [`Driver`], and
+/// optional stop conditions — the single entry point subsuming the
+/// former `Execution::run`, `Execution::run_until_converged`,
+/// `GreedyValencyAdversary::drive` and
+/// `measure::minimal_decision_round` APIs.
+///
+/// # Example
+///
+/// ```
+/// use consensus_algorithms::{Midpoint, Point};
+/// use consensus_digraph::Digraph;
+/// use consensus_dynamics::{pattern::ConstantPattern, Scenario};
+///
+/// let inits = [Point([0.0]), Point([1.0]), Point([0.25])];
+/// let trace = Scenario::new(Midpoint, &inits)
+///     .pattern(ConstantPattern::new(Digraph::complete(3)))
+///     .run(1);
+/// assert!(trace.final_diameter() < 1e-15);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario<A: Algorithm<D>, Dr, const D: usize> {
+    exec: Execution<A, D>,
+    driver: Dr,
+    stop_below: Option<f64>,
+    /// Scratch block buffer, reused across blocks.
+    blocks: Vec<Digraph>,
+}
+
+impl<A: Algorithm<D>, const D: usize> Scenario<A, NoDriver, D> {
+    /// Starts a scenario of `alg` from the given initial values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inits` is empty or has more than 64 agents.
+    #[must_use]
+    pub fn new(alg: A, inits: &[Point<D>]) -> Self {
+        Self::resume(Execution::new(alg, inits))
+    }
+
+    /// Continues from an existing (possibly forked or partially run)
+    /// execution.
+    #[must_use]
+    pub fn resume(exec: Execution<A, D>) -> Self {
+        Scenario {
+            exec,
+            driver: NoDriver,
+            stop_below: None,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Drives the scenario with a [`PatternSource`], one graph per
+    /// round.
+    #[must_use]
+    pub fn pattern<P: PatternSource>(self, pattern: P) -> Scenario<A, PatternDriver<P>, D> {
+        self.adversary(PatternDriver(pattern))
+    }
+
+    /// Drives the scenario with a graph computed from the live
+    /// execution each round.
+    #[must_use]
+    pub fn graphs<F>(self, next: F) -> Scenario<A, FnDriver<F>, D>
+    where
+        F: FnMut(&Execution<A, D>) -> Digraph,
+    {
+        self.adversary(FnDriver(next))
+    }
+
+    /// Drives the scenario with an arbitrary [`Driver`] — typically a
+    /// lower-bound adversary (`GreedyValencyAdversary::driver()` in
+    /// `consensus-valency`, the `N_A` schedulers in
+    /// `consensus-asyncsim`).
+    #[must_use]
+    pub fn adversary<Dr: Driver<A, D>>(self, driver: Dr) -> Scenario<A, Dr, D> {
+        Scenario {
+            exec: self.exec,
+            driver,
+            stop_below: self.stop_below,
+            blocks: self.blocks,
+        }
+    }
+}
+
+impl<A: Algorithm<D>, Dr, const D: usize> Scenario<A, Dr, D> {
+    /// Stops runs at the first block boundary where the value spread is
+    /// ≤ `eps` — the decision event of approximate consensus (§9). The
+    /// resulting trace ends at the minimal safe decision round;
+    /// [`Scenario::decision_round`] returns it directly.
+    #[must_use]
+    pub fn decide(mut self, eps: f64) -> Self {
+        self.stop_below = Some(eps);
+        self
+    }
+
+    /// Stops runs once the value spread is ≤ `tol` (alias of
+    /// [`Scenario::decide`] named for convergence studies).
+    #[must_use]
+    pub fn until_converged(self, tol: f64) -> Self {
+        self.decide(tol)
+    }
+
+    /// The underlying execution (current states, round count, outputs).
+    #[must_use]
+    pub fn execution(&self) -> &Execution<A, D> {
+        &self.exec
+    }
+
+    /// Consumes the scenario, returning the execution for inspection or
+    /// further (differently driven) continuation.
+    #[must_use]
+    pub fn into_execution(self) -> Execution<A, D> {
+        self.exec
+    }
+
+    /// The driver — e.g. to read the valency adversary's δ̂ record
+    /// after a run.
+    #[must_use]
+    pub fn driver(&self) -> &Dr {
+        &self.driver
+    }
+
+    /// Mutable access to the driver.
+    #[must_use]
+    pub fn driver_mut(&mut self) -> &mut Dr {
+        &mut self.driver
+    }
+}
+
+/// The one driver loop behind every run variant: choose a block, apply
+/// it round by round, record, observe — with the stop threshold checked
+/// at block boundaries. [`Scenario`] and [`FaultyScenario`] differ only
+/// in the `spread`/`step`/`record` closures they plug in.
+#[allow(clippy::too_many_arguments)]
+fn drive_loop<A: Algorithm<D>, Dr: Driver<A, D>, const D: usize>(
+    exec: &mut Execution<A, D>,
+    driver: &mut Dr,
+    blocks: &mut Vec<Digraph>,
+    stop_below: Option<f64>,
+    max_rounds: usize,
+    spread: &mut dyn FnMut(&Execution<A, D>) -> f64,
+    step: &mut dyn FnMut(&mut Execution<A, D>, &Digraph),
+    record: &mut dyn FnMut(&Execution<A, D>, Digraph),
+) -> usize {
+    let mut done = 0;
+    while done < max_rounds {
+        if let Some(stop) = stop_below {
+            if spread(exec) <= stop {
+                break;
+            }
+        }
+        blocks.clear();
+        driver.next_block(exec, blocks);
+        assert!(
+            !blocks.is_empty(),
+            "driver must supply at least one graph per block"
+        );
+        for g in blocks.drain(..) {
+            step(exec, &g);
+            done += 1;
+            record(exec, g);
+        }
+        driver.observe(exec);
+    }
+    done
+}
+
+impl<A: Algorithm<D>, Dr: Driver<A, D>, const D: usize> Scenario<A, Dr, D> {
+    fn drive(&mut self, max_rounds: usize, mut trace: Option<&mut Trace<D>>) -> usize {
+        drive_loop(
+            &mut self.exec,
+            &mut self.driver,
+            &mut self.blocks,
+            self.stop_below,
+            max_rounds,
+            &mut |e| e.value_diameter(),
+            &mut |e, g| e.step(g),
+            &mut |e, g| {
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record(g, e.outputs());
+                }
+            },
+        )
+    }
+
+    /// Runs up to `max_rounds` rounds (whole blocks; a final partial
+    /// horizon is rounded up to the block length) or until the
+    /// configured stop threshold is reached, recording a [`Trace`].
+    /// The scenario can be continued afterwards.
+    pub fn run(&mut self, max_rounds: usize) -> Trace<D> {
+        let mut trace = Trace::new(self.exec.outputs());
+        self.drive(max_rounds, Some(&mut trace));
+        trace
+    }
+
+    /// Like [`Scenario::run`] but records nothing — the allocation-free
+    /// variant for rate measurement and probing. Returns the number of
+    /// rounds executed.
+    pub fn advance(&mut self, max_rounds: usize) -> usize {
+        self.drive(max_rounds, None)
+    }
+
+    /// Runs until the spread drops to ≤ the [`Scenario::decide`]
+    /// threshold and returns the first qualifying round (checked at
+    /// block boundaries, matching the per-(macro-)round granularity of
+    /// Theorems 8–11), or `None` if `max_rounds` is exhausted first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no `decide`/`until_converged` threshold is configured.
+    pub fn decision_round(&mut self, max_rounds: usize) -> Option<u64> {
+        let eps = self
+            .stop_below
+            .expect("decision_round requires .decide(eps)");
+        self.advance(max_rounds);
+        (self.exec.value_diameter() <= eps).then(|| self.exec.round())
+    }
+}
+
+impl<A: Algorithm<1, Msg = Point<1>>, Dr> Scenario<A, Dr, 1> {
+    /// Replaces the outgoing messages of the agents in `byzantine` with
+    /// forgeries from `strategy` (two-faced faults included). Only
+    /// scalar-message algorithms can be attacked this way; the
+    /// resulting [`FaultyScenario`] traces **honest** outputs only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every agent is Byzantine.
+    #[must_use]
+    pub fn faults<S: ByzantineStrategy>(
+        self,
+        byzantine: AgentSet,
+        strategy: S,
+    ) -> FaultyScenario<A, Dr, S> {
+        let n = self.exec.n();
+        let all: AgentSet = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        assert!(all & !byzantine != 0, "at least one honest agent required");
+        FaultyScenario {
+            exec: self.exec,
+            driver: self.driver,
+            byzantine,
+            strategy,
+            stop_below: self.stop_below,
+            blocks: self.blocks,
+        }
+    }
+}
+
+/// A [`Scenario`] with Byzantine value faults: the configured agents'
+/// messages are forged per receiver, and the recorded trace contains
+/// the **honest** agents' outputs only (matching the correct-agents
+/// conditions of fault-tolerant agreement).
+#[derive(Debug)]
+pub struct FaultyScenario<A: Algorithm<1, Msg = Point<1>>, Dr, S> {
+    exec: Execution<A, 1>,
+    driver: Dr,
+    byzantine: AgentSet,
+    strategy: S,
+    stop_below: Option<f64>,
+    blocks: Vec<Digraph>,
+}
+
+impl<A, Dr, S> FaultyScenario<A, Dr, S>
+where
+    A: Algorithm<1, Msg = Point<1>>,
+    Dr: Driver<A, 1>,
+    S: ByzantineStrategy,
+{
+    fn honest_outputs(exec: &Execution<A, 1>, byzantine: AgentSet) -> Vec<Point<1>> {
+        exec.outputs_slice()
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| byzantine & (1u64 << i) == 0)
+            .map(|(_, &p)| p)
+            .collect()
+    }
+
+    /// The honest agents' value spread, computed without allocating
+    /// (`Δ` over scalars is `max − min`).
+    fn honest_spread(exec: &Execution<A, 1>, byzantine: AgentSet) -> f64 {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (i, p) in exec.outputs_slice().iter().enumerate() {
+            if byzantine & (1u64 << i) == 0 {
+                lo = lo.min(p[0]);
+                hi = hi.max(p[0]);
+            }
+        }
+        (hi - lo).max(0.0)
+    }
+
+    /// Runs up to `max_rounds` rounds under the driver with fault
+    /// injection, recording the honest agents' trace.
+    pub fn run(&mut self, max_rounds: usize) -> Trace<1> {
+        let byz = self.byzantine;
+        let mut trace = Trace::new(Self::honest_outputs(&self.exec, byz));
+        let strategy = &mut self.strategy;
+        drive_loop(
+            &mut self.exec,
+            &mut self.driver,
+            &mut self.blocks,
+            self.stop_below,
+            max_rounds,
+            &mut |e| Self::honest_spread(e, byz),
+            &mut |e, g| e.step_with_faults(g, byz, &mut *strategy),
+            &mut |e, g| trace.record(g, Self::honest_outputs(e, byz)),
+        );
+        trace
+    }
+
+    /// The underlying execution (all agents, liars included).
+    #[must_use]
+    pub fn execution(&self) -> &Execution<A, 1> {
+        &self.exec
+    }
+
+    /// The honest agents, ascending (their outputs' order in the
+    /// trace).
+    pub fn honest_agents(&self) -> impl Iterator<Item = usize> + '_ {
+        let n = self.exec.n();
+        let all: AgentSet = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        agents_in(all & !self.byzantine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::byzantine::SplitAttack;
+    use crate::pattern::ConstantPattern;
+    use consensus_algorithms::{MeanValue, Midpoint, TrimmedMean};
+    use consensus_digraph::families;
+
+    fn pts(vals: &[f64]) -> Vec<Point<1>> {
+        vals.iter().map(|&v| Point([v])).collect()
+    }
+
+    #[test]
+    fn pattern_run_records_every_round() {
+        let trace = Scenario::new(Midpoint, &pts(&[0.0, 1.0, 0.4]))
+            .pattern(ConstantPattern::new(Digraph::complete(3)))
+            .run(5);
+        assert_eq!(trace.rounds(), 5);
+        assert!(trace.final_diameter() < 1e-12);
+    }
+
+    #[test]
+    fn decide_stops_at_first_sub_eps_round() {
+        // Midpoint under the deaf graph halves per round: Δ/ε = 8 needs
+        // exactly 3 rounds.
+        let f0 = Digraph::complete(3).make_deaf(0);
+        let mut sc = Scenario::new(Midpoint, &pts(&[0.0, 1.0, 1.0]))
+            .pattern(ConstantPattern::new(f0))
+            .decide(1.0 / 8.0);
+        assert_eq!(sc.decision_round(64), Some(3));
+    }
+
+    #[test]
+    fn decision_round_zero_when_already_agreed() {
+        let mut sc = Scenario::new(Midpoint, &pts(&[0.4, 0.4]))
+            .pattern(ConstantPattern::new(Digraph::complete(2)))
+            .decide(1e-3);
+        assert_eq!(sc.decision_round(8), Some(0));
+    }
+
+    #[test]
+    fn decision_round_none_when_unreachable() {
+        let f0 = Digraph::complete(2).make_deaf(0);
+        let mut sc = Scenario::new(Midpoint, &pts(&[0.0, 1.0]))
+            .pattern(ConstantPattern::new(f0))
+            .decide(1e-12);
+        assert_eq!(sc.decision_round(4), None);
+    }
+
+    #[test]
+    fn graphs_driver_sees_live_state() {
+        // Make the lowest-valued agent deaf each round: state-dependent
+        // topology.
+        let mut sc = Scenario::new(MeanValue, &pts(&[0.0, 1.0, 0.5])).graphs(|e| {
+            let outs = e.outputs_slice();
+            let lowest = (0..e.n())
+                .min_by(|&a, &b| outs[a][0].total_cmp(&outs[b][0]))
+                .expect("non-empty");
+            Digraph::complete(3).make_deaf(lowest)
+        });
+        let trace = sc.run(30);
+        assert!(trace.validity_holds(1e-9));
+        assert!(trace.final_diameter() < trace.initial_diameter());
+    }
+
+    #[test]
+    fn advance_matches_run_without_recording() {
+        let mut a = Scenario::new(Midpoint, &pts(&[0.0, 1.0, 0.3]))
+            .pattern(ConstantPattern::new(families::cycle(3)));
+        let mut b = Scenario::new(Midpoint, &pts(&[0.0, 1.0, 0.3]))
+            .pattern(ConstantPattern::new(families::cycle(3)));
+        let trace = a.run(7);
+        assert_eq!(b.advance(7), 7);
+        assert_eq!(a.execution().outputs_slice(), b.execution().outputs_slice());
+        assert_eq!(trace.rounds(), 7);
+    }
+
+    #[test]
+    fn resume_continues_forked_execution() {
+        let mut e = Execution::new(Midpoint, &pts(&[0.0, 1.0]));
+        e.step(&Digraph::complete(2));
+        let trace = Scenario::resume(e.clone())
+            .pattern(ConstantPattern::new(Digraph::complete(2)))
+            .run(3);
+        assert_eq!(trace.rounds(), 3);
+        assert_eq!(trace.outputs_at(0), e.outputs_slice());
+    }
+
+    #[test]
+    fn faulty_scenario_traces_honest_agents_only() {
+        let n = 7;
+        let byz: AgentSet = 0b1100000;
+        let inits: Vec<Point<1>> = (0..n).map(|i| Point([i as f64 / (n - 1) as f64])).collect();
+        let mut sc = Scenario::new(TrimmedMean::new(2), &inits)
+            .pattern(ConstantPattern::new(Digraph::complete(n)))
+            .faults(byz, SplitAttack { magnitude: 1e6 });
+        let trace = sc.run(40);
+        assert_eq!(trace.outputs_at(0).len(), 5, "5 honest agents");
+        assert!(trace.final_diameter() < 1e-6, "honest agents agree");
+        assert!(trace.validity_holds(1e-9), "honest hull respected");
+    }
+
+    #[test]
+    #[should_panic(expected = "honest")]
+    fn all_byzantine_rejected() {
+        let _ = Scenario::new(Midpoint, &pts(&[0.0, 1.0]))
+            .pattern(ConstantPattern::new(Digraph::complete(2)))
+            .faults(0b11, SplitAttack { magnitude: 1.0 });
+    }
+}

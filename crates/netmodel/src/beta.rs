@@ -170,7 +170,7 @@ pub struct SolvabilityReport {
     /// Number of graphs in the model.
     pub model_size: usize,
     /// Whether every graph is rooted (asymptotic consensus solvable,
-    /// paper Theorem 1 / [8]).
+    /// paper Theorem 1 / \[8\]).
     pub asymptotic_solvable: bool,
     /// β-class sizes, sorted descending.
     pub beta_class_sizes: Vec<usize>,

@@ -207,7 +207,7 @@ impl NetworkModel {
         self.index.get(g).copied()
     }
 
-    /// Whether every graph is rooted — by Theorem 1 (due to [8]) this is
+    /// Whether every graph is rooted — by Theorem 1 (due to \[8\]) this is
     /// equivalent to asymptotic (and approximate) consensus being solvable
     /// in the model.
     #[must_use]

@@ -53,7 +53,7 @@ impl RootedSampler {
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0`, `n > 64`, or `density ∉ [0, 1]`.
+    /// Panics if `n == 0`, `n > 64`, or `density ∉ \[0, 1\]`.
     #[must_use]
     pub fn new(n: usize, density: f64) -> Self {
         assert!((1..=64).contains(&n));
@@ -110,7 +110,7 @@ impl NonsplitSampler {
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0`, `n > 64`, or `density ∉ [0, 1]`.
+    /// Panics if `n == 0`, `n > 64`, or `density ∉ \[0, 1\]`.
     #[must_use]
     pub fn new(n: usize, density: f64) -> Self {
         assert!((1..=64).contains(&n));

@@ -10,6 +10,7 @@
 
 use consensus_algorithms::Algorithm;
 use consensus_digraph::{families, Digraph};
+use consensus_dynamics::scenario::Driver;
 use consensus_dynamics::Execution;
 use consensus_netmodel::alpha::AlphaAnalysis;
 use consensus_netmodel::NetworkModel;
@@ -83,8 +84,27 @@ impl GreedyValencyAdversary {
         &self.probes
     }
 
+    /// A fresh [`Driver`] for this adversary, to plug into
+    /// [`consensus_dynamics::Scenario::adversary`]. The driver records
+    /// an [`AdversaryTrace`] (`δ̂` per step) as it chooses; read it back
+    /// with [`ValencyDriver::record`] after the run.
+    #[must_use]
+    pub fn driver(&self) -> ValencyDriver<'_> {
+        ValencyDriver {
+            adv: self,
+            record: AdversaryTrace {
+                block_len: self.block_len,
+                deltas: Vec::new(),
+                value_diameters: Vec::new(),
+                chosen: Vec::new(),
+            },
+        }
+    }
+
     /// Drives `exec` for `steps` adversary steps (`steps · block_len`
-    /// rounds), returning the recorded valency diameters.
+    /// rounds), returning the recorded valency diameters. Low-level
+    /// form of `Scenario::new(..).adversary(adv.driver())` for callers
+    /// that already hold an [`Execution`].
     pub fn drive<A, const D: usize>(
         &self,
         exec: &mut Execution<A, D>,
@@ -93,33 +113,87 @@ impl GreedyValencyAdversary {
     where
         A: Algorithm<D> + Clone,
     {
-        let mut trace = AdversaryTrace {
-            block_len: self.block_len,
-            deltas: vec![self.probes.estimate(exec).diameter()],
-            value_diameters: vec![exec.value_diameter()],
-            chosen: Vec::new(),
-        };
+        let mut driver = self.driver();
+        driver.sample_initial(exec);
+        let mut block = Vec::new();
         for _ in 0..steps {
-            let mut best: Option<(usize, f64)> = None;
-            for (ci, cand) in self.candidates.iter().enumerate() {
-                let mut fork = exec.clone();
-                for g in &cand.graphs {
-                    fork.step(g);
-                }
-                let d = self.probes.estimate(&fork).diameter();
-                if best.is_none_or(|(_, bd)| d > bd) {
-                    best = Some((ci, d));
-                }
+            block.clear();
+            Driver::next_block(&mut driver, exec, &mut block);
+            for g in block.drain(..) {
+                exec.step(&g);
             }
-            let (ci, d) = best.expect("at least one candidate");
-            for g in &self.candidates[ci].graphs {
-                exec.step(g);
-            }
-            trace.deltas.push(d);
-            trace.value_diameters.push(exec.value_diameter());
-            trace.chosen.push(ci);
+            Driver::observe(&mut driver, exec);
         }
-        trace
+        driver.into_record()
+    }
+}
+
+/// The [`Driver`] view of a [`GreedyValencyAdversary`]: each block it
+/// forks the execution once per candidate move, estimates the valency
+/// diameter `δ̂` of each successor, commits the best one, and records
+/// the chosen `δ̂` into an [`AdversaryTrace`].
+#[derive(Debug, Clone)]
+pub struct ValencyDriver<'a> {
+    adv: &'a GreedyValencyAdversary,
+    record: AdversaryTrace,
+}
+
+impl ValencyDriver<'_> {
+    /// The `δ̂`/`Δ` record accumulated so far (index 0 is the initial
+    /// configuration once the first block has been chosen).
+    #[must_use]
+    pub fn record(&self) -> &AdversaryTrace {
+        &self.record
+    }
+
+    /// Consumes the driver, returning the accumulated record.
+    #[must_use]
+    pub fn into_record(self) -> AdversaryTrace {
+        self.record
+    }
+
+    fn sample_initial<A, const D: usize>(&mut self, exec: &Execution<A, D>)
+    where
+        A: Algorithm<D> + Clone,
+    {
+        if self.record.deltas.is_empty() {
+            self.record
+                .deltas
+                .push(self.adv.probes.estimate(exec).diameter());
+            self.record.value_diameters.push(exec.value_diameter());
+        }
+    }
+}
+
+impl<A, const D: usize> Driver<A, D> for ValencyDriver<'_>
+where
+    A: Algorithm<D> + Clone,
+{
+    fn block_len(&self) -> usize {
+        self.adv.block_len
+    }
+
+    fn next_block(&mut self, exec: &Execution<A, D>, out: &mut Vec<Digraph>) {
+        self.sample_initial(exec);
+        let mut best: Option<(usize, f64)> = None;
+        for (ci, cand) in self.adv.candidates.iter().enumerate() {
+            let mut fork = exec.clone();
+            for g in &cand.graphs {
+                fork.step(g);
+            }
+            let d = self.adv.probes.estimate(&fork).diameter();
+            if best.is_none_or(|(_, bd)| d > bd) {
+                best = Some((ci, d));
+            }
+        }
+        let (ci, d) = best.expect("at least one candidate");
+        self.record.deltas.push(d);
+        self.record.chosen.push(ci);
+        out.extend(self.adv.candidates[ci].graphs.iter().cloned());
+    }
+
+    fn observe(&mut self, exec: &Execution<A, D>) {
+        self.record.value_diameters.push(exec.value_diameter());
     }
 }
 
@@ -129,7 +203,7 @@ impl GreedyValencyAdversary {
 pub struct AdversaryTrace {
     /// Rounds per step.
     pub block_len: usize,
-    /// `δ̂` after each step (`deltas[0]` is the initial estimate).
+    /// `δ̂` after each step (`deltas\[0\]` is the initial estimate).
     pub deltas: Vec<f64>,
     /// Value spread `Δ(y)` after each step.
     pub value_diameters: Vec<f64>,
@@ -331,6 +405,24 @@ mod tests {
             "Algorithm 1 is exactly 1/3-contracting under the Thm 1 adversary; got {rate}"
         );
         assert!(trace.satisfies_lower_bound(1.0 / 3.0, 1e-5));
+    }
+
+    #[test]
+    fn scenario_driver_matches_drive() {
+        // The Scenario-facing driver and the legacy drive() entry point
+        // are the same greedy logic: identical δ̂ records and outputs.
+        use consensus_dynamics::Scenario;
+        let adv = theorem1();
+        let mut exec = Execution::new(TwoAgentThirds, &pts(&[0.0, 1.0]));
+        let legacy = adv.drive(&mut exec, 8);
+        let mut sc = Scenario::new(TwoAgentThirds, &pts(&[0.0, 1.0])).adversary(adv.driver());
+        let trace = sc.run(8);
+        let record = sc.driver().record();
+        assert_eq!(record.deltas, legacy.deltas);
+        assert_eq!(record.chosen, legacy.chosen);
+        assert_eq!(record.value_diameters, legacy.value_diameters);
+        assert_eq!(trace.rounds(), 8);
+        assert_eq!(sc.execution().outputs_slice(), exec.outputs_slice());
     }
 
     #[test]

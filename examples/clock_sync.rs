@@ -1,6 +1,6 @@
 //! Clock synchronisation via repeated approximate consensus.
 //!
-//! Following the paper's motivation [21]: agents carry drifting clocks
+//! Following the paper's motivation \[21\]: agents carry drifting clocks
 //! and periodically run midpoint-consensus rounds on their clock
 //! readings over a lossy (non-split) network. Between sync rounds every
 //! clock advances at its own rate; each sync round halves the skew
@@ -36,9 +36,14 @@ fn main() {
         let before = spread(&clocks);
         // One midpoint round over the current (random non-split) topology.
         let inits: Vec<Point<1>> = clocks.iter().map(|&c| Point([c])).collect();
-        let mut exec = Execution::new(Midpoint, &inits);
-        let trace = exec.run(&mut pat, 1);
-        clocks = exec.outputs().iter().map(|p| p[0]).collect();
+        let mut sc = Scenario::new(Midpoint, &inits).pattern(&mut pat);
+        let trace = sc.run(1);
+        clocks = sc
+            .execution()
+            .outputs_slice()
+            .iter()
+            .map(|p| p[0])
+            .collect();
         let after = spread(&clocks);
         max_after = max_after.max(after);
         println!("{epoch:>5}   {before:<18.4} {after:<16.4}");

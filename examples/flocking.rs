@@ -1,7 +1,7 @@
 //! Rendezvous / flocking in the plane (`d = 2`).
 //!
-//! The paper's motivation includes rendezvous in space [22] and
-//! flocking [31]. Agents live in `R²`, hear only neighbours within a
+//! The paper's motivation includes rendezvous in space \[22\] and
+//! flocking \[31\]. Agents live in `R²`, hear only neighbours within a
 //! communication radius (plus a long-range rooted backbone simulating a
 //! leader beacon), and run the midpoint algorithm coordinate-wise. The
 //! value space being multidimensional exercises the `Point<2>` API; the
@@ -39,23 +39,26 @@ fn main() {
             Point([3.0 * a.cos() + 0.2 * i as f64, 2.0 * a.sin()])
         })
         .collect();
-    let mut exec = Execution::new(Midpoint, &inits);
+    // The proximity topology depends on the live positions: a Scenario
+    // graphs driver recomputes it every round.
+    let mut sc =
+        Scenario::new(Midpoint, &inits).graphs(|e| proximity_graph(e.outputs_slice(), 1.5));
 
     println!("2-D rendezvous with midpoint, {n} agents, radius-1.5 proximity + beacon\n");
+    let trace = sc.run(24);
     println!("round   spread (m)   all graphs rooted so far");
     let mut rooted = true;
-    for t in 0..=24 {
+    for (t, d) in trace.diameters().iter().enumerate() {
         if t > 0 {
-            let g = proximity_graph(&exec.outputs(), 1.5);
-            rooted &= g.is_rooted();
-            exec.step(&g);
+            rooted &= trace.graph_at(t).is_rooted();
         }
         if t % 4 == 0 {
-            println!("{t:>5}   {:<12.4e} {rooted}", exec.value_diameter());
+            println!("{t:>5}   {d:<12.4e} {rooted}");
         }
     }
 
-    let meet: Vec<f64> = (0..2).map(|c| exec.outputs()[0][c]).collect();
+    let exec = sc.into_execution();
+    let meet: Vec<f64> = (0..2).map(|c| exec.outputs_slice()[0][c]).collect();
     println!("\nagents meet near ({:.3}, {:.3})", meet[0], meet[1]);
     let (lo, hi) = tight_bounds_consensus::algorithms::bounding_box(&inits);
     println!(

@@ -1,7 +1,7 @@
 //! Opinion dynamics with bounded confidence (Hegselmann–Krause style).
 //!
 //! The paper's introduction motivates asymptotic consensus with natural
-//! systems such as opinion dynamics [20]. Here each agent only listens
+//! systems such as opinion dynamics \[20\]. Here each agent only listens
 //! to opinions within its *confidence radius*; the influence topology is
 //! therefore state-dependent and changes every round — a dynamic
 //! network. When the radius keeps the graph rooted, the theory applies
@@ -34,14 +34,13 @@ fn cluster_count(opinions: &[Point<1>], tol: f64) -> usize {
 fn simulate(radius: f64) -> (usize, Vec<Point<1>>, bool) {
     let n = 12;
     let inits: Vec<Point<1>> = (0..n).map(|i| Point([i as f64 / (n - 1) as f64])).collect();
-    let mut exec = Execution::new(MeanValue, &inits);
-    let mut rooted_throughout = true;
-    for _ in 0..60 {
-        let g = confidence_graph(&exec.outputs(), radius);
-        rooted_throughout &= g.is_rooted();
-        exec.step(&g);
-    }
-    let finals = exec.outputs();
+    // The influence topology is state-dependent: recompute it from the
+    // live opinions every round via the Scenario's graphs driver.
+    let mut sc =
+        Scenario::new(MeanValue, &inits).graphs(|e| confidence_graph(e.outputs_slice(), radius));
+    let trace = sc.run(60);
+    let rooted_throughout = (1..=trace.rounds()).all(|t| trace.graph_at(t).is_rooted());
+    let finals = sc.into_execution().outputs();
     (cluster_count(&finals, 1e-3), finals, rooted_throughout)
 }
 

@@ -1,10 +1,10 @@
 //! Quickstart: asymptotic consensus on a dynamic network.
 //!
 //! Runs the midpoint algorithm (paper Algorithm 2) over a randomly
-//! changing non-split topology, prints the per-round value spread, and
-//! compares the measured contraction with the paper's tight bounds:
-//! no algorithm can beat 1/2 per round (Theorem 2), and midpoint
-//! achieves exactly 1/2 in its worst case.
+//! changing non-split topology via the [`Scenario`] builder, prints the
+//! per-round value spread, and compares the measured contraction with
+//! the paper's tight bounds: no algorithm can beat 1/2 per round
+//! (Theorem 2), and midpoint achieves exactly 1/2 in its worst case.
 //!
 //! Run with: `cargo run -p consensus-examples --example quickstart`
 
@@ -26,9 +26,10 @@ fn main() {
             .collect::<Vec<_>>()
     );
 
-    let mut exec = Execution::new(Midpoint, &inits);
-    let mut pat = RandomPattern::new(NonsplitSampler::new(n, 0.3), 2024);
-    let trace = exec.run_until_converged(&mut pat, 1e-9, 200);
+    let trace = Scenario::new(Midpoint, &inits)
+        .pattern(RandomPattern::new(NonsplitSampler::new(n, 0.3), 2024))
+        .until_converged(1e-9)
+        .run(200);
 
     println!("\nround   spread Δ(y(t))   ratio");
     let diams = trace.diameters();

@@ -1,16 +1,16 @@
 //! Fixed-point sensor fusion with the quantized midpoint.
 //!
-//! The paper's motivation includes sensor fusion [4] under harsh
+//! The paper's motivation includes sensor fusion \[4\] under harsh
 //! constraints: limited compute, bounded message size, lossy links. This
 //! example runs the **quantized** midpoint (the “quantizable” aspect of
-//! the matching algorithms of [9]): sensor readings live on a fixed-point
+//! the matching algorithms of \[9\]): sensor readings live on a fixed-point
 //! grid (here 1/256 ≈ 8-bit payloads), links drop messages adversarially
 //! (non-split guarantee only), and the network still fuses to within one
 //! quantum in `⌈log₂(Δ/q)⌉` rounds.
 //!
 //! Run with: `cargo run -p consensus-examples --example sensor_fusion`
 
-use tight_bounds_consensus::dynamics::pattern::{PatternSource, RandomPattern};
+use tight_bounds_consensus::dynamics::pattern::RandomPattern;
 use tight_bounds_consensus::netmodel::sampler::NonsplitSampler;
 use tight_bounds_consensus::prelude::*;
 
@@ -32,18 +32,17 @@ fn main() {
     println!("initial readings span Δ = {delta:.4}\n");
 
     let alg = QuantizedMidpoint::new(q);
-    let mut exec = Execution::new(alg, &inits);
-    let mut pat = RandomPattern::new(NonsplitSampler::new(n, 0.25), 31);
+    let mut sc =
+        Scenario::new(alg, &inits).pattern(RandomPattern::new(NonsplitSampler::new(n, 0.25), 31));
 
     let budget = decision_rules::midpoint_decision_round(delta, q) + 1;
+    let trace = sc.run(budget as usize);
     println!("round   spread (quanta)");
-    println!("{:>5}   {:.1}", 0, exec.value_diameter() / q);
-    for t in 1..=budget {
-        let g = pat.next_graph(t);
-        exec.step(&g);
-        println!("{t:>5}   {:.1}", exec.value_diameter() / q);
+    for (t, d) in trace.diameters().iter().enumerate() {
+        println!("{t:>5}   {:.1}", d / q);
     }
 
+    let exec = sc.into_execution();
     let spread = exec.value_diameter();
     println!(
         "\nafter {budget} = ⌈log₂(Δ/q)⌉+1 rounds: spread = {:.1} quanta",

@@ -16,8 +16,9 @@ fn round_based_contraction_between_bounds() {
     // the paper's interval [1/(⌈n/f⌉+1), ~1/(⌈n/f⌉−1)] for the mean rule.
     for (n, f) in [(4usize, 1usize), (6, 2), (8, 2)] {
         let (lo, _) = bounds::table1_async_interval(n, f);
-        let mut exec = Execution::new(MeanValue, &na_adversary::bipolar_inits(n));
-        let r = na_adversary::drive_split_omission(&mut exec, f, 24)
+        let r = Scenario::new(MeanValue, &na_adversary::bipolar_inits(n))
+            .adversary(na_adversary::SplitOmission::new(f))
+            .run(24)
             .rates()
             .steady_state;
         assert!(r >= lo - 1e-9, "n={n} f={f}: {r} < floor {lo}");
@@ -89,8 +90,9 @@ fn min_relay_beats_every_round_based_algorithm() {
     let f = 2;
     // Round-based midpoint after ⌈time⌉ = f + 1 rounds: spread is still
     // ≥ (1/2)^{f+1} of the initial spread in its worst case…
-    let mut exec = Execution::new(Midpoint, &na_adversary::minority_inits(n, f));
-    let trace = na_adversary::drive_isolate_minority(&mut exec, f, f + 1);
+    let trace = Scenario::new(Midpoint, &na_adversary::minority_inits(n, f))
+        .adversary(na_adversary::IsolateMinority::new(f))
+        .run(f + 1);
     assert!(trace.final_diameter() >= 0.5f64.powi((f + 1) as i32) - 1e-9);
     // …while MinRelay is exactly done by time f + 1.
     let mut inits = vec![1.0; n];
@@ -137,13 +139,15 @@ fn theorem6_floor_holds_for_both_rules() {
         let floor = bounds::theorem6_lower(n, f);
         for rule in [0, 1] {
             let r = if rule == 0 {
-                let mut e = Execution::new(MeanValue, &na_adversary::bipolar_inits(n));
-                na_adversary::drive_split_omission(&mut e, f, 20)
+                Scenario::new(MeanValue, &na_adversary::bipolar_inits(n))
+                    .adversary(na_adversary::SplitOmission::new(f))
+                    .run(20)
                     .rates()
                     .steady_state
             } else {
-                let mut e = Execution::new(Midpoint, &na_adversary::minority_inits(n, f));
-                na_adversary::drive_isolate_minority(&mut e, f, 20)
+                Scenario::new(Midpoint, &na_adversary::minority_inits(n, f))
+                    .adversary(na_adversary::IsolateMinority::new(f))
+                    .run(20)
                     .rates()
                     .steady_state
             };

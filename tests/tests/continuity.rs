@@ -106,8 +106,10 @@ fn theorem5_sweep_over_unsolvable_submodels() {
         let d = alpha::alpha_diameter(&m).finite().expect("finite here");
         let bound = bounds::theorem5_lower(d);
         let adv = adversary::theorem5(&m);
-        let mut exec = Execution::new(Midpoint, &[Point([0.0]), Point([1.0]), Point([0.5])]);
-        let r = adv.drive(&mut exec, 8).per_round_rate();
+        let mut sc = Scenario::new(Midpoint, &[Point([0.0]), Point([1.0]), Point([0.5])])
+            .adversary(adv.driver());
+        sc.advance(8);
+        let r = sc.driver().record().per_round_rate();
         assert!(
             r >= bound - 1e-2,
             "{}: rate {r} below 1/(D+1) = {bound}",

@@ -63,8 +63,10 @@ fn trimmed_mean_respects_theorem2() {
     // The cautious rules of [14]/[17] are still subject to the bound.
     for trim in [1usize, 2] {
         let adv = adversary::theorem2(&Digraph::complete(5));
-        let mut exec = Execution::new(TrimmedMean::new(trim), &spread_inits(5));
-        let r = adv.drive(&mut exec, 8).per_round_rate();
+        let mut sc =
+            Scenario::new(TrimmedMean::new(trim), &spread_inits(5)).adversary(adv.driver());
+        sc.advance(8);
+        let r = sc.driver().record().per_round_rate();
         assert!(r >= 0.5 - 1e-3, "trim = {trim}: rate {r}");
     }
 }
@@ -75,8 +77,9 @@ fn trimmed_mean_in_async_rounds() {
     let n = 6;
     let f = 2;
     let floor = bounds::theorem6_lower(n, f);
-    let mut exec = Execution::new(TrimmedMean::new(f), &na_adversary::bipolar_inits(n));
-    let trace = na_adversary::drive_split_omission(&mut exec, f, 20);
+    let trace = Scenario::new(TrimmedMean::new(f), &na_adversary::bipolar_inits(n))
+        .adversary(na_adversary::SplitOmission::new(f))
+        .run(20);
     let r = trace.rates().steady_state;
     assert!(
         r >= floor - 1e-9,
@@ -115,13 +118,13 @@ fn sigma_property_walks_contract_at_amortized_rate() {
     let n = 5;
     let automaton = PatternAutomaton::sigma_blocks(n);
     for seed in [1u64, 7, 23] {
-        let mut pat = AutomatonPattern::new(automaton.clone(), seed);
-        let mut exec = Execution::new(AmortizedMidpoint::for_agents(n), &spread_inits(n));
         let macros = 5;
-        let d0 = exec.value_diameter();
         // Run enough σ-blocks to cover `macros` algorithm macro-rounds.
         let rounds = (n - 1) * macros;
-        let trace = exec.run(&mut pat, rounds);
+        let trace = Scenario::new(AmortizedMidpoint::for_agents(n), &spread_inits(n))
+            .pattern(AutomatonPattern::new(automaton.clone(), seed))
+            .run(rounds);
+        let d0 = trace.initial_diameter();
         assert!(
             trace.final_diameter() <= d0 * 0.5f64.powi(macros as i32) + 1e-9,
             "seed {seed}: {d0} → {}",
@@ -137,9 +140,9 @@ fn property_prefixes_recorded_by_executor_are_accepted() {
     // form a legal prefix of the property.
     let n = 4;
     let automaton = PatternAutomaton::sigma_blocks(n);
-    let mut pat = AutomatonPattern::new(automaton.clone(), 99);
-    let mut exec = Execution::new(Midpoint, &spread_inits(n));
-    let trace = exec.run(&mut pat, 3 * (n - 2));
+    let trace = Scenario::new(Midpoint, &spread_inits(n))
+        .pattern(AutomatonPattern::new(automaton.clone(), 99))
+        .run(3 * (n - 2));
     let graphs: Vec<Digraph> = (1..=trace.rounds())
         .map(|t| trace.graph_at(t).clone())
         .collect();
@@ -163,8 +166,8 @@ fn oblivious_automaton_equals_model_runs() {
     // converge for midpoint on the two-agent model.
     let m = NetworkModel::two_agent();
     let automaton = PatternAutomaton::oblivious(&m);
-    let mut pat = AutomatonPattern::new(automaton, 5);
-    let mut exec = Execution::new(Midpoint, &[Point([0.0]), Point([1.0])]);
-    let trace = exec.run(&mut pat, 80);
+    let trace = Scenario::new(Midpoint, &[Point([0.0]), Point([1.0])])
+        .pattern(AutomatonPattern::new(automaton, 5))
+        .run(80);
     assert!(trace.final_diameter() < 1e-6);
 }

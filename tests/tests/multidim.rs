@@ -13,9 +13,9 @@ fn theorem2_rate_in_two_dimensions() {
         Point([0.2, 0.9]),
     ];
     let adv = adversary::theorem2(&Digraph::complete(4));
-    let mut exec = Execution::new(Midpoint, &inits);
-    let trace = adv.drive(&mut exec, 10);
-    let r = trace.per_round_rate();
+    let mut sc = Scenario::new(Midpoint, &inits).adversary(adv.driver());
+    sc.advance(10);
+    let r = sc.driver().record().per_round_rate();
     assert!((r - 0.5).abs() < 5e-3, "2-D rate {r}");
 }
 
@@ -43,13 +43,13 @@ fn midpoint_is_coordinatewise_in_r3() {
 #[test]
 fn validity_bounding_box_r2() {
     let inits = [Point([0.0, 0.0]), Point([2.0, 1.0]), Point([1.0, 3.0])];
-    let mut exec = Execution::new(MeanValue, &inits);
-    let mut pat = pattern::PeriodicPattern::new(vec![
-        families::cycle(3),
-        families::star_out(3, 0),
-        Digraph::complete(3),
-    ]);
-    let trace = exec.run(&mut pat, 60);
+    let trace = Scenario::new(MeanValue, &inits)
+        .pattern(pattern::PeriodicPattern::new(vec![
+            families::cycle(3),
+            families::star_out(3, 0),
+            Digraph::complete(3),
+        ]))
+        .run(60);
     assert!(trace.validity_holds(1e-9));
     assert!(trace.final_diameter() < 1e-6);
 }
@@ -58,13 +58,10 @@ fn validity_bounding_box_r2() {
 fn two_agent_thirds_2d_rate() {
     let adv = adversary::theorem1();
     let inits = [Point([0.0, 1.0]), Point([1.0, 0.0])];
-    let mut exec = Execution::new(TwoAgentThirds, &inits);
-    let trace = adv.drive(&mut exec, 10);
-    assert!(
-        (trace.per_round_rate() - 1.0 / 3.0).abs() < 5e-3,
-        "rate {}",
-        trace.per_round_rate()
-    );
+    let mut sc = Scenario::new(TwoAgentThirds, &inits).adversary(adv.driver());
+    sc.advance(10);
+    let rate = sc.driver().record().per_round_rate();
+    assert!((rate - 1.0 / 3.0).abs() < 5e-3, "rate {rate}");
 }
 
 #[test]
@@ -73,10 +70,10 @@ fn decider_in_r2() {
     let delta = tight_bounds_consensus::algorithms::diameter(&inits);
     let eps = delta / 100.0;
     let t = decision_rules::midpoint_decision_round(delta, eps);
-    let mut exec = Execution::new(Decider::new(Midpoint, t), &inits);
-    let mut pat = pattern::ConstantPattern::new(Digraph::complete(3));
-    exec.run(&mut pat, t as usize + 2);
-    let ds = exec.outputs();
+    let mut sc = Scenario::new(Decider::new(Midpoint, t), &inits)
+        .pattern(pattern::ConstantPattern::new(Digraph::complete(3)));
+    sc.advance(t as usize + 2);
+    let ds = sc.execution().outputs();
     assert!(tight_bounds_consensus::approx::epsilon_agreement(&ds, eps));
     assert!(tight_bounds_consensus::approx::validity(&ds, &inits, 1e-9));
 }

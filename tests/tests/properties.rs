@@ -41,9 +41,9 @@ proptest! {
         inits in arb_inits(5),
         seed in 0u64..1000,
     ) {
-        let mut exec = Execution::new(Midpoint, &inits);
-        let mut pat = RandomPattern::new(RootedSampler::new(5, 0.3), seed);
-        let trace = exec.run(&mut pat, 400);
+        let trace = Scenario::new(Midpoint, &inits)
+            .pattern(RandomPattern::new(RootedSampler::new(5, 0.3), seed))
+            .run(400);
         prop_assert!(trace.validity_holds(1e-9));
         prop_assert!(
             trace.final_diameter() <= trace.initial_diameter() * 1e-6 + 1e-9,
@@ -59,11 +59,11 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let n = 5;
-        let mut exec = Execution::new(AmortizedMidpoint::for_agents(n), &inits);
-        let mut pat = RandomPattern::new(RootedSampler::new(n, 0.2), seed);
         let macros = 6;
-        let d0 = exec.value_diameter();
-        let trace = exec.run(&mut pat, (n - 1) * macros);
+        let trace = Scenario::new(AmortizedMidpoint::for_agents(n), &inits)
+            .pattern(RandomPattern::new(RootedSampler::new(n, 0.2), seed))
+            .run((n - 1) * macros);
+        let d0 = trace.initial_diameter();
         let dt = trace.final_diameter();
         prop_assert!(
             dt <= d0 * 0.5f64.powi(macros as i32) + 1e-9,
@@ -92,9 +92,9 @@ proptest! {
         let spread = tight_bounds_consensus::algorithms::diameter(&inits);
         prop_assume!(spread > 1e-3);
         let adv = adversary::theorem2(&Digraph::complete(4));
-        let mut exec = Execution::new(Midpoint, &inits);
-        let trace = adv.drive(&mut exec, 5);
-        prop_assert!(trace.satisfies_lower_bound(0.5, 1e-4));
+        let mut sc = Scenario::new(Midpoint, &inits).adversary(adv.driver());
+        sc.advance(5);
+        prop_assert!(sc.driver().record().satisfies_lower_bound(0.5, 1e-4));
     }
 
     /// ε-agreement + validity of the deciding midpoint wrapper under
@@ -109,10 +109,10 @@ proptest! {
         let eps = delta / 64.0;
         let t = decision_rules::midpoint_decision_round(delta, eps);
         let alg = Decider::new(Midpoint, t);
-        let mut exec = Execution::new(alg, &inits);
-        let mut pat = RandomPattern::new(NonsplitSampler::new(5, 0.4), seed);
-        exec.run(&mut pat, t as usize + 3);
-        let decisions = exec.outputs();
+        let mut sc = Scenario::new(alg, &inits)
+            .pattern(RandomPattern::new(NonsplitSampler::new(5, 0.4), seed));
+        sc.advance(t as usize + 3);
+        let decisions = sc.execution().outputs();
         prop_assert!(
             tight_bounds_consensus::approx::epsilon_agreement(&decisions, eps + 1e-9),
             "decisions {decisions:?} exceed ε = {eps}"

@@ -72,8 +72,10 @@ fn asymptotic_solvability_is_rootedness() {
     let m = NetworkModel::all_rooted(3);
     assert!(m.is_rooted_model());
     for (k, g) in m.graphs().iter().enumerate().step_by(5) {
-        let mut exec = Execution::new(Midpoint, &[Point([0.0]), Point([0.6]), Point([1.0])]);
-        let trace = exec.run(&mut pattern::ConstantPattern::new(g.clone()), 200);
+        let trace = Scenario::new(Midpoint, &[Point([0.0]), Point([0.6]), Point([1.0])])
+            .pattern(pattern::ConstantPattern::new(g.clone()))
+            .until_converged(1e-7)
+            .run(200);
         assert!(
             trace.final_diameter() < 1e-6,
             "graph #{k} ({g}) did not converge"
@@ -90,11 +92,12 @@ fn unrooted_graph_breaks_convergence() {
     g.add_edge(2, 3);
     g.add_edge(3, 2);
     assert!(!g.is_rooted());
-    let mut exec = Execution::new(
+    let trace = Scenario::new(
         Midpoint,
         &[Point([0.0]), Point([0.0]), Point([1.0]), Point([1.0])],
-    );
-    let trace = exec.run(&mut pattern::ConstantPattern::new(g), 100);
+    )
+    .pattern(pattern::ConstantPattern::new(g))
+    .run(100);
     assert!(trace.final_diameter() > 0.99, "split groups stay apart");
 }
 

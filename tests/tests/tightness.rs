@@ -3,6 +3,20 @@
 //! paper's headline claims, executed.
 
 use tight_bounds_consensus::prelude::*;
+use tight_bounds_consensus::valency::adversary::{AdversaryTrace, GreedyValencyAdversary};
+
+/// Drives `alg` for `steps` adversary steps via the Scenario facade and
+/// returns the recorded δ̂ trace.
+fn drive<A: Algorithm<1> + Clone>(
+    alg: A,
+    inits: &[Point<1>],
+    adv: &GreedyValencyAdversary,
+    steps: usize,
+) -> AdversaryTrace {
+    let mut sc = Scenario::new(alg, inits).adversary(adv.driver());
+    sc.advance(steps * adv.block_len());
+    sc.driver().record().clone()
+}
 
 fn pts(vals: &[f64]) -> Vec<Point<1>> {
     vals.iter().map(|&v| Point([v])).collect()
@@ -16,13 +30,12 @@ fn spread_inits(n: usize) -> Vec<Point<1>> {
 fn theorem1_is_tight() {
     // Lower: the Thm-1 adversary holds δ̂ ≥ δ̂₀/3^t against Algorithm 1.
     let adv = adversary::theorem1();
-    let mut exec = Execution::new(TwoAgentThirds, &pts(&[0.0, 1.0]));
-    let lower = adv.drive(&mut exec, 10).per_round_rate();
+    let lower = drive(TwoAgentThirds, &pts(&[0.0, 1.0]), &adv, 10).per_round_rate();
     // Upper: Algorithm 1's worst pattern (constant H1) contracts at 1/3.
     let [_, h1, _] = families::two_agent();
-    let mut exec = Execution::new(TwoAgentThirds, &pts(&[0.0, 1.0]));
-    let upper = exec
-        .run(&mut pattern::ConstantPattern::new(h1), 20)
+    let upper = Scenario::new(TwoAgentThirds, &pts(&[0.0, 1.0]))
+        .pattern(pattern::ConstantPattern::new(h1))
+        .run(20)
         .rates()
         .t_root;
     assert!((lower - 1.0 / 3.0).abs() < 1e-4, "lower = {lower}");
@@ -35,13 +48,12 @@ fn theorem2_is_tight_for_nonsplit() {
     for n in [3usize, 5, 7] {
         // Lower: Thm-2 adversary vs midpoint.
         let adv = adversary::theorem2(&Digraph::complete(n));
-        let mut exec = Execution::new(Midpoint, &spread_inits(n));
-        let lower = adv.drive(&mut exec, 10).per_round_rate();
+        let lower = drive(Midpoint, &spread_inits(n), &adv, 10).per_round_rate();
         // Upper: midpoint under the constant deaf graph.
         let f0 = Digraph::complete(n).make_deaf(0);
-        let mut exec = Execution::new(Midpoint, &spread_inits(n));
-        let upper = exec
-            .run(&mut pattern::ConstantPattern::new(f0), 24)
+        let upper = Scenario::new(Midpoint, &spread_inits(n))
+            .pattern(pattern::ConstantPattern::new(f0))
+            .run(24)
             .rates()
             .t_root;
         assert!((lower - 0.5).abs() < 1e-4, "n = {n}: lower = {lower}");
@@ -55,8 +67,7 @@ fn theorem3_is_asymptotically_tight() {
         // Lower: σ-adversary valency shrink per macro-round ≥ 1/2,
         // i.e. ≥ (1/2)^{1/(n−2)} per round.
         let adv = adversary::theorem3(n);
-        let mut exec = Execution::new(AmortizedMidpoint::for_agents(n), &spread_inits(n));
-        let trace = adv.drive(&mut exec, 8);
+        let trace = drive(AmortizedMidpoint::for_agents(n), &spread_inits(n), &adv, 8);
         assert!(
             trace.per_step_rate() >= 0.5 - 1e-3,
             "n = {n}: per-σ-block rate {}",
@@ -87,17 +98,17 @@ fn theorem5_matches_specialised_theorems() {
     // On the two-agent model, the generic Thm-5 adversary recovers the
     // Thm-1 rate; on deaf models it recovers the Thm-2 rate.
     let two = NetworkModel::two_agent();
-    let mut exec = Execution::new(TwoAgentThirds, &pts(&[0.0, 1.0]));
-    let r = adversary::theorem5(&two)
-        .drive(&mut exec, 10)
-        .per_round_rate();
+    let r = drive(
+        TwoAgentThirds,
+        &pts(&[0.0, 1.0]),
+        &adversary::theorem5(&two),
+        10,
+    )
+    .per_round_rate();
     assert!((r - 1.0 / 3.0).abs() < 1e-3, "two-agent: {r}");
 
     let deaf = NetworkModel::deaf(&Digraph::complete(3));
-    let mut exec = Execution::new(Midpoint, &spread_inits(3));
-    let r = adversary::theorem5(&deaf)
-        .drive(&mut exec, 10)
-        .per_round_rate();
+    let r = drive(Midpoint, &spread_inits(3), &adversary::theorem5(&deaf), 10).per_round_rate();
     assert!((r - 0.5).abs() < 1e-3, "deaf: {r}");
 }
 
@@ -117,8 +128,7 @@ fn exact_solvability_gives_rate_zero() {
 fn nonconvex_algorithms_cannot_beat_theorem2() {
     for kappa in [0.2, 0.5, 0.8] {
         let adv = adversary::theorem2(&Digraph::complete(4));
-        let mut exec = Execution::new(Overshoot::new(kappa), &spread_inits(4));
-        let r = adv.drive(&mut exec, 8).per_round_rate();
+        let r = drive(Overshoot::new(kappa), &spread_inits(4), &adv, 8).per_round_rate();
         assert!(r >= 0.5 - 1e-3, "κ = {kappa}: rate {r} beats the bound");
     }
 }
@@ -127,8 +137,7 @@ fn nonconvex_algorithms_cannot_beat_theorem2() {
 fn memory_cannot_beat_theorem2() {
     for w in [2usize, 4, 8] {
         let adv = adversary::theorem2(&Digraph::complete(4));
-        let mut exec = Execution::new(WindowedMidpoint::new(w), &spread_inits(4));
-        let r = adv.drive(&mut exec, 8).per_round_rate();
+        let r = drive(WindowedMidpoint::new(w), &spread_inits(4), &adv, 8).per_round_rate();
         assert!(r >= 0.5 - 1e-3, "w = {w}: rate {r} beats the bound");
     }
 }
