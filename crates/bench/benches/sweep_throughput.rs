@@ -1,0 +1,94 @@
+//! Criterion benchmark: sweep throughput vs thread count.
+//!
+//! A fixed 64-cell grid (8 replicate seeds × 2 agent counts × 2 random
+//! graph classes × 2 initial distributions) is executed with 1 worker
+//! and with `min(4, cores)`…`cores` workers. Cells are independent
+//! scenario runs, so throughput should scale near-linearly until the
+//! core count is exhausted — the acceptance target is ≥ 3× at 4+
+//! threads on a ≥ 4-core machine. A direct speedup line is printed
+//! after the criterion samples (criterion's per-target medians measure
+//! the same quantity; the summary line just does the division).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use tight_bounds_consensus::prelude::*;
+use tight_bounds_consensus::sweep::EnsembleCell;
+
+/// The 64-cell grid: heavy enough per cell (hundreds of rounds on up to
+/// 24 agents) that scheduling overhead is negligible.
+fn grid() -> EnsembleGrid {
+    EnsembleGrid::new()
+        .agents(&[16, 24])
+        .topologies(&[
+            Topology::Rooted { density: 0.15 },
+            Topology::Nonsplit { density: 0.2 },
+        ])
+        .inits(&[InitDist::Uniform, InitDist::Bipolar])
+        .params(&[0.4])
+        .replicates(8)
+}
+
+/// Runs the whole grid at the given worker count; returns a value
+/// derived from every cell so nothing is optimized away.
+fn run_grid(cells: &[EnsembleCell], threads: usize) -> f64 {
+    let sweep = Sweep::new(cells.to_vec()).seed(7).threads(threads);
+    let outcomes = sweep.run(|cell, ctx| {
+        let inits = cell.inits(&mut ctx.rng());
+        let mut sc = Scenario::new(SelfWeightedAverage::new(cell.param), &inits)
+            .pattern(cell.pattern(ctx.subseed(1)))
+            .until_converged(1e-9);
+        sc.advance(400);
+        sc.execution().value_diameter()
+    });
+    outcomes.iter().sum()
+}
+
+fn sweep_throughput(c: &mut Criterion) {
+    let cells = grid().cells();
+    assert_eq!(cells.len(), 64, "the scaling grid is 64 cells");
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let mut thread_counts = vec![1usize];
+    for t in [4, cores] {
+        if t > 1 && !thread_counts.contains(&t) {
+            thread_counts.push(t);
+        }
+    }
+    thread_counts.sort_unstable();
+
+    let mut group = c.benchmark_group("sweep_throughput");
+    group.sample_size(10);
+    for &t in &thread_counts {
+        group.bench_function(BenchmarkId::new("threads", t), |b| {
+            b.iter(|| run_grid(black_box(&cells), t))
+        });
+    }
+    group.finish();
+
+    // Direct speedup summary. The vendored criterion stand-in prints
+    // medians but exposes no estimates programmatically, so the ratio
+    // needs its own (short: median of 3) measurement per thread count.
+    let median = |t: usize| {
+        let mut times: Vec<_> = (0..3)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(run_grid(&cells, t));
+                start.elapsed()
+            })
+            .collect();
+        times.sort();
+        times[times.len() / 2]
+    };
+    let base = median(1);
+    for &t in thread_counts.iter().filter(|&&t| t > 1) {
+        let par = median(t);
+        println!(
+            "sweep_throughput/speedup: {t} threads vs 1: {:.2}x ({par:?} vs {base:?}) on {cores} cores",
+            base.as_secs_f64() / par.as_secs_f64().max(1e-12),
+        );
+    }
+}
+
+criterion_group!(benches, sweep_throughput);
+criterion_main!(benches);

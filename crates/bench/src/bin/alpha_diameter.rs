@@ -1,4 +1,7 @@
 //! Solvability, β-classes and α-diameters (Theorems 4/5, §7, Lemma 24).
+//!
+//! Per-model β-class analyses and Lemma-24 chain certificates run as
+//! `consensus-sweep` cells in parallel (β enumeration dominates).
 fn main() {
     println!("{}", consensus_bench::experiments::alpha_diameter_report());
 }

@@ -1,4 +1,7 @@
 //! Theorem 1/2/3 contraction-rate detail by algorithm.
+//!
+//! Each (theorem, algorithm) pair is one `consensus-sweep` cell; the
+//! table is assembled from the parallel run in deterministic case order.
 fn main() {
     println!("{}", consensus_bench::experiments::contraction_rates(false));
 }

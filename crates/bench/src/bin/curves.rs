@@ -1,4 +1,7 @@
 //! Contraction curves: δ̂ and Δ per round under the proof adversaries.
+//!
+//! The three adversarial drives (Theorems 1/2/3) are independent
+//! `consensus-sweep` cells executed in parallel.
 fn main() {
     println!(
         "{}",

@@ -1,4 +1,7 @@
 //! Decision-time series for approximate consensus (Theorems 8–11).
+//!
+//! The (theorem × Δ/ε) grid runs as `consensus-sweep` cells in
+//! parallel; the table is assembled in deterministic case order.
 fn main() {
     println!("{}", consensus_bench::experiments::decision_times(false));
 }

@@ -1,0 +1,111 @@
+//! Parallel multi-seed ensemble sweeps with statistical aggregation.
+//!
+//! Runs one of the named grid presets on the work-stealing sweep pool
+//! and prints the aggregate table, optionally followed (or replaced) by
+//! the machine-readable `BENCH_sweep.json` document the CI
+//! `sweep-regression` job diffs against `ci/golden_sweep.json`.
+//!
+//! ```text
+//! cargo run --release -p consensus-bench --bin sweep -- [FLAGS]
+//!   --golden        run the fixed CI grid (16 cells, seed 42)
+//!   --quick         run the small smoke grid (36 cells)
+//!   --full          run the large ensemble (960 cells; default)
+//!   --threads N     worker count (default: all cores; results identical)
+//!   --seed S        override the base seed
+//!   --json          print JSON only (golden-diff mode)
+//!   --out PATH      also write the JSON to PATH (e.g. BENCH_sweep.json)
+//!   --replay I      re-run cell I solo and print its outcome
+//! ```
+
+use consensus_bench::experiments::{
+    ensemble_spec, ensemble_table, run_ensemble, run_ensemble_cell,
+};
+use tight_bounds_consensus::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut preset = "full";
+    let mut threads: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut json_only = false;
+    let mut out_path: Option<String> = None;
+    let mut replay: Option<usize> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--golden" => preset = "golden",
+            "--quick" => preset = "quick",
+            "--full" => preset = "full",
+            "--json" => json_only = true,
+            "--threads" => {
+                threads = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--threads needs a number"),
+                );
+            }
+            "--seed" => {
+                seed = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs a number"),
+                );
+            }
+            "--out" => {
+                out_path = Some(it.next().expect("--out needs a path").clone());
+            }
+            "--replay" => {
+                replay = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--replay needs a cell index"),
+                );
+            }
+            other => {
+                eprintln!("unknown flag `{other}` — see the module docs for usage");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut spec = ensemble_spec(preset);
+    if let Some(s) = seed {
+        spec.base_seed = s;
+    }
+
+    if let Some(index) = replay {
+        // Replay one cell solo: same configuration, same seed as the
+        // full sweep — the debugging path for a surprising aggregate.
+        let sweep = Sweep::new(spec.grid.cells()).seed(spec.base_seed);
+        let (tol, max_rounds) = (spec.tol, spec.max_rounds);
+        let outcome = sweep.run_cell(index, |cell, ctx| {
+            (cell.label(), run_ensemble_cell(cell, ctx, tol, max_rounds))
+        });
+        println!(
+            "cell {index} [{}] seed {}: rate {:.6}, decision {:?}, rounds {}, converged {}, fingerprint {:016x}",
+            outcome.0,
+            sweep.seed_of(index),
+            outcome.1.rate,
+            outcome.1.decision_round,
+            outcome.1.rounds,
+            outcome.1.converged,
+            outcome.1.fingerprint,
+        );
+        return;
+    }
+
+    let report = run_ensemble(&spec, threads);
+    let json = report.to_json();
+    if let Some(path) = &out_path {
+        std::fs::write(path, &json).expect("failed to write JSON output");
+    }
+    if json_only {
+        print!("{json}");
+    } else {
+        println!("{}", ensemble_table(&report));
+        if let Some(path) = &out_path {
+            println!("JSON written to {path}");
+        }
+    }
+}

@@ -4,13 +4,15 @@
 //! columns; see `DESIGN.md` (per-experiment index) and `EXPERIMENTS.md`
 //! (recorded results) at the repository root.
 
+use tight_bounds_consensus::algorithms::diameter;
 use tight_bounds_consensus::approx;
 use tight_bounds_consensus::asyncsim::engine::{ConstantDelay, Simulation};
 use tight_bounds_consensus::asyncsim::min_relay::{cascade_crashes, MinRelay};
 use tight_bounds_consensus::asyncsim::na_adversary;
 use tight_bounds_consensus::digraph::render::{to_ascii, to_dot, RenderOptions};
 use tight_bounds_consensus::prelude::*;
-use tight_bounds_consensus::valency::adversary::GreedyValencyAdversary;
+use tight_bounds_consensus::sweep::fingerprint;
+use tight_bounds_consensus::valency::adversary::{AdversaryTrace, GreedyValencyAdversary};
 
 use crate::tablefmt::{check, interval, rate, section, Table};
 
@@ -20,6 +22,18 @@ pub fn spread_inits(n: usize) -> Vec<Point<1>> {
     (0..n)
         .map(|i| Point([i as f64 / (n - 1).max(1) as f64]))
         .collect()
+}
+
+/// A deterministic experiment cell: a closure producing one report row
+/// (or series). Boxed so heterogeneous algorithm/adversary combinations
+/// share one sweep.
+pub type Case<R> = Box<dyn Fn() -> R + Sync>;
+
+/// Fans an ordered case list out over the [`Sweep`] pool (all cores)
+/// and returns the results in case order. Cases are deterministic
+/// closures, so the report is identical at any thread count.
+fn run_cases<R: Send>(cases: Vec<Case<R>>) -> Vec<R> {
+    Sweep::new(cases).run(|case, _ctx| case())
 }
 
 fn drive_rate<A>(alg: A, adv: &GreedyValencyAdversary, inits: &[Point<1>], steps: usize) -> f64
@@ -259,103 +273,105 @@ pub fn figures() -> String {
 }
 
 /// **E-THM1/2/3 — contraction-rate detail**: each theorem's adversary
-/// against several algorithms (optimal, averaging, non-convex).
+/// against several algorithms (optimal, averaging, non-convex). Each
+/// (theorem, algorithm) pair is one sweep cell, executed in parallel.
 #[must_use]
 pub fn contraction_rates(quick: bool) -> String {
+    type Row = [String; 5];
     let steps = if quick { 8 } else { 12 };
+    let steps3 = if quick { 5 } else { 8 };
+
+    /// One Theorem-1 cell (the adversary is rebuilt inside the cell, so
+    /// the closure captures only plain data).
+    fn thm1<A: Algorithm<1> + Clone + Sync + 'static>(
+        name: &'static str,
+        alg: A,
+        steps: usize,
+    ) -> Case<Row> {
+        Box::new(move || {
+            let r = drive_rate(alg.clone(), &adversary::theorem1(), &spread_inits(2), steps);
+            [
+                "Thm 1 (n=2)".into(),
+                name.into(),
+                "≥ 1/3".into(),
+                rate(r),
+                check(r >= 1.0 / 3.0 - 5e-3),
+            ]
+        })
+    }
+
+    /// One Theorem-2 cell on deaf(K_4).
+    fn thm2<A: Algorithm<1> + Clone + Sync + 'static>(
+        name: &'static str,
+        alg: A,
+        steps: usize,
+    ) -> Case<Row> {
+        Box::new(move || {
+            let adv = adversary::theorem2(&Digraph::complete(4));
+            let r = drive_rate(alg.clone(), &adv, &spread_inits(4), steps);
+            [
+                "Thm 2 (deaf(K_4))".into(),
+                name.into(),
+                "≥ 1/2".into(),
+                rate(r),
+                check(r >= 0.5 - 5e-3),
+            ]
+        })
+    }
+
+    /// One Theorem-3 cell on Ψ(n), amortized midpoint or plain midpoint.
+    fn thm3(n: usize, amortized: bool, steps: usize) -> Case<Row> {
+        Box::new(move || {
+            let lo = bounds::theorem3_lower(n);
+            let adv = adversary::theorem3(n);
+            let (name, bound_label, r) = if amortized {
+                (
+                    "amortized midpoint".to_owned(),
+                    format!("≥ (1/2)^(1/{}) = {}", n - 2, rate(lo)),
+                    drive_rate(
+                        AmortizedMidpoint::for_agents(n),
+                        &adv,
+                        &spread_inits(n),
+                        steps,
+                    ),
+                )
+            } else {
+                (
+                    "midpoint".to_owned(),
+                    format!("≥ {}", rate(lo)),
+                    drive_rate(Midpoint, &adv, &spread_inits(n), steps),
+                )
+            };
+            [
+                format!("Thm 3 (Ψ, n={n})"),
+                name,
+                bound_label,
+                rate(r),
+                check(r >= lo - 1e-2),
+            ]
+        })
+    }
+
+    let mut cases: Vec<Case<Row>> = vec![
+        thm1("two-agent-thirds (optimal)", TwoAgentThirds, steps),
+        thm1("midpoint", Midpoint, steps),
+        thm1("mean-value", MeanValue, steps),
+        thm1("overshoot(0.4)", Overshoot::new(0.4), steps),
+        thm2("midpoint (optimal)", Midpoint, steps),
+        thm2("mean-value", MeanValue, steps),
+        thm2("windowed-midpoint(3)", WindowedMidpoint::new(3), steps),
+        thm2("overshoot(0.6)", Overshoot::new(0.6), steps),
+        thm2("self-weighted(0.5)", SelfWeightedAverage::new(0.5), steps),
+    ];
+    for n in [4usize, 5, 6] {
+        cases.push(thm3(n, true, steps3));
+        cases.push(thm3(n, false, steps3));
+    }
+
     let mut out = section("Theorems 1–3 — adversarial contraction rates by algorithm");
     let mut t = Table::new(&["theorem", "algorithm", "paper bound", "measured", "ok"]);
-
-    // Theorem 1.
-    let adv1 = adversary::theorem1();
-    let algs1: Vec<(String, f64)> = vec![
-        (
-            "two-agent-thirds (optimal)".into(),
-            drive_rate(TwoAgentThirds, &adv1, &spread_inits(2), steps),
-        ),
-        (
-            "midpoint".into(),
-            drive_rate(Midpoint, &adv1, &spread_inits(2), steps),
-        ),
-        (
-            "mean-value".into(),
-            drive_rate(MeanValue, &adv1, &spread_inits(2), steps),
-        ),
-        (
-            "overshoot(0.4)".into(),
-            drive_rate(Overshoot::new(0.4), &adv1, &spread_inits(2), steps),
-        ),
-    ];
-    for (name, r) in algs1 {
-        t.row(&[
-            "Thm 1 (n=2)".into(),
-            name,
-            "≥ 1/3".into(),
-            rate(r),
-            check(r >= 1.0 / 3.0 - 5e-3),
-        ]);
-    }
-
-    // Theorem 2 on deaf(K_4).
-    let adv2 = adversary::theorem2(&Digraph::complete(4));
-    let i4 = spread_inits(4);
-    let algs2: Vec<(String, f64)> = vec![
-        (
-            "midpoint (optimal)".into(),
-            drive_rate(Midpoint, &adv2, &i4, steps),
-        ),
-        (
-            "mean-value".into(),
-            drive_rate(MeanValue, &adv2, &i4, steps),
-        ),
-        (
-            "windowed-midpoint(3)".into(),
-            drive_rate(WindowedMidpoint::new(3), &adv2, &i4, steps),
-        ),
-        (
-            "overshoot(0.6)".into(),
-            drive_rate(Overshoot::new(0.6), &adv2, &i4, steps),
-        ),
-        (
-            "self-weighted(0.5)".into(),
-            drive_rate(SelfWeightedAverage::new(0.5), &adv2, &i4, steps),
-        ),
-    ];
-    for (name, r) in algs2 {
-        t.row(&[
-            "Thm 2 (deaf(K_4))".into(),
-            name,
-            "≥ 1/2".into(),
-            rate(r),
-            check(r >= 0.5 - 5e-3),
-        ]);
-    }
-
-    // Theorem 3 on Ψ(n).
-    for n in [4usize, 5, 6] {
-        let lo = bounds::theorem3_lower(n);
-        let adv3 = adversary::theorem3(n);
-        let r = drive_rate(
-            AmortizedMidpoint::for_agents(n),
-            &adv3,
-            &spread_inits(n),
-            if quick { 5 } else { 8 },
-        );
-        t.row(&[
-            format!("Thm 3 (Ψ, n={n})"),
-            "amortized midpoint".into(),
-            format!("≥ (1/2)^(1/{}) = {}", n - 2, rate(lo)),
-            rate(r),
-            check(r >= lo - 1e-2),
-        ]);
-        let rm = drive_rate(Midpoint, &adv3, &spread_inits(n), if quick { 5 } else { 8 });
-        t.row(&[
-            format!("Thm 3 (Ψ, n={n})"),
-            "midpoint".into(),
-            format!("≥ {}", rate(lo)),
-            rate(rm),
-            check(rm >= lo - 1e-2),
-        ]);
+    for row in run_cases(cases) {
+        t.row(&row);
     }
     out.push_str(&t.render());
     out.push_str(
@@ -367,19 +383,12 @@ pub fn contraction_rates(quick: bool) -> String {
 }
 
 /// **E-THM45 — α-diameter & solvability report** for every analysable
-/// model, plus Lemma 24 chain certificates for large `N_A(n, f)`.
+/// model, plus Lemma 24 chain certificates for large `N_A(n, f)`. The
+/// per-model analyses and the chain certificates are independent sweep
+/// cells (β-class enumeration is the dominant cost, and embarrassingly
+/// parallel across models).
 #[must_use]
 pub fn alpha_diameter_report() -> String {
-    let mut out = section("Theorems 4/5 & §7 — solvability, β-classes and α-diameter");
-    let mut t = Table::new(&[
-        "model",
-        "|N|",
-        "rooted",
-        "exact-solvable",
-        "β-classes",
-        "α-diam D",
-        "Thm-5 bound",
-    ]);
     let models: Vec<NetworkModel> = vec![
         NetworkModel::two_agent(),
         NetworkModel::deaf(&Digraph::complete(3)),
@@ -394,10 +403,10 @@ pub fn alpha_diameter_report() -> String {
         NetworkModel::async_crash(3, 1),
         NetworkModel::async_crash(4, 1),
     ];
-    for m in &models {
+    let model_rows = Sweep::new(models).run(|m, _ctx| {
         let rep = beta::analyze(m);
         let d = alpha::alpha_diameter(m);
-        t.row(&[
+        [
             m.name().to_owned(),
             m.len().to_string(),
             rep.asymptotic_solvable.to_string(),
@@ -409,34 +418,157 @@ pub fn alpha_diameter_report() -> String {
             } else {
                 rate(d.theorem5_bound())
             },
-        ]);
+        ]
+    });
+
+    let chain_lines =
+        Sweep::new(vec![(6usize, 2usize), (8, 3), (12, 4), (16, 5)]).run(|&(n, f), _ctx| {
+            let g = Digraph::complete(n);
+            let mut h = Digraph::complete(n);
+            for i in 0..n {
+                h.remove_edge((i + 1) % n, i); // drop one non-self edge per agent
+            }
+            let q = alpha::lemma24_chain_check(&g, &h, f).expect("chain certifies");
+            format!(
+                "  N_A({n},{f}): certified chain of length {q} = ⌈n/f⌉ {}\n",
+                check(q == n.div_ceil(f))
+            )
+        });
+
+    let mut out = section("Theorems 4/5 & §7 — solvability, β-classes and α-diameter");
+    let mut t = Table::new(&[
+        "model",
+        "|N|",
+        "rooted",
+        "exact-solvable",
+        "β-classes",
+        "α-diam D",
+        "Thm-5 bound",
+    ]);
+    for row in &model_rows {
+        t.row(row);
     }
     out.push_str(&t.render());
 
     out.push_str("\nLemma 24 certificates (D ≤ ⌈n/f⌉ for N_A(n,f), checked step-by-step):\n");
-    for (n, f) in [(6usize, 2usize), (8, 3), (12, 4), (16, 5)] {
-        let g = Digraph::complete(n);
-        let mut h = Digraph::complete(n);
-        for i in 0..n {
-            h.remove_edge((i + 1) % n, i); // drop one non-self edge per agent
-        }
-        let q = alpha::lemma24_chain_check(&g, &h, f).expect("chain certifies");
-        out.push_str(&format!(
-            "  N_A({n},{f}): certified chain of length {q} = ⌈n/f⌉ {}\n",
-            check(q == n.div_ceil(f))
-        ));
+    for line in &chain_lines {
+        out.push_str(line);
     }
     out
 }
 
 /// **E-THM8-11 — decision-time series** for approximate consensus.
+/// The (theorem × Δ/ε) grid is a sweep: every cell builds its adversary
+/// and scenario from scratch, so all cells run in parallel.
 #[must_use]
 pub fn decision_times(quick: bool) -> String {
+    type Row = [String; 6];
     let ratios: Vec<f64> = if quick {
         vec![1e1, 1e2, 1e3]
     } else {
         vec![1e1, 1e2, 1e3, 1e4, 1e5]
     };
+
+    fn thm8(r: f64) -> Case<Row> {
+        Box::new(move || {
+            let eps = 1.0 / r;
+            let adv = adversary::theorem1();
+            let m = Scenario::new(TwoAgentThirds, &spread_inits(2))
+                .adversary(adv.driver())
+                .decide(eps)
+                .decision_round(80);
+            let lbd = approx::rules::thm8_lower_bound(1.0, eps);
+            let upper = approx::rules::two_agent_decision_round(1.0, eps);
+            [
+                "Thm 8 (n=2)".into(),
+                format!("{r:.0}"),
+                format!("{lbd:.2}"),
+                m.map_or("-".into(), |v| v.to_string()),
+                upper.to_string(),
+                check(m == Some(upper)),
+            ]
+        })
+    }
+
+    fn thm9(r: f64) -> Case<Row> {
+        Box::new(move || {
+            let eps = 1.0 / r;
+            let adv = adversary::theorem2(&Digraph::complete(3));
+            let m = Scenario::new(Midpoint, &spread_inits(3))
+                .adversary(adv.driver())
+                .decide(eps)
+                .decision_round(80);
+            let lbd = approx::rules::thm9_lower_bound(1.0, eps);
+            let upper = approx::rules::midpoint_decision_round(1.0, eps);
+            [
+                "Thm 9 (deaf)".into(),
+                format!("{r:.0}"),
+                format!("{lbd:.2}"),
+                m.map_or("-".into(), |v| v.to_string()),
+                upper.to_string(),
+                check(m == Some(upper)),
+            ]
+        })
+    }
+
+    fn thm10(r: f64) -> Case<Row> {
+        Box::new(move || {
+            let eps = 1.0 / r;
+            let n = 5;
+            let adv = adversary::theorem3(n);
+            let m = Scenario::new(AmortizedMidpoint::for_agents(n), &spread_inits(n))
+                .adversary(adv.driver())
+                .decide(eps)
+                .decision_round(400);
+            let lbd = approx::rules::thm10_lower_bound(n, 1.0, eps);
+            let upper = approx::rules::amortized_decision_round(n, 1.0, eps);
+            // Measured T is reported at σ-block granularity (blocks of
+            // n−2 rounds), so allow one block of slack above the upper
+            // formula.
+            let slack = (n - 2) as u64;
+            [
+                format!("Thm 10 (Ψ, n={n})"),
+                format!("{r:.0}"),
+                format!("{lbd:.2}"),
+                m.map_or("-".into(), |v| v.to_string()),
+                upper.to_string(),
+                check(
+                    m.is_some_and(|v| (v as f64) >= lbd - (n as f64 - 2.0) && v <= upper + slack),
+                ),
+            ]
+        })
+    }
+
+    fn thm11(r: f64) -> Case<Row> {
+        Box::new(move || {
+            let eps = 1.0 / r;
+            let two = NetworkModel::two_agent();
+            let d = alpha::alpha_diameter(&two).finite().expect("finite");
+            let adv = adversary::theorem5(&two);
+            let m = Scenario::new(TwoAgentThirds, &spread_inits(2))
+                .adversary(adv.driver())
+                .decide(eps)
+                .decision_round(80);
+            let lbd = approx::rules::thm11_lower_bound(d, 2, 1.0, eps);
+            [
+                "Thm 11 (D=2)".into(),
+                format!("{r:.0}"),
+                format!("{lbd:.2}"),
+                m.map_or("-".into(), |v| v.to_string()),
+                "-".into(),
+                check(m.is_some_and(|v| v as f64 >= lbd - 1e-9)),
+            ]
+        })
+    }
+
+    // The ratio-major (Δ/ε × theorem) grid, via the generic product
+    // helper so row order matches the paper's series layout.
+    let builders: [fn(f64) -> Case<Row>; 4] = [thm8, thm9, thm10, thm11];
+    let cases: Vec<Case<Row>> = tight_bounds_consensus::sweep::cartesian2(&ratios, &builders)
+        .into_iter()
+        .map(|(r, build)| build(r))
+        .collect();
+
     let mut out = section("Theorems 8–11 — decision times for approximate consensus");
     let mut t = Table::new(&[
         "setting",
@@ -446,81 +578,8 @@ pub fn decision_times(quick: bool) -> String {
         "matching alg. T",
         "ok",
     ]);
-
-    for &r in &ratios {
-        let eps = 1.0 / r;
-        // Theorem 8: n = 2.
-        let adv = adversary::theorem1();
-        let m = Scenario::new(TwoAgentThirds, &spread_inits(2))
-            .adversary(adv.driver())
-            .decide(eps)
-            .decision_round(80);
-        let lbd = approx::rules::thm8_lower_bound(1.0, eps);
-        let upper = approx::rules::two_agent_decision_round(1.0, eps);
-        t.row(&[
-            "Thm 8 (n=2)".into(),
-            format!("{r:.0}"),
-            format!("{lbd:.2}"),
-            m.map_or("-".into(), |v| v.to_string()),
-            upper.to_string(),
-            check(m == Some(upper)),
-        ]);
-
-        // Theorem 9: deaf(K_3).
-        let adv = adversary::theorem2(&Digraph::complete(3));
-        let m = Scenario::new(Midpoint, &spread_inits(3))
-            .adversary(adv.driver())
-            .decide(eps)
-            .decision_round(80);
-        let lbd = approx::rules::thm9_lower_bound(1.0, eps);
-        let upper = approx::rules::midpoint_decision_round(1.0, eps);
-        t.row(&[
-            "Thm 9 (deaf)".into(),
-            format!("{r:.0}"),
-            format!("{lbd:.2}"),
-            m.map_or("-".into(), |v| v.to_string()),
-            upper.to_string(),
-            check(m == Some(upper)),
-        ]);
-
-        // Theorem 10: Ψ(5), measured at σ-block granularity.
-        let n = 5;
-        let adv = adversary::theorem3(n);
-        let m = Scenario::new(AmortizedMidpoint::for_agents(n), &spread_inits(n))
-            .adversary(adv.driver())
-            .decide(eps)
-            .decision_round(400);
-        let lbd = approx::rules::thm10_lower_bound(n, 1.0, eps);
-        let upper = approx::rules::amortized_decision_round(n, 1.0, eps);
-        // Measured T is reported at σ-block granularity (blocks of n−2
-        // rounds), so allow one block of slack above the upper formula.
-        let slack = (n - 2) as u64;
-        t.row(&[
-            format!("Thm 10 (Ψ, n={n})"),
-            format!("{r:.0}"),
-            format!("{lbd:.2}"),
-            m.map_or("-".into(), |v| v.to_string()),
-            upper.to_string(),
-            check(m.is_some_and(|v| (v as f64) >= lbd - (n as f64 - 2.0) && v <= upper + slack)),
-        ]);
-
-        // Theorem 11: generic bound on the two-agent model (D = 2).
-        let two = NetworkModel::two_agent();
-        let d = alpha::alpha_diameter(&two).finite().expect("finite");
-        let adv = adversary::theorem5(&two);
-        let m = Scenario::new(TwoAgentThirds, &spread_inits(2))
-            .adversary(adv.driver())
-            .decide(eps)
-            .decision_round(80);
-        let lbd = approx::rules::thm11_lower_bound(d, 2, 1.0, eps);
-        t.row(&[
-            "Thm 11 (D=2)".into(),
-            format!("{r:.0}"),
-            format!("{lbd:.2}"),
-            m.map_or("-".into(), |v| v.to_string()),
-            "-".into(),
-            check(m.is_some_and(|v| v as f64 >= lbd - 1e-9)),
-        ]);
+    for row in run_cases(cases) {
+        t.row(&row);
     }
     out.push_str(&t.render());
     out.push_str("\nmeasured T = first adversarial round with spread ≤ ε (deciding earlier\nwould violate ε-agreement); Thm-10 rows are at σ-block granularity.\n");
@@ -672,17 +731,39 @@ pub fn ablation(quick: bool) -> String {
 #[must_use]
 pub fn convergence_curves(quick: bool) -> String {
     let steps = if quick { 10 } else { 16 };
+    let blocks3 = if quick { 5 } else { 8 };
+    let n = 6;
+
+    // The three adversarial drives are independent — one sweep cell each.
+    let drives: Vec<Case<AdversaryTrace>> = vec![
+        Box::new(move || {
+            let adv = adversary::theorem1();
+            let mut s = Scenario::new(TwoAgentThirds, &spread_inits(2)).adversary(adv.driver());
+            s.advance(steps);
+            s.driver().record().clone()
+        }),
+        Box::new(move || {
+            let adv = adversary::theorem2(&Digraph::complete(4));
+            let mut s = Scenario::new(Midpoint, &spread_inits(4)).adversary(adv.driver());
+            s.advance(steps);
+            s.driver().record().clone()
+        }),
+        Box::new(move || {
+            let adv = adversary::theorem3(n);
+            let mut s = Scenario::new(AmortizedMidpoint::for_agents(n), &spread_inits(n))
+                .adversary(adv.driver());
+            s.advance(blocks3 * adv.block_len());
+            s.driver().record().clone()
+        }),
+    ];
+    let mut traces = run_cases(drives);
+    let tr3 = traces.pop().expect("three drives");
+    let tr2 = traces.pop().expect("three drives");
+    let tr1 = traces.pop().expect("three drives");
+
     let mut out = section("Contraction curves — δ̂ and Δ per round under the proof adversaries");
 
     let mut t = Table::new(&["round", "Thm1 δ̂", "Thm1 (1/3)^t", "Thm2 δ̂", "Thm2 (1/2)^t"]);
-    let adv1 = adversary::theorem1();
-    let mut s1 = Scenario::new(TwoAgentThirds, &spread_inits(2)).adversary(adv1.driver());
-    s1.advance(steps);
-    let tr1 = s1.driver().record().clone();
-    let adv2 = adversary::theorem2(&Digraph::complete(4));
-    let mut s2 = Scenario::new(Midpoint, &spread_inits(4)).adversary(adv2.driver());
-    s2.advance(steps);
-    let tr2 = s2.driver().record().clone();
     for k in 0..=steps {
         t.row(&[
             k.to_string(),
@@ -695,12 +776,6 @@ pub fn convergence_curves(quick: bool) -> String {
     out.push_str(&t.render());
 
     // Amortized midpoint under σ-blocks: value spread staircase.
-    let n = 6;
-    let adv3 = adversary::theorem3(n);
-    let mut s3 =
-        Scenario::new(AmortizedMidpoint::for_agents(n), &spread_inits(n)).adversary(adv3.driver());
-    s3.advance(if quick { 5 } else { 8 } * adv3.block_len());
-    let tr3 = s3.driver().record().clone();
     let mut t = Table::new(&["σ-block (×4 rounds)", "δ̂ (valency)", "Δ (values)"]);
     for k in 0..tr3.deltas.len() {
         t.row(&[
@@ -714,6 +789,196 @@ pub fn convergence_curves(quick: bool) -> String {
     out.push_str(
         "\nδ̂ decays geometrically at the bound rate; Δ follows in steps of the\nalgorithm's macro-rounds (values only move every n−1 rounds).\n",
     );
+    out
+}
+
+/// Configuration of an **E-SWEEP ensemble sweep** (the `sweep` bin's
+/// workload): a grid, a base seed, and the per-cell convergence target.
+#[derive(Debug, Clone)]
+pub struct EnsembleSpec {
+    /// Report name (embedded in the JSON, so golden files are
+    /// self-describing).
+    pub name: String,
+    /// The cartesian grid of cells.
+    pub grid: EnsembleGrid,
+    /// Base seed all per-cell seeds derive from.
+    pub base_seed: u64,
+    /// Convergence/decision threshold ε.
+    pub tol: f64,
+    /// Per-cell round budget (total horizon).
+    pub max_rounds: usize,
+}
+
+/// The named grid presets of the `sweep` bin.
+///
+/// * `golden` — the small fixed grid the CI `sweep-regression` job runs
+///   and diffs against `ci/golden_sweep.json` (16 cells, seed 42).
+/// * `quick` — a fast smoke ensemble (36 cells).
+/// * `full` — the real ensemble (960 cells over 5 graph classes).
+///
+/// # Panics
+///
+/// Panics on an unknown preset name.
+#[must_use]
+pub fn ensemble_spec(preset: &str) -> EnsembleSpec {
+    match preset {
+        "golden" => EnsembleSpec {
+            name: "golden".into(),
+            grid: EnsembleGrid::new()
+                .agents(&[4, 6])
+                .topologies(&[Topology::Complete, Topology::Rooted { density: 0.25 }])
+                .inits(&[InitDist::Spread, InitDist::Bipolar])
+                .params(&[0.3])
+                .replicates(2),
+            base_seed: 42,
+            tol: 1e-6,
+            max_rounds: 300,
+        },
+        "quick" => EnsembleSpec {
+            name: "quick".into(),
+            grid: EnsembleGrid::new()
+                .agents(&[4, 8])
+                .topologies(&[
+                    Topology::Complete,
+                    Topology::Rooted { density: 0.2 },
+                    Topology::AsyncCrash { f: 1 },
+                ])
+                .inits(&[InitDist::Spread, InitDist::Uniform])
+                .params(&[0.3])
+                .replicates(3),
+            base_seed: consensus_sweep_default_seed(),
+            tol: 1e-6,
+            max_rounds: 400,
+        },
+        "full" => EnsembleSpec {
+            name: "full".into(),
+            grid: EnsembleGrid::new()
+                .agents(&[4, 8, 16])
+                .topologies(&[
+                    Topology::Complete,
+                    Topology::Cycle,
+                    Topology::Rooted { density: 0.15 },
+                    Topology::Nonsplit { density: 0.2 },
+                    Topology::AsyncCrash { f: 1 },
+                ])
+                .inits(&[
+                    InitDist::Spread,
+                    InitDist::Uniform,
+                    InitDist::Bipolar,
+                    InitDist::Outlier,
+                ])
+                .params(&[0.2, 0.5])
+                .replicates(8),
+            base_seed: consensus_sweep_default_seed(),
+            tol: 1e-6,
+            max_rounds: 600,
+        },
+        other => panic!("unknown ensemble preset `{other}` (use golden|quick|full)"),
+    }
+}
+
+fn consensus_sweep_default_seed() -> u64 {
+    tight_bounds_consensus::sweep::DEFAULT_BASE_SEED
+}
+
+/// One ensemble cell: self-weighted averaging (`param` = self-weight)
+/// from the cell's initial distribution under its random dynamic-graph
+/// class, measured to the decision round (Theorems 8–11 semantics) with
+/// the per-round contraction rate as the ensemble statistic.
+#[must_use]
+pub fn run_ensemble_cell(
+    cell: &tight_bounds_consensus::sweep::EnsembleCell,
+    ctx: CellCtx,
+    tol: f64,
+    max_rounds: usize,
+) -> CellOutcome {
+    let inits = cell.inits(&mut ctx.rng());
+    let d0 = diameter(&inits);
+    let mut sc = Scenario::new(SelfWeightedAverage::new(cell.param), &inits)
+        .pattern(cell.pattern(ctx.subseed(1)))
+        .decide(tol);
+    let decision = sc.decision_round(max_rounds);
+    let exec = sc.execution();
+    let rounds = exec.round();
+    let d = exec.value_diameter();
+    let measured_rate = if rounds == 0 || d0 <= 0.0 || d <= 0.0 {
+        0.0
+    } else {
+        (d / d0).powf(1.0 / rounds as f64)
+    };
+    CellOutcome {
+        rate: measured_rate,
+        decision_round: decision,
+        rounds,
+        converged: decision.is_some(),
+        fingerprint: fingerprint(exec.outputs_slice()),
+    }
+}
+
+/// Runs an ensemble spec on the sweep pool (`threads = None` ⇒ all
+/// cores; thread count never changes the report).
+#[must_use]
+pub fn run_ensemble(spec: &EnsembleSpec, threads: Option<usize>) -> SweepReport {
+    let mut sweep = Sweep::new(spec.grid.cells()).seed(spec.base_seed);
+    if let Some(t) = threads {
+        sweep = sweep.threads(t);
+    }
+    let labels: Vec<String> = sweep
+        .cells()
+        .iter()
+        .map(tight_bounds_consensus::sweep::EnsembleCell::label)
+        .collect();
+    let seeds: Vec<u64> = (0..sweep.len()).map(|i| sweep.seed_of(i)).collect();
+    let (tol, max_rounds) = (spec.tol, spec.max_rounds);
+    let outcomes = sweep.run(|cell, ctx| run_ensemble_cell(cell, ctx, tol, max_rounds));
+    SweepReport::new(spec.name.clone(), spec.base_seed, labels, seeds, outcomes)
+}
+
+/// Formats a [`SweepReport`] in the repo's table style (the human side
+/// of the `sweep` bin; the JSON side is [`SweepReport::to_json`]).
+#[must_use]
+pub fn ensemble_table(report: &SweepReport) -> String {
+    let s = &report.summary;
+    let mut out = section(&format!(
+        "Ensemble sweep `{}` — {} cells, base seed {}",
+        report.name, s.cells, report.base_seed
+    ));
+    out.push_str(&format!(
+        "converged {}/{} (failures: {}), decided: {}\n\n",
+        s.converged, s.cells, s.failures, s.decided
+    ));
+    let mut t = Table::new(&[
+        "metric", "count", "min", "max", "mean", "std", "median", "p90",
+    ]);
+    for (name, stats) in [
+        ("contraction rate", s.rate.as_ref()),
+        ("decision round", s.decision_round.as_ref()),
+        ("rounds executed", s.rounds.as_ref()),
+    ] {
+        match stats {
+            Some(v) => t.row(&[
+                name.into(),
+                v.count.to_string(),
+                rate(v.min),
+                rate(v.max),
+                rate(v.mean),
+                rate(v.std_dev),
+                rate(v.median),
+                rate(v.p90),
+            ]),
+            None => t.row(&[
+                name.into(),
+                "0".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+        };
+    }
+    out.push_str(&t.render());
     out
 }
 
@@ -760,5 +1025,40 @@ mod tests {
     fn ablation_never_beats_bound() {
         let s = ablation(true);
         assert!(!s.contains("MISMATCH"), "{s}");
+    }
+
+    #[test]
+    fn swept_contraction_rates_have_no_mismatches() {
+        let s = contraction_rates(true);
+        assert!(!s.contains("MISMATCH"), "{s}");
+        assert!(s.contains("Thm 3 (Ψ, n=6)"), "all theorem rows present");
+    }
+
+    #[test]
+    fn swept_decision_times_have_no_mismatches() {
+        let s = decision_times(true);
+        assert!(!s.contains("MISMATCH"), "{s}");
+    }
+
+    #[test]
+    fn swept_curves_render_all_sections() {
+        let s = convergence_curves(true);
+        assert!(s.contains("Thm1 δ̂"));
+        assert!(s.contains("σ-block"));
+    }
+
+    #[test]
+    fn golden_ensemble_is_thread_count_invariant_and_clean() {
+        let spec = ensemble_spec("golden");
+        let a = run_ensemble(&spec, Some(1));
+        let b = run_ensemble(&spec, Some(4));
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "bit-identical at any thread count"
+        );
+        assert_eq!(a.summary.cells, 16);
+        assert_eq!(a.summary.failures, 0, "golden grid must fully converge");
+        assert!(!ensemble_table(&a).contains("MISMATCH"));
     }
 }

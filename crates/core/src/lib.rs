@@ -20,6 +20,7 @@
 //! | [`valency`] | `consensus-valency` | valency probes and the Theorem 1/2/3/5 adversaries |
 //! | [`approx`] | `consensus-approx` | deciding wrappers, ε-agreement, decision-time measurement (Thms 8–11) |
 //! | [`asyncsim`] | `consensus-asyncsim` | asynchronous crashes, round-based executors, MinRelay (Thms 6–7) |
+//! | [`sweep`] | `consensus-sweep` | parallel multi-seed sweep grids, work-stealing pool, ensemble statistics |
 //!
 //! plus [`bounds`] — every closed-form bound of Table 1 and Theorems
 //! 8–11 as documented, tested functions, and a machine-readable
@@ -55,6 +56,7 @@ pub use consensus_asyncsim as asyncsim;
 pub use consensus_digraph as digraph;
 pub use consensus_dynamics as dynamics;
 pub use consensus_netmodel as netmodel;
+pub use consensus_sweep as sweep;
 pub use consensus_valency as valency;
 
 pub mod bounds;
@@ -71,5 +73,8 @@ pub mod prelude {
     pub use consensus_digraph::{families, Digraph};
     pub use consensus_dynamics::{pattern, scenario, Execution, Scenario, Trace};
     pub use consensus_netmodel::{alpha, beta, NetworkModel};
+    pub use consensus_sweep::{
+        CellCtx, CellOutcome, EnsembleGrid, InitDist, Sweep, SweepReport, SweepSummary, Topology,
+    };
     pub use consensus_valency::{adversary, ProbeSet};
 }

@@ -285,7 +285,14 @@ impl<A: Algorithm<D>, Dr: Driver<A, D>, const D: usize> Scenario<A, Dr, D> {
     /// Runs until the spread drops to ≤ the [`Scenario::decide`]
     /// threshold and returns the first qualifying round (checked at
     /// block boundaries, matching the per-(macro-)round granularity of
-    /// Theorems 8–11), or `None` if `max_rounds` is exhausted first.
+    /// Theorems 8–11), or `None` if the `max_rounds` horizon is
+    /// exhausted first.
+    ///
+    /// `max_rounds` is a **total horizon counted from round 0**, not a
+    /// relative budget: rounds already executed (via [`Scenario::run`]
+    /// or [`Scenario::advance`]) are not recounted, so interleaving
+    /// `advance(k)` with `decision_round(T)` measures the same decision
+    /// round as a single `decision_round(T)` call.
     ///
     /// # Panics
     ///
@@ -294,7 +301,8 @@ impl<A: Algorithm<D>, Dr: Driver<A, D>, const D: usize> Scenario<A, Dr, D> {
         let eps = self
             .stop_below
             .expect("decision_round requires .decide(eps)");
-        self.advance(max_rounds);
+        let executed = usize::try_from(self.exec.round()).unwrap_or(usize::MAX);
+        self.advance(max_rounds.saturating_sub(executed));
         (self.exec.value_diameter() <= eps).then(|| self.exec.round())
     }
 }
@@ -371,11 +379,8 @@ where
         (hi - lo).max(0.0)
     }
 
-    /// Runs up to `max_rounds` rounds under the driver with fault
-    /// injection, recording the honest agents' trace.
-    pub fn run(&mut self, max_rounds: usize) -> Trace<1> {
+    fn drive(&mut self, max_rounds: usize, mut trace: Option<&mut Trace<1>>) -> usize {
         let byz = self.byzantine;
-        let mut trace = Trace::new(Self::honest_outputs(&self.exec, byz));
         let strategy = &mut self.strategy;
         drive_loop(
             &mut self.exec,
@@ -385,9 +390,48 @@ where
             max_rounds,
             &mut |e| Self::honest_spread(e, byz),
             &mut |e, g| e.step_with_faults(g, byz, &mut *strategy),
-            &mut |e, g| trace.record(g, Self::honest_outputs(e, byz)),
-        );
+            &mut |e, g| {
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record(g, Self::honest_outputs(e, byz));
+                }
+            },
+        )
+    }
+
+    /// Runs up to `max_rounds` further rounds under the driver with
+    /// fault injection, recording the honest agents' trace. Like
+    /// [`Scenario::run`], the scenario can be continued afterwards —
+    /// a later `run`/[`FaultyScenario::advance`] picks up from the
+    /// current configuration instead of recounting executed rounds.
+    pub fn run(&mut self, max_rounds: usize) -> Trace<1> {
+        let mut trace = Trace::new(Self::honest_outputs(&self.exec, self.byzantine));
+        self.drive(max_rounds, Some(&mut trace));
         trace
+    }
+
+    /// Like [`FaultyScenario::run`] but records nothing; returns the
+    /// number of rounds executed (mirrors [`Scenario::advance`]).
+    pub fn advance(&mut self, max_rounds: usize) -> usize {
+        self.drive(max_rounds, None)
+    }
+
+    /// The first round at which the **honest** spread is ≤ the
+    /// configured `decide` threshold, or `None` if the `max_rounds`
+    /// horizon is exhausted first. As with [`Scenario::decision_round`],
+    /// `max_rounds` is a total horizon counted from round 0 — rounds
+    /// already executed are not recounted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no `decide`/`until_converged` threshold was configured
+    /// before [`Scenario::faults`].
+    pub fn decision_round(&mut self, max_rounds: usize) -> Option<u64> {
+        let eps = self
+            .stop_below
+            .expect("decision_round requires .decide(eps)");
+        let executed = usize::try_from(self.exec.round()).unwrap_or(usize::MAX);
+        self.advance(max_rounds.saturating_sub(executed));
+        (Self::honest_spread(&self.exec, self.byzantine) <= eps).then(|| self.exec.round())
     }
 
     /// The underlying execution (all agents, liars included).
@@ -505,6 +549,76 @@ mod tests {
         assert_eq!(trace.outputs_at(0).len(), 5, "5 honest agents");
         assert!(trace.final_diameter() < 1e-6, "honest agents agree");
         assert!(trace.validity_holds(1e-9), "honest hull respected");
+    }
+
+    #[test]
+    fn decision_round_does_not_recount_after_advance() {
+        // Midpoint under deaf(K_3) halves per round: Δ/ε = 8 decides at
+        // round 3. Splitting the drive as advance(2) + decision_round(64)
+        // must agree with the one-shot measurement.
+        let f0 = Digraph::complete(3).make_deaf(0);
+        let build = || {
+            Scenario::new(Midpoint, &pts(&[0.0, 1.0, 1.0]))
+                .pattern(ConstantPattern::new(f0.clone()))
+                .decide(1.0 / 8.0)
+        };
+        let mut oneshot = build();
+        assert_eq!(oneshot.decision_round(64), Some(3));
+
+        let mut split = build();
+        assert_eq!(split.advance(2), 2);
+        assert_eq!(split.decision_round(64), Some(3), "no recounting");
+        assert_eq!(split.execution().round(), 3, "stopped at the decision");
+
+        // The horizon is absolute: after advance(2), a budget of 2 is
+        // already exhausted and may not buy 2 extra rounds.
+        let mut exhausted = build();
+        exhausted.advance(2);
+        assert_eq!(exhausted.decision_round(2), None);
+        assert_eq!(exhausted.execution().round(), 2, "no extra rounds ran");
+    }
+
+    #[test]
+    fn faulty_scenario_advance_then_run_is_resumable() {
+        let n = 7;
+        let byz: AgentSet = 0b1100000;
+        let inits: Vec<Point<1>> = (0..n).map(|i| Point([i as f64 / (n - 1) as f64])).collect();
+        let build = || {
+            Scenario::new(TrimmedMean::new(2), &inits)
+                .pattern(ConstantPattern::new(Digraph::complete(n)))
+                .faults(byz, SplitAttack { magnitude: 1e6 })
+        };
+        let mut oneshot = build();
+        let full = oneshot.run(10);
+
+        let mut split = build();
+        assert_eq!(split.advance(4), 4);
+        let tail = split.run(6);
+        assert_eq!(tail.rounds(), 6, "run continues, not restarts");
+        assert_eq!(
+            tail.outputs_at(0),
+            full.outputs_at(4),
+            "resumed trace starts at the advanced configuration"
+        );
+        assert_eq!(tail.outputs_at(6), full.outputs_at(10));
+    }
+
+    #[test]
+    fn faulty_decision_round_not_recounted() {
+        let n = 5;
+        let byz: AgentSet = 0b10000;
+        let inits: Vec<Point<1>> = (0..n).map(|i| Point([i as f64 / (n - 1) as f64])).collect();
+        let build = || {
+            Scenario::new(TrimmedMean::new(1), &inits)
+                .pattern(ConstantPattern::new(Digraph::complete(n)))
+                .decide(1e-3)
+                .faults(byz, SplitAttack { magnitude: 10.0 })
+        };
+        let mut oneshot = build();
+        let t = oneshot.decision_round(64).expect("trimmed mean converges");
+        let mut split = build();
+        split.advance(1);
+        assert_eq!(split.decision_round(64), Some(t));
     }
 
     #[test]

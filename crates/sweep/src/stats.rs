@@ -1,0 +1,230 @@
+//! Per-cell outcomes and their deterministic statistical aggregation.
+//!
+//! Aggregation is intentionally order-sensitive-free: every statistic is
+//! computed from the cell-ordered outcome vector the harness returns, so
+//! the summary of a sweep is a pure function of `(grid, base seed)` —
+//! independent of thread count and scheduling (the property the
+//! determinism tests pin down).
+
+use consensus_algorithms::Point;
+
+/// The measured result of one sweep cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellOutcome {
+    /// Measured contraction rate over the executed rounds (`NaN` when
+    /// the cell does not measure a rate).
+    pub rate: f64,
+    /// First round with spread ≤ the cell's ε, if the cell decided.
+    pub decision_round: Option<u64>,
+    /// Rounds actually executed.
+    pub rounds: u64,
+    /// Whether the cell reached its convergence/decision target.
+    pub converged: bool,
+    /// Digest of the final output vector's exact bit patterns (agent
+    /// order included), for replay-equality checks ([`fingerprint`]).
+    pub fingerprint: u64,
+}
+
+impl CellOutcome {
+    /// An outcome carrying only a rate measurement.
+    #[must_use]
+    pub fn of_rate(rate: f64, rounds: u64) -> Self {
+        CellOutcome {
+            rate,
+            decision_round: None,
+            rounds,
+            converged: true,
+            fingerprint: 0,
+        }
+    }
+}
+
+/// FNV-1a over the exact bit patterns of an output vector — two runs
+/// produce the same fingerprint iff they ended in bit-identical
+/// configurations.
+#[must_use]
+pub fn fingerprint<const D: usize>(outputs: &[Point<D>]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for p in outputs {
+        for d in 0..D {
+            for b in p[d].to_bits().to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+    }
+    h
+}
+
+/// Summary statistics of one metric across the cells that reported it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Number of contributing cells.
+    pub count: usize,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Median (linear interpolation between ranks).
+    pub median: f64,
+    /// 90th percentile (linear interpolation between ranks).
+    pub p90: f64,
+}
+
+impl Stats {
+    /// Computes the summary of `values`, ignoring non-finite entries;
+    /// `None` when nothing finite remains.
+    #[must_use]
+    pub fn from_values(values: &[f64]) -> Option<Stats> {
+        let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(f64::total_cmp);
+        let count = v.len();
+        let sum: f64 = v.iter().sum();
+        let mean = sum / count as f64;
+        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / count as f64;
+        Some(Stats {
+            count,
+            min: v[0],
+            max: v[count - 1],
+            mean,
+            std_dev: var.sqrt(),
+            median: quantile_sorted(&v, 0.5),
+            p90: quantile_sorted(&v, 0.9),
+        })
+    }
+}
+
+/// The `q`-quantile of an ascending slice, linearly interpolated
+/// between neighboring ranks (`q ∈ [0, 1]`; endpoints are min/max).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q ∉ [0, 1]`.
+#[must_use]
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile rank must be in [0,1]");
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Aggregated statistics of a whole sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSummary {
+    /// Total number of cells.
+    pub cells: usize,
+    /// Cells that reached their convergence/decision target.
+    pub converged: usize,
+    /// Cells that did **not** converge within their budget.
+    pub failures: usize,
+    /// Cells that reported a decision round.
+    pub decided: usize,
+    /// Contraction-rate statistics (over cells with a finite rate).
+    pub rate: Option<Stats>,
+    /// Decision-round statistics (over deciding cells).
+    pub decision_round: Option<Stats>,
+    /// Executed-round statistics (over all cells).
+    pub rounds: Option<Stats>,
+}
+
+impl SweepSummary {
+    /// Aggregates the cell-ordered outcome vector of a sweep.
+    #[must_use]
+    pub fn aggregate(outcomes: &[CellOutcome]) -> Self {
+        let converged = outcomes.iter().filter(|o| o.converged).count();
+        let decisions: Vec<f64> = outcomes
+            .iter()
+            .filter_map(|o| o.decision_round.map(|r| r as f64))
+            .collect();
+        let rates: Vec<f64> = outcomes.iter().map(|o| o.rate).collect();
+        let rounds: Vec<f64> = outcomes.iter().map(|o| o.rounds as f64).collect();
+        SweepSummary {
+            cells: outcomes.len(),
+            converged,
+            failures: outcomes.len() - converged,
+            decided: decisions.len(),
+            rate: Stats::from_values(&rates),
+            decision_round: Stats::from_values(&decisions),
+            rounds: Stats::from_values(&rounds),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_values() {
+        let s = Stats::from_values(&[1.0, 2.0, 3.0, 4.0]).expect("non-empty");
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean - 2.5).abs() < 1e-15);
+        assert!((s.median - 2.5).abs() < 1e-15);
+        assert!((s.std_dev - (1.25f64).sqrt()).abs() < 1e-15);
+        assert!((s.p90 - 3.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_ignore_non_finite() {
+        let s = Stats::from_values(&[f64::NAN, 1.0, f64::INFINITY, 3.0]).expect("two finite");
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!(Stats::from_values(&[f64::NAN]).is_none());
+        assert!(Stats::from_values(&[]).is_none());
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let v = [0.0, 10.0];
+        assert_eq!(quantile_sorted(&v, 0.0), 0.0);
+        assert_eq!(quantile_sorted(&v, 1.0), 10.0);
+        assert!((quantile_sorted(&v, 0.25) - 2.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fingerprints_separate_configurations() {
+        let a = [Point([0.5]), Point([0.25])];
+        let b = [Point([0.5]), Point([0.25000000001])];
+        assert_eq!(fingerprint(&a), fingerprint(&a));
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        assert_ne!(fingerprint(&a[..1]), fingerprint(&a));
+    }
+
+    #[test]
+    fn summary_counts_failures_and_decisions() {
+        let outcomes = vec![
+            CellOutcome {
+                rate: 0.5,
+                decision_round: Some(3),
+                rounds: 3,
+                converged: true,
+                fingerprint: 1,
+            },
+            CellOutcome {
+                rate: f64::NAN,
+                decision_round: None,
+                rounds: 100,
+                converged: false,
+                fingerprint: 2,
+            },
+        ];
+        let s = SweepSummary::aggregate(&outcomes);
+        assert_eq!((s.cells, s.converged, s.failures, s.decided), (2, 1, 1, 1));
+        assert_eq!(s.rate.expect("one finite rate").count, 1);
+        assert_eq!(s.decision_round.expect("one decision").mean, 3.0);
+        assert_eq!(s.rounds.expect("all cells").max, 100.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Determinism contracts of the sweep harness:
+//!
+//! 1. running the same grid with 1 thread and N threads yields
+//!    **bit-identical** aggregated statistics (outcomes, summary, JSON);
+//! 2. replaying a single cell by its index/seed reproduces exactly the
+//!    trace the full parallel run recorded for it.
+
+use consensus_algorithms::MeanValue;
+use consensus_dynamics::Scenario;
+use consensus_sweep::{
+    fingerprint, CellCtx, CellOutcome, EnsembleCell, EnsembleGrid, InitDist, Sweep, SweepReport,
+    SweepSummary, Topology,
+};
+use proptest::prelude::*;
+
+const TOPOLOGIES: [Topology; 4] = [
+    Topology::Complete,
+    Topology::Rooted { density: 0.2 },
+    Topology::Nonsplit { density: 0.3 },
+    Topology::AsyncCrash { f: 1 },
+];
+
+const INITS: [InitDist; 3] = [InitDist::Spread, InitDist::Uniform, InitDist::Bipolar];
+
+/// The reference cell runner used by every test here: mean-value
+/// averaging under the cell's random pattern, 60 rounds, full outcome.
+fn run_cell(cell: &EnsembleCell, ctx: CellCtx) -> CellOutcome {
+    let inits = cell.inits(&mut ctx.rng());
+    let mut sc = Scenario::new(MeanValue, &inits)
+        .pattern(cell.pattern(ctx.subseed(1)))
+        .decide(1e-6);
+    let decision = sc.decision_round(60);
+    let exec = sc.execution();
+    CellOutcome {
+        rate: exec.value_diameter(),
+        decision_round: decision,
+        rounds: exec.round(),
+        converged: decision.is_some(),
+        fingerprint: fingerprint(exec.outputs_slice()),
+    }
+}
+
+/// Like [`run_cell`] but recording the full per-round diameter series —
+/// the "trace" replay equality is asserted on.
+fn run_cell_trace(cell: &EnsembleCell, ctx: CellCtx) -> Vec<f64> {
+    let inits = cell.inits(&mut ctx.rng());
+    let trace = Scenario::new(MeanValue, &inits)
+        .pattern(cell.pattern(ctx.subseed(1)))
+        .run(60);
+    trace.diameters()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// 1 worker vs N workers: the aggregated statistics (and every
+    /// per-cell outcome they summarize) are bit-identical.
+    #[test]
+    fn one_thread_and_n_threads_agree_bit_for_bit(
+        base_seed in 0u64..1_000_000,
+        threads in 2usize..9,
+        replicates in 1u64..4,
+        topo_a in 0usize..4,
+        topo_b in 0usize..4,
+        init_idx in 0usize..3,
+    ) {
+        let grid = EnsembleGrid::new()
+            .agents(&[3, 5])
+            .topologies(&[TOPOLOGIES[topo_a], TOPOLOGIES[topo_b]])
+            .inits(&[INITS[init_idx]])
+            .replicates(replicates);
+
+        let seq = Sweep::new(grid.cells()).seed(base_seed).threads(1);
+        let par = Sweep::new(grid.cells()).seed(base_seed).threads(threads);
+        let seq_out = seq.run(run_cell);
+        let par_out = par.run(run_cell);
+
+        prop_assert_eq!(&seq_out, &par_out, "per-cell outcomes must be bit-identical");
+        prop_assert_eq!(
+            SweepSummary::aggregate(&seq_out),
+            SweepSummary::aggregate(&par_out)
+        );
+
+        let labels: Vec<String> = seq.cells().iter().map(EnsembleCell::label).collect();
+        let seeds: Vec<u64> = (0..seq.len()).map(|i| seq.seed_of(i)).collect();
+        let a = SweepReport::new("prop", base_seed, labels.clone(), seeds.clone(), seq_out);
+        let b = SweepReport::new("prop", base_seed, labels, seeds, par_out);
+        prop_assert_eq!(a.to_json(), b.to_json(), "serialized reports must be byte-identical");
+    }
+
+    /// Replaying one cell solo reproduces the exact trace the full
+    /// parallel run recorded for that cell.
+    #[test]
+    fn single_cell_replay_reproduces_its_recorded_trace(
+        base_seed in 0u64..1_000_000,
+        pick in 0usize..1000,
+        topo_idx in 0usize..4,
+    ) {
+        let grid = EnsembleGrid::new()
+            .agents(&[4, 6])
+            .topologies(&[TOPOLOGIES[topo_idx]])
+            .inits(&[InitDist::Uniform])
+            .replicates(3);
+        let sweep = Sweep::new(grid.cells()).seed(base_seed).threads(4);
+
+        let full: Vec<Vec<f64>> = sweep.run(run_cell_trace);
+        let index = pick % sweep.len();
+        let solo = sweep.run_cell(index, run_cell_trace);
+        prop_assert_eq!(&solo, &full[index], "cell {} must replay bit-identically", index);
+
+        // The compact outcome agrees too (same seed ⇒ same fingerprint).
+        let outcomes = sweep.run(run_cell);
+        let solo_outcome = sweep.run_cell(index, run_cell);
+        prop_assert_eq!(solo_outcome, outcomes[index]);
+    }
+}
+
+/// The scaling acceptance check (≥ 3× at 4+ threads on a 64-cell grid).
+/// Ignored by default: it needs a ≥ 4-core machine to pass and wall
+/// clock is inherently environment-dependent. Run explicitly with
+/// `cargo test -p consensus-sweep --release -- --ignored speedup`.
+#[test]
+#[ignore = "requires >= 4 physical cores; run explicitly on capable hardware"]
+fn speedup_at_least_3x_on_4_threads_for_64_cells() {
+    let grid = EnsembleGrid::new()
+        .agents(&[16, 24])
+        .topologies(&[
+            Topology::Rooted { density: 0.15 },
+            Topology::Nonsplit { density: 0.2 },
+        ])
+        .inits(&[InitDist::Uniform, InitDist::Bipolar])
+        .replicates(8);
+    let cells = grid.cells();
+    assert_eq!(cells.len(), 64);
+
+    let time = |threads: usize| {
+        let sweep = Sweep::new(cells.clone()).seed(7).threads(threads);
+        let mut best = std::time::Duration::MAX;
+        for _ in 0..3 {
+            let start = std::time::Instant::now();
+            std::hint::black_box(sweep.run(run_cell));
+            best = best.min(start.elapsed());
+        }
+        best
+    };
+    let seq = time(1);
+    let par = time(4);
+    let speedup = seq.as_secs_f64() / par.as_secs_f64().max(1e-12);
+    assert!(
+        speedup >= 3.0,
+        "expected >= 3x speedup at 4 threads, got {speedup:.2}x ({seq:?} vs {par:?})"
+    );
+}

@@ -1,4 +1,4 @@
-//! Smoke tests for the `consensus-examples` package: all seven example
+//! Smoke tests for the `consensus-examples` package: all eight example
 //! binaries must build, and `quickstart` must run to completion.
 //!
 //! These shell out to the same `cargo` that is running the test suite
@@ -37,6 +37,7 @@ fn all_examples_build() {
         "opinion_dynamics",
         "crash_tolerance",
         "lower_bound_adversary",
+        "ensemble_sweep",
     ] {
         let bin = workspace_root().join("target/debug/examples").join(name);
         assert!(

@@ -1,0 +1,78 @@
+//! Facade-level integration of the sweep subsystem: the prelude exports
+//! compose with `Scenario` the way the README's "Running sweeps"
+//! quickstart shows, and the aggregate statistics are sane.
+
+use tight_bounds_consensus::prelude::*;
+use tight_bounds_consensus::sweep::fingerprint;
+
+fn outcome_of(cell: &tight_bounds_consensus::sweep::EnsembleCell, ctx: CellCtx) -> CellOutcome {
+    let inits = cell.inits(&mut ctx.rng());
+    let mut sc = Scenario::new(Midpoint, &inits)
+        .pattern(cell.pattern(ctx.subseed(1)))
+        .decide(1e-9);
+    let decision = sc.decision_round(200);
+    let exec = sc.execution();
+    CellOutcome {
+        rate: exec.value_diameter(),
+        decision_round: decision,
+        rounds: exec.round(),
+        converged: decision.is_some(),
+        fingerprint: fingerprint(exec.outputs_slice()),
+    }
+}
+
+/// An ensemble over random rooted dynamic graphs converges in every
+/// cell, and the summary statistics respect their definitions.
+#[test]
+fn prelude_sweep_quickstart_converges() {
+    let grid = EnsembleGrid::new()
+        .agents(&[4, 8])
+        .topologies(&[Topology::Complete, Topology::Rooted { density: 0.3 }])
+        .inits(&[InitDist::Uniform, InitDist::Bipolar])
+        .replicates(4);
+    let sweep = Sweep::new(grid.cells()).seed(2024).threads(3);
+    let outcomes = sweep.run(outcome_of);
+    let summary = SweepSummary::aggregate(&outcomes);
+
+    assert_eq!(summary.cells, 32);
+    assert_eq!(summary.failures, 0, "midpoint converges on rooted graphs");
+    assert_eq!(summary.decided, 32);
+    let rounds = summary.rounds.expect("all cells report rounds");
+    assert!(rounds.min >= 1.0, "nondegenerate inits take >= 1 round");
+    assert!(rounds.max <= 200.0);
+    assert!(rounds.min <= rounds.median && rounds.median <= rounds.p90);
+    assert!(rounds.p90 <= rounds.max);
+}
+
+/// The JSON report round-trips the summary fields the CI gate diffs.
+#[test]
+fn prelude_sweep_report_serializes() {
+    let grid = EnsembleGrid::new().agents(&[4]).replicates(2);
+    let sweep = Sweep::new(grid.cells()).seed(5);
+    let labels: Vec<String> = sweep.cells().iter().map(|c| c.label()).collect();
+    let seeds: Vec<u64> = (0..sweep.len()).map(|i| sweep.seed_of(i)).collect();
+    let outcomes = sweep.run(outcome_of);
+    let report = SweepReport::new("facade", 5, labels, seeds, outcomes);
+    let json = report.to_json();
+    assert!(json.contains("\"name\": \"facade\""));
+    assert!(json.contains("\"base_seed\": 5"));
+    assert!(json.contains("\"cells\": 2"));
+    assert!(json.contains("\"decision_round\""));
+    assert!(json.contains("\"fingerprint\""));
+    assert_eq!(json, report.to_json(), "serialization is stable");
+}
+
+/// Single-cell replay through the facade: same seed, same outcome.
+#[test]
+fn prelude_sweep_cell_replay() {
+    let grid = EnsembleGrid::new()
+        .agents(&[6])
+        .topologies(&[Topology::AsyncCrash { f: 2 }])
+        .inits(&[InitDist::Uniform])
+        .replicates(5);
+    let sweep = Sweep::new(grid.cells()).seed(99).threads(4);
+    let all = sweep.run(outcome_of);
+    for (i, expected) in all.iter().enumerate() {
+        assert_eq!(sweep.run_cell(i, outcome_of), *expected, "cell {i}");
+    }
+}
