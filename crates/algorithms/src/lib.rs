@@ -16,6 +16,8 @@
 //! | [`Overshoot`] | second-order controller example (§1) | — |
 //! | [`TrimmedMean`] | cautious functions of Dolev et al. \[14\] / Fekete \[17,18\] | — |
 //! | [`QuantizedMidpoint`] | the “quantizable” variant of \[9\] | one quantum in `⌈log₂(Δ/q)⌉` rounds |
+//! | [`MidpointCoordinatewise`] | `R^d` box-centre rule (arXiv:1805.04923) | `1/2` per **coordinate** in non-split models |
+//! | [`MidpointSimplex`] | `R^d` MidExtremes / safe-area rule (arXiv:1805.04923) | hull-diameter contraction, valid for every `d` |
 //!
 //! The [`stochastic`] module provides the row-stochastic-matrix view of
 //! the linear rules (Dobrushin coefficients, products, support graphs)
@@ -48,6 +50,7 @@ mod amortized;
 mod averaging;
 mod inbox;
 mod midpoint;
+mod multidim;
 mod nonconvex;
 mod point;
 mod quantized;
@@ -59,8 +62,12 @@ pub use amortized::AmortizedMidpoint;
 pub use averaging::{MeanValue, SelfWeightedAverage};
 pub use inbox::{Inbox, InboxBuffer, InboxIter};
 pub use midpoint::{Midpoint, WindowedMidpoint};
+pub use multidim::{MidpointCoordinatewise, MidpointSimplex};
 pub use nonconvex::{MassSplitting, Overshoot};
-pub use point::{bounding_box, convex_combination, diameter, in_bounding_box, Point};
+pub use point::{
+    bounding_box, box_diameter, centroid, convex_combination, coordinate_spreads, diameter,
+    farthest_pair, in_bounding_box, per_coordinate_rates, Point,
+};
 pub use quantized::QuantizedMidpoint;
 pub use trimmed::TrimmedMean;
 pub use two_agent::TwoAgentThirds;

@@ -178,6 +178,106 @@ pub fn diameter<const D: usize>(points: &[Point<D>]) -> f64 {
     best
 }
 
+/// The largest per-coordinate spread `max_c (max_i p_i[c] − min_i p_i[c])`
+/// of a finite point set — the `L∞` (bounding-box) diameter.
+///
+/// This is the quantity the coordinate-wise midpoint contracts; the
+/// Euclidean [`diameter`] satisfies
+/// `box_diameter ≤ diameter ≤ √D · box_diameter`, and the `√D` gap is
+/// exactly what separates the coordinate-wise and simplex decision
+/// times in the multidimensional experiments (arXiv:1805.04923).
+/// Empty and singleton sets have box diameter 0.
+#[must_use]
+pub fn box_diameter<const D: usize>(points: &[Point<D>]) -> f64 {
+    coordinate_spreads(points)
+        .iter()
+        .fold(0.0f64, |acc, &s| acc.max(s))
+}
+
+/// The per-coordinate spreads (side lengths of the bounding box):
+/// `spread[c] = max_i p_i[c] − min_i p_i[c]`. Empty sets yield zeros.
+#[must_use]
+pub fn coordinate_spreads<const D: usize>(points: &[Point<D>]) -> [f64; D] {
+    let mut out = [0.0; D];
+    if points.is_empty() {
+        return out;
+    }
+    let (lo, hi) = bounding_box(points);
+    for (c, s) in out.iter_mut().enumerate() {
+        *s = hi[c] - lo[c];
+    }
+    out
+}
+
+/// The per-coordinate contraction rates between two configurations
+/// `rounds` rounds apart: `rate[c] = (spread_t[c] / spread_0[c])^{1/rounds}`.
+///
+/// Coordinates whose initial spread is already ≤ `1e-300` (or with
+/// `rounds == 0`) report a rate of 0 instead of a `NaN`/∞ artefact —
+/// geometric-rate estimation is meaningless past exact agreement.
+#[must_use]
+pub fn per_coordinate_rates<const D: usize>(
+    initial: &[Point<D>],
+    current: &[Point<D>],
+    rounds: u64,
+) -> [f64; D] {
+    const FLOOR: f64 = 1e-300;
+    let s0 = coordinate_spreads(initial);
+    let st = coordinate_spreads(current);
+    let mut out = [0.0; D];
+    if rounds == 0 {
+        return out;
+    }
+    for c in 0..D {
+        if s0[c] > FLOOR && st[c] > FLOOR {
+            out[c] = (st[c] / s0[c]).powf(1.0 / rounds as f64);
+        }
+    }
+    out
+}
+
+/// The indices `(i, j)`, `i < j`, of a pair realising the Euclidean
+/// [`diameter`], or `None` for sets with fewer than two points.
+///
+/// Ties are broken deterministically: the first maximal pair in the
+/// ascending `(i, j)` scan wins (strict-improvement comparison), so the
+/// result is a pure function of the input order — the property the
+/// simplex midpoint's determinism contract relies on.
+#[must_use]
+pub fn farthest_pair<const D: usize>(points: &[Point<D>]) -> Option<(usize, usize)> {
+    if points.len() < 2 {
+        return None;
+    }
+    let mut best = (0, 1);
+    let mut best_sq = -1.0f64;
+    for (i, a) in points.iter().enumerate() {
+        for (k, b) in points[i + 1..].iter().enumerate() {
+            let d = *a - *b;
+            let sq = d.0.iter().map(|x| x * x).sum::<f64>();
+            if sq > best_sq {
+                best_sq = sq;
+                best = (i, i + 1 + k);
+            }
+        }
+    }
+    Some(best)
+}
+
+/// The centroid (arithmetic mean) of a non-empty point set.
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+#[must_use]
+pub fn centroid<const D: usize>(points: &[Point<D>]) -> Point<D> {
+    assert!(!points.is_empty(), "centroid of an empty set");
+    let mut acc = Point::ZERO;
+    for p in points {
+        acc += *p;
+    }
+    acc * (1.0 / points.len() as f64)
+}
+
 /// The convex combination `Σ w_i · p_i`.
 ///
 /// # Panics
@@ -284,6 +384,58 @@ mod tests {
         assert!(!in_bounding_box(&Point([1.5, 1.0]), &pts, 0.0));
         // Tolerance.
         assert!(in_bounding_box(&Point([1.0 + 1e-12, 1.0]), &pts, 1e-9));
+    }
+
+    #[test]
+    fn box_diameter_and_spreads() {
+        let pts = [Point([0.0, 1.0]), Point([3.0, 2.0]), Point([1.0, 0.0])];
+        assert_eq!(coordinate_spreads(&pts), [3.0, 2.0]);
+        assert_eq!(box_diameter(&pts), 3.0);
+        // L∞ ≤ L2 ≤ √D · L∞.
+        let d2 = diameter(&pts);
+        assert!(box_diameter(&pts) <= d2 && d2 <= 2f64.sqrt() * box_diameter(&pts));
+        assert_eq!(box_diameter::<2>(&[]), 0.0);
+        assert_eq!(coordinate_spreads::<2>(&[]), [0.0, 0.0]);
+        assert_eq!(box_diameter(&[Point([7.0, -1.0])]), 0.0);
+    }
+
+    #[test]
+    fn farthest_pair_realises_diameter() {
+        let pts = [Point([0.0]), Point([0.25]), Point([1.0]), Point([0.5])];
+        assert_eq!(farthest_pair(&pts), Some((0, 2)));
+        let (i, j) = farthest_pair(&pts).expect("two points");
+        assert_eq!(pts[i].dist(&pts[j]), diameter(&pts));
+        assert_eq!(farthest_pair::<1>(&[]), None);
+        assert_eq!(farthest_pair(&[Point([1.0])]), None);
+        // Deterministic tie-break: all simplex-vertex pairs are at √2;
+        // the first maximal pair in the (i, j) scan wins.
+        let tied = [
+            Point([1.0, 0.0, 0.0]),
+            Point([0.0, 1.0, 0.0]),
+            Point([0.0, 0.0, 1.0]),
+        ];
+        assert_eq!(farthest_pair(&tied), Some((0, 1)));
+    }
+
+    #[test]
+    fn per_coordinate_rates_recover_geometric_decay() {
+        let init = [Point([0.0, 0.0]), Point([1.0, 4.0])];
+        let now = [Point([0.0, 0.0]), Point([0.25, 1.0])];
+        let r = per_coordinate_rates(&init, &now, 2);
+        assert!((r[0] - 0.5).abs() < 1e-12 && (r[1] - 0.5).abs() < 1e-12);
+        // Zero-spread coordinates and zero rounds report 0, not NaN.
+        let flat = [Point([0.0, 0.0]), Point([0.0, 1.0])];
+        let r = per_coordinate_rates(&flat, &flat, 3);
+        assert_eq!(r[0], 0.0);
+        assert!((r[1] - 1.0).abs() < 1e-12);
+        assert_eq!(per_coordinate_rates(&init, &now, 0), [0.0, 0.0]);
+    }
+
+    #[test]
+    fn centroid_is_the_mean() {
+        let pts = [Point([0.0, 3.0]), Point([2.0, 1.0])];
+        assert_eq!(centroid(&pts), Point([1.0, 2.0]));
+        assert!(in_bounding_box(&centroid(&pts), &pts, 0.0));
     }
 
     #[test]

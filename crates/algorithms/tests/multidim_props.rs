@@ -1,0 +1,187 @@
+//! Property tests for the multidimensional midpoint algorithms
+//! (arXiv:1805.04923): per-step validity (outputs stay inside the
+//! received value set's bounding box, and the simplex rule inside the
+//! convex hull by construction), monotone hull-diameter contraction
+//! over whole traces, and bit-identity of both rules with the scalar
+//! [`Midpoint`] at `d = 1`.
+//!
+//! Traces are driven by a self-contained mini-executor over per-agent
+//! sender bitmasks (self-loops forced), so the suite exercises the
+//! algorithms exactly as the round model does without depending on the
+//! higher dynamics crates.
+
+use consensus_algorithms::{
+    diameter, in_bounding_box, Algorithm, InboxBuffer, Midpoint, MidpointCoordinatewise,
+    MidpointSimplex, Point,
+};
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-9;
+
+fn arb_point<const D: usize>() -> impl Strategy<Value = Point<D>> {
+    prop::collection::vec(-10.0f64..10.0, D).prop_map(|v| {
+        let mut p = Point::ZERO;
+        for (c, x) in v.into_iter().enumerate() {
+            p[c] = x;
+        }
+        p
+    })
+}
+
+/// `rounds × agents` sender bitmasks; the mini-executor forces the
+/// mandatory self-loop and truncates to the agent count.
+fn arb_masks(rounds: usize, n: usize) -> impl Strategy<Value = Vec<Vec<u64>>> {
+    prop::collection::vec(prop::collection::vec(0u64..(1 << n), n), rounds)
+}
+
+/// Runs `alg` for the given mask schedule and returns the output vector
+/// of every round (round 0 = the initial configuration).
+fn run_trace<A, const D: usize>(
+    alg: &A,
+    inits: &[Point<D>],
+    masks_per_round: &[Vec<u64>],
+) -> Vec<Vec<Point<D>>>
+where
+    A: Algorithm<D, Msg = Point<D>>,
+{
+    let n = inits.len();
+    let mut states: Vec<A::State> = inits
+        .iter()
+        .enumerate()
+        .map(|(i, &y0)| alg.init(i, y0))
+        .collect();
+    let mut all = vec![states.iter().map(|s| alg.output(s)).collect::<Vec<_>>()];
+    for (t, masks) in masks_per_round.iter().enumerate() {
+        let msgs: Vec<Point<D>> = states.iter().map(|s| alg.message(s)).collect();
+        for (i, state) in states.iter_mut().enumerate() {
+            let mask = (masks[i] | (1 << i)) & ((1 << n) - 1);
+            let pairs: Vec<(usize, Point<D>)> = (0..n)
+                .filter(|j| mask & (1 << j) != 0)
+                .map(|j| (j, msgs[j]))
+                .collect();
+            let inbox = InboxBuffer::from_pairs(&pairs);
+            alg.step(i, state, inbox.as_inbox(), (t + 1) as u64);
+        }
+        all.push(states.iter().map(|s| alg.output(s)).collect());
+    }
+    all
+}
+
+fn one_step<A, const D: usize>(alg: &A, received: &[Point<D>]) -> Point<D>
+where
+    A: Algorithm<D, State = Point<D>, Msg = Point<D>>,
+{
+    let pairs: Vec<(usize, Point<D>)> = received.iter().copied().enumerate().collect();
+    let mut s = alg.init(0, received[0]);
+    alg.step(0, &mut s, InboxBuffer::from_pairs(&pairs).as_inbox(), 1);
+    alg.output(&s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// **Validity, coordinate-wise:** the box centre lies in the
+    /// bounding box of the received values (tight: it is its centre),
+    /// and at most half a box diagonal from every received value.
+    #[test]
+    fn coordinatewise_step_stays_in_received_box(
+        pool in prop::collection::vec(arb_point::<3>(), 7),
+        k in 1usize..8,
+    ) {
+        let received = &pool[..k];
+        let out = one_step(&MidpointCoordinatewise, received);
+        prop_assert!(in_bounding_box(&out, received, TOL),
+            "box centre {out} escaped the received box");
+    }
+
+    /// **Validity, simplex:** the output is *exactly* the midpoint of
+    /// some received pair — a convex combination of received values in
+    /// every dimension — and in particular stays in the bounding box.
+    #[test]
+    fn simplex_step_is_a_received_pair_midpoint(
+        pool in prop::collection::vec(arb_point::<3>(), 7),
+        k in 1usize..8,
+    ) {
+        let received = &pool[..k];
+        let out = one_step(&MidpointSimplex, received);
+        let witnessed = received.iter().enumerate().any(|(i, a)| {
+            received[i..].iter().any(|b| a.midpoint(b) == out)
+        });
+        prop_assert!(witnessed, "{out} is not a midpoint of any received pair");
+        prop_assert!(in_bounding_box(&out, received, TOL));
+        // And it halves the received diameter towards both extremes of
+        // the farthest pair: no received value is further than Δ.
+        let d = diameter(received);
+        for p in received {
+            prop_assert!(out.dist(p) <= d + TOL);
+        }
+    }
+
+    /// **Monotone contraction:** under arbitrary communication graphs
+    /// (self-loops forced) the hull diameter never increases for the
+    /// simplex rule, in any dimension — each new value is a convex
+    /// combination of round-`t` values.
+    #[test]
+    fn simplex_trace_diameter_is_nonincreasing(
+        pool in prop::collection::vec(arb_point::<3>(), 6),
+        n in 4usize..7,
+        masks in arb_masks(8, 6),
+    ) {
+        let inits = &pool[..n];
+        let masks: Vec<Vec<u64>> =
+            masks.into_iter().map(|r| r[..n].to_vec()).collect();
+        let trace = run_trace(&MidpointSimplex, inits, &masks);
+        for w in trace.windows(2) {
+            prop_assert!(diameter(&w[1]) <= diameter(&w[0]) + TOL,
+                "simplex expanded the hull diameter");
+        }
+    }
+
+    /// **Monotone contraction, coordinate-wise:** the box centre can
+    /// leave the convex hull for `d ≥ 3`, but it never leaves the
+    /// bounding box — so the **box** diameter is non-increasing (and
+    /// hence the hull diameter never exceeds `√d ×` the initial box
+    /// diameter; the per-round monotone quantity is the box).
+    #[test]
+    fn coordinatewise_trace_box_diameter_is_nonincreasing(
+        pool in prop::collection::vec(arb_point::<3>(), 6),
+        n in 4usize..7,
+        masks in arb_masks(8, 6),
+    ) {
+        use consensus_algorithms::box_diameter;
+        let inits = &pool[..n];
+        let masks: Vec<Vec<u64>> =
+            masks.into_iter().map(|r| r[..n].to_vec()).collect();
+        let trace = run_trace(&MidpointCoordinatewise, inits, &masks);
+        for w in trace.windows(2) {
+            prop_assert!(box_diameter(&w[1]) <= box_diameter(&w[0]) + TOL,
+                "coordinate-wise expanded the box diameter");
+        }
+        // Every output stays inside the *initial* bounding box.
+        for round in &trace {
+            for p in round {
+                prop_assert!(in_bounding_box(p, inits, TOL));
+            }
+        }
+    }
+
+    /// **`d = 1` degeneration:** on the same trace (identical inits and
+    /// graph schedule), the coordinate-wise midpoint, the simplex
+    /// midpoint and the existing scalar [`Midpoint`] are bit-identical
+    /// at every agent and every round.
+    #[test]
+    fn d1_both_rules_are_bit_identical_to_scalar_midpoint(
+        vals in prop::collection::vec(-50.0f64..50.0, 6),
+        n in 4usize..7,
+        masks in arb_masks(10, 6),
+    ) {
+        let inits: Vec<Point<1>> = vals[..n].iter().map(|&v| Point([v])).collect();
+        let masks: Vec<Vec<u64>> =
+            masks.into_iter().map(|r| r[..n].to_vec()).collect();
+        let scalar = run_trace(&Midpoint, &inits, &masks);
+        let coord = run_trace(&MidpointCoordinatewise, &inits, &masks);
+        let simplex = run_trace(&MidpointSimplex, &inits, &masks);
+        prop_assert_eq!(&coord, &scalar, "coordinate-wise ≠ scalar midpoint");
+        prop_assert_eq!(&simplex, &scalar, "simplex ≠ scalar midpoint");
+    }
+}

@@ -52,6 +52,13 @@ use consensus_algorithms::{Agent, Algorithm, Inbox, Point};
 /// the base output at round `decision_round` (paper §9: `d_i` is written
 /// once). After deciding, the wrapped agent keeps relaying base messages
 /// (harmless) but its output is frozen to the decision.
+///
+/// The decision round itself comes from a spread measurement: either a
+/// closed-form rule ([`rules`]) or an empirical minimal decision round
+/// ([`measure`]), both of which are parameterised by the
+/// [`Metric`](consensus_dynamics::Metric) abstraction — hull-diameter
+/// ε-agreement by default, so multidimensional deciders are safe
+/// without projecting to a scalar.
 #[derive(Debug, Clone)]
 pub struct Decider<A> {
     base: A,

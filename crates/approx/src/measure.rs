@@ -14,7 +14,7 @@
 //! adversary's `δ̂` record.
 
 use consensus_algorithms::{Algorithm, Point};
-use consensus_dynamics::Scenario;
+use consensus_dynamics::{Metric, Scenario};
 use consensus_valency::GreedyValencyAdversary;
 
 /// The first round `t` at which the adversarial execution's value spread
@@ -37,6 +37,35 @@ where
 {
     Scenario::new(alg, inits)
         .adversary(adversary.driver())
+        .decide(eps)
+        .decision_round(max_rounds)
+}
+
+/// Like [`minimal_decision_round`], but with an explicit spread
+/// [`Metric`]: the first round `t` at which `metric` over the outputs
+/// drops to ≤ `eps`. The default measurement uses the hull diameter
+/// (the ε-agreement notion of the multidimensional experiments,
+/// arXiv:1805.04923); pass
+/// [`BoxDiameter`](consensus_dynamics::BoxDiameter) to measure
+/// per-coordinate agreement instead. For `D = 1` every metric agrees
+/// with the scalar spread and this coincides with
+/// [`minimal_decision_round`].
+#[must_use]
+pub fn minimal_decision_round_with<A, M, const D: usize>(
+    alg: A,
+    adversary: &GreedyValencyAdversary,
+    inits: &[Point<D>],
+    metric: M,
+    eps: f64,
+    max_rounds: usize,
+) -> Option<u64>
+where
+    A: Algorithm<D> + Clone,
+    M: Metric<D>,
+{
+    Scenario::new(alg, inits)
+        .adversary(adversary.driver())
+        .metric(metric)
         .decide(eps)
         .decision_round(max_rounds)
 }
@@ -102,6 +131,20 @@ mod tests {
                 .expect("converges");
             assert_eq!(t, rules::two_agent_decision_round(1.0, eps), "eps = {eps}");
             assert!((t as f64) >= rules::thm8_lower_bound(1.0, eps) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn metric_variant_agrees_for_scalars() {
+        use consensus_dynamics::{BoxDiameter, HullDiameter};
+        let adv = adversary::theorem2(&Digraph::complete(3));
+        let inits = pts(&[0.0, 1.0, 0.5]);
+        for eps in [0.1, 1e-3] {
+            let plain = minimal_decision_round(Midpoint, &adv, &inits, eps, 64);
+            let hull = minimal_decision_round_with(Midpoint, &adv, &inits, HullDiameter, eps, 64);
+            let boxd = minimal_decision_round_with(Midpoint, &adv, &inits, BoxDiameter, eps, 64);
+            assert_eq!(plain, hull, "hull metric is the default");
+            assert_eq!(plain, boxd, "metrics coincide at D = 1");
         }
     }
 

@@ -8,8 +8,14 @@
 //! ```text
 //! cargo run --release -p consensus-bench --bin sweep -- [FLAGS]
 //!   --golden        run the fixed CI grid (16 cells, seed 42)
-//!   --quick         run the small smoke grid (36 cells)
+//!   --quick         run the small smoke grid (36 cells) plus the
+//!                   multidim_decision_times quick grid
 //!   --full          run the large ensemble (960 cells; default)
+//!   --multidim      run ONLY the multidimensional decision-time grid
+//!                   (R^d coordinate-wise vs simplex; --quick/--golden
+//!                   select the pinned preset, --full the large one) —
+//!                   with --json this emits ci/golden_multidim.json's
+//!                   format for the CI diff
 //!   --threads N     worker count (default: all cores; results identical)
 //!   --seed S        override the base seed
 //!   --json          print JSON only (golden-diff mode)
@@ -18,7 +24,8 @@
 //! ```
 
 use consensus_bench::experiments::{
-    ensemble_spec, ensemble_table, run_ensemble, run_ensemble_cell,
+    ensemble_spec, ensemble_table, multidim_spec, multidim_table, run_ensemble, run_ensemble_cell,
+    run_multidim,
 };
 use tight_bounds_consensus::prelude::*;
 
@@ -28,6 +35,7 @@ fn main() {
     let mut threads: Option<usize> = None;
     let mut seed: Option<u64> = None;
     let mut json_only = false;
+    let mut multidim_only = false;
     let mut out_path: Option<String> = None;
     let mut replay: Option<usize> = None;
 
@@ -37,6 +45,7 @@ fn main() {
             "--golden" => preset = "golden",
             "--quick" => preset = "quick",
             "--full" => preset = "full",
+            "--multidim" => multidim_only = true,
             "--json" => json_only = true,
             "--threads" => {
                 threads = Some(
@@ -67,6 +76,54 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    if multidim_only {
+        // The multidimensional decision-time grid only (the CI
+        // `sweep-regression` job diffs `--multidim --quick --json`
+        // against ci/golden_multidim.json).
+        let mut mspec = multidim_spec(preset);
+        if let Some(s) = seed {
+            mspec.base_seed = s;
+        }
+        if let Some(index) = replay {
+            // Replay one multidim cell solo: same configuration, same
+            // seed as the full sweep — both rules, like the full run.
+            let sweep = Sweep::new(mspec.grid.cells()).seed(mspec.base_seed);
+            let (tol, max_rounds) = (mspec.tol, mspec.max_rounds);
+            let (label, pair) = sweep.run_cell(index, |cell, ctx| {
+                (
+                    cell.label(),
+                    consensus_bench::experiments::run_multidim_cell(cell, ctx, tol, max_rounds),
+                )
+            });
+            for (alg, o) in [("coordinatewise", pair.0), ("simplex", pair.1)] {
+                println!(
+                    "cell {index} [{label} alg={alg}] seed {}: rate {:.6}, decision {:?}, rounds {}, converged {}, fingerprint {:016x}",
+                    sweep.seed_of(index),
+                    o.rate,
+                    o.decision_round,
+                    o.rounds,
+                    o.converged,
+                    o.fingerprint,
+                );
+            }
+            return;
+        }
+        let report = run_multidim(&mspec, threads);
+        let json = report.to_json();
+        if let Some(path) = &out_path {
+            std::fs::write(path, &json).expect("failed to write JSON output");
+        }
+        if json_only {
+            print!("{json}");
+        } else {
+            println!("{}", multidim_table(&mspec, &report));
+            if let Some(path) = &out_path {
+                println!("JSON written to {path}");
+            }
+        }
+        return;
     }
 
     let mut spec = ensemble_spec(preset);
@@ -104,8 +161,20 @@ fn main() {
         print!("{json}");
     } else {
         println!("{}", ensemble_table(&report));
+        if preset == "quick" {
+            // The quick smoke run also exercises the multidimensional
+            // decision-time grid — the R^d separation at a glance. The
+            // --seed override applies here too, keeping both tables on
+            // the same base seed.
+            let mut mspec = multidim_spec("quick");
+            if let Some(s) = seed {
+                mspec.base_seed = s;
+            }
+            let mreport = run_multidim(&mspec, threads);
+            println!("{}", multidim_table(&mspec, &mreport));
+        }
         if let Some(path) = &out_path {
-            println!("JSON written to {path}");
+            println!("JSON written to {path} (scalar ensemble only; for the multidim grid's JSON run with --multidim --out)");
         }
     }
 }

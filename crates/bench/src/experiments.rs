@@ -881,6 +881,20 @@ fn consensus_sweep_default_seed() -> u64 {
     tight_bounds_consensus::sweep::DEFAULT_BASE_SEED
 }
 
+/// The per-round contraction rate measured over an executed run:
+/// `(Δ_T / Δ_0)^{1/T}`, with a `0.0` sentinel when nothing was measured
+/// (no rounds, or exact agreement at either end). Shared by the scalar
+/// and multidimensional cell runners so the sweep reports agree on the
+/// convention.
+#[must_use]
+pub fn measured_rate(d0: f64, d: f64, rounds: u64) -> f64 {
+    if rounds == 0 || d0 <= 0.0 || d <= 0.0 {
+        0.0
+    } else {
+        (d / d0).powf(1.0 / rounds as f64)
+    }
+}
+
 /// One ensemble cell: self-weighted averaging (`param` = self-weight)
 /// from the cell's initial distribution under its random dynamic-graph
 /// class, measured to the decision round (Theorems 8–11 semantics) with
@@ -901,13 +915,8 @@ pub fn run_ensemble_cell(
     let exec = sc.execution();
     let rounds = exec.round();
     let d = exec.value_diameter();
-    let measured_rate = if rounds == 0 || d0 <= 0.0 || d <= 0.0 {
-        0.0
-    } else {
-        (d / d0).powf(1.0 / rounds as f64)
-    };
     CellOutcome {
-        rate: measured_rate,
+        rate: measured_rate(d0, d, rounds),
         decision_round: decision,
         rounds,
         converged: decision.is_some(),
@@ -982,6 +991,304 @@ pub fn ensemble_table(report: &SweepReport) -> String {
     out
 }
 
+/// Configuration of the **E-MULTIDIM `multidim_decision_times`**
+/// experiment grid (arXiv:1805.04923): the `R^d` decision-time sweep
+/// comparing the coordinate-wise and simplex midpoints on identical
+/// cells.
+#[derive(Debug, Clone)]
+pub struct MultidimSpec {
+    /// Report name (embedded in the JSON, so golden files are
+    /// self-describing).
+    pub name: String,
+    /// The cartesian grid of cells (dimension is an axis).
+    pub grid: MultidimGrid,
+    /// Base seed all per-cell seeds derive from.
+    pub base_seed: u64,
+    /// Hull-diameter decision threshold ε.
+    pub tol: f64,
+    /// Per-cell round budget (total horizon).
+    pub max_rounds: usize,
+}
+
+/// The named multidimensional grid presets of the `sweep` bin.
+///
+/// * `quick` (alias `golden`) — the figure-shaped preset the golden test
+///   and the CI `sweep-regression` job pin (`ci/golden_multidim.json`):
+///   `d ∈ {1, 2, 3, 8}` × unit-cube/unit-simplex/correlated-Gaussian
+///   inits × random rooted graphs, fixed seed.
+/// * `full` — the larger ensemble (adds `d = 4`, `n = 12`, non-split
+///   graphs, more replicates).
+///
+/// # Panics
+///
+/// Panics on an unknown preset name.
+#[must_use]
+pub fn multidim_spec(preset: &str) -> MultidimSpec {
+    match preset {
+        "quick" | "golden" => MultidimSpec {
+            name: "multidim_decision_times".into(),
+            grid: MultidimGrid::new()
+                .dims(&[1, 2, 3, 8])
+                .agents(&[8])
+                .topologies(&[Topology::Rooted { density: 0.5 }])
+                .inits(&[
+                    MultidimInitDist::UnitCube,
+                    MultidimInitDist::UnitSimplex,
+                    MultidimInitDist::CorrelatedGaussian,
+                ])
+                .replicates(3),
+            base_seed: 42,
+            tol: 1e-6,
+            max_rounds: 400,
+        },
+        "full" => MultidimSpec {
+            name: "multidim_decision_times_full".into(),
+            grid: MultidimGrid::new()
+                .dims(&[1, 2, 3, 4, 8])
+                .agents(&[8, 12])
+                .topologies(&[
+                    Topology::Rooted { density: 0.5 },
+                    Topology::Nonsplit { density: 0.4 },
+                ])
+                .inits(&[
+                    MultidimInitDist::UnitCube,
+                    MultidimInitDist::UnitSimplex,
+                    MultidimInitDist::CorrelatedGaussian,
+                ])
+                .replicates(6),
+            base_seed: consensus_sweep_default_seed(),
+            tol: 1e-6,
+            max_rounds: 600,
+        },
+        other => panic!("unknown multidim preset `{other}` (use quick|golden|full)"),
+    }
+}
+
+/// One multidimensional cell: **both** midpoint rules run on the *same*
+/// initial values and the *same* graph sequence (identical sub-seeds),
+/// measured to the hull-diameter decision round. Returns
+/// `(coordinate-wise, simplex)` outcomes — a matched pair, so at
+/// `d = 1` the two are bit-identical (both rules degenerate to the
+/// scalar midpoint) and at `d ≥ 2` their decision-round gap is the
+/// paper's separation. Cells that exhaust the budget report
+/// [`CellOutcome::failed`] (`NaN`-free aggregation).
+///
+/// # Panics
+///
+/// Panics if the cell's dimension is not one of `{1, 2, 3, 4, 8}` (the
+/// monomorphised dispatch set).
+#[must_use]
+pub fn run_multidim_cell(
+    cell: &MultidimCell,
+    ctx: CellCtx,
+    tol: f64,
+    max_rounds: usize,
+) -> (CellOutcome, CellOutcome) {
+    fn drive<A, const D: usize>(
+        alg: A,
+        cell: &MultidimCell,
+        inits: &[Point<D>],
+        pattern_seed: u64,
+        tol: f64,
+        max_rounds: usize,
+    ) -> CellOutcome
+    where
+        A: Algorithm<D>,
+    {
+        let d0 = diameter(inits);
+        let mut sc = Scenario::new(alg, inits)
+            .pattern(cell.pattern(pattern_seed))
+            .metric(HullDiameter)
+            .decide(tol);
+        let decision = sc.decision_round(max_rounds);
+        let exec = sc.execution();
+        let rounds = exec.round();
+        let fp = fingerprint(exec.outputs_slice());
+        let Some(_) = decision else {
+            return CellOutcome::failed(rounds, fp);
+        };
+        let d = exec.value_diameter();
+        CellOutcome {
+            rate: measured_rate(d0, d, rounds),
+            decision_round: decision,
+            rounds,
+            converged: true,
+            fingerprint: fp,
+        }
+    }
+
+    fn go<const D: usize>(
+        cell: &MultidimCell,
+        ctx: CellCtx,
+        tol: f64,
+        max_rounds: usize,
+    ) -> (CellOutcome, CellOutcome) {
+        let inits: Vec<Point<D>> = cell.inits(&mut ctx.rng());
+        let pattern_seed = ctx.subseed(1);
+        (
+            drive(
+                MidpointCoordinatewise,
+                cell,
+                &inits,
+                pattern_seed,
+                tol,
+                max_rounds,
+            ),
+            drive(MidpointSimplex, cell, &inits, pattern_seed, tol, max_rounds),
+        )
+    }
+
+    match cell.dim {
+        1 => go::<1>(cell, ctx, tol, max_rounds),
+        2 => go::<2>(cell, ctx, tol, max_rounds),
+        3 => go::<3>(cell, ctx, tol, max_rounds),
+        4 => go::<4>(cell, ctx, tol, max_rounds),
+        8 => go::<8>(cell, ctx, tol, max_rounds),
+        other => panic!("dimension {other} is not in the dispatch set {{1, 2, 3, 4, 8}}"),
+    }
+}
+
+/// Runs a multidimensional spec on the sweep pool and flattens the
+/// matched pairs into a [`SweepReport`]: each grid cell contributes two
+/// adjacent rows (`… alg=coordinatewise`, `… alg=simplex`) sharing one
+/// cell seed, so the report stays byte-stable and pairwise comparable.
+#[must_use]
+pub fn run_multidim(spec: &MultidimSpec, threads: Option<usize>) -> SweepReport {
+    let mut sweep = Sweep::new(spec.grid.cells()).seed(spec.base_seed);
+    if let Some(t) = threads {
+        sweep = sweep.threads(t);
+    }
+    let (tol, max_rounds) = (spec.tol, spec.max_rounds);
+    let pairs = sweep.run(|cell, ctx| run_multidim_cell(cell, ctx, tol, max_rounds));
+    let mut labels = Vec::with_capacity(2 * pairs.len());
+    let mut seeds = Vec::with_capacity(2 * pairs.len());
+    let mut outcomes = Vec::with_capacity(2 * pairs.len());
+    for (i, (cell, (cw, sx))) in sweep.cells().iter().zip(&pairs).enumerate() {
+        let seed = sweep.seed_of(i);
+        for (alg, outcome) in [("coordinatewise", cw), ("simplex", sx)] {
+            labels.push(format!("{} alg={alg}", cell.label()));
+            seeds.push(seed);
+            outcomes.push(*outcome);
+        }
+    }
+    SweepReport::new(spec.name.clone(), spec.base_seed, labels, seeds, outcomes)
+}
+
+/// Per-dimension decision-round statistics of a multidimensional
+/// report: `(d, coordinate-wise, simplex)`, computed **only over
+/// matched pairs where both rules decided** — dropping a timed-out
+/// cell removes its partner too, so the two means always cover the
+/// same executions (no survivorship bias if one rule times out where
+/// the other decides). `None` when no pair of that dimension fully
+/// decided — the guarded empty-successful-sample case, never a `NaN`.
+/// Both `Stats::count` fields equal the matched-pair count.
+#[must_use]
+pub fn multidim_separation(
+    spec: &MultidimSpec,
+    report: &SweepReport,
+) -> Vec<(usize, Option<Stats>, Option<Stats>)> {
+    let cells = spec.grid.cells();
+    assert_eq!(2 * cells.len(), report.outcomes.len(), "paired rows");
+    let mut dims: Vec<usize> = cells.iter().map(|c| c.dim).collect();
+    dims.sort_unstable();
+    dims.dedup();
+    dims.into_iter()
+        .map(|d| {
+            let (mut cw_rounds, mut sx_rounds) = (Vec::new(), Vec::new());
+            for (i, _) in cells.iter().enumerate().filter(|(_, c)| c.dim == d) {
+                let cw = report.outcomes[2 * i].decision_round;
+                let sx = report.outcomes[2 * i + 1].decision_round;
+                if let (Some(a), Some(b)) = (cw, sx) {
+                    cw_rounds.push(a as f64);
+                    sx_rounds.push(b as f64);
+                }
+            }
+            (
+                d,
+                Stats::from_values(&cw_rounds),
+                Stats::from_values(&sx_rounds),
+            )
+        })
+        .collect()
+}
+
+/// Formats a multidimensional [`SweepReport`] in the repo's table style:
+/// the aggregate block plus the per-dimension coordinate-wise vs.
+/// simplex separation table (the headline claim — simplex decides in
+/// strictly fewer rounds for `d ≥ 2`, and the two rules coincide at
+/// `d = 1`).
+#[must_use]
+pub fn multidim_table(spec: &MultidimSpec, report: &SweepReport) -> String {
+    let s = &report.summary;
+    let mut out = section(&format!(
+        "Multidimensional decision times `{}` — {} paired cells, base seed {}, ε = {:e}",
+        report.name,
+        report.outcomes.len() / 2,
+        report.base_seed,
+        spec.tol
+    ));
+    out.push_str(&format!(
+        "rows converged {}/{} (failures: {}); decision rounds are hull-diameter\n(Euclidean) ε-agreement per arXiv:1805.04923\n\n",
+        s.converged, s.cells, s.failures
+    ));
+    let mut t = Table::new(&[
+        "d",
+        "pairs",
+        "coordinatewise mean T",
+        "simplex mean T",
+        "gap",
+        "separation",
+    ]);
+    for (d, cw, sx) in multidim_separation(spec, report) {
+        let (cw, sx) = match (&cw, &sx) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                t.row(&[
+                    d.to_string(),
+                    "0".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    check(false),
+                ]);
+                continue;
+            }
+        };
+        let ok = if d == 1 {
+            cw.mean == sx.mean
+        } else {
+            sx.mean < cw.mean
+        };
+        t.row(&[
+            d.to_string(),
+            cw.count.to_string(),
+            format!("{:.3}", cw.mean),
+            format!("{:.3}", sx.mean),
+            format!("{:+.3}", sx.mean - cw.mean),
+            check(ok),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nmeans are over matched pairs only (cells where BOTH rules decided), so the\n\
+         two columns always cover the same executions. d = 1: both rules degenerate\n\
+         to the scalar midpoint and the paired runs are bit-identical. d ≥ 2: the\n\
+         coordinate-wise box centre pays the √d detour (and leaves the hull for\n\
+         d ≥ 3 — validity!), so the simplex/MidExtremes rule decides strictly\n\
+         earlier on the same executions.\n",
+    );
+    out
+}
+
+/// **E-MULTIDIM — multidimensional decision times**: runs the named
+/// preset through the sweep pool and renders the separation table.
+#[must_use]
+pub fn multidim_decision_times(quick: bool) -> String {
+    let spec = multidim_spec(if quick { "quick" } else { "full" });
+    let report = run_multidim(&spec, None);
+    multidim_table(&spec, &report)
+}
+
 /// Everything, in paper order (what `cargo bench` prints).
 #[must_use]
 pub fn full_report(quick: bool) -> String {
@@ -991,6 +1298,7 @@ pub fn full_report(quick: bool) -> String {
     s.push_str(&contraction_rates(quick));
     s.push_str(&alpha_diameter_report());
     s.push_str(&decision_times(quick));
+    s.push_str(&multidim_decision_times(quick));
     s.push_str(&async_price_of_rounds(quick));
     s.push_str(&ablation(quick));
     s.push_str(&convergence_curves(quick));
@@ -1045,6 +1353,41 @@ mod tests {
         let s = convergence_curves(true);
         assert!(s.contains("Thm1 δ̂"));
         assert!(s.contains("σ-block"));
+    }
+
+    #[test]
+    fn multidim_quick_grid_separates_and_is_clean() {
+        let s = multidim_decision_times(true);
+        assert!(!s.contains("MISMATCH"), "{s}");
+        assert!(s.contains("coordinatewise mean T"), "{s}");
+    }
+
+    #[test]
+    fn multidim_report_is_thread_count_invariant() {
+        let spec = multidim_spec("quick");
+        let a = run_multidim(&spec, Some(1));
+        let b = run_multidim(&spec, Some(3));
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "bit-identical at any thread count"
+        );
+        assert_eq!(a.summary.cells, 72, "36 paired cells, two rows each");
+        assert_eq!(a.summary.failures, 0, "quick grid must fully converge");
+    }
+
+    #[test]
+    #[should_panic(expected = "dispatch set")]
+    fn multidim_rejects_unsupported_dimensions() {
+        let cell = MultidimCell {
+            dim: 5,
+            n: 4,
+            topology: Topology::Complete,
+            init: MultidimInitDist::UnitCube,
+            replicate: 0,
+        };
+        let ctx = CellCtx { index: 0, seed: 1 };
+        let _ = run_multidim_cell(&cell, ctx, 1e-6, 10);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! | [`valency`] | `consensus-valency` | valency probes and the Theorem 1/2/3/5 adversaries |
 //! | [`approx`] | `consensus-approx` | deciding wrappers, ε-agreement, decision-time measurement (Thms 8–11) |
 //! | [`asyncsim`] | `consensus-asyncsim` | asynchronous crashes, round-based executors, MinRelay (Thms 6–7) |
-//! | [`sweep`] | `consensus-sweep` | parallel multi-seed sweep grids, work-stealing pool, ensemble statistics |
+//! | [`sweep`] | `consensus-sweep` | parallel multi-seed sweep grids, work-stealing pool, ensemble statistics, `R^d` multidim axes |
 //!
 //! plus [`bounds`] — every closed-form bound of Table 1 and Theorems
 //! 8–11 as documented, tested functions, and a machine-readable
@@ -66,15 +66,18 @@ pub mod prelude {
     pub use crate::bounds;
     pub use consensus_algorithms::{
         Algorithm, AmortizedMidpoint, Inbox, InboxBuffer, MassSplitting, MeanValue, Midpoint,
-        Overshoot, Point, QuantizedMidpoint, SelfWeightedAverage, TrimmedMean, TwoAgentThirds,
-        WindowedMidpoint,
+        MidpointCoordinatewise, MidpointSimplex, Overshoot, Point, QuantizedMidpoint,
+        SelfWeightedAverage, TrimmedMean, TwoAgentThirds, WindowedMidpoint,
     };
     pub use consensus_approx::{rules as decision_rules, Decider};
     pub use consensus_digraph::{families, Digraph};
-    pub use consensus_dynamics::{pattern, scenario, Execution, Scenario, Trace};
+    pub use consensus_dynamics::{
+        pattern, scenario, BoxDiameter, Execution, HullDiameter, Metric, Scenario, Trace,
+    };
     pub use consensus_netmodel::{alpha, beta, NetworkModel};
     pub use consensus_sweep::{
-        CellCtx, CellOutcome, EnsembleGrid, InitDist, Sweep, SweepReport, SweepSummary, Topology,
+        CellCtx, CellOutcome, EnsembleGrid, InitDist, MultidimCell, MultidimGrid, MultidimInitDist,
+        Stats, Sweep, SweepReport, SweepSummary, Topology,
     };
     pub use consensus_valency::{adversary, ProbeSet};
 }

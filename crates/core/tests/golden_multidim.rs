@@ -1,0 +1,97 @@
+//! Golden test: the `multidim_decision_times` quick-preset sweep is
+//! pinned byte-for-byte against `ci/golden_multidim.json` (the same
+//! file the CI `sweep-regression` job diffs against the `sweep` bin's
+//! `--multidim --quick --json` output), and the report must reproduce
+//! the coordinate-wise vs. simplex decision-time separation of
+//! arXiv:1805.04923:
+//!
+//! * `d = 1` — the two rules degenerate to the scalar midpoint, so each
+//!   matched pair is **bit-identical** (same fingerprint, same decision
+//!   round);
+//! * `d ≥ 2` — the simplex (MidExtremes) rule decides in strictly fewer
+//!   rounds on average than the coordinate-wise box-centre rule, on the
+//!   *same* executions (identical inits and graph sequences per pair).
+
+use consensus_bench::experiments::{multidim_separation, multidim_spec, run_multidim};
+
+/// The checked-in golden JSON (kept in `ci/` so the regression job can
+/// diff it without building the test harness).
+const GOLDEN: &str = include_str!("../../../ci/golden_multidim.json");
+
+#[test]
+fn quick_preset_matches_the_golden_json() {
+    let spec = multidim_spec("quick");
+    let report = run_multidim(&spec, Some(2));
+    assert_eq!(
+        report.to_json(),
+        GOLDEN,
+        "multidim_decision_times quick preset diverged from ci/golden_multidim.json; \
+         regenerate with `cargo run --release -p consensus-bench --bin sweep -- \
+         --multidim --quick --json > ci/golden_multidim.json` if the change is intended"
+    );
+}
+
+#[test]
+fn quick_preset_is_thread_count_invariant() {
+    let spec = multidim_spec("quick");
+    let one = run_multidim(&spec, Some(1));
+    let many = run_multidim(&spec, Some(4));
+    assert_eq!(
+        one.to_json(),
+        many.to_json(),
+        "bit-identical at any thread count"
+    );
+}
+
+#[test]
+fn separation_simplex_decides_strictly_earlier_for_d_ge_2() {
+    let spec = multidim_spec("quick");
+    let report = run_multidim(&spec, None);
+    assert_eq!(
+        report.summary.failures, 0,
+        "golden grid must fully converge"
+    );
+    let sep = multidim_separation(&spec, &report);
+    assert_eq!(
+        sep.iter().map(|(d, _, _)| *d).collect::<Vec<_>>(),
+        vec![1, 2, 3, 8],
+        "the quick preset sweeps d ∈ {{1, 2, 3, 8}}"
+    );
+    for (d, cw, sx) in sep {
+        let cw = cw.expect("coordinate-wise cells decided");
+        let sx = sx.expect("simplex cells decided");
+        if d == 1 {
+            assert_eq!(
+                cw.mean, sx.mean,
+                "at d = 1 both rules are the scalar midpoint"
+            );
+        } else {
+            assert!(
+                sx.mean < cw.mean,
+                "at d = {d} the simplex rule must decide strictly earlier \
+                 (simplex mean {}, coordinate-wise mean {})",
+                sx.mean,
+                cw.mean
+            );
+        }
+    }
+}
+
+#[test]
+fn d1_pairs_are_bit_identical() {
+    let spec = multidim_spec("quick");
+    let report = run_multidim(&spec, None);
+    let cells = spec.grid.cells();
+    for (i, cell) in cells.iter().enumerate() {
+        let cw = &report.outcomes[2 * i];
+        let sx = &report.outcomes[2 * i + 1];
+        if cell.dim == 1 {
+            assert_eq!(cw, sx, "d=1 pair {} must be bit-identical", cell.label());
+        }
+        assert_eq!(
+            report.seeds[2 * i],
+            report.seeds[2 * i + 1],
+            "matched pairs share the cell seed"
+        );
+    }
+}

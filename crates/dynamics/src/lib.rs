@@ -20,6 +20,10 @@
 //!   probing lower-bound adversaries all implement it;
 //! * [`pattern`] — [`pattern::PatternSource`] implementations: constant,
 //!   periodic, sequential, sampled-random patterns;
+//! * [`metric`] — the [`Metric`] spread measures behind
+//!   [`Scenario::decide`]: [`HullDiameter`] (the paper's `Δ`, default)
+//!   and [`BoxDiameter`] (per-coordinate `L∞`), so multidimensional
+//!   decision rounds are measured in hull diameter;
 //! * [`Trace`] — the recorded run: per-round outputs, diameters
 //!   `Δ(y(t))`, and contraction-rate estimators matching the paper's
 //!   `sup_E limsup_t (δ(C_t))^{1/t}` definition (§3);
@@ -47,10 +51,12 @@
 
 pub mod byzantine;
 mod executor;
+pub mod metric;
 pub mod pattern;
 pub mod scenario;
 mod trace;
 
 pub use executor::Execution;
+pub use metric::{BoxDiameter, HullDiameter, Metric};
 pub use scenario::{FaultyScenario, Scenario};
 pub use trace::{RateEstimate, Trace};

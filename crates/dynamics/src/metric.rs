@@ -1,0 +1,142 @@
+//! Convergence metrics: how a [`crate::Scenario`] measures "how far
+//! from agreement" a configuration is.
+//!
+//! The source paper's scalar experiments measure the value spread
+//! `Δ(y(t)) = max_i y_i − min_i y_i`, which in `R^d` generalises in more
+//! than one way. The [`Metric`] trait abstracts the choice so decision
+//! rounds ([`crate::Scenario::decide`]) can be measured in **hull
+//! diameter** — the ε-agreement notion of the multidimensional
+//! experiments (arXiv:1805.04923) — or in the coarser bounding-box
+//! diameter the coordinate-wise algorithms contract. For `D = 1` every
+//! metric here coincides with the scalar spread.
+
+use consensus_algorithms::{box_diameter, diameter, Point};
+
+/// A configuration-spread measure: maps the output vector `y(t)` to a
+/// non-negative scalar that is 0 exactly at agreement.
+///
+/// [`crate::Scenario::decide`] stops a run at the first block boundary
+/// where the configured metric drops to ≤ ε, so the metric choice *is*
+/// the definition of the decision event: hull-diameter ε-agreement
+/// (the default, [`HullDiameter`]) or per-coordinate ε-agreement
+/// ([`BoxDiameter`]). Implementations must be deterministic pure
+/// functions of the output vector — the reproducibility guarantees of
+/// the sweep harness rely on it.
+///
+/// Closures `Fn(&[Point<D>]) -> f64` implement the trait, so ad-hoc
+/// metrics need no newtype:
+///
+/// ```
+/// use consensus_algorithms::{Midpoint, Point};
+/// use consensus_digraph::Digraph;
+/// use consensus_dynamics::{metric::Metric, pattern::ConstantPattern, Scenario};
+///
+/// // Decide when every agent is within ε of agent 0 (a "leader" metric).
+/// let leader = |outs: &[Point<1>]| {
+///     outs.iter().map(|p| p.dist(&outs[0])).fold(0.0, f64::max)
+/// };
+/// let inits = [Point([0.0]), Point([1.0]), Point([0.5])];
+/// let mut sc = Scenario::new(Midpoint, &inits)
+///     .pattern(ConstantPattern::new(Digraph::complete(3)))
+///     .metric(leader)
+///     .decide(1e-9);
+/// assert_eq!(sc.decision_round(16), Some(1));
+/// ```
+pub trait Metric<const D: usize> {
+    /// The spread of the configuration (0 exactly at agreement).
+    fn measure(&self, outputs: &[Point<D>]) -> f64;
+
+    /// A short stable label for reports and tables.
+    fn name(&self) -> &'static str {
+        "custom"
+    }
+}
+
+impl<F, const D: usize> Metric<D> for F
+where
+    F: Fn(&[Point<D>]) -> f64,
+{
+    fn measure(&self, outputs: &[Point<D>]) -> f64 {
+        self(outputs)
+    }
+}
+
+/// The **Euclidean (convex-hull) diameter** `Δ(y) = max_{i,j} ‖y_i −
+/// y_j‖` — the paper's `Δ` (§2.1) and the ε-agreement notion of the
+/// multidimensional decision-time experiments. The diameter of a finite
+/// set equals the diameter of its convex hull, hence the name. This is
+/// the default metric of [`crate::Scenario`]; for `D = 1` it is the
+/// scalar spread `max − min`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HullDiameter;
+
+impl<const D: usize> Metric<D> for HullDiameter {
+    fn measure(&self, outputs: &[Point<D>]) -> f64 {
+        diameter(outputs)
+    }
+
+    fn name(&self) -> &'static str {
+        "hull-diameter"
+    }
+}
+
+/// The **bounding-box (`L∞`) diameter**: the largest per-coordinate
+/// spread `max_c (max_i y_i[c] − min_i y_i[c])`. This is the quantity
+/// the coordinate-wise midpoint contracts by `1/2` per non-split round;
+/// it under-estimates [`HullDiameter`] by up to a `√D` factor, which is
+/// exactly the decision-time gap the multidimensional golden sweep
+/// pins. For `D = 1` the two metrics coincide.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BoxDiameter;
+
+impl<const D: usize> Metric<D> for BoxDiameter {
+    fn measure(&self, outputs: &[Point<D>]) -> f64 {
+        box_diameter(outputs)
+    }
+
+    fn name(&self) -> &'static str {
+        "box-diameter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hull_dominates_box_within_sqrt_d() {
+        let outs = [Point([0.0, 0.0]), Point([3.0, 4.0]), Point([1.0, 1.0])];
+        let hull = HullDiameter.measure(&outs);
+        let boxd = BoxDiameter.measure(&outs);
+        assert_eq!(hull, 5.0);
+        assert_eq!(boxd, 4.0);
+        assert!(boxd <= hull && hull <= 2f64.sqrt() * boxd);
+    }
+
+    #[test]
+    fn metrics_coincide_at_d1() {
+        let outs = [Point([0.25]), Point([1.0]), Point([0.5])];
+        assert_eq!(HullDiameter.measure(&outs), 0.75);
+        assert_eq!(BoxDiameter.measure(&outs), 0.75);
+    }
+
+    #[test]
+    fn closures_are_metrics() {
+        let l1 = |outs: &[Point<2>]| {
+            outs.iter()
+                .flat_map(|p| p.0.iter())
+                .fold(0.0f64, |a, &x| a.max(x.abs()))
+        };
+        assert_eq!(l1.measure(&[Point([1.0, -2.0])]), 2.0);
+        assert_eq!(Metric::<2>::name(&l1), "custom");
+        assert_eq!(Metric::<2>::name(&HullDiameter), "hull-diameter");
+        assert_eq!(Metric::<2>::name(&BoxDiameter), "box-diameter");
+    }
+
+    #[test]
+    fn zero_at_agreement() {
+        let outs = [Point([0.5, 0.5]); 4];
+        assert_eq!(HullDiameter.measure(&outs), 0.0);
+        assert_eq!(BoxDiameter.measure(&outs), 0.0);
+    }
+}

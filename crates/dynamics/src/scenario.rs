@@ -10,6 +10,7 @@
 //!     .pattern(p)      // graphs from a PatternSource, or
 //!     .graphs(f)       // graphs computed from the live state, or
 //!     .adversary(d)    // any Driver (e.g. the valency adversaries)
+//!     .metric(m)       // optional: how spread is measured (default: hull diameter)
 //!     .decide(eps)     // optional: stop at the first spread ≤ ε
 //!     .faults(b, s)    // optional: Byzantine senders (scalar messages)
 //!     .run(rounds)     // -> Trace
@@ -18,12 +19,17 @@
 //! The graph choice per round-block is abstracted by the [`Driver`]
 //! trait, so pattern sources, state-dependent schedulers (the `N_A`
 //! adversaries of `consensus-asyncsim`) and the valency-probing proof
-//! adversaries of `consensus-valency` all drive the same loop.
+//! adversaries of `consensus-valency` all drive the same loop. The
+//! *spread* measure behind `decide`/`until_converged` is likewise
+//! abstracted by [`Metric`] (default: [`HullDiameter`], the paper's
+//! `Δ`), so multidimensional decision rounds are measured in hull
+//! diameter rather than any scalar projection.
 
 use consensus_algorithms::{Algorithm, Point};
 use consensus_digraph::{agents_in, AgentSet, Digraph};
 
 use crate::byzantine::ByzantineStrategy;
+use crate::metric::{HullDiameter, Metric};
 use crate::pattern::PatternSource;
 use crate::{Execution, Trace};
 
@@ -101,16 +107,19 @@ pub struct NoDriver;
 /// assert!(trace.final_diameter() < 1e-15);
 /// ```
 #[derive(Debug, Clone)]
-pub struct Scenario<A: Algorithm<D>, Dr, const D: usize> {
+pub struct Scenario<A: Algorithm<D>, Dr, const D: usize, M = HullDiameter> {
     exec: Execution<A, D>,
     driver: Dr,
     stop_below: Option<f64>,
+    /// How `decide`/`until_converged` measure the spread.
+    metric: M,
     /// Scratch block buffer, reused across blocks.
     blocks: Vec<Digraph>,
 }
 
 impl<A: Algorithm<D>, const D: usize> Scenario<A, NoDriver, D> {
-    /// Starts a scenario of `alg` from the given initial values.
+    /// Starts a scenario of `alg` from the given initial values, with
+    /// the default [`HullDiameter`] spread metric.
     ///
     /// # Panics
     ///
@@ -128,21 +137,24 @@ impl<A: Algorithm<D>, const D: usize> Scenario<A, NoDriver, D> {
             exec,
             driver: NoDriver,
             stop_below: None,
+            metric: HullDiameter,
             blocks: Vec::new(),
         }
     }
+}
 
+impl<A: Algorithm<D>, const D: usize, M> Scenario<A, NoDriver, D, M> {
     /// Drives the scenario with a [`PatternSource`], one graph per
     /// round.
     #[must_use]
-    pub fn pattern<P: PatternSource>(self, pattern: P) -> Scenario<A, PatternDriver<P>, D> {
+    pub fn pattern<P: PatternSource>(self, pattern: P) -> Scenario<A, PatternDriver<P>, D, M> {
         self.adversary(PatternDriver(pattern))
     }
 
     /// Drives the scenario with a graph computed from the live
     /// execution each round.
     #[must_use]
-    pub fn graphs<F>(self, next: F) -> Scenario<A, FnDriver<F>, D>
+    pub fn graphs<F>(self, next: F) -> Scenario<A, FnDriver<F>, D, M>
     where
         F: FnMut(&Execution<A, D>) -> Digraph,
     {
@@ -154,21 +166,39 @@ impl<A: Algorithm<D>, const D: usize> Scenario<A, NoDriver, D> {
     /// `consensus-valency`, the `N_A` schedulers in
     /// `consensus-asyncsim`).
     #[must_use]
-    pub fn adversary<Dr: Driver<A, D>>(self, driver: Dr) -> Scenario<A, Dr, D> {
+    pub fn adversary<Dr: Driver<A, D>>(self, driver: Dr) -> Scenario<A, Dr, D, M> {
         Scenario {
             exec: self.exec,
             driver,
             stop_below: self.stop_below,
+            metric: self.metric,
             blocks: self.blocks,
         }
     }
 }
 
-impl<A: Algorithm<D>, Dr, const D: usize> Scenario<A, Dr, D> {
-    /// Stops runs at the first block boundary where the value spread is
-    /// ≤ `eps` — the decision event of approximate consensus (§9). The
-    /// resulting trace ends at the minimal safe decision round;
-    /// [`Scenario::decision_round`] returns it directly.
+impl<A: Algorithm<D>, Dr, const D: usize, M> Scenario<A, Dr, D, M> {
+    /// Replaces the spread [`Metric`] behind `decide`/
+    /// `until_converged`/[`Scenario::decision_round`] (default:
+    /// [`HullDiameter`], the paper's `Δ`). Pass
+    /// [`BoxDiameter`](crate::metric::BoxDiameter) for per-coordinate
+    /// ε-agreement, or any closure `Fn(&[Point<D>]) -> f64`.
+    #[must_use]
+    pub fn metric<M2: Metric<D>>(self, metric: M2) -> Scenario<A, Dr, D, M2> {
+        Scenario {
+            exec: self.exec,
+            driver: self.driver,
+            stop_below: self.stop_below,
+            metric,
+            blocks: self.blocks,
+        }
+    }
+
+    /// Stops runs at the first block boundary where the value spread
+    /// (per the configured [`Metric`]) is ≤ `eps` — the decision event
+    /// of approximate consensus (§9). The resulting trace ends at the
+    /// minimal safe decision round; [`Scenario::decision_round`]
+    /// returns it directly.
     #[must_use]
     pub fn decide(mut self, eps: f64) -> Self {
         self.stop_below = Some(eps);
@@ -247,15 +277,16 @@ fn drive_loop<A: Algorithm<D>, Dr: Driver<A, D>, const D: usize>(
     done
 }
 
-impl<A: Algorithm<D>, Dr: Driver<A, D>, const D: usize> Scenario<A, Dr, D> {
+impl<A: Algorithm<D>, Dr: Driver<A, D>, const D: usize, M: Metric<D>> Scenario<A, Dr, D, M> {
     fn drive(&mut self, max_rounds: usize, mut trace: Option<&mut Trace<D>>) -> usize {
+        let metric = &self.metric;
         drive_loop(
             &mut self.exec,
             &mut self.driver,
             &mut self.blocks,
             self.stop_below,
             max_rounds,
-            &mut |e| e.value_diameter(),
+            &mut |e| metric.measure(e.outputs_slice()),
             &mut |e, g| e.step(g),
             &mut |e, g| {
                 if let Some(t) = trace.as_deref_mut() {
@@ -282,11 +313,11 @@ impl<A: Algorithm<D>, Dr: Driver<A, D>, const D: usize> Scenario<A, Dr, D> {
         self.drive(max_rounds, None)
     }
 
-    /// Runs until the spread drops to ≤ the [`Scenario::decide`]
-    /// threshold and returns the first qualifying round (checked at
-    /// block boundaries, matching the per-(macro-)round granularity of
-    /// Theorems 8–11), or `None` if the `max_rounds` horizon is
-    /// exhausted first.
+    /// Runs until the spread (per the configured [`Metric`]) drops to
+    /// ≤ the [`Scenario::decide`] threshold and returns the first
+    /// qualifying round (checked at block boundaries, matching the
+    /// per-(macro-)round granularity of Theorems 8–11), or `None` if
+    /// the `max_rounds` horizon is exhausted first.
     ///
     /// `max_rounds` is a **total horizon counted from round 0**, not a
     /// relative budget: rounds already executed (via [`Scenario::run`]
@@ -303,7 +334,7 @@ impl<A: Algorithm<D>, Dr: Driver<A, D>, const D: usize> Scenario<A, Dr, D> {
             .expect("decision_round requires .decide(eps)");
         let executed = usize::try_from(self.exec.round()).unwrap_or(usize::MAX);
         self.advance(max_rounds.saturating_sub(executed));
-        (self.exec.value_diameter() <= eps).then(|| self.exec.round())
+        (self.metric.measure(self.exec.outputs_slice()) <= eps).then(|| self.exec.round())
     }
 }
 
@@ -311,7 +342,13 @@ impl<A: Algorithm<1, Msg = Point<1>>, Dr> Scenario<A, Dr, 1> {
     /// Replaces the outgoing messages of the agents in `byzantine` with
     /// forgeries from `strategy` (two-faced faults included). Only
     /// scalar-message algorithms can be attacked this way; the
-    /// resulting [`FaultyScenario`] traces **honest** outputs only.
+    /// resulting [`FaultyScenario`] traces **honest** outputs only and
+    /// measures the honest scalar spread — which for `D = 1` *is* the
+    /// default [`HullDiameter`] metric. `faults` is therefore only
+    /// available on default-metric scenarios: a custom [`Metric`] has
+    /// no honest-restricted counterpart here, and silently reverting to
+    /// the scalar spread would be worse than rejecting the combination
+    /// at compile time.
     ///
     /// # Panics
     ///
@@ -619,6 +656,66 @@ mod tests {
         let mut split = build();
         split.advance(1);
         assert_eq!(split.decision_round(64), Some(t));
+    }
+
+    #[test]
+    fn metric_choice_changes_the_decision_round() {
+        use crate::metric::{BoxDiameter, HullDiameter};
+        use consensus_algorithms::MidpointCoordinatewise;
+        // Deaf K_3 in R^2, deaf agent pinned at the origin: each round
+        // the hearers move to the box centre, so the box diameter halves
+        // exactly while the hull (Euclidean) diameter is √2× larger on
+        // the diagonal — box-diameter ε-agreement is reached one round
+        // earlier at ε chosen between Δ∞ and Δ₂ after t rounds.
+        let inits = [Point([0.0, 0.0]), Point([1.0, 1.0]), Point([1.0, 0.25])];
+        let f0 = Digraph::complete(3).make_deaf(0);
+        let eps = 1.25 / 8.0; // between 1/8 (box after 3) and √2/8 (hull)
+        let mut hull = Scenario::new(MidpointCoordinatewise, &inits)
+            .pattern(ConstantPattern::new(f0.clone()))
+            .metric(HullDiameter)
+            .decide(eps);
+        let mut boxm = Scenario::new(MidpointCoordinatewise, &inits)
+            .pattern(ConstantPattern::new(f0))
+            .metric(BoxDiameter)
+            .decide(eps);
+        let t_hull = hull.decision_round(64).expect("converges");
+        let t_box = boxm.decision_round(64).expect("converges");
+        assert!(
+            t_box < t_hull,
+            "box decides at {t_box}, hull needs {t_hull}"
+        );
+    }
+
+    #[test]
+    fn default_metric_is_hull_diameter() {
+        // For D = 1 the default metric is the scalar spread: identical
+        // decision rounds whether the metric is spelled out or not.
+        let build = || {
+            Scenario::new(Midpoint, &pts(&[0.0, 1.0, 1.0]))
+                .pattern(ConstantPattern::new(Digraph::complete(3).make_deaf(0)))
+        };
+        let implicit = build().decide(1.0 / 8.0).decision_round(64);
+        let explicit = build()
+            .metric(crate::metric::HullDiameter)
+            .decide(1.0 / 8.0)
+            .decision_round(64);
+        assert_eq!(implicit, Some(3));
+        assert_eq!(implicit, explicit);
+    }
+
+    #[test]
+    fn closure_metrics_drive_decisions() {
+        // Stop when everyone is within ε of agent 0 — a custom metric.
+        let leader = |outs: &[Point<1>]| {
+            outs.iter()
+                .map(|p| (p[0] - outs[0][0]).abs())
+                .fold(0.0, f64::max)
+        };
+        let mut sc = Scenario::new(Midpoint, &pts(&[0.0, 1.0, 0.5]))
+            .pattern(ConstantPattern::new(Digraph::complete(3)))
+            .metric(leader)
+            .decide(1e-9);
+        assert_eq!(sc.decision_round(16), Some(1), "clique agrees in 1 round");
     }
 
     #[test]

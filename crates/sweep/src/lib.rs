@@ -19,6 +19,10 @@
 //!   counts, [`InitDist`] initial-value distributions, [`Topology`]
 //!   graph samplers, a free algorithm parameter) plus generic cartesian
 //!   helpers for ad-hoc case lists.
+//! * [`multidim`] — the `R^d` axes ([`MultidimGrid`]: a **dimension**
+//!   axis plus [`MultidimInitDist`] unit-cube / unit-simplex /
+//!   correlated-Gaussian initial distributions) behind the
+//!   multidimensional decision-time grids of arXiv:1805.04923.
 //! * [`stats`] — per-cell [`CellOutcome`]s aggregated into
 //!   min/max/mean/quantile [`Stats`] and convergence-failure counts
 //!   ([`SweepSummary`]).
@@ -79,11 +83,13 @@
 
 pub mod grid;
 pub mod harness;
+pub mod multidim;
 pub mod pool;
 pub mod report;
 pub mod stats;
 
 pub use grid::{cartesian2, EnsembleCell, EnsembleGrid, InitDist, Topology};
 pub use harness::{cell_seed, CellCtx, Sweep, DEFAULT_BASE_SEED};
+pub use multidim::{MultidimCell, MultidimGrid, MultidimInitDist};
 pub use report::SweepReport;
 pub use stats::{fingerprint, CellOutcome, Stats, SweepSummary};

@@ -1,0 +1,411 @@
+//! Multidimensional ensemble axes: the `R^d` counterpart of
+//! [`crate::EnsembleGrid`].
+//!
+//! The multidimensional decision-time experiments (arXiv:1805.04923)
+//! sweep over the **dimension** `d` and over multidimensional
+//! initial-value distributions — axes the scalar [`crate::InitDist`]
+//! cannot express. [`MultidimGrid`] expands `dims × agents × topologies
+//! × inits × replicates` into a flat, deterministically ordered
+//! [`MultidimCell`] list for [`crate::Sweep`]; the graph axis reuses
+//! [`Topology`] unchanged (communication graphs are
+//! dimension-independent).
+//!
+//! Because the value dimension is a *const generic* on the algorithm
+//! side, a cell stores `dim` as data and the runner dispatches to the
+//! monomorphised `Point<D>` code (the bench crate's
+//! `multidim_decision_times` experiment matches on `dim ∈ {1, 2, 3, 4,
+//! 8}`).
+//!
+//! All samplers are built exclusively from comparisons, `+`, `−`, `×`
+//! and `√` — no transcendental libm calls — so the sampled values (and
+//! therefore the golden sweep JSON the CI gate diffs) are bit-identical
+//! across platforms.
+
+use consensus_algorithms::Point;
+use consensus_dynamics::pattern::RandomPattern;
+use rand::{Rng, RngCore};
+
+use crate::grid::{Topology, TopologySampler};
+
+/// How a multidimensional cell draws its initial values in `R^d`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultidimInitDist {
+    /// I.i.d. uniform draws from the unit cube `[0, 1]^d`.
+    UnitCube,
+    /// Uniform draws from the standard unit simplex
+    /// `{x ∈ R^d : x ≥ 0, Σ x_c ≤ 1}` via the exact order-statistics
+    /// construction (sorted-uniform spacings) — the distribution on
+    /// which the coordinate-wise box centre leaves the convex hull for
+    /// `d ≥ 3`.
+    UnitSimplex,
+    /// Correlated near-Gaussian draws: one shared and one private
+    /// Irwin–Hall(12) variate per coordinate, mixed with correlation
+    /// `ρ = 0.8` and scaled to concentrate in `[0, 1]`. (Irwin–Hall
+    /// instead of Box–Muller keeps the sampler free of `ln`/`cos`,
+    /// whose bit patterns vary across libm implementations.)
+    CorrelatedGaussian,
+}
+
+/// A standard-normal-ish variate: Irwin–Hall(12), i.e. the sum of 12
+/// uniforms minus 6 (mean 0, variance 1, support `[−6, 6]`).
+fn irwin_hall(rng: &mut dyn RngCore) -> f64 {
+    let mut s = 0.0;
+    for _ in 0..12 {
+        s += rng.random_range(0.0..1.0);
+    }
+    s - 6.0
+}
+
+impl MultidimInitDist {
+    /// Samples an `n`-agent initial configuration in `R^D`.
+    #[must_use]
+    pub fn sample<const D: usize>(self, n: usize, rng: &mut dyn RngCore) -> Vec<Point<D>> {
+        match self {
+            MultidimInitDist::UnitCube => (0..n)
+                .map(|_| {
+                    let mut p = Point::ZERO;
+                    for c in 0..D {
+                        p[c] = rng.random_range(0.0..=1.0);
+                    }
+                    p
+                })
+                .collect(),
+            MultidimInitDist::UnitSimplex => (0..n)
+                .map(|_| {
+                    // D sorted uniforms in [0, 1]; their spacings are a
+                    // uniform point on {x ≥ 0, Σx ≤ 1} (Dirichlet(1,…,1)
+                    // over D+1 coordinates, last one dropped).
+                    let mut cuts = [0.0f64; D];
+                    for c in cuts.iter_mut() {
+                        *c = rng.random_range(0.0..1.0);
+                    }
+                    cuts.sort_by(f64::total_cmp);
+                    let mut p = Point::ZERO;
+                    let mut prev = 0.0;
+                    for c in 0..D {
+                        p[c] = cuts[c] - prev;
+                        prev = cuts[c];
+                    }
+                    p
+                })
+                .collect(),
+            MultidimInitDist::CorrelatedGaussian => {
+                const RHO: f64 = 0.8;
+                let shared: Vec<f64> = (0..D).map(|_| irwin_hall(rng)).collect();
+                let mix = (1.0 - RHO * RHO).sqrt();
+                (0..n)
+                    .map(|_| {
+                        let mut p = Point::ZERO;
+                        for c in 0..D {
+                            let z = RHO * shared[c] + mix * irwin_hall(rng);
+                            p[c] = 0.5 + 0.15 * z;
+                        }
+                        p
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// A short stable label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MultidimInitDist::UnitCube => "cube",
+            MultidimInitDist::UnitSimplex => "simplex",
+            MultidimInitDist::CorrelatedGaussian => "gauss",
+        }
+    }
+}
+
+/// One point of a [`MultidimGrid`]: everything a runner needs to
+/// rebuild its `R^d` scenario inputs from the cell seed. The runner
+/// dispatches on [`MultidimCell::dim`] to the monomorphised `Point<D>`
+/// code.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultidimCell {
+    /// The value dimension `d`.
+    pub dim: usize,
+    /// Number of agents.
+    pub n: usize,
+    /// Graph source (dimension-independent; shared with the scalar
+    /// grid).
+    pub topology: Topology,
+    /// Initial-value distribution in `R^d`.
+    pub init: MultidimInitDist,
+    /// Replicate number within this configuration (0-based; for
+    /// labeling — the cell seed already distinguishes replicates).
+    pub replicate: u64,
+}
+
+impl MultidimCell {
+    /// Draws this cell's initial configuration from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `D != self.dim` — the runner's
+    /// dispatch must match the cell's dimension.
+    #[must_use]
+    pub fn inits<const D: usize>(&self, rng: &mut dyn RngCore) -> Vec<Point<D>> {
+        debug_assert_eq!(D, self.dim, "runner dispatched the wrong dimension");
+        self.init.sample::<D>(self.n, rng)
+    }
+
+    /// This cell's graph pattern, seeded deterministically.
+    #[must_use]
+    pub fn pattern(&self, seed: u64) -> RandomPattern<TopologySampler> {
+        RandomPattern::new(self.topology.sampler(self.n), seed)
+    }
+
+    /// A stable human/JSON label, e.g. `d=3 n=8 rooted(d=0.25) simplex r=1`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "d={} n={} {} {} r={}",
+            self.dim,
+            self.n,
+            self.topology.label(),
+            self.init.label(),
+            self.replicate
+        )
+    }
+}
+
+/// The multidimensional named-axes grid builder. Expansion order is
+/// fixed (dims ▸ agents ▸ topologies ▸ inits ▸ replicates), so cell
+/// indices — and therefore per-cell seeds — are stable for a given
+/// grid, mirroring [`crate::EnsembleGrid`].
+#[derive(Debug, Clone)]
+pub struct MultidimGrid {
+    dims: Vec<usize>,
+    agents: Vec<usize>,
+    topologies: Vec<Topology>,
+    inits: Vec<MultidimInitDist>,
+    replicates: u64,
+}
+
+impl Default for MultidimGrid {
+    fn default() -> Self {
+        MultidimGrid {
+            dims: vec![2],
+            agents: vec![8],
+            topologies: vec![Topology::Rooted { density: 0.25 }],
+            inits: vec![MultidimInitDist::UnitCube],
+            replicates: 1,
+        }
+    }
+}
+
+impl MultidimGrid {
+    /// A grid with single-valued default axes (d=2, n=8, rooted(0.25)
+    /// graphs, unit-cube inits, one replicate).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the dimension axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty.
+    #[must_use]
+    pub fn dims(mut self, dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "dimension axis must be non-empty");
+        self.dims = dims.to_vec();
+        self
+    }
+
+    /// Sets the agent-count axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agents` is empty.
+    #[must_use]
+    pub fn agents(mut self, agents: &[usize]) -> Self {
+        assert!(!agents.is_empty(), "agent axis must be non-empty");
+        self.agents = agents.to_vec();
+        self
+    }
+
+    /// Sets the topology axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topologies` is empty.
+    #[must_use]
+    pub fn topologies(mut self, topologies: &[Topology]) -> Self {
+        assert!(!topologies.is_empty(), "topology axis must be non-empty");
+        self.topologies = topologies.to_vec();
+        self
+    }
+
+    /// Sets the initial-value-distribution axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inits` is empty.
+    #[must_use]
+    pub fn inits(mut self, inits: &[MultidimInitDist]) -> Self {
+        assert!(!inits.is_empty(), "init axis must be non-empty");
+        self.inits = inits.to_vec();
+        self
+    }
+
+    /// Sets the number of seed replicates per configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicates == 0`.
+    #[must_use]
+    pub fn replicates(mut self, replicates: u64) -> Self {
+        assert!(replicates >= 1, "need at least one replicate");
+        self.replicates = replicates;
+        self
+    }
+
+    /// The number of cells the grid expands to.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.dims.len()
+            * self.agents.len()
+            * self.topologies.len()
+            * self.inits.len()
+            * self.replicates as usize
+    }
+
+    /// Whether the grid is empty (never true for a built grid; axes are
+    /// validated non-empty).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the cartesian product into the flat, deterministically
+    /// ordered cell list.
+    #[must_use]
+    pub fn cells(&self) -> Vec<MultidimCell> {
+        let mut out = Vec::with_capacity(self.len());
+        for &dim in &self.dims {
+            for &n in &self.agents {
+                for &topology in &self.topologies {
+                    for &init in &self.inits {
+                        for replicate in 0..self.replicates {
+                            out.push(MultidimCell {
+                                dim,
+                                n,
+                                topology,
+                                init,
+                                replicate,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grid_expansion_is_the_full_product_in_fixed_order() {
+        let grid = MultidimGrid::new()
+            .dims(&[1, 3])
+            .agents(&[4])
+            .topologies(&[Topology::Complete])
+            .inits(&[MultidimInitDist::UnitCube, MultidimInitDist::UnitSimplex])
+            .replicates(2);
+        let cells = grid.cells();
+        assert_eq!(cells.len(), grid.len());
+        assert_eq!(cells.len(), 2 * 2 * 2);
+        assert_eq!(cells[0].dim, 1);
+        assert_eq!(cells[0].replicate, 0);
+        assert_eq!(cells[1].replicate, 1);
+        assert_eq!(cells.last().expect("non-empty").dim, 3);
+        assert_eq!(cells, grid.cells(), "expansion is deterministic");
+        assert!(!grid.is_empty());
+    }
+
+    #[test]
+    fn cube_samples_lie_in_the_cube() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = MultidimInitDist::UnitCube.sample::<3>(16, &mut rng);
+        assert_eq!(v.len(), 16);
+        for p in &v {
+            assert!(p.0.iter().all(|&x| (0.0..=1.0).contains(&x)), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn simplex_samples_lie_in_the_simplex() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for p in MultidimInitDist::UnitSimplex.sample::<4>(64, &mut rng) {
+            assert!(p.0.iter().all(|&x| x >= 0.0), "{p:?}");
+            assert!(p.0.iter().sum::<f64>() <= 1.0 + 1e-12, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn gaussian_samples_are_correlated_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = MultidimInitDist::CorrelatedGaussian.sample::<2>(256, &mut rng);
+        // Irwin–Hall(12) is supported on [−6, 6]; mixed and scaled the
+        // coordinates stay within 0.5 ± 0.9·1.8.
+        for p in &v {
+            assert!(p.0.iter().all(|&x| (-1.5..=2.5).contains(&x)), "{p:?}");
+        }
+        // The shared component induces positive cross-agent correlation
+        // per coordinate: the empirical mean sits near the shared draw,
+        // away from 0.5 more often than independent sampling would.
+        let mean0: f64 = v.iter().map(|p| p[0]).sum::<f64>() / v.len() as f64;
+        assert!((0.0..=1.0).contains(&mean0));
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        for dist in [
+            MultidimInitDist::UnitCube,
+            MultidimInitDist::UnitSimplex,
+            MultidimInitDist::CorrelatedGaussian,
+        ] {
+            let a = dist.sample::<3>(8, &mut StdRng::seed_from_u64(7));
+            let b = dist.sample::<3>(8, &mut StdRng::seed_from_u64(7));
+            assert_eq!(a, b, "{dist:?}");
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let cell = MultidimCell {
+            dim: 3,
+            n: 8,
+            topology: Topology::Rooted { density: 0.25 },
+            init: MultidimInitDist::UnitSimplex,
+            replicate: 1,
+        };
+        assert_eq!(cell.label(), "d=3 n=8 rooted(d=0.25) simplex r=1");
+    }
+
+    #[test]
+    fn cell_pattern_is_seed_deterministic() {
+        use consensus_dynamics::pattern::PatternSource;
+        let cell = MultidimCell {
+            dim: 2,
+            n: 6,
+            topology: Topology::Rooted { density: 0.3 },
+            init: MultidimInitDist::UnitCube,
+            replicate: 0,
+        };
+        let mut a = cell.pattern(9);
+        let mut b = cell.pattern(9);
+        for round in 1..=10 {
+            assert_eq!(a.next_graph(round), b.next_graph(round));
+        }
+    }
+}

@@ -37,6 +37,25 @@ impl CellOutcome {
             fingerprint: 0,
         }
     }
+
+    /// The outcome of a cell that exhausted its round budget without
+    /// converging: no decision, a `NaN` rate (it measured nothing).
+    ///
+    /// Failed cells are *dropped* from the rate/decision statistics by
+    /// [`Stats::from_values`]'s non-finite filter rather than polluting
+    /// them — a grid where **every** replicate fails aggregates to
+    /// `rate: None` / `decision_round: None` (and `null` in the JSON
+    /// report), never to `NaN` medians or percentiles.
+    #[must_use]
+    pub fn failed(rounds: u64, fingerprint: u64) -> Self {
+        CellOutcome {
+            rate: f64::NAN,
+            decision_round: None,
+            rounds,
+            converged: false,
+            fingerprint,
+        }
+    }
 }
 
 /// FNV-1a over the exact bit patterns of an output vector — two runs
@@ -201,6 +220,42 @@ mod tests {
         assert_eq!(fingerprint(&a), fingerprint(&a));
         assert_ne!(fingerprint(&a), fingerprint(&b));
         assert_ne!(fingerprint(&a[..1]), fingerprint(&a));
+    }
+
+    /// Regression: a grid where **every** replicate fails to converge
+    /// must aggregate without a single `NaN` — the empty
+    /// successful-sample sets behind `median`/`p90` collapse to `None`
+    /// (guarded in [`Stats::from_values`]) instead of reaching
+    /// [`quantile_sorted`], and the `rounds` statistics (which every
+    /// cell reports) stay finite.
+    #[test]
+    fn summary_of_all_failed_grid_is_nan_free() {
+        let outcomes: Vec<CellOutcome> =
+            (0..6).map(|i| CellOutcome::failed(300, i as u64)).collect();
+        let s = SweepSummary::aggregate(&outcomes);
+        assert_eq!((s.cells, s.converged, s.failures, s.decided), (6, 0, 6, 0));
+        assert!(s.rate.is_none(), "all-NaN rates must not produce Stats");
+        assert!(s.decision_round.is_none(), "no decisions, no quantiles");
+        let rounds = s.rounds.expect("rounds are always reported");
+        for v in [
+            rounds.min,
+            rounds.max,
+            rounds.mean,
+            rounds.std_dev,
+            rounds.median,
+            rounds.p90,
+        ] {
+            assert!(v.is_finite(), "rounds stats must stay finite");
+        }
+        assert_eq!(rounds.median, 300.0);
+        // The JSON report of the same grid serialises the missing
+        // statistics as null — never the literal NaN.
+        let labels = (0..6).map(|i| format!("cell {i}")).collect();
+        let seeds = (0..6).collect();
+        let json = crate::SweepReport::new("all-failed", 0, labels, seeds, outcomes).to_json();
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+        assert!(json.contains("\"rate\": null"));
+        assert!(json.contains("\"failures\": 6"));
     }
 
     #[test]

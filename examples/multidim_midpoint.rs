@@ -1,0 +1,117 @@
+//! Multidimensional midpoint consensus: coordinate-wise vs. simplex
+//! (arXiv:1805.04923).
+//!
+//! Eight drones hold position estimates in R³ and run asymptotic
+//! consensus over a random rooted dynamic network. The example races
+//! the two `R^d` midpoint rules on the *same* executions:
+//!
+//! * `MidpointCoordinatewise` — centre of the received bounding box
+//!   (the scalar midpoint applied per coordinate);
+//! * `MidpointSimplex` — the MidExtremes / safe-area rule: midpoint of
+//!   a received pair realising the hull diameter.
+//!
+//! Decision rounds are measured in **hull diameter** via the `Metric`
+//! abstraction; the simplex rule decides earlier (it skips the
+//! coordinate-wise rule's `√d` detour) and, unlike the box centre,
+//! never leaves the convex hull of the received values.
+//!
+//! Run with: `cargo run -p consensus-examples --example multidim_midpoint`
+
+use tight_bounds_consensus::algorithms::{box_diameter, diameter};
+use tight_bounds_consensus::prelude::*;
+
+fn decision_round<A: Algorithm<3>>(alg: A, inits: &[Point<3>], eps: f64) -> (u64, Vec<f64>) {
+    // Same cell machinery as the `multidim_decision_times` sweep: a
+    // seeded rooted-graph pattern, hull-diameter ε-agreement.
+    let cell = MultidimCell {
+        dim: 3,
+        n: inits.len(),
+        topology: Topology::Rooted { density: 0.5 },
+        init: MultidimInitDist::UnitCube, // label only; inits are explicit
+        replicate: 0,
+    };
+    let mut sc = Scenario::new(alg, inits)
+        .pattern(cell.pattern(2024))
+        .metric(HullDiameter)
+        .decide(eps);
+    let mut diams = vec![diameter(inits)];
+    let mut round = None;
+    for horizon in 1..=200usize {
+        if let Some(t) = sc.decision_round(horizon) {
+            round = Some(t);
+            break;
+        }
+        diams.push(sc.execution().value_diameter());
+    }
+    (round.expect("rooted dynamics converge"), diams)
+}
+
+fn main() {
+    let n = 8;
+    // Eight position estimates scattered in the unit cube (deterministic
+    // pseudo-random spread).
+    let inits: Vec<Point<3>> = (0..n)
+        .map(|i| {
+            let f = i as f64;
+            Point([
+                (f * 0.37).sin().abs(),
+                (f * 0.73 + 0.4).sin().abs(),
+                (f * 1.19 + 0.8).sin().abs(),
+            ])
+        })
+        .collect();
+    let eps = 1e-6;
+
+    println!("{n} agents in R^3, random rooted dynamic network, ε = {eps:e}");
+    println!(
+        "initial hull diameter Δ₂ = {:.3}, box diameter Δ∞ = {:.3}\n",
+        diameter(&inits),
+        box_diameter(&inits)
+    );
+
+    let (t_cw, d_cw) = decision_round(MidpointCoordinatewise, &inits, eps);
+    let (t_sx, d_sx) = decision_round(MidpointSimplex, &inits, eps);
+
+    println!("round   Δ₂ coordinatewise   Δ₂ simplex");
+    for t in 0..d_cw.len().max(d_sx.len()).min(10) {
+        let fmt = |d: Option<&f64>| d.map_or(String::from("decided"), |v| format!("{v:.3e}"));
+        println!("{t:>5}   {:<19} {}", fmt(d_cw.get(t)), fmt(d_sx.get(t)));
+    }
+    println!("…");
+    println!("\ncoordinate-wise midpoint decides at round {t_cw}");
+    println!("simplex (MidExtremes) midpoint decides at round {t_sx}");
+    assert!(
+        t_sx <= t_cw,
+        "the simplex rule must not lag the coordinate-wise rule here"
+    );
+    println!(
+        "\nthe simplex rule saves {} round(s): it contracts the hull diameter\n\
+         directly, while the box centre pays the √d detour (and for d ≥ 3 can\n\
+         leave the convex hull entirely — the validity story of arXiv:1805.04923).",
+        t_cw - t_sx
+    );
+
+    // Validity demonstration at the simplex vertices: the box centre
+    // escapes the hull, the simplex midpoint never does.
+    let verts = [
+        Point([1.0, 0.0, 0.0]),
+        Point([0.0, 1.0, 0.0]),
+        Point([0.0, 0.0, 1.0]),
+    ];
+    let mut e = Execution::new(MidpointCoordinatewise, &verts);
+    e.step(&Digraph::complete(3));
+    let escaped = e.outputs_slice()[0];
+    println!(
+        "\nunit-simplex check: box centre after one clique round = {escaped} \
+         (coordinate sum {:.2} > 1 ⇒ outside the hull)",
+        escaped.0.iter().sum::<f64>()
+    );
+    let mut e = Execution::new(MidpointSimplex, &verts);
+    e.step(&Digraph::complete(3));
+    let safe = e.outputs_slice()[0];
+    println!(
+        "                    simplex midpoint          = {safe} \
+         (coordinate sum {:.2} ⇒ on the hull) ✓",
+        safe.0.iter().sum::<f64>()
+    );
+}

@@ -150,6 +150,26 @@ fn theorem3_adversary_equivalence() {
     check_adversary(Midpoint, n, &adv);
 }
 
+/// Reference decision-round semantics: replay the graphs through the
+/// seed executor and return the first round whose **scalar spread**
+/// (`max − min`) is ≤ `eps`, or `None` within the horizon.
+fn reference_scalar_decision_round<A: Algorithm<1>>(
+    alg: &A,
+    inits: &[Point<1>],
+    graphs: &[Digraph],
+    eps: f64,
+) -> Option<u64> {
+    let spread = |outs: &[Point<1>]| {
+        let lo = outs.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min);
+        let hi = outs.iter().map(|p| p[0]).fold(f64::NEG_INFINITY, f64::max);
+        (hi - lo).max(0.0)
+    };
+    reference_outputs(alg, inits, graphs)
+        .iter()
+        .position(|outs| spread(outs) <= eps)
+        .map(|t| t as u64)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -171,5 +191,54 @@ proptest! {
         assert_equivalent(Midpoint, &inits, &graphs);
         assert_equivalent(AmortizedMidpoint::for_agents(n), &inits, &graphs);
         assert_equivalent(SelfWeightedAverage::new(0.3), &inits, &graphs);
+    }
+
+    /// `Scenario::decision_round` under the new hull-diameter metric
+    /// agrees with the scalar decider for `Point<1>`: across random
+    /// rooted graph sequences and initial values, the decision round is
+    /// identical whether the metric is implicit (the default), spelled
+    /// out as `HullDiameter`, spelled out as `BoxDiameter` (all spread
+    /// notions coincide in 1-D), or computed by replaying the trace
+    /// through the seed semantics and scanning for the first round with
+    /// scalar spread ≤ ε.
+    #[test]
+    fn hull_metric_decision_round_matches_scalar_decider(
+        vals in prop::collection::vec(-20.0f64..20.0, 5),
+        seed in 0u64..10_000,
+        density in 0.0f64..0.8,
+        eps_exp in 1i32..8,
+    ) {
+        use tight_bounds_consensus::dynamics::{BoxDiameter, HullDiameter};
+        use tight_bounds_consensus::dynamics::pattern::SeqThenConstant;
+        use rand::SeedableRng;
+
+        let n = vals.len();
+        let inits: Vec<Point<1>> = vals.iter().map(|&v| Point([v])).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sampler = RootedSampler::new(n, density);
+        let horizon = 40;
+        let graphs: Vec<Digraph> = (0..horizon).map(|_| sampler.sample(&mut rng)).collect();
+        let eps = 10f64.powi(-eps_exp);
+
+        let replay = || SeqThenConstant::new(graphs.clone(), Digraph::complete(n));
+        let implicit = Scenario::new(Midpoint, &inits)
+            .pattern(replay())
+            .decide(eps)
+            .decision_round(horizon);
+        let hull = Scenario::new(Midpoint, &inits)
+            .pattern(replay())
+            .metric(HullDiameter)
+            .decide(eps)
+            .decision_round(horizon);
+        let boxd = Scenario::new(Midpoint, &inits)
+            .pattern(replay())
+            .metric(BoxDiameter)
+            .decide(eps)
+            .decision_round(horizon);
+        let reference = reference_scalar_decision_round(&Midpoint, &inits, &graphs, eps);
+
+        prop_assert_eq!(implicit, reference, "default metric ≠ scalar decider");
+        prop_assert_eq!(hull, reference, "hull metric ≠ scalar decider");
+        prop_assert_eq!(boxd, reference, "box metric ≠ scalar decider");
     }
 }

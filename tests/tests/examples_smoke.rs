@@ -1,4 +1,4 @@
-//! Smoke tests for the `consensus-examples` package: all eight example
+//! Smoke tests for the `consensus-examples` package: all nine example
 //! binaries must build, and `quickstart` must run to completion.
 //!
 //! These shell out to the same `cargo` that is running the test suite
@@ -38,6 +38,7 @@ fn all_examples_build() {
         "crash_tolerance",
         "lower_bound_adversary",
         "ensemble_sweep",
+        "multidim_midpoint",
     ] {
         let bin = workspace_root().join("target/debug/examples").join(name);
         assert!(

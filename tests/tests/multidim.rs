@@ -65,6 +65,95 @@ fn two_agent_thirds_2d_rate() {
 }
 
 #[test]
+fn multidim_algorithms_run_through_the_facade() {
+    // Both R^d midpoint rules drive through Scenario with the hull
+    // metric; the simplex rule keeps validity (convex combinations),
+    // the coordinate-wise rule keeps box validity.
+    let inits = [
+        Point([1.0, 0.0, 0.0]),
+        Point([0.0, 1.0, 0.0]),
+        Point([0.0, 0.0, 1.0]),
+        Point([0.2, 0.3, 0.1]),
+    ];
+    let f0 = Digraph::complete(4).make_deaf(0);
+    let mut sx = Scenario::new(MidpointSimplex, &inits)
+        .pattern(pattern::ConstantPattern::new(f0.clone()))
+        .metric(HullDiameter)
+        .decide(1e-9);
+    let t_sx = sx.decision_round(200).expect("simplex converges");
+    assert!(t_sx >= 1);
+    let trace = Scenario::new(MidpointSimplex, &inits)
+        .pattern(pattern::ConstantPattern::new(f0.clone()))
+        .run(20);
+    assert!(
+        trace.validity_holds(1e-9),
+        "simplex outputs stay in the box"
+    );
+
+    let mut cw = Scenario::new(MidpointCoordinatewise, &inits)
+        .pattern(pattern::ConstantPattern::new(f0))
+        .metric(HullDiameter)
+        .decide(1e-9);
+    assert!(
+        cw.decision_round(200).is_some(),
+        "coordinate-wise converges"
+    );
+}
+
+#[test]
+fn box_metric_leads_hull_metric_in_r2() {
+    // Δ∞ ≤ Δ₂ pointwise, so the box-diameter decision can only come
+    // earlier (or simultaneously).
+    let inits = [Point([0.0, 0.0]), Point([1.0, 1.0]), Point([1.0, 0.3])];
+    let f0 = Digraph::complete(3).make_deaf(0);
+    let eps = 1e-3;
+    let run = |use_box: bool| {
+        let sc = Scenario::new(MidpointCoordinatewise, &inits)
+            .pattern(pattern::ConstantPattern::new(f0.clone()));
+        if use_box {
+            sc.metric(BoxDiameter).decide(eps).decision_round(200)
+        } else {
+            sc.metric(HullDiameter).decide(eps).decision_round(200)
+        }
+    };
+    let t_box = run(true).expect("converges");
+    let t_hull = run(false).expect("converges");
+    assert!(t_box <= t_hull, "box {t_box} must not lag hull {t_hull}");
+}
+
+#[test]
+fn multidim_grid_is_deterministic_through_the_facade() {
+    // A tiny multidimensional ensemble driven through the prelude's
+    // Sweep exports: identical outcomes at any thread count.
+    let grid = MultidimGrid::new()
+        .dims(&[2])
+        .agents(&[6])
+        .topologies(&[Topology::Rooted { density: 0.5 }])
+        .inits(&[MultidimInitDist::UnitCube, MultidimInitDist::UnitSimplex])
+        .replicates(3);
+    let run = |threads: usize| {
+        Sweep::new(grid.cells())
+            .seed(7)
+            .threads(threads)
+            .run(|cell, ctx| {
+                let inits: Vec<Point<2>> = cell.inits(&mut ctx.rng());
+                let mut sc = Scenario::new(MidpointSimplex, &inits)
+                    .pattern(cell.pattern(ctx.subseed(1)))
+                    .decide(1e-6);
+                let decision = sc.decision_round(200);
+                (
+                    decision,
+                    tight_bounds_consensus::sweep::fingerprint(sc.execution().outputs_slice()),
+                )
+            })
+    };
+    let a = run(1);
+    let b = run(4);
+    assert_eq!(a, b, "thread count must not change multidim outcomes");
+    assert!(a.iter().all(|(d, _)| d.is_some()), "all cells decide");
+}
+
+#[test]
 fn decider_in_r2() {
     let inits = [Point([0.0, 0.0]), Point([1.0, 1.0]), Point([0.0, 1.0])];
     let delta = tight_bounds_consensus::algorithms::diameter(&inits);
