@@ -66,7 +66,7 @@ pub use multidim::{MidpointCoordinatewise, MidpointSimplex};
 pub use nonconvex::{MassSplitting, Overshoot};
 pub use point::{
     bounding_box, box_diameter, centroid, convex_combination, coordinate_spreads, diameter,
-    farthest_pair, in_bounding_box, per_coordinate_rates, Point,
+    farthest_pair, in_bounding_box, in_convex_hull, per_coordinate_rates, Point,
 };
 pub use quantized::QuantizedMidpoint;
 pub use trimmed::TrimmedMean;

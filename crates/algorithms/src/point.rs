@@ -317,11 +317,221 @@ pub fn bounding_box<const D: usize>(points: &[Point<D>]) -> (Point<D>, Point<D>)
 /// Whether `x` lies in the coordinate-wise bounding box of `points`
 /// (with tolerance `tol`). For `D = 1` this is exact convex-hull
 /// membership; for `D > 1` it is a necessary condition (the hull is
-/// contained in the box), which is what the validity checks use.
+/// contained in the box). [`in_convex_hull`] is the exact test for
+/// `D ∈ {2, 3}`.
 #[must_use]
 pub fn in_bounding_box<const D: usize>(x: &Point<D>, points: &[Point<D>], tol: f64) -> bool {
     let (lo, hi) = bounding_box(points);
     (0..D).all(|c| x[c] >= lo[c] - tol && x[c] <= hi[c] + tol)
+}
+
+/// Whether `x` lies in the **convex hull** of `points`, within a
+/// geometric tolerance `tol` (a distance, in the same units as the
+/// coordinates).
+///
+/// * `D = 1` — exact: interval membership (identical to
+///   [`in_bounding_box`]).
+/// * `D = 2` — exact: the cross-product half-plane test. A point is in
+///   the hull iff it is on the inner side of every *supporting line*
+///   (a line through two input points with the whole set on one closed
+///   side); degenerate (collinear) sets reduce to the segment test via
+///   the bounding box.
+/// * `D = 3` — exact: the same scheme one dimension up (supporting
+///   planes through point triples, in the gift-wrapping style), plus
+///   in-plane edge tests so coplanar and collinear sets are handled
+///   exactly rather than falling back to the box.
+/// * `D ≥ 4` — the bounding-box **relaxation** (a necessary condition);
+///   exact hull membership in higher dimensions needs an LP and is out
+///   of scope here.
+///
+/// Signed distances are normalised (true Euclidean point–plane
+/// distances), so `tol` composes across dimensions; `tol = 0` demands
+/// exact membership up to floating-point evaluation of the cross
+/// products.
+///
+/// This is the test behind `Trace::validity_holds` in
+/// `consensus-dynamics`: strictly sharper than the box check for
+/// `D ∈ {2, 3}` (the hull is contained in the box, and e.g. a box
+/// corner opposite a triangle is in the box but not the hull).
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+#[must_use]
+pub fn in_convex_hull<const D: usize>(x: &Point<D>, points: &[Point<D>], tol: f64) -> bool {
+    assert!(!points.is_empty(), "convex hull of an empty set");
+    // The box is necessary in every dimension, and it is what bounds
+    // the degenerate (collinear) configurations along their carrier.
+    if !in_bounding_box(x, points, tol) {
+        return false;
+    }
+    match D {
+        0 | 1 => true,
+        2 => in_hull_2d(
+            [x[0], x[1]],
+            &points.iter().map(|p| [p[0], p[1]]).collect::<Vec<_>>(),
+            tol,
+        ),
+        3 => in_hull_3d(
+            [x[0], x[1], x[2]],
+            &points
+                .iter()
+                .map(|p| [p[0], p[1], p[2]])
+                .collect::<Vec<_>>(),
+            tol,
+        ),
+        _ => true,
+    }
+}
+
+/// Whether a candidate hyperplane *separates* `x` from the point set:
+/// the whole set lies on one closed side (signed distances within
+/// `tol`) while `x` is strictly beyond `tol` on the other. `sides` are
+/// the set's signed distances, `sx` the query point's.
+fn separated(sx: f64, sides: impl Iterator<Item = f64>, tol: f64) -> bool {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in sides {
+        lo = lo.min(s);
+        hi = hi.max(s);
+    }
+    (hi <= tol && sx > tol) || (lo >= -tol && sx < -tol)
+}
+
+fn sub2(a: [f64; 2], b: [f64; 2]) -> [f64; 2] {
+    [a[0] - b[0], a[1] - b[1]]
+}
+
+fn cross2(a: [f64; 2], b: [f64; 2]) -> f64 {
+    a[0] * b[1] - a[1] * b[0]
+}
+
+/// Exact 2-D hull membership for a point already known to be inside the
+/// bounding box: for every directed pair `(a, b)`, if the whole set lies
+/// on the non-positive side of the line `a → b`, so must `x`.
+///
+/// Collinear sets make every pair line supporting in *both*
+/// orientations, which forces `x` onto the line; the box then bounds it
+/// to the segment between the extreme points.
+fn in_hull_2d(x: [f64; 2], pts: &[[f64; 2]], tol: f64) -> bool {
+    for (i, &a) in pts.iter().enumerate() {
+        for &b in &pts[i + 1..] {
+            let e = sub2(b, a);
+            let len = (e[0] * e[0] + e[1] * e[1]).sqrt();
+            if len <= f64::MIN_POSITIVE {
+                continue; // coincident points span no line
+            }
+            // side(p) = signed distance of p from the line a→b.
+            let side = |p: [f64; 2]| cross2(e, sub2(p, a)) / len;
+            if separated(side(x), pts.iter().map(|&p| side(p)), tol) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn sub3(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+}
+
+fn cross3(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+}
+
+fn dot3(a: [f64; 3], b: [f64; 3]) -> f64 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+
+fn norm3(a: [f64; 3]) -> f64 {
+    dot3(a, a).sqrt()
+}
+
+/// Exact 3-D hull membership for a point already known to be inside the
+/// bounding box.
+///
+/// Full-dimensional sets: every facet-supporting plane is spanned by
+/// some point triple, so checking `x` against every supporting triple
+/// plane is sufficient. Coplanar sets: the triple planes force `x` onto
+/// the common plane (both orientations are supporting), and in-plane
+/// *edge* planes (through a point pair, containing the plane normal)
+/// complete the 2-D polygon test. Collinear sets: no triple spans a
+/// plane; `x` is forced onto the carrier line via the point–line
+/// distance, and the bounding box bounds it to the segment.
+fn in_hull_3d(x: [f64; 3], pts: &[[f64; 3]], tol: f64) -> bool {
+    let mut plane_normal: Option<[f64; 3]> = None;
+    for (i, &a) in pts.iter().enumerate() {
+        for (j, &b) in pts.iter().enumerate().skip(i + 1) {
+            let e1 = sub3(b, a);
+            for &c in &pts[j + 1..] {
+                let e2 = sub3(c, a);
+                let n = cross3(e1, e2);
+                let len = norm3(n);
+                // Skip triples that span no plane (relative test: the
+                // normal's length is ‖e1‖·‖e2‖·sin θ).
+                if len <= 1e-12 * norm3(e1) * norm3(e2) {
+                    continue;
+                }
+                if plane_normal.is_none() {
+                    plane_normal = Some(n);
+                }
+                let side = |p: [f64; 3]| dot3(n, sub3(p, a)) / len;
+                if separated(side(x), pts.iter().map(|&p| side(p)), tol) {
+                    return false;
+                }
+            }
+        }
+    }
+    let Some(nn) = plane_normal else {
+        // No spanning triple: the set is collinear. The box bounds x
+        // along the carrier; it remains to pin x onto the line itself.
+        return in_hull_collinear_3d(x, pts, tol);
+    };
+    // In-plane edge tests (no-ops for interior directions of
+    // full-dimensional sets, the exact polygon test for coplanar ones).
+    for (i, &a) in pts.iter().enumerate() {
+        for &b in &pts[i + 1..] {
+            let m = cross3(sub3(b, a), nn);
+            let len = norm3(m);
+            if len <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let side = |p: [f64; 3]| dot3(m, sub3(p, a)) / len;
+            if separated(side(x), pts.iter().map(|&p| side(p)), tol) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Hull membership for a collinear 3-D point set (already box-checked):
+/// `x` must lie within `tol` of the carrier line.
+fn in_hull_collinear_3d(x: [f64; 3], pts: &[[f64; 3]], tol: f64) -> bool {
+    // The farthest pair spans the carrier (all sets here have ≥ 1 point;
+    // coincident sets have no spanning pair and reduce to the box test).
+    let mut best = (0usize, 0usize);
+    let mut best_sq = 0.0f64;
+    for (i, &a) in pts.iter().enumerate() {
+        for (j, &b) in pts.iter().enumerate().skip(i + 1) {
+            let d = sub3(b, a);
+            let sq = dot3(d, d);
+            if sq > best_sq {
+                best_sq = sq;
+                best = (i, j);
+            }
+        }
+    }
+    if best_sq <= f64::MIN_POSITIVE {
+        return true; // all points coincide; the box test already pinned x
+    }
+    let (a, b) = (pts[best.0], pts[best.1]);
+    let v = sub3(b, a);
+    // Point–line distance ‖(x − a) × v‖ / ‖v‖.
+    norm3(cross3(sub3(x, a), v)) / norm3(v) <= tol
 }
 
 #[cfg(test)]
@@ -429,6 +639,104 @@ mod tests {
         assert_eq!(r[0], 0.0);
         assert!((r[1] - 1.0).abs() < 1e-12);
         assert_eq!(per_coordinate_rates(&init, &now, 0), [0.0, 0.0]);
+    }
+
+    #[test]
+    fn hull_2d_is_sharper_than_the_box() {
+        // Right triangle: the opposite box corner is in the box but not
+        // in the hull.
+        let tri = [Point([0.0, 0.0]), Point([1.0, 0.0]), Point([0.0, 1.0])];
+        let corner = Point([0.9, 0.9]);
+        assert!(in_bounding_box(&corner, &tri, 0.0));
+        assert!(!in_convex_hull(&corner, &tri, 1e-12));
+        // The centroid and the vertices are inside.
+        assert!(in_convex_hull(&centroid(&tri), &tri, 0.0));
+        for v in &tri {
+            assert!(in_convex_hull(v, &tri, 1e-12));
+        }
+        // The hypotenuse midpoint is on the boundary.
+        assert!(in_convex_hull(&Point([0.5, 0.5]), &tri, 1e-12));
+        assert!(!in_convex_hull(
+            &Point([0.5 + 1e-6, 0.5 + 1e-6]),
+            &tri,
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn hull_3d_catches_the_simplex_escape() {
+        // The box centre of the unit-simplex vertices lies outside the
+        // hull (coordinate sum 3/2 > 1) but inside the box — exactly the
+        // coordinate-wise midpoint's validity failure at d = 3.
+        let verts = [
+            Point([1.0, 0.0, 0.0]),
+            Point([0.0, 1.0, 0.0]),
+            Point([0.0, 0.0, 1.0]),
+        ];
+        let box_centre = Point([0.5, 0.5, 0.5]);
+        assert!(in_bounding_box(&box_centre, &verts, 0.0));
+        assert!(!in_convex_hull(&box_centre, &verts, 1e-9));
+        assert!(in_convex_hull(&centroid(&verts), &verts, 1e-12));
+        // A full-dimensional set: the interior point stays inside, the
+        // outside point is rejected.
+        let tet = [
+            Point([0.0, 0.0, 0.0]),
+            Point([1.0, 0.0, 0.0]),
+            Point([0.0, 1.0, 0.0]),
+            Point([0.0, 0.0, 1.0]),
+        ];
+        assert!(in_convex_hull(&Point([0.2, 0.2, 0.2]), &tet, 0.0));
+        assert!(!in_convex_hull(&Point([0.4, 0.4, 0.4]), &tet, 1e-9));
+    }
+
+    #[test]
+    fn hull_degenerate_sets_are_exact() {
+        // Collinear in 2-D: on-segment inside, off-line and
+        // beyond-the-ends outside (the box alone misses neither… the box
+        // IS the segment envelope here, the line test does the rest).
+        let seg2 = [Point([0.0, 0.0]), Point([2.0, 2.0]), Point([1.0, 1.0])];
+        assert!(in_convex_hull(&Point([0.5, 0.5]), &seg2, 1e-12));
+        assert!(!in_convex_hull(&Point([1.0, 0.5]), &seg2, 1e-9));
+        assert!(!in_convex_hull(&Point([2.5, 2.5]), &seg2, 1e-9));
+        // Collinear in 3-D.
+        let seg3 = [Point([0.0, 0.0, 0.0]), Point([1.0, 1.0, 1.0])];
+        assert!(in_convex_hull(&Point([0.25, 0.25, 0.25]), &seg3, 1e-12));
+        assert!(!in_convex_hull(&Point([0.5, 0.5, 0.0]), &seg3, 1e-9));
+        // Coplanar in 3-D: a square in the z = 0 plane.
+        let sq = [
+            Point([0.0, 0.0, 0.0]),
+            Point([1.0, 0.0, 0.0]),
+            Point([1.0, 1.0, 0.0]),
+            Point([0.0, 1.0, 0.0]),
+        ];
+        assert!(in_convex_hull(&Point([0.5, 0.5, 0.0]), &sq, 1e-12));
+        assert!(!in_convex_hull(&Point([0.5, 0.5, 0.2]), &sq, 1e-9));
+        // A triangle in that plane: the in-plane box corner escapes.
+        let tri = [
+            Point([0.0, 0.0, 0.0]),
+            Point([1.0, 0.0, 0.0]),
+            Point([0.0, 1.0, 0.0]),
+        ];
+        assert!(!in_convex_hull(&Point([0.9, 0.9, 0.0]), &tri, 1e-9));
+        // Single point: only (near-)coincidence passes.
+        let single = [Point([0.3, 0.3, 0.3])];
+        assert!(in_convex_hull(&Point([0.3, 0.3, 0.3]), &single, 0.0));
+        assert!(!in_convex_hull(&Point([0.3, 0.3, 0.4]), &single, 1e-9));
+    }
+
+    #[test]
+    fn hull_d1_and_high_d_fall_back_to_the_box() {
+        let pts1 = [Point([0.0]), Point([1.0])];
+        assert!(in_convex_hull(&Point([0.5]), &pts1, 0.0));
+        assert!(!in_convex_hull(&Point([1.5]), &pts1, 1e-9));
+        // D ≥ 4 is the documented box relaxation.
+        let pts4 = [
+            Point([1.0, 0.0, 0.0, 0.0]),
+            Point([0.0, 1.0, 0.0, 0.0]),
+            Point([0.0, 0.0, 1.0, 0.0]),
+            Point([0.0, 0.0, 0.0, 1.0]),
+        ];
+        assert!(in_convex_hull(&Point([0.5, 0.5, 0.5, 0.5]), &pts4, 0.0));
     }
 
     #[test]

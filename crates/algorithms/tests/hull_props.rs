@@ -1,0 +1,152 @@
+//! Property tests for the exact point-in-hull test (`in_convex_hull`,
+//! d ∈ {2, 3}): soundness (convex combinations are always inside),
+//! necessity of the box (hull membership implies box membership), and
+//! **strict sharpness** over the old bounding-box relaxation — for any
+//! non-degenerate triangle, some bounding-box corner is inside the box
+//! but outside the hull, so the hull test rejects points the box test
+//! cannot.
+//!
+//! (The vendored proptest generates fixed-length pools, so variable-size
+//! point sets are expressed as a pool plus a prefix length `k`, the same
+//! idiom as `multidim_props.rs`.)
+
+use consensus_algorithms::{
+    bounding_box, convex_combination, in_bounding_box, in_convex_hull, Point,
+};
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-9;
+
+fn arb_point<const D: usize>() -> impl Strategy<Value = Point<D>> {
+    prop::collection::vec(-10.0f64..10.0, D).prop_map(|v| {
+        let mut p = Point::ZERO;
+        for (c, x) in v.into_iter().enumerate() {
+            p[c] = x;
+        }
+        p
+    })
+}
+
+/// Normalises raw draws into non-negative weights summing to 1.
+fn normalise(raw: &[f64]) -> Vec<f64> {
+    let sum: f64 = raw.iter().sum();
+    if sum <= f64::MIN_POSITIVE {
+        let mut w = vec![0.0; raw.len()];
+        w[0] = 1.0;
+        w
+    } else {
+        raw.iter().map(|x| x / sum).collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// **Soundness, d = 2**: every convex combination of the points is
+    /// inside their hull (and therefore inside their box).
+    #[test]
+    fn convex_combinations_are_in_the_hull_2d(
+        pool in prop::collection::vec(arb_point::<2>(), 7),
+        raw_w in prop::collection::vec(0.0f64..1.0, 7),
+        k in 1usize..8,
+    ) {
+        let pts = &pool[..k];
+        let w = normalise(&raw_w[..k]);
+        let x = convex_combination(pts, &w);
+        prop_assert!(in_convex_hull(&x, pts, TOL), "{x} escaped the hull of {pts:?}");
+        prop_assert!(in_bounding_box(&x, pts, TOL));
+    }
+
+    /// **Soundness, d = 3**: same in `R^3`, where the supporting-plane
+    /// test (not just the box) is in play.
+    #[test]
+    fn convex_combinations_are_in_the_hull_3d(
+        pool in prop::collection::vec(arb_point::<3>(), 6),
+        raw_w in prop::collection::vec(0.0f64..1.0, 6),
+        k in 1usize..7,
+    ) {
+        let pts = &pool[..k];
+        let w = normalise(&raw_w[..k]);
+        let x = convex_combination(pts, &w);
+        prop_assert!(in_convex_hull(&x, pts, TOL), "{x} escaped the hull of {pts:?}");
+    }
+
+    /// **Necessity of the box**: hull membership implies box membership
+    /// for arbitrary query points — the hull test only ever *rejects
+    /// more* than the box test (strict sharpness, one direction).
+    #[test]
+    fn hull_membership_implies_box_membership(
+        pool in prop::collection::vec(arb_point::<3>(), 6),
+        k in 1usize..7,
+        x in arb_point::<3>(),
+    ) {
+        let pts = &pool[..k];
+        if in_convex_hull(&x, pts, TOL) {
+            prop_assert!(in_bounding_box(&x, pts, TOL));
+        }
+    }
+
+    /// **Strict sharpness, d = 2**: for every non-degenerate triangle
+    /// some bounding-box corner is in the box but *not* in the hull (a
+    /// triangle covers at most half its bounding box), so the exact test
+    /// separates points the box relaxation accepts.
+    #[test]
+    fn some_box_corner_escapes_every_triangle(
+        a in arb_point::<2>(),
+        b in arb_point::<2>(),
+        c in arb_point::<2>(),
+    ) {
+        let area2 = ((b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])).abs();
+        prop_assume!(area2 > 1e-3); // non-degenerate triangles only
+        let tri = [a, b, c];
+        let (lo, hi) = bounding_box(&tri);
+        let corners = [
+            Point([lo[0], lo[1]]),
+            Point([lo[0], hi[1]]),
+            Point([hi[0], lo[1]]),
+            Point([hi[0], hi[1]]),
+        ];
+        let escaped = corners.iter().any(|p| {
+            in_bounding_box(p, &tri, TOL) && !in_convex_hull(p, &tri, TOL)
+        });
+        prop_assert!(escaped, "every box corner of {tri:?} claims hull membership");
+    }
+
+    /// **Strict sharpness, d = 3**: the box centre of a randomly scaled
+    /// and translated copy of the unit-simplex vertex set always lies in
+    /// the box but outside the hull — the validity escape of the
+    /// coordinate-wise midpoint that motivated the exact test.
+    #[test]
+    fn simplex_box_centre_escapes_in_3d(
+        scale in 0.1f64..10.0,
+        shift in arb_point::<3>(),
+    ) {
+        let verts = [
+            Point([scale, 0.0, 0.0]) + shift,
+            Point([0.0, scale, 0.0]) + shift,
+            Point([0.0, 0.0, scale]) + shift,
+        ];
+        let centre = Point([scale / 2.0, scale / 2.0, scale / 2.0]) + shift;
+        prop_assert!(in_bounding_box(&centre, &verts, TOL));
+        prop_assert!(
+            !in_convex_hull(&centre, &verts, TOL),
+            "box centre {centre} must be outside the hull of {verts:?}"
+        );
+    }
+
+    /// **d = 1 degeneration**: the hull test and the box test coincide
+    /// exactly on scalars.
+    #[test]
+    fn scalar_hull_equals_interval(
+        vals in prop::collection::vec(-50.0f64..50.0, 7),
+        k in 1usize..8,
+        x in -60.0f64..60.0,
+    ) {
+        let pts: Vec<Point<1>> = vals[..k].iter().map(|&v| Point([v])).collect();
+        let q = Point([x]);
+        prop_assert_eq!(
+            in_convex_hull(&q, &pts, TOL),
+            in_bounding_box(&q, &pts, TOL)
+        );
+    }
+}

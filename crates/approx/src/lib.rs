@@ -143,13 +143,13 @@ pub fn epsilon_agreement<const D: usize>(decisions: &[Point<D>], eps: f64) -> bo
 }
 
 /// Whether the decisions satisfy **Validity**: each lies in the convex
-/// hull of the initial values (exact for `D = 1`, bounding-box for
-/// `D > 1`).
+/// hull of the initial values (exact for `D ∈ {1, 2, 3}` via
+/// [`consensus_algorithms::in_convex_hull`], bounding-box for `D ≥ 4`).
 #[must_use]
 pub fn validity<const D: usize>(decisions: &[Point<D>], inits: &[Point<D>], tol: f64) -> bool {
     decisions
         .iter()
-        .all(|d| consensus_algorithms::in_bounding_box(d, inits, tol))
+        .all(|d| consensus_algorithms::in_convex_hull(d, inits, tol))
 }
 
 #[cfg(test)]

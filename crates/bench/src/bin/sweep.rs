@@ -1,51 +1,78 @@
 //! Parallel multi-seed ensemble sweeps with statistical aggregation.
 //!
-//! Runs one of the named grid presets on the work-stealing sweep pool
-//! and prints the aggregate table, optionally followed (or replaced) by
-//! the machine-readable `BENCH_sweep.json` document the CI
-//! `sweep-regression` job diffs against `ci/golden_sweep.json`.
+//! Runs one of the registered experiment grids on the work-stealing
+//! sweep pool and prints the aggregate table, optionally followed (or
+//! replaced) by the machine-readable JSON document the CI
+//! `sweep-regression` job diffs against the checked-in golden files.
 //!
 //! ```text
 //! cargo run --release -p consensus-bench --bin sweep -- [FLAGS]
-//!   --golden        run the fixed CI grid (16 cells, seed 42)
-//!   --quick         run the small smoke grid (36 cells) plus the
-//!                   multidim_decision_times quick grid
-//!   --full          run the large ensemble (960 cells; default)
-//!   --multidim      run ONLY the multidimensional decision-time grid
-//!                   (R^d coordinate-wise vs simplex; --quick/--golden
-//!                   select the pinned preset, --full the large one) —
-//!                   with --json this emits ci/golden_multidim.json's
-//!                   format for the CI diff
+//!   --grid NAME     which experiment grid to run (see --list):
+//!                   ensemble (default) | multidim | dynamic_rates
+//!   --list          print the registered grids and exit
+//!   --golden        run the fixed CI preset of the selected grid
+//!   --quick         run the small smoke preset (for `ensemble` this
+//!                   also appends the multidim and dynamic tables)
+//!   --full          run the large ensemble (default preset)
 //!   --threads N     worker count (default: all cores; results identical)
 //!   --seed S        override the base seed
 //!   --json          print JSON only (golden-diff mode)
 //!   --out PATH      also write the JSON to PATH (e.g. BENCH_sweep.json)
 //!   --replay I      re-run cell I solo and print its outcome
+//!   --multidim      deprecated alias for `--grid multidim`
+//! ```
+//!
+//! The CI gate commands (byte-stable against `ci/`):
+//!
+//! ```text
+//! sweep -- --golden --json                         # ci/golden_sweep.json
+//! sweep -- --grid multidim --quick --json          # ci/golden_multidim.json
+//! sweep -- --grid dynamic_rates --quick --json     # ci/golden_dynamic.json
 //! ```
 
 use consensus_bench::experiments::{
-    ensemble_spec, ensemble_table, multidim_spec, multidim_table, run_ensemble, run_ensemble_cell,
-    run_multidim,
+    dynamic_spec, dynamic_table, ensemble_spec, ensemble_table, multidim_spec, multidim_table,
+    run_dynamic, run_dynamic_cell, run_ensemble, run_ensemble_cell, run_multidim, GRID_REGISTRY,
 };
 use tight_bounds_consensus::prelude::*;
 
+fn print_outcome(index: usize, label: &str, seed: u64, o: &CellOutcome) {
+    println!(
+        "cell {index} [{label}] seed {seed}: rate {:.6}, decision {:?}, rounds {}, converged {}, fingerprint {:016x}",
+        o.rate, o.decision_round, o.rounds, o.converged, o.fingerprint,
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut grid = "ensemble";
+    let mut grid_arg: Option<String> = None;
     let mut preset = "full";
     let mut threads: Option<usize> = None;
     let mut seed: Option<u64> = None;
     let mut json_only = false;
-    let mut multidim_only = false;
     let mut out_path: Option<String> = None;
     let mut replay: Option<usize> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--grid" => {
+                grid_arg = Some(it.next().expect("--grid needs a name").clone());
+            }
+            "--list" => {
+                println!("registered grids (select with --grid NAME):");
+                for (name, description) in GRID_REGISTRY {
+                    println!("  {name:<14} {description}");
+                }
+                return;
+            }
             "--golden" => preset = "golden",
             "--quick" => preset = "quick",
             "--full" => preset = "full",
-            "--multidim" => multidim_only = true,
+            // Pre-registry spelling, kept so existing scripts and docs
+            // don't break.
+            "--multidim" => grid_arg = Some("multidim".into()),
             "--json" => json_only = true,
             "--threads" => {
                 threads = Some(
@@ -72,109 +99,128 @@ fn main() {
                 );
             }
             other => {
-                eprintln!("unknown flag `{other}` — see the module docs for usage");
+                eprintln!("unknown flag `{other}` — see the module docs or --list for usage");
                 std::process::exit(2);
             }
         }
     }
-
-    if multidim_only {
-        // The multidimensional decision-time grid only (the CI
-        // `sweep-regression` job diffs `--multidim --quick --json`
-        // against ci/golden_multidim.json).
-        let mut mspec = multidim_spec(preset);
-        if let Some(s) = seed {
-            mspec.base_seed = s;
-        }
-        if let Some(index) = replay {
-            // Replay one multidim cell solo: same configuration, same
-            // seed as the full sweep — both rules, like the full run.
-            let sweep = Sweep::new(mspec.grid.cells()).seed(mspec.base_seed);
-            let (tol, max_rounds) = (mspec.tol, mspec.max_rounds);
-            let (label, pair) = sweep.run_cell(index, |cell, ctx| {
-                (
-                    cell.label(),
-                    consensus_bench::experiments::run_multidim_cell(cell, ctx, tol, max_rounds),
-                )
+    if let Some(name) = &grid_arg {
+        grid = GRID_REGISTRY
+            .iter()
+            .map(|(n, _)| *n)
+            .find(|n| n == name)
+            .unwrap_or_else(|| {
+                eprintln!("unknown grid `{name}` — run with --list to see the registry");
+                std::process::exit(2);
             });
-            for (alg, o) in [("coordinatewise", pair.0), ("simplex", pair.1)] {
-                println!(
-                    "cell {index} [{label} alg={alg}] seed {}: rate {:.6}, decision {:?}, rounds {}, converged {}, fingerprint {:016x}",
-                    sweep.seed_of(index),
-                    o.rate,
-                    o.decision_round,
-                    o.rounds,
-                    o.converged,
-                    o.fingerprint,
-                );
-            }
-            return;
-        }
-        let report = run_multidim(&mspec, threads);
-        let json = report.to_json();
+    }
+
+    let emit = |json: &str, table: String| {
         if let Some(path) = &out_path {
-            std::fs::write(path, &json).expect("failed to write JSON output");
+            std::fs::write(path, json).expect("failed to write JSON output");
         }
         if json_only {
             print!("{json}");
         } else {
-            println!("{}", multidim_table(&mspec, &report));
+            println!("{table}");
             if let Some(path) = &out_path {
                 println!("JSON written to {path}");
             }
         }
-        return;
-    }
+    };
 
-    let mut spec = ensemble_spec(preset);
-    if let Some(s) = seed {
-        spec.base_seed = s;
-    }
-
-    if let Some(index) = replay {
-        // Replay one cell solo: same configuration, same seed as the
-        // full sweep — the debugging path for a surprising aggregate.
-        let sweep = Sweep::new(spec.grid.cells()).seed(spec.base_seed);
-        let (tol, max_rounds) = (spec.tol, spec.max_rounds);
-        let outcome = sweep.run_cell(index, |cell, ctx| {
-            (cell.label(), run_ensemble_cell(cell, ctx, tol, max_rounds))
-        });
-        println!(
-            "cell {index} [{}] seed {}: rate {:.6}, decision {:?}, rounds {}, converged {}, fingerprint {:016x}",
-            outcome.0,
-            sweep.seed_of(index),
-            outcome.1.rate,
-            outcome.1.decision_round,
-            outcome.1.rounds,
-            outcome.1.converged,
-            outcome.1.fingerprint,
-        );
-        return;
-    }
-
-    let report = run_ensemble(&spec, threads);
-    let json = report.to_json();
-    if let Some(path) = &out_path {
-        std::fs::write(path, &json).expect("failed to write JSON output");
-    }
-    if json_only {
-        print!("{json}");
-    } else {
-        println!("{}", ensemble_table(&report));
-        if preset == "quick" {
-            // The quick smoke run also exercises the multidimensional
-            // decision-time grid — the R^d separation at a glance. The
-            // --seed override applies here too, keeping both tables on
-            // the same base seed.
-            let mut mspec = multidim_spec("quick");
+    match grid {
+        "multidim" => {
+            let mut mspec = multidim_spec(preset);
             if let Some(s) = seed {
                 mspec.base_seed = s;
             }
-            let mreport = run_multidim(&mspec, threads);
-            println!("{}", multidim_table(&mspec, &mreport));
+            if let Some(index) = replay {
+                // Replay one multidim cell solo: same configuration, same
+                // seed as the full sweep — both rules, like the full run.
+                let sweep = Sweep::new(mspec.grid.cells()).seed(mspec.base_seed);
+                let (tol, max_rounds) = (mspec.tol, mspec.max_rounds);
+                let (label, pair) = sweep.run_cell(index, |cell, ctx| {
+                    (
+                        cell.label(),
+                        consensus_bench::experiments::run_multidim_cell(cell, ctx, tol, max_rounds),
+                    )
+                });
+                for (alg, o) in [("coordinatewise", pair.0), ("simplex", pair.1)] {
+                    print_outcome(
+                        index,
+                        &format!("{label} alg={alg}"),
+                        sweep.seed_of(index),
+                        &o,
+                    );
+                }
+                return;
+            }
+            let report = run_multidim(&mspec, threads);
+            emit(&report.to_json(), multidim_table(&mspec, &report));
         }
-        if let Some(path) = &out_path {
-            println!("JSON written to {path} (scalar ensemble only; for the multidim grid's JSON run with --multidim --out)");
+        "dynamic_rates" => {
+            let mut dspec = dynamic_spec(preset);
+            if let Some(s) = seed {
+                dspec.base_seed = s;
+            }
+            if let Some(index) = replay {
+                let sweep = Sweep::new(dspec.grid.cells()).seed(dspec.base_seed);
+                let (tol, max_rounds) = (dspec.tol, dspec.max_rounds);
+                let (label, o) = sweep.run_cell(index, |cell, ctx| {
+                    (cell.label(), run_dynamic_cell(cell, ctx, tol, max_rounds))
+                });
+                print_outcome(index, &label, sweep.seed_of(index), &o);
+                return;
+            }
+            let report = run_dynamic(&dspec, threads);
+            emit(&report.to_json(), dynamic_table(&dspec, &report));
+        }
+        _ => {
+            let mut spec = ensemble_spec(preset);
+            if let Some(s) = seed {
+                spec.base_seed = s;
+            }
+            if let Some(index) = replay {
+                // Replay one cell solo: same configuration, same seed as
+                // the full sweep — the debugging path for a surprising
+                // aggregate.
+                let sweep = Sweep::new(spec.grid.cells()).seed(spec.base_seed);
+                let (tol, max_rounds) = (spec.tol, spec.max_rounds);
+                let (label, o) = sweep.run_cell(index, |cell, ctx| {
+                    (cell.label(), run_ensemble_cell(cell, ctx, tol, max_rounds))
+                });
+                print_outcome(index, &label, sweep.seed_of(index), &o);
+                return;
+            }
+            let report = run_ensemble(&spec, threads);
+            let mut table = ensemble_table(&report);
+            if preset == "quick" && !json_only {
+                // The quick smoke run also exercises the multidimensional
+                // and dynamic-network grids — the R^d separation and the
+                // averaging-rate table at a glance. The --seed override
+                // applies to all three, keeping the tables on the same
+                // base seed.
+                let mut mspec = multidim_spec("quick");
+                let mut dspec = dynamic_spec("quick");
+                if let Some(s) = seed {
+                    mspec.base_seed = s;
+                    dspec.base_seed = s;
+                }
+                let mreport = run_multidim(&mspec, threads);
+                table.push('\n');
+                table.push_str(&multidim_table(&mspec, &mreport));
+                let dreport = run_dynamic(&dspec, threads);
+                table.push('\n');
+                table.push_str(&dynamic_table(&dspec, &dreport));
+            }
+            if out_path.is_some() {
+                table.push_str(
+                    "\n(the written JSON covers the scalar ensemble only; for the multidim or \
+                     dynamic grids' JSON run with --grid multidim / --grid dynamic_rates --out)",
+                );
+            }
+            emit(&report.to_json(), table);
         }
     }
 }

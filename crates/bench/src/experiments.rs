@@ -1289,6 +1289,286 @@ pub fn multidim_decision_times(quick: bool) -> String {
     multidim_table(&spec, &report)
 }
 
+/// Configuration of the **E-DYNET `dynamic_rates`** experiment grid
+/// (arXiv:1408.0620): averaging-rate ensembles under structured
+/// dynamic-network adversaries — T-interval connectivity,
+/// eventually-rooted schedules, bounded churn, and the adaptive
+/// diameter maximiser.
+#[derive(Debug, Clone)]
+pub struct DynamicSpec {
+    /// Report name (embedded in the JSON, so golden files are
+    /// self-describing).
+    pub name: String,
+    /// The cartesian grid of cells (adversary kind — carrying `T` and
+    /// the churn budget — is an axis).
+    pub grid: DynamicGrid,
+    /// Base seed all per-cell seeds derive from.
+    pub base_seed: u64,
+    /// Decision threshold ε.
+    pub tol: f64,
+    /// Per-cell round budget (total horizon).
+    pub max_rounds: usize,
+}
+
+/// The named dynamic-network grid presets of the `sweep` bin.
+///
+/// * `quick` (alias `golden`) — the preset the golden test and the CI
+///   `sweep-regression` job pin (`ci/golden_dynamic.json`): `n = 8`,
+///   T-interval `T ∈ {1, 2, 4}`, an eventually-rooted schedule, bounded
+///   churn `k ∈ {1, 4}`, and the adaptive diameter maximiser, over
+///   spread/uniform inits, fixed seed.
+/// * `full` — the larger ensemble (adds `n = 16`, `T = 8`, `k = 8` and
+///   bipolar inits, more replicates).
+///
+/// # Panics
+///
+/// Panics on an unknown preset name.
+#[must_use]
+pub fn dynamic_spec(preset: &str) -> DynamicSpec {
+    let quick_kinds = [
+        AdversaryKind::TInterval { t: 1 },
+        AdversaryKind::TInterval { t: 2 },
+        AdversaryKind::TInterval { t: 4 },
+        AdversaryKind::EventuallyRooted { chaos: 6 },
+        AdversaryKind::BoundedChurn { churn: 1 },
+        AdversaryKind::BoundedChurn { churn: 4 },
+        AdversaryKind::DiameterMax,
+    ];
+    match preset {
+        "quick" | "golden" => DynamicSpec {
+            name: "dynamic_rates".into(),
+            grid: DynamicGrid::new()
+                .agents(&[8])
+                .kinds(&quick_kinds)
+                .inits(&[InitDist::Spread, InitDist::Uniform])
+                .replicates(3),
+            base_seed: 42,
+            tol: 1e-6,
+            max_rounds: 800,
+        },
+        "full" => DynamicSpec {
+            name: "dynamic_rates_full".into(),
+            grid: DynamicGrid::new()
+                .agents(&[8, 16])
+                .kinds(
+                    &[
+                        quick_kinds.as_slice(),
+                        &[
+                            AdversaryKind::TInterval { t: 8 },
+                            AdversaryKind::BoundedChurn { churn: 8 },
+                        ],
+                    ]
+                    .concat(),
+                )
+                .inits(&[InitDist::Spread, InitDist::Uniform, InitDist::Bipolar])
+                .replicates(6),
+            base_seed: consensus_sweep_default_seed(),
+            tol: 1e-6,
+            max_rounds: 2000,
+        },
+        other => panic!("unknown dynamic preset `{other}` (use quick|golden|full)"),
+    }
+}
+
+/// One dynamic-network cell: midpoint from the cell's initial
+/// distribution under its seeded adversary, driven **round by round** so
+/// the per-round contraction ratios `Δ(y(t+1)) / Δ(y(t))` can be
+/// aggregated via [`Stats`]; the reported `rate` is their mean (the
+/// averaging-rate measurement of arXiv:1408.0620), and `decision_round`
+/// is the first round with spread ≤ ε (Theorems 8–11 semantics). Cells
+/// that exhaust the budget report [`CellOutcome::failed`].
+#[must_use]
+pub fn run_dynamic_cell(
+    cell: &DynamicCell,
+    ctx: CellCtx,
+    tol: f64,
+    max_rounds: usize,
+) -> CellOutcome {
+    const FLOOR: f64 = 1e-300;
+    let inits = cell.inits(&mut ctx.rng());
+    let mut sc = Scenario::new(Midpoint, &inits).adversary(cell.driver(ctx.subseed(1)));
+    let mut ratios = Vec::new();
+    let mut decision = None;
+    let mut prev = sc.execution().value_diameter();
+    if prev <= tol {
+        decision = Some(0);
+    } else {
+        for _ in 0..max_rounds {
+            sc.advance(1);
+            let d = sc.execution().value_diameter();
+            if prev > FLOOR && d > FLOOR {
+                ratios.push(d / prev);
+            }
+            prev = d;
+            if d <= tol {
+                decision = Some(sc.execution().round());
+                break;
+            }
+        }
+    }
+    let exec = sc.execution();
+    let rounds = exec.round();
+    let fp = fingerprint(exec.outputs_slice());
+    let Some(decided_at) = decision else {
+        return CellOutcome::failed(rounds, fp);
+    };
+    CellOutcome {
+        rate: Stats::from_values(&ratios).map_or(0.0, |s| s.mean),
+        decision_round: Some(decided_at),
+        rounds,
+        converged: true,
+        fingerprint: fp,
+    }
+}
+
+/// Runs a dynamic-network spec on the sweep pool (`threads = None` ⇒ all
+/// cores; thread count never changes the report — the adversaries are
+/// pure functions of their cell seeds).
+#[must_use]
+pub fn run_dynamic(spec: &DynamicSpec, threads: Option<usize>) -> SweepReport {
+    let mut sweep = Sweep::new(spec.grid.cells()).seed(spec.base_seed);
+    if let Some(t) = threads {
+        sweep = sweep.threads(t);
+    }
+    let labels: Vec<String> = sweep.cells().iter().map(DynamicCell::label).collect();
+    let seeds: Vec<u64> = (0..sweep.len()).map(|i| sweep.seed_of(i)).collect();
+    let (tol, max_rounds) = (spec.tol, spec.max_rounds);
+    let outcomes = sweep.run(|cell, ctx| run_dynamic_cell(cell, ctx, tol, max_rounds));
+    SweepReport::new(spec.name.clone(), spec.base_seed, labels, seeds, outcomes)
+}
+
+/// Per-kind statistics of a dynamic-network report: for every adversary
+/// kind in grid order, the decision-round and per-round-rate [`Stats`]
+/// over the cells that decided (`None` when none did — the guarded
+/// empty-sample case, never a `NaN`).
+#[must_use]
+pub fn dynamic_by_kind(
+    spec: &DynamicSpec,
+    report: &SweepReport,
+) -> Vec<(AdversaryKind, Option<Stats>, Option<Stats>)> {
+    let cells = spec.grid.cells();
+    assert_eq!(cells.len(), report.outcomes.len(), "one row per cell");
+    let mut kinds: Vec<AdversaryKind> = Vec::new();
+    for c in &cells {
+        if !kinds.contains(&c.kind) {
+            kinds.push(c.kind);
+        }
+    }
+    kinds
+        .into_iter()
+        .map(|kind| {
+            let (mut decisions, mut rates) = (Vec::new(), Vec::new());
+            for (i, _) in cells.iter().enumerate().filter(|(_, c)| c.kind == kind) {
+                if let Some(t) = report.outcomes[i].decision_round {
+                    decisions.push(t as f64);
+                    rates.push(report.outcomes[i].rate);
+                }
+            }
+            (
+                kind,
+                Stats::from_values(&decisions),
+                Stats::from_values(&rates),
+            )
+        })
+        .collect()
+}
+
+/// The T-interval decision-time series of a dynamic-network report:
+/// `(T, decision-round stats)` for every `TInterval` kind in the grid,
+/// ascending in `T` — the separation the golden gate pins (decision
+/// times must degrade strictly with `T`, the arXiv:1408.0620 headline).
+#[must_use]
+pub fn dynamic_separation(spec: &DynamicSpec, report: &SweepReport) -> Vec<(usize, Option<Stats>)> {
+    let mut rows: Vec<(usize, Option<Stats>)> = dynamic_by_kind(spec, report)
+        .into_iter()
+        .filter_map(|(kind, decisions, _)| match kind {
+            AdversaryKind::TInterval { t } => Some((t, decisions)),
+            _ => None,
+        })
+        .collect();
+    rows.sort_by_key(|&(t, _)| t);
+    rows
+}
+
+/// Formats a dynamic-network [`SweepReport`] in the repo's table style:
+/// the per-kind aggregate block plus the T-interval decision-time
+/// separation line.
+#[must_use]
+pub fn dynamic_table(spec: &DynamicSpec, report: &SweepReport) -> String {
+    let s = &report.summary;
+    let mut out = section(&format!(
+        "Dynamic-network averaging rates `{}` — {} cells, base seed {}, ε = {:e}",
+        report.name,
+        report.outcomes.len(),
+        report.base_seed,
+        spec.tol
+    ));
+    out.push_str(&format!(
+        "converged {}/{} (failures: {}); rate = mean per-round contraction ratio\nΔ(y(t+1))/Δ(y(t)), decision T = first round with spread ≤ ε\n\n",
+        s.converged, s.cells, s.failures
+    ));
+    let mut t = Table::new(&["adversary", "cells", "mean rate", "mean T", "max T"]);
+    for (kind, decisions, rates) in dynamic_by_kind(spec, report) {
+        match (decisions, rates) {
+            (Some(d), Some(r)) => t.row(&[
+                kind.label(),
+                d.count.to_string(),
+                rate(r.mean),
+                format!("{:.2}", d.mean),
+                format!("{:.0}", d.max),
+            ]),
+            _ => t.row(&[kind.label(), "0".into(), "-".into(), "-".into(), "-".into()]),
+        };
+    }
+    out.push_str(&t.render());
+
+    let sep = dynamic_separation(spec, report);
+    let monotone = sep.windows(2).all(|w| match (&w[0].1, &w[1].1) {
+        (Some(a), Some(b)) => a.mean < b.mean,
+        _ => false,
+    });
+    out.push_str(&format!(
+        "\nT-interval separation: mean decision times {} — spreading the rooted\nunion over T rounds must slow the decision down strictly {}\n",
+        sep.iter()
+            .map(|(t, d)| format!(
+                "T={t}: {}",
+                d.as_ref().map_or("-".into(), |s| format!("{:.2}", s.mean))
+            ))
+            .collect::<Vec<_>>()
+            .join(", "),
+        check(monotone)
+    ));
+    out
+}
+
+/// **E-DYNET — dynamic-network averaging rates**: runs the named preset
+/// through the sweep pool and renders the per-kind table.
+#[must_use]
+pub fn dynamic_rates_report(quick: bool) -> String {
+    let spec = dynamic_spec(if quick { "quick" } else { "full" });
+    let report = run_dynamic(&spec, None);
+    dynamic_table(&spec, &report)
+}
+
+/// The named experiment grids the `sweep` bin can select with
+/// `--grid <name>` (and enumerate with `--list`): `(name, description)`
+/// pairs, in display order. New grids register here instead of growing
+/// new flags.
+pub const GRID_REGISTRY: &[(&str, &str)] = &[
+    (
+        "ensemble",
+        "scalar averaging ensemble over random graph classes (presets: golden | quick | full)",
+    ),
+    (
+        "multidim",
+        "R^d decision times, coordinate-wise vs simplex midpoint (presets: quick/golden | full)",
+    ),
+    (
+        "dynamic_rates",
+        "averaging rates under dynamic-network adversaries: T-interval, eventually-rooted, bounded churn, diameter-max (presets: quick/golden | full)",
+    ),
+];
+
 /// Everything, in paper order (what `cargo bench` prints).
 #[must_use]
 pub fn full_report(quick: bool) -> String {
@@ -1299,6 +1579,7 @@ pub fn full_report(quick: bool) -> String {
     s.push_str(&alpha_diameter_report());
     s.push_str(&decision_times(quick));
     s.push_str(&multidim_decision_times(quick));
+    s.push_str(&dynamic_rates_report(quick));
     s.push_str(&async_price_of_rounds(quick));
     s.push_str(&ablation(quick));
     s.push_str(&convergence_curves(quick));
@@ -1388,6 +1669,56 @@ mod tests {
         };
         let ctx = CellCtx { index: 0, seed: 1 };
         let _ = run_multidim_cell(&cell, ctx, 1e-6, 10);
+    }
+
+    #[test]
+    fn dynamic_quick_grid_is_thread_count_invariant_and_separates() {
+        let spec = dynamic_spec("quick");
+        let a = run_dynamic(&spec, Some(1));
+        let b = run_dynamic(&spec, Some(3));
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "bit-identical at any thread count"
+        );
+        assert_eq!(a.summary.cells, 42, "7 kinds × 2 inits × 3 replicates");
+        assert_eq!(a.summary.failures, 0, "quick grid must fully converge");
+        let sep = dynamic_separation(&spec, &a);
+        assert_eq!(
+            sep.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            vec![1, 2, 4],
+            "the quick preset sweeps T ∈ {{1, 2, 4}}"
+        );
+        for w in sep.windows(2) {
+            let (ta, a_stats) = (&w[0].0, w[0].1.as_ref().expect("decided"));
+            let (tb, b_stats) = (&w[1].0, w[1].1.as_ref().expect("decided"));
+            assert!(
+                a_stats.mean < b_stats.mean,
+                "decision time must increase strictly in T: T={ta} mean {} vs T={tb} mean {}",
+                a_stats.mean,
+                b_stats.mean
+            );
+        }
+        assert!(!dynamic_table(&spec, &a).contains("MISMATCH"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dynamic preset")]
+    fn dynamic_spec_rejects_unknown_presets() {
+        let _ = dynamic_spec("nope");
+    }
+
+    #[test]
+    fn grid_registry_names_are_unique_and_documented() {
+        let names: Vec<&str> = GRID_REGISTRY.iter().map(|(n, _)| *n).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "registry names must be unique");
+        assert!(names.contains(&"ensemble"));
+        assert!(names.contains(&"multidim"));
+        assert!(names.contains(&"dynamic_rates"));
+        assert!(GRID_REGISTRY.iter().all(|(_, d)| !d.is_empty()));
     }
 
     #[test]

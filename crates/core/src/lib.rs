@@ -21,6 +21,7 @@
 //! | [`approx`] | `consensus-approx` | deciding wrappers, ε-agreement, decision-time measurement (Thms 8–11) |
 //! | [`asyncsim`] | `consensus-asyncsim` | asynchronous crashes, round-based executors, MinRelay (Thms 6–7) |
 //! | [`sweep`] | `consensus-sweep` | parallel multi-seed sweep grids, work-stealing pool, ensemble statistics, `R^d` multidim axes |
+//! | [`dynet`] | `consensus-dynet` | dynamic-network adversaries (T-interval, eventually-rooted, bounded churn, adaptive) and the averaging-rate ensemble axes (arXiv:1408.0620) |
 //!
 //! plus [`bounds`] — every closed-form bound of Table 1 and Theorems
 //! 8–11 as documented, tested functions, and a machine-readable
@@ -55,6 +56,7 @@ pub use consensus_approx as approx;
 pub use consensus_asyncsim as asyncsim;
 pub use consensus_digraph as digraph;
 pub use consensus_dynamics as dynamics;
+pub use consensus_dynet as dynet;
 pub use consensus_netmodel as netmodel;
 pub use consensus_sweep as sweep;
 pub use consensus_valency as valency;
@@ -73,6 +75,10 @@ pub mod prelude {
     pub use consensus_digraph::{families, Digraph};
     pub use consensus_dynamics::{
         pattern, scenario, BoxDiameter, Execution, HullDiameter, Metric, Scenario, Trace,
+    };
+    pub use consensus_dynet::{
+        AdversaryKind, BoundedChurnAdversary, DiameterMaximiser, DynAdversary, DynamicCell,
+        DynamicGrid, RotatingTreeSchedule, TIntervalAdversary,
     };
     pub use consensus_netmodel::{alpha, beta, NetworkModel};
     pub use consensus_sweep::{

@@ -298,6 +298,25 @@ impl Digraph {
         }
     }
 
+    /// The number of edges present in exactly one of the two graphs
+    /// (the size of the symmetric difference of the edge sets).
+    /// Self-loops are in every graph, so they never contribute. Used by
+    /// the bounded-churn adversaries to certify their per-round
+    /// mutation budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two graphs have different sizes.
+    #[must_use]
+    pub fn edge_difference(&self, other: &Digraph) -> usize {
+        assert_eq!(self.n, other.n, "difference of graphs of different sizes");
+        self.in_masks
+            .iter()
+            .zip(&other.in_masks)
+            .map(|(&a, &b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
     /// The edge-union of two graphs on the same agent set.
     ///
     /// # Panics
@@ -609,6 +628,18 @@ mod tests {
         assert_eq!(f1.in_mask(2), 0b111);
         assert_eq!(f1.out_mask(1), 0b111); // outgoing edges kept
         assert_eq!(f1.roots(), 0b010); // only the deaf agent is a root
+    }
+
+    #[test]
+    fn edge_difference_counts_the_symmetric_difference() {
+        let g = Digraph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let mut h = g.clone();
+        assert_eq!(g.edge_difference(&h), 0);
+        h.add_edge(1, 2);
+        assert_eq!(g.edge_difference(&h), 1);
+        h.remove_edge(0, 1);
+        assert_eq!(g.edge_difference(&h), 2);
+        assert_eq!(h.edge_difference(&g), 2, "symmetric");
     }
 
     #[test]

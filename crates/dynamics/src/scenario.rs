@@ -40,6 +40,38 @@ use crate::{Execution, Trace};
 /// Implementors see the *current* execution, so choices may depend on
 /// live state — probing adversaries fork it, value-aware schedulers
 /// sort by it, plain patterns ignore it.
+///
+/// # Contract for conforming adversaries
+///
+/// A `Driver` **must**:
+///
+/// * supply exactly [`Driver::block_len`] graphs per
+///   [`Driver::next_block`] call, each on the execution's agent count
+///   (`Execution::step` rejects size mismatches; self-loops are
+///   enforced by [`Digraph`] itself, matching the paper's model);
+/// * be **deterministic**: the emitted sequence may depend only on the
+///   driver's construction parameters (including any seed) and on the
+///   executions it has observed — never on wall-clock time, thread
+///   identity or global state. The sweep harness's bit-identical
+///   replay and thread-count invariance rely on this; value-*aware*
+///   choices (forking `exec`, as the valency adversaries and the
+///   dynamic-network diameter maximiser do) are fine because the
+///   execution itself is deterministic;
+/// * treat `exec` as read-only: probing forks a [`Execution::clone`],
+///   never advances the shared execution (the drive loop applies the
+///   returned graphs itself).
+///
+/// A `Driver` **should** document its *liveness class* — the property
+/// of the emitted sequence that makes convergence claims meaningful:
+/// rooted every round (the paper's baseline), every T-round window
+/// union rooted (T-interval connectivity), rooted from some round on
+/// (eventually rooted), and so on. Nothing in the trait enforces
+/// liveness: a driver may legally emit disconnected graphs forever,
+/// and `decision_round` then reports `None` at the horizon.
+///
+/// [`Driver::observe`] is called once per block *after* the block's
+/// rounds have been applied; use it for bookkeeping (the valency
+/// adversary records value spreads there), not for graph choice.
 pub trait Driver<A: Algorithm<D>, const D: usize> {
     /// Rounds per block (≥ 1). Stop conditions are checked at block
     /// boundaries, matching the paper's per-(macro-)round granularity.

@@ -7,7 +7,7 @@
 //! so a [`Trace`] records outputs per round and offers several rate
 //! estimators; the valency-diameter variant lives in `consensus-valency`.
 
-use consensus_algorithms::{diameter, in_bounding_box, Point};
+use consensus_algorithms::{diameter, in_convex_hull, Point};
 use consensus_digraph::Digraph;
 
 /// A recorded execution: the output vectors of rounds `0..=T` and the
@@ -150,16 +150,19 @@ impl<const D: usize> Trace<D> {
     }
 
     /// **Validity check** (paper §2.1): every recorded output lies in the
-    /// convex hull of the initial values. Exact for `D = 1`; a
-    /// bounding-box relaxation for `D > 1`. Only meaningful for convex
-    /// combination algorithms.
+    /// convex hull of the initial values. Exact for `D ∈ {1, 2, 3}`
+    /// (cross-product half-plane / supporting-plane tests, see
+    /// [`in_convex_hull`]); a bounding-box relaxation for `D ≥ 4`. Only
+    /// meaningful for convex combination algorithms — and strict enough
+    /// to catch the coordinate-wise box centre leaving the hull at
+    /// `d = 3` (arXiv:1805.04923), which the old box check could not.
     #[must_use]
     pub fn validity_holds(&self, tol: f64) -> bool {
         let hull = &self.outputs[0];
         self.outputs
             .iter()
             .flat_map(|round| round.iter())
-            .all(|p| in_bounding_box(p, hull, tol))
+            .all(|p| in_convex_hull(p, hull, tol))
     }
 
     /// **Agreement+Convergence check**: the spread is ≤ `tol` at the end

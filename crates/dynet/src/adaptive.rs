@@ -1,0 +1,173 @@
+//! The adaptive diameter-maximising driver: a greedy value-aware
+//! adversary over a fixed candidate graph set.
+
+use consensus_algorithms::Algorithm;
+use consensus_digraph::{enumerate, families, Digraph};
+use consensus_dynamics::scenario::Driver;
+use consensus_dynamics::Execution;
+
+/// An **adaptive** [`Driver`]: each round it forks the live execution
+/// once per candidate graph, applies one round, and commits the
+/// candidate whose successor configuration has the **largest** value
+/// diameter — a greedy one-step-lookahead adversary in the spirit of
+/// the valency probes (but measuring `Δ(y)` instead of valencies).
+///
+/// Unlike the seeded schedule adversaries, this driver is *value-aware*:
+/// its choices depend on the execution it is attacking, so different
+/// algorithms see different worst-case graph sequences from the same
+/// candidate set. It is still fully deterministic (no randomness; ties
+/// break towards the first candidate in the list), which keeps sweep
+/// cells replayable.
+///
+/// Against the midpoint rule with the deaf family
+/// ([`DiameterMaximiser::deaf_complete`]) the greedy choice reproduces
+/// the Theorem-2 behaviour: the diameter contracts by exactly 1/2 per
+/// round and no faster.
+#[derive(Debug, Clone)]
+pub struct DiameterMaximiser {
+    candidates: Vec<Digraph>,
+}
+
+impl DiameterMaximiser {
+    /// Creates the driver over an explicit candidate set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty or the graphs disagree in size.
+    #[must_use]
+    pub fn from_candidates(candidates: Vec<Digraph>) -> Self {
+        assert!(!candidates.is_empty(), "need at least one candidate graph");
+        let n = candidates[0].n();
+        assert!(
+            candidates.iter().all(|g| g.n() == n),
+            "mixed candidate graph sizes"
+        );
+        DiameterMaximiser { candidates }
+    }
+
+    /// The candidate set `deaf(K_n) = {F_1, …, F_n}` (§5 of the source
+    /// paper): every candidate is rooted, and the greedy choice against
+    /// midpoint attains the tight 1/2 contraction rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n ∉ 1..=64`.
+    #[must_use]
+    pub fn deaf_complete(n: usize) -> Self {
+        Self::from_candidates(families::deaf_family(&Digraph::complete(n)))
+    }
+
+    /// The candidate set of **all** rooted digraphs on `n` agents, via
+    /// [`enumerate::rooted_graphs`] — the largest model in which
+    /// asymptotic consensus is solvable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n ∉ 1..=4` (the class has `2^{n(n−1)}` members; the
+    /// cap keeps the per-round probe cost sane).
+    #[must_use]
+    pub fn all_rooted(n: usize) -> Self {
+        assert!(
+            (1..=4).contains(&n),
+            "rooted enumeration is capped at n ≤ 4 (got n = {n})"
+        );
+        Self::from_candidates(enumerate::rooted_graphs(n).collect())
+    }
+
+    /// The candidate graphs, in tie-break (preference) order.
+    #[must_use]
+    pub fn candidates(&self) -> &[Digraph] {
+        &self.candidates
+    }
+}
+
+impl<A, const D: usize> Driver<A, D> for DiameterMaximiser
+where
+    A: Algorithm<D> + Clone,
+{
+    fn next_block(&mut self, exec: &Execution<A, D>, out: &mut Vec<Digraph>) {
+        let mut best = 0;
+        let mut best_diameter = f64::NEG_INFINITY;
+        for (i, g) in self.candidates.iter().enumerate() {
+            let mut fork = exec.clone();
+            fork.step(g);
+            let d = fork.value_diameter();
+            if d > best_diameter {
+                best_diameter = d;
+                best = i;
+            }
+        }
+        out.push(self.candidates[best].clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consensus_algorithms::{MeanValue, Midpoint, Point};
+    use consensus_dynamics::Scenario;
+
+    fn spread(n: usize) -> Vec<Point<1>> {
+        (0..n).map(|i| Point([i as f64 / (n - 1) as f64])).collect()
+    }
+
+    #[test]
+    fn greedy_deaf_choice_halves_midpoint_exactly() {
+        // Against midpoint, the best deaf graph keeps the contraction at
+        // exactly 1/2 per round — the Theorem-2 tight rate.
+        let n = 4;
+        let mut sc =
+            Scenario::new(Midpoint, &spread(n)).adversary(DiameterMaximiser::deaf_complete(n));
+        let mut d = sc.execution().value_diameter();
+        for _ in 0..10 {
+            sc.advance(1);
+            let next = sc.execution().value_diameter();
+            assert!((next - d / 2.0).abs() < 1e-12, "exact halving expected");
+            d = next;
+        }
+    }
+
+    #[test]
+    fn adaptive_choice_is_at_least_as_slow_as_any_fixed_candidate() {
+        let n = 5;
+        let rounds = 8;
+        let mut greedy =
+            Scenario::new(MeanValue, &spread(n)).adversary(DiameterMaximiser::deaf_complete(n));
+        greedy.advance(rounds);
+        let worst = greedy.execution().value_diameter();
+        for g in families::deaf_family(&Digraph::complete(n)) {
+            let mut fixed = Scenario::new(MeanValue, &spread(n))
+                .pattern(consensus_dynamics::pattern::ConstantPattern::new(g));
+            fixed.advance(rounds);
+            assert!(
+                worst >= fixed.execution().value_diameter() - 1e-12,
+                "greedy must not contract faster than a constant candidate"
+            );
+        }
+    }
+
+    #[test]
+    fn rooted_enumeration_candidates_are_all_rooted() {
+        let adv = DiameterMaximiser::all_rooted(3);
+        assert!(adv.candidates().iter().all(Digraph::is_rooted));
+        assert!(adv.candidates().len() > 3, "the class is non-trivial");
+    }
+
+    #[test]
+    fn determinism_without_randomness() {
+        let n = 4;
+        let run = || {
+            let mut sc =
+                Scenario::new(Midpoint, &spread(n)).adversary(DiameterMaximiser::deaf_complete(n));
+            sc.run(6)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.outputs_at(6), b.outputs_at(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_candidate_set_rejected() {
+        let _ = DiameterMaximiser::from_candidates(vec![]);
+    }
+}

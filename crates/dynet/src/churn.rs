@@ -1,0 +1,155 @@
+//! The bounded-churn adversary: slow edge mutation around a rooted core.
+
+use consensus_algorithms::Algorithm;
+use consensus_digraph::Digraph;
+use consensus_dynamics::scenario::Driver;
+use consensus_dynamics::Execution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic, seedable *bounded-influence churn* adversary: the
+/// communication graph of every round contains a fixed rooted spanning
+/// tree (the **core**), and between consecutive rounds at most `k`
+/// non-core edges are toggled (added or removed).
+///
+/// This is the "slowly changing topology" regime between a static graph
+/// (`k = 0`) and i.i.d. resampling (`k ≈ n²`): every round is rooted —
+/// so averaging contracts every round — but the peripheral edge set
+/// drifts, bounding how much the influence structure can shift per
+/// round.
+///
+/// The sequence is a pure function of `(n, k, seed)`; consecutive
+/// emitted graphs differ in at most `k` edges
+/// ([`consensus_digraph::Digraph::edge_difference`]).
+#[derive(Debug, Clone)]
+pub struct BoundedChurnAdversary {
+    core: Digraph,
+    current: Digraph,
+    churn: usize,
+    rng: StdRng,
+}
+
+impl BoundedChurnAdversary {
+    /// Creates the adversary on `n` agents, toggling at most `churn`
+    /// non-core edges per round around a seeded random rooted core tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n ∉ 1..=64`.
+    #[must_use]
+    pub fn new(n: usize, churn: usize, seed: u64) -> Self {
+        assert!((1..=64).contains(&n), "need 1..=64 agents");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        crate::util::shuffle(&mut order, &mut rng);
+        let mut core = Digraph::empty(n);
+        crate::util::add_random_tree_edges(&mut core, &order, &mut rng);
+        debug_assert!(core.is_rooted());
+        BoundedChurnAdversary {
+            current: core.clone(),
+            core,
+            churn,
+            rng,
+        }
+    }
+
+    /// The immutable rooted core every emitted graph contains.
+    #[must_use]
+    pub fn core(&self) -> &Digraph {
+        &self.core
+    }
+
+    /// The per-round mutation budget `k`.
+    #[must_use]
+    pub fn churn(&self) -> usize {
+        self.churn
+    }
+
+    /// The number of agents.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.core.n()
+    }
+
+    /// Emits the next round's communication graph: the previous graph
+    /// with at most `k` non-core edges toggled.
+    pub fn emit(&mut self) -> Digraph {
+        let n = self.n();
+        for _ in 0..self.churn {
+            let from = self.rng.random_range(0..n);
+            let to = self.rng.random_range(0..n);
+            if from == to || self.core.has_edge(from, to) {
+                // Self-loops are mandatory and core edges immutable; the
+                // draw still counts against the budget, so the per-round
+                // mutation count stays ≤ k.
+                continue;
+            }
+            if self.current.has_edge(from, to) {
+                self.current.remove_edge(from, to);
+            } else {
+                self.current.add_edge(from, to);
+            }
+        }
+        self.current.clone()
+    }
+}
+
+impl<A: Algorithm<D>, const D: usize> Driver<A, D> for BoundedChurnAdversary {
+    fn next_block(&mut self, _exec: &Execution<A, D>, out: &mut Vec<Digraph>) {
+        out.push(self.emit());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_round_contains_the_rooted_core() {
+        let mut adv = BoundedChurnAdversary::new(8, 3, 17);
+        let core = adv.core().clone();
+        for _ in 0..30 {
+            let g = adv.emit();
+            assert!(g.is_rooted(), "core-containing graphs are rooted");
+            for (from, to) in core.edges() {
+                assert!(g.has_edge(from, to), "core edge ({from},{to}) dropped");
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_graphs_differ_by_at_most_k() {
+        for k in [0usize, 1, 2, 5] {
+            let mut adv = BoundedChurnAdversary::new(7, k, 23);
+            let mut prev = adv.emit();
+            for _ in 0..25 {
+                let g = adv.emit();
+                assert!(
+                    g.edge_difference(&prev) <= k,
+                    "churn exceeded k = {k}: {} edges changed",
+                    g.edge_difference(&prev)
+                );
+                prev = g;
+            }
+        }
+    }
+
+    #[test]
+    fn zero_churn_is_the_static_core() {
+        let mut adv = BoundedChurnAdversary::new(5, 0, 3);
+        let core = adv.core().clone();
+        for _ in 0..5 {
+            assert_eq!(adv.emit(), core);
+        }
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let mut a = BoundedChurnAdversary::new(9, 4, 77);
+        let mut b = BoundedChurnAdversary::new(9, 4, 77);
+        assert_eq!(a.core(), b.core());
+        for _ in 0..20 {
+            assert_eq!(a.emit(), b.emit());
+        }
+    }
+}

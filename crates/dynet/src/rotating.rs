@@ -1,0 +1,193 @@
+//! The eventually-rooted rotating-spanning-tree schedule.
+
+use consensus_algorithms::Algorithm;
+use consensus_digraph::Digraph;
+use consensus_dynamics::scenario::Driver;
+use consensus_dynamics::Execution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic, seedable *eventually rooted* schedule: the first
+/// `chaos` rounds emit **split** graphs — the agents partitioned (once,
+/// from the seed) into two halves with fresh random within-half trees
+/// each round and no cross edges, so no chaotic round is rooted for
+/// `n ≥ 2` *and* the cross-half value gap cannot close before the
+/// stable phase. Every later round emits a random spanning tree whose
+/// root **rotates** through the agents, one per round.
+///
+/// Eventually-rooted sequences solve asymptotic consensus even though a
+/// finite prefix is arbitrary (only the infinite tail matters), which is
+/// exactly the regime this schedule exercises; the rotating root keeps
+/// any single agent from dominating the limit, and the fixed partition
+/// keeps the chaotic prefix genuinely obstructive (a reshuffled split
+/// would mix the halves and can reach agreement *before* any rooted
+/// round appears).
+///
+/// The sequence is a pure function of `(n, chaos, seed)`.
+#[derive(Debug, Clone)]
+pub struct RotatingTreeSchedule {
+    n: usize,
+    chaos: u64,
+    /// The fixed chaotic-phase partition (first `n / 2` entries vs the
+    /// rest of a seeded shuffle).
+    partition: Vec<usize>,
+    rng: StdRng,
+    emitted: u64,
+}
+
+impl RotatingTreeSchedule {
+    /// Creates the schedule on `n` agents with a `chaos`-round
+    /// non-rooted prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n ∉ 1..=64`.
+    #[must_use]
+    pub fn new(n: usize, chaos: u64, seed: u64) -> Self {
+        assert!((1..=64).contains(&n), "need 1..=64 agents");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut partition: Vec<usize> = (0..n).collect();
+        crate::util::shuffle(&mut partition, &mut rng);
+        RotatingTreeSchedule {
+            n,
+            chaos,
+            partition,
+            rng,
+            emitted: 0,
+        }
+    }
+
+    /// The first round (1-based) whose graph is guaranteed rooted; every
+    /// round from here on is a rooted spanning tree.
+    #[must_use]
+    pub fn stabilization_round(&self) -> u64 {
+        self.chaos + 1
+    }
+
+    /// The number of agents.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The fixed chaotic-phase partition: the two halves no chaotic
+    /// round connects (the second is the larger for odd `n`).
+    #[must_use]
+    pub fn chaotic_halves(&self) -> (Vec<usize>, Vec<usize>) {
+        let cut = self.n / 2;
+        (
+            self.partition[..cut].to_vec(),
+            self.partition[cut..].to_vec(),
+        )
+    }
+
+    /// The root of the tree emitted in (1-based) round `round`, for
+    /// rounds at or past [`RotatingTreeSchedule::stabilization_round`].
+    #[must_use]
+    pub fn root_of_round(&self, round: u64) -> usize {
+        debug_assert!(round > self.chaos, "chaotic rounds have no root");
+        ((round - self.chaos - 1) % self.n as u64) as usize
+    }
+
+    /// Emits the next round's communication graph.
+    pub fn emit(&mut self) -> Digraph {
+        self.emitted += 1;
+        if self.emitted <= self.chaos {
+            // The fixed split with fresh random within-half trees: both
+            // halves are non-empty for n ≥ 2 and no edge crosses, so the
+            // graph is not rooted and the halves cannot mix.
+            let cut = self.n / 2;
+            let partition = self.partition.clone();
+            let mut g = Digraph::empty(self.n);
+            for half in [&partition[..cut], &partition[cut..]] {
+                let mut members = half.to_vec();
+                crate::util::shuffle(&mut members, &mut self.rng);
+                crate::util::add_random_tree_edges(&mut g, &members, &mut self.rng);
+            }
+            return g;
+        }
+        // Rooted phase: a fresh random spanning tree rooted at the
+        // rotating root.
+        let root = self.root_of_round(self.emitted);
+        let mut rest: Vec<usize> = (0..self.n).filter(|&a| a != root).collect();
+        crate::util::shuffle(&mut rest, &mut self.rng);
+        let mut order = Vec::with_capacity(self.n);
+        order.push(root);
+        order.extend(rest);
+        let mut g = Digraph::empty(self.n);
+        crate::util::add_random_tree_edges(&mut g, &order, &mut self.rng);
+        g
+    }
+}
+
+impl<A: Algorithm<D>, const D: usize> Driver<A, D> for RotatingTreeSchedule {
+    fn next_block(&mut self, _exec: &Execution<A, D>, out: &mut Vec<Digraph>) {
+        out.push(self.emit());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaotic_prefix_is_never_rooted() {
+        let mut s = RotatingTreeSchedule::new(7, 5, 3);
+        for _ in 0..5 {
+            assert!(!s.emit().is_rooted());
+        }
+    }
+
+    #[test]
+    fn tail_is_rooted_with_rotating_roots() {
+        let n = 5;
+        let mut s = RotatingTreeSchedule::new(n, 4, 8);
+        for _ in 0..4 {
+            s.emit();
+        }
+        for round in 5..5 + 2 * n as u64 {
+            let g = s.emit();
+            assert!(g.is_rooted());
+            let expect = s.root_of_round(round);
+            assert!(
+                g.roots() & (1 << expect) != 0,
+                "round {round}: agent {expect} must root {g}"
+            );
+            assert_eq!(g.edge_count(), n + (n - 1), "spanning tree + self-loops");
+        }
+    }
+
+    #[test]
+    fn chaotic_rounds_never_cross_the_partition() {
+        let mut s = RotatingTreeSchedule::new(9, 6, 12);
+        let (a, b) = s.chaotic_halves();
+        assert_eq!(a.len() + b.len(), 9);
+        for _ in 0..6 {
+            let g = s.emit();
+            for (from, to) in g.edges() {
+                if from != to {
+                    let cross = a.contains(&from) != a.contains(&to);
+                    assert!(!cross, "chaotic edge ({from},{to}) crosses the partition");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_chaos_is_rooted_from_round_one() {
+        let mut s = RotatingTreeSchedule::new(4, 0, 1);
+        assert_eq!(s.stabilization_round(), 1);
+        for _ in 0..6 {
+            assert!(s.emit().is_rooted());
+        }
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let mut a = RotatingTreeSchedule::new(6, 3, 42);
+        let mut b = RotatingTreeSchedule::new(6, 3, 42);
+        for _ in 0..15 {
+            assert_eq!(a.emit(), b.emit());
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Shared seeded-construction primitives for the adversaries.
+//!
+//! Every schedule in this crate builds its graphs from the same two
+//! moves — a Fisher–Yates shuffle and "attach each member to a random
+//! earlier one" (a uniformly random rooted tree over an order). Keeping
+//! them here means a fix to the attachment distribution reaches every
+//! adversary at once. The draw order is part of each adversary's
+//! golden-pinned output, so these helpers must consume the rng exactly
+//! as documented.
+
+use consensus_digraph::Digraph;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// In-place Fisher–Yates shuffle (one `random_range(0..=i)` draw per
+/// position, descending).
+pub(crate) fn shuffle(slice: &mut [usize], rng: &mut StdRng) {
+    for i in (1..slice.len()).rev() {
+        let j = rng.random_range(0..=i);
+        slice.swap(i, j);
+    }
+}
+
+/// Adds a uniformly random rooted tree over `order` to `g`: each member
+/// after the first attaches to a uniformly random earlier one (one
+/// `random_range(0..pos)` draw per member), so `order[0]` roots the
+/// added edges.
+pub(crate) fn add_random_tree_edges(g: &mut Digraph, order: &[usize], rng: &mut StdRng) {
+    for (pos, &a) in order.iter().enumerate().skip(1) {
+        let parent = order[rng.random_range(0..pos)];
+        g.add_edge(parent, a);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests pinning each dynamic-network adversary to its
+//! advertised invariant:
+//!
+//! * **T-interval**: the union of every window of `T` consecutive
+//!   emitted graphs is rooted (and, with no extras, no single round is
+//!   rooted for `T ≥ 2`);
+//! * **bounded churn**: consecutive graphs differ in at most `k` edges
+//!   and every graph contains the rooted core;
+//! * **eventually rooted**: the chaotic prefix is never rooted, the
+//!   tail always is, with the advertised rotating root;
+//! * **determinism**: the same seed reproduces the bit-identical graph
+//!   sequence — the property that makes the `dynamic_rates` sweep
+//!   thread-count invariant (per-cell seeds never depend on scheduling,
+//!   so 1-thread and N-thread runs replay the same sequences).
+
+use consensus_digraph::Digraph;
+use consensus_dynet::{BoundedChurnAdversary, RotatingTreeSchedule, TIntervalAdversary};
+use proptest::prelude::*;
+
+fn union(graphs: &[Digraph]) -> Digraph {
+    graphs[1..]
+        .iter()
+        .fold(graphs[0].clone(), |acc, g| acc.union(g))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// **T-interval invariant**: every sliding window of `T` consecutive
+    /// rounds has a rooted union, for any agent count, window length and
+    /// seed — including windows that straddle period boundaries.
+    #[test]
+    fn every_t_window_union_is_rooted(
+        n in 2usize..12,
+        t in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut adv = TIntervalAdversary::new(n, t, seed);
+        let graphs: Vec<Digraph> = (0..5 * t + 3).map(|_| adv.emit()).collect();
+        for (start, w) in graphs.windows(t).enumerate() {
+            let u = union(w);
+            prop_assert!(
+                u.is_rooted(),
+                "window starting at round {start} must have a rooted union, got {u}"
+            );
+        }
+    }
+
+    /// For `T ≥ 2` (and enough agents that some agent is unscheduled
+    /// every round) no single round is rooted: the lower-bound regime
+    /// where only the window unions connect the system.
+    #[test]
+    fn t_interval_single_rounds_are_not_rooted(
+        n in 3usize..12,
+        t in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut adv = TIntervalAdversary::new(n, t, seed);
+        for round in 0..3 * t {
+            let g = adv.emit();
+            prop_assert!(!g.is_rooted(), "round {round} must not be rooted: {g}");
+        }
+    }
+
+    /// **Bounded-churn invariant**: consecutive graphs differ in at most
+    /// `k` edges, and every emitted graph contains the rooted core (so
+    /// every round is rooted).
+    #[test]
+    fn churn_is_bounded_and_core_is_kept(
+        n in 2usize..12,
+        k in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut adv = BoundedChurnAdversary::new(n, k, seed);
+        let core = adv.core().clone();
+        let mut prev = adv.emit();
+        prop_assert!(core.edge_difference(&prev) <= k, "first round churns from the core");
+        for _ in 0..20 {
+            let g = adv.emit();
+            prop_assert!(
+                g.edge_difference(&prev) <= k,
+                "churn {} exceeds the budget k = {k}",
+                g.edge_difference(&prev)
+            );
+            prop_assert!(g.is_rooted());
+            for (from, to) in core.edges() {
+                prop_assert!(g.has_edge(from, to), "core edge ({from},{to}) dropped");
+            }
+            prev = g;
+        }
+    }
+
+    /// **Eventually-rooted invariant**: the chaotic prefix is never
+    /// rooted (for `n ≥ 2`), and from the stabilization round on every
+    /// graph is a spanning tree rooted at the advertised rotating root.
+    #[test]
+    fn rotating_schedule_is_eventually_rooted(
+        n in 2usize..12,
+        chaos in 0u64..6,
+        seed in 0u64..1000,
+    ) {
+        let mut s = RotatingTreeSchedule::new(n, chaos, seed);
+        prop_assert_eq!(s.stabilization_round(), chaos + 1);
+        for round in 1..=chaos {
+            let g = s.emit();
+            prop_assert!(!g.is_rooted(), "chaotic round {round} must not be rooted");
+        }
+        for round in chaos + 1..=chaos + 2 * n as u64 {
+            let g = s.emit();
+            prop_assert!(g.is_rooted(), "round {round} must be rooted");
+            let root = s.root_of_round(round);
+            prop_assert!(
+                g.roots() & (1 << root) != 0,
+                "round {round}: agent {root} must be a root of {g}"
+            );
+        }
+    }
+
+    /// **Determinism**: the same parameters and seed reproduce the
+    /// bit-identical graph sequence for every seeded adversary.
+    #[test]
+    fn same_seed_emits_bit_identical_sequences(
+        n in 2usize..10,
+        t in 1usize..5,
+        k in 0usize..4,
+        chaos in 0u64..4,
+        seed in 0u64..1000,
+    ) {
+        let mut a1 = TIntervalAdversary::new(n, t, seed);
+        let mut a2 = TIntervalAdversary::new(n, t, seed);
+        let mut b1 = BoundedChurnAdversary::new(n, k, seed);
+        let mut b2 = BoundedChurnAdversary::new(n, k, seed);
+        let mut c1 = RotatingTreeSchedule::new(n, chaos, seed);
+        let mut c2 = RotatingTreeSchedule::new(n, chaos, seed);
+        for _ in 0..15 {
+            prop_assert_eq!(a1.emit(), a2.emit());
+            prop_assert_eq!(b1.emit(), b2.emit());
+            prop_assert_eq!(c1.emit(), c2.emit());
+        }
+    }
+}

@@ -39,9 +39,12 @@
 //! * **Decision-time curves** (Theorems 8–11, and the decision-time
 //!   figures of Függer–Nowak, arXiv:1805.04923): sweep `Δ/ε` × seeds and
 //!   aggregate the first round with spread ≤ ε.
-//! * **Averaging-rate ensembles** over random dynamic graphs in the
-//!   style of Charron-Bost–Függer–Nowak (arXiv:1408.0620): the
-//!   [`Topology`] axis samples rooted / non-split / `N_A(n, f)` classes.
+//! * **Averaging-rate ensembles** over dynamic graphs in the style of
+//!   Charron-Bost–Függer–Nowak (arXiv:1408.0620): the [`Topology`] axis
+//!   samples rooted / non-split / `N_A(n, f)` classes i.i.d. per round,
+//!   and the `consensus-dynet` crate layers the *structured* dynamic
+//!   adversaries (T-interval connectivity, eventually-rooted schedules,
+//!   bounded churn) on the same harness via its `DynamicGrid`.
 //!
 //! ## Quickstart
 //!

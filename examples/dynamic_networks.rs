@@ -1,0 +1,86 @@
+//! Consensus in highly dynamic networks (arXiv:1408.0620).
+//!
+//! Eight agents run approximate consensus while an adversary keeps the
+//! network *T-interval connected*: every window of T consecutive rounds
+//! has a rooted union graph, but (for T ≥ 2) no single round is rooted —
+//! information only percolates across window boundaries. The example
+//! races the midpoint rule against the trimmed mean under the *same*
+//! graph sequences for T ∈ {1, 2, 4}, then shows the bounded-churn
+//! regime where the topology drifts one edge at a time around a rooted
+//! core.
+//!
+//! Run with: `cargo run -p consensus-examples --example dynamic_networks`
+
+use tight_bounds_consensus::prelude::*;
+
+/// Decision round of `alg` under a freshly seeded T-interval adversary
+/// (same seed ⇒ bit-identical graph sequence, so both algorithms face
+/// the exact same dynamic network).
+fn decision_round<A: Algorithm<1>>(alg: A, inits: &[Point<1>], t: usize, eps: f64) -> u64 {
+    let n = inits.len();
+    Scenario::new(alg, inits)
+        .adversary(TIntervalAdversary::new(n, t, 2024))
+        .decide(eps)
+        .decision_round(2000)
+        .expect("every T-window union is rooted, so the run converges")
+}
+
+fn main() {
+    let n = 8;
+    let inits: Vec<Point<1>> = (0..n).map(|i| Point([i as f64 / (n - 1) as f64])).collect();
+    let eps = 1e-6;
+
+    println!("{n} agents, T-interval-connectivity adversary, ε = {eps:e}");
+    println!("(every T-round window has a rooted union; no single round is rooted for T ≥ 2)\n");
+
+    println!("T     midpoint T_dec   trimmed-mean(1) T_dec");
+    let mut previous_midpoint = 0;
+    for t in [1usize, 2, 4] {
+        let mid = decision_round(Midpoint, &inits, t, eps);
+        let trim = decision_round(TrimmedMean::new(1), &inits, t, eps);
+        println!("{t:<5} {mid:<16} {trim}");
+        assert!(
+            mid > previous_midpoint,
+            "stretching the window must slow the decision down"
+        );
+        assert_eq!(
+            mid, trim,
+            "on tree rounds every inbox has ≤ 2 values, where both rules coincide"
+        );
+        previous_midpoint = mid;
+    }
+    println!(
+        "\nspreading the rooted union over T rounds multiplies the decision time —\n\
+         the averaging-rate degradation of arXiv:1408.0620. The two columns are\n\
+         identical by construction: a T-interval tree round delivers at most one\n\
+         neighbor value, and on ≤ 2 received values the trimmed mean clamps its\n\
+         trim to zero and degenerates to the two-point midpoint — fault-tolerant\n\
+         trimming needs in-degrees the sparse schedule never grants.\n"
+    );
+
+    // Bounded churn: the graph drifts ≤ k edges per round around a
+    // rooted core, so every round contracts, faster with denser drift.
+    println!("bounded churn around a rooted core (midpoint):");
+    for k in [0usize, 2, 8] {
+        let adv = BoundedChurnAdversary::new(n, k, 7);
+        let mut sc = Scenario::new(Midpoint, &inits).adversary(adv).decide(eps);
+        let t_dec = sc.decision_round(2000).expect("rooted every round");
+        println!("  k = {k}: decision at round {t_dec}");
+    }
+
+    // The adaptive diameter maximiser reproduces the paper's tight 1/2
+    // bound against midpoint — the worst deaf graph every round.
+    let mut sc = Scenario::new(Midpoint, &inits).adversary(DiameterMaximiser::deaf_complete(n));
+    let trace = sc.run(12);
+    let rate = trace.rates().t_root;
+    println!(
+        "\nadaptive diameter-max adversary (deaf candidates): measured rate {rate:.4}\n\
+         — exactly the 1/2 lower bound of the source paper's Theorem 2 {}",
+        if (rate - 0.5).abs() < 1e-9 {
+            "✓"
+        } else {
+            "✗"
+        }
+    );
+    assert!((rate - 0.5).abs() < 1e-9);
+}

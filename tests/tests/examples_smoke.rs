@@ -1,4 +1,4 @@
-//! Smoke tests for the `consensus-examples` package: all nine example
+//! Smoke tests for the `consensus-examples` package: all ten example
 //! binaries must build, and `quickstart` must run to completion.
 //!
 //! These shell out to the same `cargo` that is running the test suite
@@ -39,6 +39,7 @@ fn all_examples_build() {
         "lower_bound_adversary",
         "ensemble_sweep",
         "multidim_midpoint",
+        "dynamic_networks",
     ] {
         let bin = workspace_root().join("target/debug/examples").join(name);
         assert!(
