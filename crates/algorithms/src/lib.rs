@@ -54,6 +54,7 @@ mod multidim;
 mod nonconvex;
 mod point;
 mod quantized;
+mod scalar;
 pub mod stochastic;
 mod trimmed;
 mod two_agent;
@@ -66,9 +67,10 @@ pub use multidim::{MidpointCoordinatewise, MidpointSimplex};
 pub use nonconvex::{MassSplitting, Overshoot};
 pub use point::{
     bounding_box, box_diameter, centroid, convex_combination, coordinate_spreads, diameter,
-    farthest_pair, in_bounding_box, in_convex_hull, per_coordinate_rates, Point,
+    farthest_pair, in_bounding_box, in_convex_hull, per_coordinate_rates, HullPlanes, Point,
 };
 pub use quantized::QuantizedMidpoint;
+pub use scalar::ScalarKernel;
 pub use trimmed::TrimmedMean;
 pub use two_agent::TwoAgentThirds;
 

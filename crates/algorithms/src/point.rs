@@ -534,6 +534,242 @@ fn in_hull_collinear_3d(x: [f64; 3], pts: &[[f64; 3]], tol: f64) -> bool {
     norm3(cross3(sub3(x, a), v)) / norm3(v) <= tol
 }
 
+/// The supporting structure of a convex hull, computed **once** and
+/// reusable for many membership queries.
+///
+/// [`in_convex_hull`] re-derives every candidate supporting line/plane
+/// (and the point set's signed extent on each) per query — `O(n²)` or
+/// `O(n³)` work per point. `HullPlanes` caches exactly that structure:
+/// the bounding box, each candidate plane's anchor/normal/length, and
+/// the set's signed-distance extent `[lo, hi]` on it, so a query is one
+/// signed distance per cached plane.
+///
+/// # Bit-identity contract
+///
+/// `HullPlanes::new(points).contains(x, tol)` returns **exactly** the
+/// boolean `in_convex_hull(x, points, tol)` for every `x` and `tol`:
+/// same plane enumeration, same skip conditions, same side formulas,
+/// same `separated` predicate (the property tests in
+/// `tests/hull_planes.rs` pin this down). The tolerance is a *query*
+/// parameter — the cached structure is tolerance-free.
+#[derive(Debug, Clone)]
+pub struct HullPlanes<const D: usize> {
+    lo: Point<D>,
+    hi: Point<D>,
+    planes: PlaneSet,
+}
+
+#[derive(Debug, Clone)]
+enum PlaneSet {
+    /// `D ∈ {0, 1}` (box is exact) and `D ≥ 4` (box relaxation).
+    BoxOnly,
+    Two(Vec<Plane2>),
+    Three {
+        planes: Vec<Plane3>,
+        /// Carrier line `(anchor, direction)` of a collinear set
+        /// (`None` when the set spans a plane, or is fully coincident).
+        carrier: Option<([f64; 3], [f64; 3])>,
+    },
+}
+
+/// A candidate supporting line in 2-D: `side(p) = cross2(e, p − a) /
+/// len`, with the point set's signed extent `[lo, hi]` cached.
+#[derive(Debug, Clone)]
+struct Plane2 {
+    a: [f64; 2],
+    e: [f64; 2],
+    len: f64,
+    lo: f64,
+    hi: f64,
+}
+
+/// A candidate supporting plane in 3-D: `side(p) = dot3(n, p − a) /
+/// len`, with the point set's signed extent `[lo, hi]` cached. Both
+/// triple planes and in-plane edge planes take this form.
+#[derive(Debug, Clone)]
+struct Plane3 {
+    a: [f64; 3],
+    n: [f64; 3],
+    len: f64,
+    lo: f64,
+    hi: f64,
+}
+
+/// The point set's signed extent on a plane (the `lo`/`hi` that
+/// [`separated`] folds per query in the uncached path).
+fn extent(sides: impl Iterator<Item = f64>) -> (f64, f64) {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in sides {
+        lo = lo.min(s);
+        hi = hi.max(s);
+    }
+    (lo, hi)
+}
+
+/// The query half of [`separated`], evaluated against a cached extent.
+fn separated_cached(sx: f64, lo: f64, hi: f64, tol: f64) -> bool {
+    (hi <= tol && sx > tol) || (lo >= -tol && sx < -tol)
+}
+
+impl<const D: usize> HullPlanes<D> {
+    /// Computes the supporting structure of the hull of `points`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    #[must_use]
+    pub fn new(points: &[Point<D>]) -> Self {
+        assert!(!points.is_empty(), "convex hull of an empty set");
+        let (lo, hi) = bounding_box(points);
+        let planes = match D {
+            2 => {
+                let pts: Vec<[f64; 2]> = points.iter().map(|p| [p[0], p[1]]).collect();
+                PlaneSet::Two(planes_2d(&pts))
+            }
+            3 => {
+                let pts: Vec<[f64; 3]> = points.iter().map(|p| [p[0], p[1], p[2]]).collect();
+                planes_3d(&pts)
+            }
+            _ => PlaneSet::BoxOnly,
+        };
+        HullPlanes { lo, hi, planes }
+    }
+
+    /// Whether `x` lies in the hull, within `tol` — exactly
+    /// [`in_convex_hull`]`(x, points, tol)` for the constructor's point
+    /// set, at `O(planes)` instead of `O(planes · n)` per query.
+    #[must_use]
+    pub fn contains(&self, x: &Point<D>, tol: f64) -> bool {
+        if !(0..D).all(|c| x[c] >= self.lo[c] - tol && x[c] <= self.hi[c] + tol) {
+            return false;
+        }
+        match &self.planes {
+            PlaneSet::BoxOnly => true,
+            PlaneSet::Two(planes) => {
+                let q = [x[0], x[1]];
+                planes.iter().all(|p| {
+                    let sx = cross2(p.e, sub2(q, p.a)) / p.len;
+                    !separated_cached(sx, p.lo, p.hi, tol)
+                })
+            }
+            PlaneSet::Three { planes, carrier } => {
+                let q = [x[0], x[1], x[2]];
+                for p in planes {
+                    let sx = dot3(p.n, sub3(q, p.a)) / p.len;
+                    if separated_cached(sx, p.lo, p.hi, tol) {
+                        return false;
+                    }
+                }
+                match carrier {
+                    Some((a, v)) => norm3(cross3(sub3(q, *a), *v)) / norm3(*v) <= tol,
+                    None => true,
+                }
+            }
+        }
+    }
+
+    /// The number of cached candidate planes (0 for box-only
+    /// dimensions).
+    #[must_use]
+    pub fn plane_count(&self) -> usize {
+        match &self.planes {
+            PlaneSet::BoxOnly => 0,
+            PlaneSet::Two(planes) => planes.len(),
+            PlaneSet::Three { planes, .. } => planes.len(),
+        }
+    }
+}
+
+/// The candidate lines of [`in_hull_2d`], with cached extents.
+fn planes_2d(pts: &[[f64; 2]]) -> Vec<Plane2> {
+    let mut out = Vec::new();
+    for (i, &a) in pts.iter().enumerate() {
+        for &b in &pts[i + 1..] {
+            let e = sub2(b, a);
+            let len = (e[0] * e[0] + e[1] * e[1]).sqrt();
+            if len <= f64::MIN_POSITIVE {
+                continue; // coincident points span no line
+            }
+            let side = |p: [f64; 2]| cross2(e, sub2(p, a)) / len;
+            let (lo, hi) = extent(pts.iter().map(|&p| side(p)));
+            out.push(Plane2 { a, e, len, lo, hi });
+        }
+    }
+    out
+}
+
+/// The candidate planes of [`in_hull_3d`] (triples, then in-plane
+/// edges), with cached extents; collinear sets yield the carrier line
+/// instead.
+fn planes_3d(pts: &[[f64; 3]]) -> PlaneSet {
+    let mut planes = Vec::new();
+    let mut plane_normal: Option<[f64; 3]> = None;
+    for (i, &a) in pts.iter().enumerate() {
+        for (j, &b) in pts.iter().enumerate().skip(i + 1) {
+            let e1 = sub3(b, a);
+            for &c in &pts[j + 1..] {
+                let e2 = sub3(c, a);
+                let n = cross3(e1, e2);
+                let len = norm3(n);
+                if len <= 1e-12 * norm3(e1) * norm3(e2) {
+                    continue;
+                }
+                if plane_normal.is_none() {
+                    plane_normal = Some(n);
+                }
+                let side = |p: [f64; 3]| dot3(n, sub3(p, a)) / len;
+                let (lo, hi) = extent(pts.iter().map(|&p| side(p)));
+                planes.push(Plane3 { a, n, len, lo, hi });
+            }
+        }
+    }
+    let Some(nn) = plane_normal else {
+        // No spanning triple: collinear. Cache the carrier (the
+        // farthest pair), or nothing when all points coincide.
+        let mut best = (0usize, 0usize);
+        let mut best_sq = 0.0f64;
+        for (i, &a) in pts.iter().enumerate() {
+            for (j, &b) in pts.iter().enumerate().skip(i + 1) {
+                let d = sub3(b, a);
+                let sq = dot3(d, d);
+                if sq > best_sq {
+                    best_sq = sq;
+                    best = (i, j);
+                }
+            }
+        }
+        let carrier = if best_sq <= f64::MIN_POSITIVE {
+            None
+        } else {
+            let (a, b) = (pts[best.0], pts[best.1]);
+            Some((a, sub3(b, a)))
+        };
+        return PlaneSet::Three { planes, carrier };
+    };
+    for (i, &a) in pts.iter().enumerate() {
+        for &b in &pts[i + 1..] {
+            let m = cross3(sub3(b, a), nn);
+            let len = norm3(m);
+            if len <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let side = |p: [f64; 3]| dot3(m, sub3(p, a)) / len;
+            let (lo, hi) = extent(pts.iter().map(|&p| side(p)));
+            planes.push(Plane3 {
+                a,
+                n: m,
+                len,
+                lo,
+                hi,
+            });
+        }
+    }
+    PlaneSet::Three {
+        planes,
+        carrier: None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

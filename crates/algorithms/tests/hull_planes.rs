@@ -1,0 +1,115 @@
+//! Property tests pinning the cached hull representation
+//! ([`HullPlanes`]) to the uncached per-query test
+//! ([`in_convex_hull`]): for every generated point set, query point and
+//! tolerance, the two must return the **same verdict** — the cache is a
+//! pure precomputation of the plane enumeration, never a relaxation.
+//!
+//! Degenerate inputs (duplicated points, collinear sets, single points)
+//! are the interesting cases — the skip conditions in the plane
+//! enumeration must be replicated exactly — so one test snaps
+//! coordinates to a coarse grid to generate them in bulk.
+
+use consensus_algorithms::{in_convex_hull, HullPlanes, Point};
+use proptest::prelude::*;
+
+fn arb_point<const D: usize>() -> impl Strategy<Value = Point<D>> {
+    prop::collection::vec(-10.0f64..10.0, D).prop_map(|v| {
+        let mut p = Point::ZERO;
+        for (c, x) in v.into_iter().enumerate() {
+            p[c] = x;
+        }
+        p
+    })
+}
+
+/// Grid-snapped points: lots of duplicates, collinear triples and
+/// axis-aligned degeneracies.
+fn arb_grid_point<const D: usize>() -> impl Strategy<Value = Point<D>> {
+    arb_point::<D>().prop_map(|mut p| {
+        for c in 0..D {
+            p[c] = (p[c] / 2.5).round() * 2.5;
+        }
+        p
+    })
+}
+
+const TOLS: [f64; 3] = [0.0, 1e-9, 1e-3];
+
+fn check_equivalence<const D: usize>(pts: &[Point<D>], queries: &[Point<D>]) -> Result<(), String> {
+    let hull = HullPlanes::new(pts);
+    for q in queries {
+        for tol in TOLS {
+            let cached = hull.contains(q, tol);
+            let direct = in_convex_hull(q, pts, tol);
+            prop_assert_eq!(
+                cached,
+                direct,
+                "verdicts diverge for query {:?} (tol {:e}) against {:?}",
+                q,
+                tol,
+                pts
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// d = 2: cached ≡ uncached on continuous random sets, for queries
+    /// inside, outside, and on the hull members themselves.
+    #[test]
+    fn cached_matches_uncached_2d(
+        pool in prop::collection::vec(arb_point::<2>(), 7),
+        k in 1usize..8,
+        queries in prop::collection::vec(arb_point::<2>(), 4),
+    ) {
+        let pts = &pool[..k];
+        check_equivalence(pts, &queries)?;
+        check_equivalence(pts, pts)?;
+    }
+
+    /// d = 3: the supporting-plane path (triples, plane normals, the
+    /// collinear carrier fallback).
+    #[test]
+    fn cached_matches_uncached_3d(
+        pool in prop::collection::vec(arb_point::<3>(), 6),
+        k in 1usize..7,
+        queries in prop::collection::vec(arb_point::<3>(), 4),
+    ) {
+        let pts = &pool[..k];
+        check_equivalence(pts, &queries)?;
+        check_equivalence(pts, pts)?;
+    }
+
+    /// Grid-snapped d ∈ {2, 3}: duplicated points, collinear and
+    /// coincident sets — the degenerate skip conditions must agree.
+    #[test]
+    fn cached_matches_uncached_on_degenerate_sets(
+        pool2 in prop::collection::vec(arb_grid_point::<2>(), 6),
+        pool3 in prop::collection::vec(arb_grid_point::<3>(), 6),
+        k in 1usize..7,
+        q2 in arb_grid_point::<2>(),
+        q3 in arb_grid_point::<3>(),
+    ) {
+        check_equivalence(&pool2[..k], &[q2])?;
+        check_equivalence(&pool2[..k], &pool2[..k])?;
+        check_equivalence(&pool3[..k], &[q3])?;
+        check_equivalence(&pool3[..k], &pool3[..k])?;
+    }
+
+    /// d = 1 and d = 4 (the interval and bounding-box regimes) stay
+    /// equivalent too.
+    #[test]
+    fn cached_matches_uncached_in_box_regimes(
+        pool1 in prop::collection::vec(arb_point::<1>(), 5),
+        pool4 in prop::collection::vec(arb_point::<4>(), 5),
+        k in 1usize..6,
+        q1 in arb_point::<1>(),
+        q4 in arb_point::<4>(),
+    ) {
+        check_equivalence(&pool1[..k], &[q1])?;
+        check_equivalence(&pool4[..k], &[q4])?;
+    }
+}

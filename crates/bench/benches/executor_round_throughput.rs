@@ -1,14 +1,24 @@
 //! Criterion micro-benchmark: per-round executor cost, legacy
-//! gather-and-clone inboxes vs the zero-allocation [`Inbox`] slate path.
+//! gather-and-clone inboxes vs the zero-allocation [`Inbox`] slate path,
+//! plus the **large-`n` sharded executor** measurement the CI gate
+//! uploads as `BENCH_executor.json`.
 //!
 //! The legacy path replicates the seed semantics: per agent per round,
 //! collect the in-neighbors' messages into a freshly allocated buffer
 //! (O(n·deg) clones + allocations per round). The `Inbox` path is
 //! `Execution::step`: one shared slate written once per round, per-agent
 //! views are a bitmask + slice borrow — no per-round heap allocation.
+//!
+//! The sharded section times `ShardedExecution` (flat SoA state, CSR
+//! ring-lattice topology, intra-round chunk parallelism) at
+//! `n ∈ {10³, 10⁴, 10⁵}` — well past the dense path's `n ≤ 64` cap —
+//! at one thread and at the full worker pool, and writes the measured
+//! throughput to `BENCH_executor.json` (override the path with the
+//! `BENCH_EXECUTOR_OUT` environment variable).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use tight_bounds_consensus::prelude::*;
 
 fn inits(n: usize) -> Vec<Point<1>> {
@@ -67,4 +77,76 @@ fn round_throughput(c: &mut Criterion) {
 }
 
 criterion_group!(benches, round_throughput);
-criterion_main!(benches);
+
+/// In-degree (excluding the self-loop) of the sharded benchmark's ring
+/// lattice — bounded-degree, strongly connected at every `n`.
+const LATTICE_K: usize = 6;
+
+/// One measured sharded run: `rounds` midpoint rounds over a
+/// `ring_lattice(n, LATTICE_K)` with the given worker count. Returns
+/// `(elapsed_seconds, final_diameter)` — the diameter doubles as the
+/// do-not-optimize sink and a sanity check that the run really
+/// contracted.
+fn sharded_run(n: usize, rounds: u64, threads: usize) -> (f64, f64) {
+    let vals: Vec<f64> = (0..n)
+        .map(|i| ((i * 2_654_435_761 % 1_000_003) as f64) / 1_000_003.0)
+        .collect();
+    let g = CsrDigraph::ring_lattice(n, LATTICE_K);
+    let mut e = ShardedExecution::new(Midpoint, &vals).threads(threads);
+    let start = Instant::now();
+    for _ in 0..rounds {
+        e.step(black_box(&g));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    (elapsed, e.value_diameter())
+}
+
+/// Runs the large-`n` grid and writes `BENCH_executor.json`. Timings
+/// are machine-dependent (an uploaded artifact, not a golden); the
+/// schema and the grid are fixed.
+fn emit_executor_json() {
+    let threads_full = tight_bounds_consensus::pool::default_threads();
+    let configs: &[usize] = if threads_full > 1 {
+        &[1, threads_full]
+    } else {
+        &[1]
+    };
+    let mut runs = String::new();
+    println!("\nsharded executor throughput (ring_lattice k={LATTICE_K}, midpoint):");
+    for &(n, rounds) in &[(1_000usize, 400u64), (10_000, 100), (100_000, 25)] {
+        for &threads in configs {
+            let (elapsed, final_diameter) = sharded_run(n, rounds, threads);
+            let rounds_per_s = rounds as f64 / elapsed;
+            let updates_per_s = rounds_per_s * n as f64;
+            println!(
+                "  n={n:<7} threads={threads:<3} {rounds:>4} rounds in {elapsed:>8.4}s  \
+                 ({rounds_per_s:>10.1} rounds/s, {updates_per_s:>14.0} agent-updates/s)"
+            );
+            if !runs.is_empty() {
+                runs.push_str(",\n");
+            }
+            runs.push_str(&format!(
+                "    {{\"n\": {n}, \"threads\": {threads}, \"rounds\": {rounds}, \
+                 \"elapsed_s\": {elapsed:.6}, \"rounds_per_s\": {rounds_per_s:.3}, \
+                 \"agent_updates_per_s\": {updates_per_s:.0}, \
+                 \"final_diameter\": {final_diameter:e}}}"
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"name\": \"executor_round_throughput\",\n  \"kernel\": \"midpoint\",\n  \
+         \"topology\": \"ring_lattice(k={LATTICE_K})\",\n  \"runs\": [\n{runs}\n  ]\n}}\n"
+    );
+    // `cargo bench` sets the CWD to the package dir, not the workspace
+    // root — anchor the default so CI finds the artifact at the root.
+    let path = std::env::var("BENCH_EXECUTOR_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_executor.json").into()
+    });
+    std::fs::write(&path, &json).expect("failed to write the executor bench JSON");
+    println!("executor throughput JSON written to {path}");
+}
+
+fn main() {
+    benches();
+    emit_executor_json();
+}

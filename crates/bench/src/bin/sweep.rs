@@ -14,6 +14,8 @@
 //!   --quick         run the small smoke preset (for `ensemble` this
 //!                   also appends the multidim and dynamic tables)
 //!   --full          run the large ensemble (default preset)
+//!   --preset NAME   select a preset by name (golden|quick|full); an
+//!                   unknown name is a clean error listing the valid set
 //!   --threads N     worker count (default: all cores; results identical)
 //!   --seed S        override the base seed
 //!   --json          print JSON only (golden-diff mode)
@@ -31,10 +33,20 @@
 //! ```
 
 use consensus_bench::experiments::{
-    dynamic_spec, dynamic_table, ensemble_spec, ensemble_table, multidim_spec, multidim_table,
-    run_dynamic, run_dynamic_cell, run_ensemble, run_ensemble_cell, run_multidim, GRID_REGISTRY,
+    dynamic_table, ensemble_table, multidim_table, run_dynamic, run_dynamic_cell, run_ensemble,
+    run_ensemble_cell, run_multidim, try_dynamic_spec, try_ensemble_spec, try_multidim_spec,
+    GRID_REGISTRY,
 };
 use tight_bounds_consensus::prelude::*;
+
+/// Unwraps a preset/spec lookup, turning an unknown name into the
+/// CLI's clean usage error (stderr + exit code 2, no backtrace).
+fn spec_or_exit<T>(r: Result<T, consensus_bench::experiments::SpecError>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
+}
 
 fn print_outcome(index: usize, label: &str, seed: u64, o: &CellOutcome) {
     println!(
@@ -47,7 +59,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut grid = "ensemble";
     let mut grid_arg: Option<String> = None;
-    let mut preset = "full";
+    let mut preset: String = "full".into();
     let mut threads: Option<usize> = None;
     let mut seed: Option<u64> = None;
     let mut json_only = false;
@@ -67,9 +79,12 @@ fn main() {
                 }
                 return;
             }
-            "--golden" => preset = "golden",
-            "--quick" => preset = "quick",
-            "--full" => preset = "full",
+            "--golden" => preset = "golden".into(),
+            "--quick" => preset = "quick".into(),
+            "--full" => preset = "full".into(),
+            "--preset" => {
+                preset = it.next().expect("--preset needs a name").clone();
+            }
             // Pre-registry spelling, kept so existing scripts and docs
             // don't break.
             "--multidim" => grid_arg = Some("multidim".into()),
@@ -131,7 +146,7 @@ fn main() {
 
     match grid {
         "multidim" => {
-            let mut mspec = multidim_spec(preset);
+            let mut mspec = spec_or_exit(try_multidim_spec(&preset));
             if let Some(s) = seed {
                 mspec.base_seed = s;
             }
@@ -160,7 +175,7 @@ fn main() {
             emit(&report.to_json(), multidim_table(&mspec, &report));
         }
         "dynamic_rates" => {
-            let mut dspec = dynamic_spec(preset);
+            let mut dspec = spec_or_exit(try_dynamic_spec(&preset));
             if let Some(s) = seed {
                 dspec.base_seed = s;
             }
@@ -177,7 +192,7 @@ fn main() {
             emit(&report.to_json(), dynamic_table(&dspec, &report));
         }
         _ => {
-            let mut spec = ensemble_spec(preset);
+            let mut spec = spec_or_exit(try_ensemble_spec(&preset));
             if let Some(s) = seed {
                 spec.base_seed = s;
             }
@@ -201,8 +216,8 @@ fn main() {
                 // averaging-rate table at a glance. The --seed override
                 // applies to all three, keeping the tables on the same
                 // base seed.
-                let mut mspec = multidim_spec("quick");
-                let mut dspec = dynamic_spec("quick");
+                let mut mspec = spec_or_exit(try_multidim_spec("quick"));
+                let mut dspec = spec_or_exit(try_dynamic_spec("quick"));
                 if let Some(s) = seed {
                     mspec.base_seed = s;
                     dspec.base_seed = s;

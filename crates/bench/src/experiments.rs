@@ -809,6 +809,47 @@ pub struct EnsembleSpec {
     pub max_rounds: usize,
 }
 
+/// A rejected preset or dimension lookup: carries the rejected value
+/// and the valid set, so CLI layers ([`crate::experiments`] callers
+/// like the `sweep` bin) can print it and exit cleanly instead of
+/// unwinding with a backtrace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The preset name is not registered for the selected grid.
+    UnknownPreset {
+        /// Which grid's preset table rejected the name
+        /// (`"ensemble"`, `"multidim"`, or `"dynamic"`).
+        grid: &'static str,
+        /// The rejected preset name.
+        got: String,
+        /// The accepted names, rendered `a|b|c`.
+        valid: &'static str,
+    },
+    /// The cell's dimension is outside the monomorphised dispatch set.
+    UnsupportedDimension {
+        /// The rejected dimension.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::UnknownPreset { grid, got, valid } => {
+                write!(f, "unknown {grid} preset `{got}` (use {valid})")
+            }
+            SpecError::UnsupportedDimension { got } => {
+                write!(
+                    f,
+                    "dimension {got} is not in the dispatch set {{1, 2, 3, 4, 8}}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
 /// The named grid presets of the `sweep` bin.
 ///
 /// * `golden` — the small fixed grid the CI `sweep-regression` job runs
@@ -818,10 +859,17 @@ pub struct EnsembleSpec {
 ///
 /// # Panics
 ///
-/// Panics on an unknown preset name.
+/// Panics on an unknown preset name; [`try_ensemble_spec`] is the
+/// fallible variant the CLI uses.
 #[must_use]
 pub fn ensemble_spec(preset: &str) -> EnsembleSpec {
-    match preset {
+    try_ensemble_spec(preset).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`ensemble_spec`]: returns the rejected name and the valid
+/// set instead of panicking.
+pub fn try_ensemble_spec(preset: &str) -> Result<EnsembleSpec, SpecError> {
+    Ok(match preset {
         "golden" => EnsembleSpec {
             name: "golden".into(),
             grid: EnsembleGrid::new()
@@ -873,8 +921,14 @@ pub fn ensemble_spec(preset: &str) -> EnsembleSpec {
             tol: 1e-6,
             max_rounds: 600,
         },
-        other => panic!("unknown ensemble preset `{other}` (use golden|quick|full)"),
-    }
+        other => {
+            return Err(SpecError::UnknownPreset {
+                grid: "ensemble",
+                got: other.into(),
+                valid: "golden|quick|full",
+            })
+        }
+    })
 }
 
 fn consensus_sweep_default_seed() -> u64 {
@@ -1021,10 +1075,17 @@ pub struct MultidimSpec {
 ///
 /// # Panics
 ///
-/// Panics on an unknown preset name.
+/// Panics on an unknown preset name; [`try_multidim_spec`] is the
+/// fallible variant the CLI uses.
 #[must_use]
 pub fn multidim_spec(preset: &str) -> MultidimSpec {
-    match preset {
+    try_multidim_spec(preset).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`multidim_spec`]: returns the rejected name and the valid
+/// set instead of panicking.
+pub fn try_multidim_spec(preset: &str) -> Result<MultidimSpec, SpecError> {
+    Ok(match preset {
         "quick" | "golden" => MultidimSpec {
             name: "multidim_decision_times".into(),
             grid: MultidimGrid::new()
@@ -1060,8 +1121,14 @@ pub fn multidim_spec(preset: &str) -> MultidimSpec {
             tol: 1e-6,
             max_rounds: 600,
         },
-        other => panic!("unknown multidim preset `{other}` (use quick|golden|full)"),
-    }
+        other => {
+            return Err(SpecError::UnknownPreset {
+                grid: "multidim",
+                got: other.into(),
+                valid: "quick|golden|full",
+            })
+        }
+    })
 }
 
 /// One multidimensional cell: **both** midpoint rules run on the *same*
@@ -1076,7 +1143,8 @@ pub fn multidim_spec(preset: &str) -> MultidimSpec {
 /// # Panics
 ///
 /// Panics if the cell's dimension is not one of `{1, 2, 3, 4, 8}` (the
-/// monomorphised dispatch set).
+/// monomorphised dispatch set); [`try_run_multidim_cell`] is the
+/// fallible variant.
 #[must_use]
 pub fn run_multidim_cell(
     cell: &MultidimCell,
@@ -1084,6 +1152,17 @@ pub fn run_multidim_cell(
     tol: f64,
     max_rounds: usize,
 ) -> (CellOutcome, CellOutcome) {
+    try_run_multidim_cell(cell, ctx, tol, max_rounds).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`run_multidim_cell`]: reports an unsupported dimension as
+/// a [`SpecError`] instead of panicking.
+pub fn try_run_multidim_cell(
+    cell: &MultidimCell,
+    ctx: CellCtx,
+    tol: f64,
+    max_rounds: usize,
+) -> Result<(CellOutcome, CellOutcome), SpecError> {
     fn drive<A, const D: usize>(
         alg: A,
         cell: &MultidimCell,
@@ -1138,14 +1217,14 @@ pub fn run_multidim_cell(
         )
     }
 
-    match cell.dim {
+    Ok(match cell.dim {
         1 => go::<1>(cell, ctx, tol, max_rounds),
         2 => go::<2>(cell, ctx, tol, max_rounds),
         3 => go::<3>(cell, ctx, tol, max_rounds),
         4 => go::<4>(cell, ctx, tol, max_rounds),
         8 => go::<8>(cell, ctx, tol, max_rounds),
-        other => panic!("dimension {other} is not in the dispatch set {{1, 2, 3, 4, 8}}"),
-    }
+        other => return Err(SpecError::UnsupportedDimension { got: other }),
+    })
 }
 
 /// Runs a multidimensional spec on the sweep pool and flattens the
@@ -1322,9 +1401,16 @@ pub struct DynamicSpec {
 ///
 /// # Panics
 ///
-/// Panics on an unknown preset name.
+/// Panics on an unknown preset name; [`try_dynamic_spec`] is the
+/// fallible variant the CLI uses.
 #[must_use]
 pub fn dynamic_spec(preset: &str) -> DynamicSpec {
+    try_dynamic_spec(preset).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`dynamic_spec`]: returns the rejected name and the valid
+/// set instead of panicking.
+pub fn try_dynamic_spec(preset: &str) -> Result<DynamicSpec, SpecError> {
     let quick_kinds = [
         AdversaryKind::TInterval { t: 1 },
         AdversaryKind::TInterval { t: 2 },
@@ -1334,7 +1420,7 @@ pub fn dynamic_spec(preset: &str) -> DynamicSpec {
         AdversaryKind::BoundedChurn { churn: 4 },
         AdversaryKind::DiameterMax,
     ];
-    match preset {
+    Ok(match preset {
         "quick" | "golden" => DynamicSpec {
             name: "dynamic_rates".into(),
             grid: DynamicGrid::new()
@@ -1366,8 +1452,14 @@ pub fn dynamic_spec(preset: &str) -> DynamicSpec {
             tol: 1e-6,
             max_rounds: 2000,
         },
-        other => panic!("unknown dynamic preset `{other}` (use quick|golden|full)"),
-    }
+        other => {
+            return Err(SpecError::UnknownPreset {
+                grid: "dynamic",
+                got: other.into(),
+                valid: "quick|golden|full",
+            })
+        }
+    })
 }
 
 /// One dynamic-network cell: midpoint from the cell's initial
@@ -1706,6 +1798,48 @@ mod tests {
     #[should_panic(expected = "unknown dynamic preset")]
     fn dynamic_spec_rejects_unknown_presets() {
         let _ = dynamic_spec("nope");
+    }
+
+    #[test]
+    fn try_specs_name_the_rejected_value_and_the_valid_set() {
+        let e = try_ensemble_spec("warp").unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "unknown ensemble preset `warp` (use golden|quick|full)"
+        );
+        let e = try_multidim_spec("warp").unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "unknown multidim preset `warp` (use quick|golden|full)"
+        );
+        let e = try_dynamic_spec("warp").unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "unknown dynamic preset `warp` (use quick|golden|full)"
+        );
+        for ok in ["golden", "quick", "full"] {
+            assert!(try_ensemble_spec(ok).is_ok(), "{ok}");
+            assert!(try_multidim_spec(ok).is_ok(), "{ok}");
+            assert!(try_dynamic_spec(ok).is_ok(), "{ok}");
+        }
+    }
+
+    #[test]
+    fn try_run_multidim_cell_reports_bad_dimension() {
+        let cell = MultidimCell {
+            dim: 7,
+            n: 4,
+            topology: Topology::Complete,
+            init: MultidimInitDist::UnitCube,
+            replicate: 0,
+        };
+        let ctx = CellCtx { index: 0, seed: 1 };
+        let e = try_run_multidim_cell(&cell, ctx, 1e-6, 10).unwrap_err();
+        assert_eq!(e, SpecError::UnsupportedDimension { got: 7 });
+        assert_eq!(
+            e.to_string(),
+            "dimension 7 is not in the dispatch set {1, 2, 3, 4, 8}"
+        );
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! End-to-end tests of the `sweep` binary's CLI error handling: an
+//! unknown preset or grid must be a clean usage error — one stderr
+//! line naming the rejected value and the valid set, exit code 2 — and
+//! never a panic with a backtrace.
+
+use std::process::Command;
+
+fn sweep() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sweep"))
+}
+
+fn run(args: &[&str]) -> std::process::Output {
+    sweep().args(args).output().expect("spawn the sweep bin")
+}
+
+#[test]
+fn unknown_preset_is_a_clean_usage_error() {
+    let out = run(&["--preset", "warp"]);
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("unknown ensemble preset `warp`"),
+        "names the rejected value: {err}"
+    );
+    assert!(
+        err.contains("golden|quick|full"),
+        "lists the valid set: {err}"
+    );
+    assert!(
+        !err.contains("panicked") && !err.contains("RUST_BACKTRACE"),
+        "no panic, no backtrace: {err}"
+    );
+    assert!(out.stdout.is_empty(), "nothing on stdout");
+}
+
+#[test]
+fn unknown_preset_error_names_the_selected_grid() {
+    for (grid, label) in [("multidim", "multidim"), ("dynamic_rates", "dynamic")] {
+        let out = run(&["--grid", grid, "--preset", "bogus"]);
+        assert_eq!(out.status.code(), Some(2), "{grid}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains(&format!("unknown {label} preset `bogus`")),
+            "{grid}: {err}"
+        );
+        assert!(err.contains("quick|golden|full"), "{grid}: {err}");
+        assert!(!err.contains("panicked"), "{grid}: {err}");
+    }
+}
+
+#[test]
+fn unknown_grid_still_exits_two_with_the_registry_hint() {
+    let out = run(&["--grid", "bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown grid `bogus`"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn named_preset_flag_runs_the_golden_grid() {
+    let out = run(&["--preset", "golden", "--json"]);
+    assert!(out.status.success(), "golden run must succeed");
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        json.contains("\"name\": \"golden\""),
+        "--preset golden selects the golden ensemble: {json}"
+    );
+}

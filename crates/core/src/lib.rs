@@ -58,6 +58,7 @@ pub use consensus_digraph as digraph;
 pub use consensus_dynamics as dynamics;
 pub use consensus_dynet as dynet;
 pub use consensus_netmodel as netmodel;
+pub use consensus_pool as pool;
 pub use consensus_sweep as sweep;
 pub use consensus_valency as valency;
 
@@ -68,13 +69,14 @@ pub mod prelude {
     pub use crate::bounds;
     pub use consensus_algorithms::{
         Algorithm, AmortizedMidpoint, Inbox, InboxBuffer, MassSplitting, MeanValue, Midpoint,
-        MidpointCoordinatewise, MidpointSimplex, Overshoot, Point, QuantizedMidpoint,
+        MidpointCoordinatewise, MidpointSimplex, Overshoot, Point, QuantizedMidpoint, ScalarKernel,
         SelfWeightedAverage, TrimmedMean, TwoAgentThirds, WindowedMidpoint,
     };
     pub use consensus_approx::{rules as decision_rules, Decider};
-    pub use consensus_digraph::{families, Digraph};
+    pub use consensus_digraph::{families, CsrDigraph, Digraph, RoundTopology, SenderSet, WordSet};
     pub use consensus_dynamics::{
-        pattern, scenario, BoxDiameter, Execution, HullDiameter, Metric, Scenario, Trace,
+        pattern, scenario, BoxDiameter, DiameterTrace, Execution, HullDiameter, Metric, Scenario,
+        ShardedExecution, Trace,
     };
     pub use consensus_dynet::{
         AdversaryKind, BoundedChurnAdversary, DiameterMaximiser, DynAdversary, DynamicCell,

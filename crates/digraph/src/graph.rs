@@ -181,6 +181,18 @@ impl Digraph {
         BitIter(self.in_masks[i])
     }
 
+    /// The in-neighborhood of agent `i` as a [`crate::SenderSet`] on the
+    /// inline-mask fast path — the view the executor hands to inboxes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ n`.
+    #[inline]
+    #[must_use]
+    pub fn sender_set(&self, i: Agent) -> crate::SenderSet<'_> {
+        crate::SenderSet::Mask(self.in_masks[i])
+    }
+
     /// The out-neighborhood `Out_i(G)` of agent `i` as a bitmask
     /// (always contains `i` itself).
     ///
@@ -495,7 +507,7 @@ impl Iterator for Edges<'_> {
 }
 
 /// Iterator over the set bits of a mask, ascending.
-#[derive(Clone, Copy)]
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct BitIter(pub(crate) u64);
 
 impl Iterator for BitIter {

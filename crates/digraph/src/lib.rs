@@ -17,7 +17,11 @@
 //! * [`enumerate`] — exhaustive enumeration of small graph classes (all
 //!   digraphs with self-loops, all rooted, all non-split, all graphs with a
 //!   minimum in-degree) used to *build* network models;
-//! * [`render`] — DOT and ASCII rendering, used to regenerate Figures 1–2.
+//! * [`render`] — DOT and ASCII rendering, used to regenerate Figures 1–2;
+//! * [`CsrDigraph`] and [`SenderSet`] — sparse (CSR) storage and wide
+//!   sender sets that lift the 64-agent bitmask cap for the large-`n`
+//!   executor, while staying bit-identical to the dense path where both
+//!   apply.
 //!
 //! # Conventions
 //!
@@ -47,14 +51,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod csr;
 mod graph;
+mod senders;
 
 pub mod enumerate;
 pub mod families;
 pub mod render;
 pub mod scc;
 
+pub use csr::CsrDigraph;
 pub use graph::{agents_in, AgentSet, Digraph, DigraphError, Edges};
+pub use senders::{RoundTopology, SenderIter, SenderSet, WordSet};
 
 /// An agent identifier, `0 ≤ agent < n`.
 ///

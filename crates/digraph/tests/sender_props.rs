@@ -1,0 +1,122 @@
+//! Property-based tests for the [`SenderSet`] representations and the
+//! CSR graph storage.
+//!
+//! The executor identity suite relies on three facts this file pins
+//! down over random inputs: (1) the `u64` mask fast path and the wide
+//! word-array path agree **exactly** on every set with members `< 64`;
+//! (2) every representation iterates in strictly ascending agent order
+//! (so algorithm folds are bit-identical across storages); (3) dense ↔
+//! CSR conversion is lossless for `n ≤ 64`.
+
+use consensus_digraph::{CsrDigraph, Digraph, SenderSet, WordSet};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Mask ≡ Words ≡ Sorted on any set with members below 64: same
+    /// membership, same length, same ascending iteration, same
+    /// `as_mask` image. Checking the complement too covers the
+    /// all-ones edge mask.
+    #[test]
+    fn representations_agree_below_64(seed in 0u64..u64::MAX) {
+        for mask in [seed, !seed] {
+            let owned = WordSet::from_mask(mask);
+            let ids: Vec<u32> =
+                SenderSet::Mask(mask).iter().map(|a| a as u32).collect();
+            let m = SenderSet::Mask(mask);
+            let w = owned.as_sender_set();
+            let s = SenderSet::Sorted(&ids);
+            for set in [&m, &w, &s] {
+                prop_assert_eq!(set.len(), mask.count_ones() as usize);
+                prop_assert_eq!(set.is_empty(), mask == 0);
+                prop_assert_eq!(set.as_mask(), Some(mask));
+                prop_assert_eq!(
+                    set.iter().collect::<Vec<_>>(),
+                    m.iter().collect::<Vec<_>>()
+                );
+            }
+            for agent in 0..64usize {
+                let expect = mask & (1u64 << agent) != 0;
+                prop_assert_eq!(m.contains(agent), expect);
+                prop_assert_eq!(w.contains(agent), expect);
+                prop_assert_eq!(s.contains(agent), expect);
+            }
+            // The wide paths also answer exactly *above* 63.
+            prop_assert!(!w.contains(64) && !w.contains(1000));
+            prop_assert!(!s.contains(64) && !s.contains(1000));
+        }
+    }
+
+    /// `WordSet` has set semantics: any insert/remove program agrees
+    /// with a `BTreeSet` model, including the grow-on-insert path past
+    /// agent 64.
+    #[test]
+    fn word_set_matches_btreeset_model(
+        ops in prop::collection::vec((0u8..2, 0usize..300), 60)
+    ) {
+        let mut set = WordSet::default();
+        let mut model = std::collections::BTreeSet::new();
+        for (op, agent) in ops {
+            if op == 0 {
+                prop_assert_eq!(set.insert(agent), model.insert(agent));
+            } else {
+                prop_assert_eq!(set.remove(agent), model.remove(&agent));
+            }
+            prop_assert_eq!(set.len(), model.len());
+        }
+        for agent in 0..300 {
+            prop_assert_eq!(set.contains(agent), model.contains(&agent));
+        }
+        prop_assert_eq!(
+            set.iter().collect::<Vec<_>>(),
+            model.iter().copied().collect::<Vec<_>>()
+        );
+    }
+
+    /// Every representation iterates in strictly ascending order, and
+    /// a `WordSet` built from an arbitrary (unsorted, duplicated) agent
+    /// list iterates its sorted dedup.
+    #[test]
+    fn iteration_is_strictly_ascending(
+        agents in prop::collection::vec(0usize..500, 80),
+        len in 0usize..81,
+    ) {
+        let agents = &agents[..len];
+        let set: WordSet = agents.iter().copied().collect();
+        let iterated: Vec<usize> = set.iter().collect();
+        prop_assert!(iterated.windows(2).all(|w| w[0] < w[1]), "{iterated:?}");
+        let mut expect = agents.to_vec();
+        expect.sort_unstable();
+        expect.dedup();
+        prop_assert_eq!(iterated, expect);
+    }
+
+    /// Dense → CSR → dense is the identity for any `n ≤ 64` digraph,
+    /// and the two storages hand out identical sender sets per agent.
+    #[test]
+    fn csr_round_trips_dense(
+        raw in prop::collection::vec(0u64..u64::MAX, 12),
+        n in 1usize..13,
+    ) {
+        let valid = (1u64 << n) - 1;
+        let masks: Vec<u64> = raw[..n]
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m & valid) | (1u64 << i))
+            .collect();
+        let dense = Digraph::from_in_masks(&masks).expect("n validated");
+        let csr = CsrDigraph::from_dense(&dense);
+        prop_assert_eq!(csr.to_dense().expect("n fits"), dense.clone());
+        prop_assert_eq!(csr.edge_count(), dense.edge_count());
+        for (i, &mask) in masks.iter().enumerate() {
+            let d: Vec<usize> = dense.sender_set(i).iter().collect();
+            let c: Vec<usize> = csr.sender_set(i).iter().collect();
+            prop_assert_eq!(&d, &c, "row {} differs", i);
+            prop_assert_eq!(csr.sender_set(i).as_mask(), Some(mask));
+            for &j in &d {
+                prop_assert!(csr.has_edge(j, i));
+            }
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Diameter-only recording for large-`n` runs.
+//!
+//! A full [`Trace`](crate::Trace) clones every round's output vector
+//! and communication graph — perfect for the paper's `n ≤ 64`
+//! constructions, hopeless at `n = 10⁶` (a 10⁴-round run would hold
+//! ~80 GB of outputs). [`DiameterTrace`] records only the per-round
+//! value spread `Δ(y(t))` (8 bytes a round), optionally **decimated**
+//! (every `stride`-th round) and/or bounded by a **ring buffer** (last
+//! `capacity` samples), so memory is constant no matter how long the
+//! run.
+
+use crate::trace::{estimate_rates, RateEstimate};
+
+/// A diameter-only execution record: `Δ(y(t))` samples, with optional
+/// decimation and ring-buffer retention.
+///
+/// In its default configuration (stride 1, unbounded) the recorded
+/// sequence is **bit-identical** to
+/// [`Trace::diameters`](crate::Trace::diameters) of a full trace of
+/// the same run, and [`DiameterTrace::rates`] reproduces
+/// [`Trace::rates`](crate::Trace::rates) exactly — the decimation
+/// property tests pin this down.
+#[derive(Debug, Clone)]
+pub struct DiameterTrace {
+    /// Retained `(round, diameter)` samples, oldest first.
+    samples: std::collections::VecDeque<(u64, f64)>,
+    stride: u64,
+    capacity: Option<usize>,
+    round: u64,
+    last: f64,
+    initial: f64,
+}
+
+impl DiameterTrace {
+    /// Starts a trace at the given initial spread (round 0, always
+    /// sampled), recording every round with unbounded retention.
+    #[must_use]
+    pub fn new(initial_diameter: f64) -> Self {
+        let mut samples = std::collections::VecDeque::new();
+        samples.push_back((0, initial_diameter));
+        DiameterTrace {
+            samples,
+            stride: 1,
+            capacity: None,
+            round: 0,
+            last: initial_diameter,
+            initial: initial_diameter,
+        }
+    }
+
+    /// Keeps only every `stride`-th round (round 0 is always kept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    #[must_use]
+    pub fn decimated(mut self, stride: u64) -> Self {
+        assert!(stride >= 1, "stride must be at least 1");
+        self.stride = stride;
+        self
+    }
+
+    /// Bounds retention to the most recent `capacity` samples (older
+    /// samples are evicted ring-buffer style; the running
+    /// [`DiameterTrace::initial_diameter`] / [`DiameterTrace::final_diameter`]
+    /// scalars are unaffected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn ring(mut self, capacity: usize) -> Self {
+        assert!(capacity >= 1, "ring capacity must be at least 1");
+        self.capacity = Some(capacity);
+        while self.samples.len() > capacity {
+            self.samples.pop_front();
+        }
+        self
+    }
+
+    /// Records one completed round's spread.
+    pub fn record(&mut self, diameter: f64) {
+        self.round += 1;
+        self.last = diameter;
+        if self.round.is_multiple_of(self.stride) {
+            self.samples.push_back((self.round, diameter));
+            if let Some(cap) = self.capacity {
+                while self.samples.len() > cap {
+                    self.samples.pop_front();
+                }
+            }
+        }
+    }
+
+    /// The number of recorded rounds `T` (not the number of retained
+    /// samples).
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+
+    /// The retained `(round, diameter)` samples, oldest first.
+    pub fn samples(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.samples.iter().copied()
+    }
+
+    /// The retained diameters, oldest first. With stride 1 and no ring
+    /// eviction this equals the full trace's
+    /// [`diameters`](crate::Trace::diameters) bit for bit.
+    #[must_use]
+    pub fn diameters(&self) -> Vec<f64> {
+        self.samples.iter().map(|&(_, d)| d).collect()
+    }
+
+    /// `Δ(y(0))` (kept even after ring eviction).
+    #[must_use]
+    pub fn initial_diameter(&self) -> f64 {
+        self.initial
+    }
+
+    /// `Δ(y(T))` — the spread of the *last recorded* round, sampled or
+    /// not.
+    #[must_use]
+    pub fn final_diameter(&self) -> f64 {
+        self.last
+    }
+
+    /// Whether the final spread is below `tol`.
+    #[must_use]
+    pub fn converged(&self, tol: f64) -> bool {
+        self.final_diameter() <= tol
+    }
+
+    /// Contraction-rate estimates over the retained samples
+    /// ([`estimate_rates`]). With stride 1 and no ring eviction this is
+    /// bit-identical to [`Trace::rates`](crate::Trace::rates); with
+    /// decimation the per-sample ratios span `stride` rounds, so
+    /// `t_root` still estimates the *per-sample* contraction.
+    #[must_use]
+    pub fn rates(&self) -> RateEstimate {
+        estimate_rates(&self.diameters())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_mode_matches_trace_diameters() {
+        use consensus_digraph::Digraph;
+        let mk = |vals: &[f64]| {
+            vals.iter()
+                .map(|&v| consensus_algorithms::Point([v]))
+                .collect::<Vec<_>>()
+        };
+        let mut full = crate::Trace::new(mk(&[0.0, 1.0]));
+        let mut thin = DiameterTrace::new(full.initial_diameter());
+        let mut d = 1.0;
+        for _ in 0..20 {
+            d *= 0.7;
+            full.record(Digraph::complete(2), mk(&[0.0, d]));
+            thin.record(full.final_diameter());
+        }
+        let a = full.diameters();
+        let b = thin.diameters();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let (ra, rb) = (full.rates(), thin.rates());
+        assert_eq!(ra.t_root.to_bits(), rb.t_root.to_bits());
+        assert_eq!(ra.steady_state.to_bits(), rb.steady_state.to_bits());
+        assert_eq!(ra.worst_round.to_bits(), rb.worst_round.to_bits());
+    }
+
+    #[test]
+    fn decimation_keeps_every_kth_round() {
+        let mut t = DiameterTrace::new(64.0).decimated(4);
+        for r in 1..=16u32 {
+            t.record(64.0 / f64::from(r));
+        }
+        let rounds: Vec<u64> = t.samples().map(|(r, _)| r).collect();
+        assert_eq!(rounds, vec![0, 4, 8, 12, 16]);
+        assert_eq!(t.rounds(), 16);
+        assert_eq!(t.final_diameter(), 4.0);
+    }
+
+    #[test]
+    fn ring_retains_only_the_tail() {
+        let mut t = DiameterTrace::new(1.0).ring(3);
+        for r in 1..=10 {
+            t.record(f64::from(r));
+        }
+        let rounds: Vec<u64> = t.samples().map(|(r, _)| r).collect();
+        assert_eq!(rounds, vec![8, 9, 10]);
+        assert_eq!(t.initial_diameter(), 1.0, "initial survives eviction");
+        assert_eq!(t.final_diameter(), 10.0);
+        assert_eq!(t.rounds(), 10);
+    }
+
+    #[test]
+    fn converged_uses_last_round_even_when_decimated() {
+        let mut t = DiameterTrace::new(1.0).decimated(5);
+        t.record(1e-12); // round 1, not sampled
+        assert!(t.converged(1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_rejected() {
+        let _ = DiameterTrace::new(1.0).decimated(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = DiameterTrace::new(1.0).ring(0);
+    }
+}

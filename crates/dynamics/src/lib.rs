@@ -50,13 +50,17 @@
 #![warn(missing_docs)]
 
 pub mod byzantine;
+mod diameter_trace;
 mod executor;
 pub mod metric;
 pub mod pattern;
 pub mod scenario;
+mod sharded;
 mod trace;
 
+pub use diameter_trace::DiameterTrace;
 pub use executor::Execution;
 pub use metric::{BoxDiameter, HullDiameter, Metric};
 pub use scenario::{FaultyScenario, Scenario};
-pub use trace::{RateEstimate, Trace};
+pub use sharded::{ShardedExecution, DEFAULT_CHUNK};
+pub use trace::{estimate_rates, RateEstimate, Trace};

@@ -1,0 +1,344 @@
+//! The sharded large-`n` executor: flat scalar state, sparse
+//! topologies, intra-round parallelism.
+//!
+//! [`Execution`](crate::Execution) is the reference stepper: generic
+//! over algorithm state, dense `u64`-mask graphs, `n ≤ 64`.
+//! [`ShardedExecution`] is the production-scale path for scalar
+//! ([`Point<1>`](consensus_algorithms::Point)) algorithms at
+//! `n ≈ 10⁵–10⁶`:
+//!
+//! * **SoA state** — all agent values live in one flat `Vec<f64>`
+//!   (double-buffered), stepped through a [`ScalarKernel`] in
+//!   cache-friendly chunks instead of per-agent `Point<1>` wrappers;
+//! * **sparse topologies** — rounds step over anything implementing
+//!   [`RoundTopology`]: the dense [`Digraph`](consensus_digraph::Digraph)
+//!   mask path or a [`CsrDigraph`](consensus_digraph::CsrDigraph) CSR
+//!   row per agent, borrowed with zero per-round allocation;
+//! * **intra-round sharding** — agents are split into chunks and
+//!   stepped on the work-stealing pool
+//!   ([`consensus_pool::for_each_chunk_mut`]). Writes are disjoint and
+//!   each agent's update is a pure function of the previous round, so
+//!   results are **bit-identical at every thread count** — and, by the
+//!   [`ScalarKernel`] contract, bit-identical to the dense
+//!   [`Execution`](crate::Execution) wherever both apply (`n ≤ 64`).
+//!   The `tests/large_executor.rs` identity suite pins both claims.
+
+use consensus_algorithms::{Inbox, ScalarKernel};
+use consensus_digraph::{RoundTopology, WordSet};
+
+use crate::byzantine::ByzantineStrategy;
+
+/// Default agents-per-chunk for intra-round sharding: large enough to
+/// amortize scheduling, small enough to load-balance a million agents
+/// over any realistic core count.
+pub const DEFAULT_CHUNK: usize = 4096;
+
+/// A large-`n` execution of a scalar algorithm: one `f64` per agent,
+/// advanced one communication-closed round at a time.
+///
+/// See the module docs for the design; see
+/// [`crate::DiameterTrace`] for recording at this scale (a full
+/// [`Trace`](crate::Trace) clones every round's outputs, which at
+/// `n = 10⁶` is the difference between megabytes and gigabytes).
+#[derive(Debug, Clone)]
+pub struct ShardedExecution<K: ScalarKernel + Sync> {
+    alg: K,
+    /// Current value per agent (the SoA state).
+    vals: Vec<f64>,
+    /// Double buffer for the next round's values.
+    next: Vec<f64>,
+    /// Reused per-round message slate.
+    msgs: Vec<f64>,
+    /// Reused forged-slate scratch for [`ShardedExecution::step_with_faults`].
+    fault_msgs: Vec<f64>,
+    round: u64,
+    threads: usize,
+    chunk: usize,
+}
+
+impl<K: ScalarKernel + Sync> ShardedExecution<K> {
+    /// Starts an execution of `alg` from the given initial values (one
+    /// per agent — any `n ≥ 1`, there is no 64-agent cap here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inits` is empty.
+    #[must_use]
+    pub fn new(alg: K, inits: &[f64]) -> Self {
+        assert!(!inits.is_empty(), "need at least one agent");
+        ShardedExecution {
+            alg,
+            vals: inits.to_vec(),
+            next: vec![0.0; inits.len()],
+            msgs: Vec::with_capacity(inits.len()),
+            fault_msgs: Vec::new(),
+            round: 0,
+            threads: consensus_pool::default_threads(),
+            chunk: DEFAULT_CHUNK,
+        }
+    }
+
+    /// Sets the worker count for intra-round sharding (1 ⇒ sequential).
+    /// Thread count never affects results, only wall-clock time.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the agents-per-chunk granularity of intra-round sharding.
+    /// Chunk size never affects results, only load balance.
+    #[must_use]
+    pub fn chunk_size(mut self, chunk: usize) -> Self {
+        self.chunk = chunk.max(1);
+        self
+    }
+
+    /// The number of agents.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The number of completed rounds.
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The algorithm being executed.
+    #[must_use]
+    pub fn algorithm(&self) -> &K {
+        &self.alg
+    }
+
+    /// The current value vector, borrowed — no allocation.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// The current value spread `Δ(y(t))` — one `max − min` scan (for
+    /// scalars the Euclidean and box diameters coincide).
+    #[must_use]
+    pub fn value_diameter(&self) -> f64 {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in &self.vals {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        hi - lo
+    }
+
+    /// Executes one round with topology `g`: gather every agent's
+    /// broadcast once into the shared slate, then step all agents in
+    /// parallel chunks, each reading its in-neighborhood through a
+    /// borrowed [`Inbox`] and writing its slot of the double buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g.n() != self.n()`.
+    pub fn step<G: RoundTopology>(&mut self, g: &G) {
+        assert_eq!(g.n(), self.n(), "graph size must match agent count");
+        self.round += 1;
+        let round = self.round;
+        let ShardedExecution {
+            alg,
+            vals,
+            next,
+            msgs,
+            threads,
+            chunk,
+            ..
+        } = self;
+        msgs.clear();
+        msgs.extend(vals.iter().map(|&v| alg.message_scalar(v)));
+        let (alg, vals, msgs) = (&*alg, &*vals, &*msgs);
+        consensus_pool::for_each_chunk_mut(next, *chunk, *threads, |start, out| {
+            for (k, slot) in out.iter_mut().enumerate() {
+                let i = start + k;
+                let inbox = Inbox::from_senders(g.sender_set(i), msgs);
+                *slot = alg.step_scalar(i, vals[i], inbox, round);
+            }
+        });
+        std::mem::swap(&mut self.vals, &mut self.next);
+    }
+
+    /// Executes one round with the agents in `byzantine` replaced by
+    /// `strategy`: honest agents receive the slate with the liars'
+    /// slots overwritten per receiver (two-faced faults), Byzantine
+    /// agents' values are frozen. The fault path is sequential — the
+    /// strategy is stateful (`&mut`) and must see receivers in agent
+    /// order to stay deterministic, exactly like the dense
+    /// [`Execution::step_with_faults`](crate::Execution::step_with_faults).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g.n() != self.n()` or every agent is Byzantine.
+    pub fn step_with_faults<G: RoundTopology>(
+        &mut self,
+        g: &G,
+        byzantine: &WordSet,
+        strategy: &mut dyn ByzantineStrategy,
+    ) {
+        assert_eq!(g.n(), self.n(), "graph size must match agent count");
+        let n = self.n();
+        assert!(
+            (0..n).any(|i| !byzantine.contains(i)),
+            "at least one honest agent required"
+        );
+        self.round += 1;
+        let round = self.round;
+        self.msgs.clear();
+        let alg = &self.alg;
+        self.msgs
+            .extend(self.vals.iter().map(|&v| alg.message_scalar(v)));
+        // Reused scratch slate: forge only the liars' slots per
+        // receiver and restore them afterwards — O(deg) per receiver,
+        // no allocation.
+        self.fault_msgs.clear();
+        self.fault_msgs.extend(self.msgs.iter().copied());
+        for i in 0..n {
+            if byzantine.contains(i) {
+                self.next[i] = self.vals[i];
+                continue;
+            }
+            let senders = g.sender_set(i);
+            for j in senders.iter().filter(|&j| byzantine.contains(j)) {
+                self.fault_msgs[j] = strategy.forge(round, j, i);
+            }
+            let inbox = Inbox::from_senders(senders, &self.fault_msgs);
+            self.next[i] = self.alg.step_scalar(i, self.vals[i], inbox, round);
+            for j in senders.iter().filter(|&j| byzantine.contains(j)) {
+                self.fault_msgs[j] = self.msgs[j];
+            }
+        }
+        std::mem::swap(&mut self.vals, &mut self.next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::byzantine::SplitAttack;
+    use crate::Execution;
+    use consensus_algorithms::{MeanValue, Midpoint, Point, SelfWeightedAverage};
+    use consensus_digraph::{CsrDigraph, Digraph};
+
+    fn inits(n: usize) -> Vec<f64> {
+        // Deterministic, non-uniform, sign-mixed values.
+        (0..n)
+            .map(|i| ((i * 2_654_435_761 % 1_000_003) as f64) / 1_000_003.0 - 0.5)
+            .collect()
+    }
+
+    #[test]
+    fn matches_dense_execution_bitwise_at_small_n() {
+        let vals = inits(23);
+        let pts: Vec<Point<1>> = vals.iter().map(|&v| Point([v])).collect();
+        let g = Digraph::complete(23).make_deaf(4);
+        let csr = CsrDigraph::from_dense(&g);
+        for threads in [1, 2, 7] {
+            let mut dense = Execution::new(Midpoint, &pts);
+            let mut shard = ShardedExecution::new(Midpoint, &vals)
+                .threads(threads)
+                .chunk_size(5);
+            let mut shard_csr = ShardedExecution::new(Midpoint, &vals).threads(threads);
+            for _ in 0..17 {
+                dense.step(&g);
+                shard.step(&g);
+                shard_csr.step(&csr);
+            }
+            for i in 0..23 {
+                let want = dense.outputs_slice()[i][0].to_bits();
+                assert_eq!(want, shard.values()[i].to_bits(), "dense path, agent {i}");
+                assert_eq!(want, shard_csr.values()[i].to_bits(), "CSR path, agent {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn thread_and_chunk_count_never_change_results() {
+        let vals = inits(501);
+        let csr = CsrDigraph::ring_lattice(501, 3);
+        let mut reference = ShardedExecution::new(MeanValue, &vals).threads(1);
+        for _ in 0..9 {
+            reference.step(&csr);
+        }
+        for (threads, chunk) in [(2, 64), (4, 7), (8, 1000)] {
+            let mut e = ShardedExecution::new(MeanValue, &vals)
+                .threads(threads)
+                .chunk_size(chunk);
+            for _ in 0..9 {
+                e.step(&csr);
+            }
+            assert_eq!(
+                reference.values(),
+                e.values(),
+                "threads={threads} chunk={chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn runs_well_past_sixty_four_agents() {
+        let n = 500;
+        let vals = inits(n);
+        let csr = CsrDigraph::ring_lattice(n, 2);
+        let mut e = ShardedExecution::new(Midpoint, &vals).threads(4);
+        let d0 = e.value_diameter();
+        for _ in 0..200 {
+            e.step(&csr);
+        }
+        assert_eq!(e.round(), 200);
+        assert!(
+            e.value_diameter() < d0 * 0.5,
+            "spread must contract on a connected lattice"
+        );
+    }
+
+    #[test]
+    fn faulty_step_matches_dense_execution() {
+        let vals = inits(9);
+        let pts: Vec<Point<1>> = vals.iter().map(|&v| Point([v])).collect();
+        let g = Digraph::complete(9);
+        let byz_mask: u64 = 0b100000010; // agents 1 and 8
+        let mut byz = WordSet::with_capacity(9);
+        byz.insert(1);
+        byz.insert(8);
+
+        let alg = SelfWeightedAverage::new(0.5);
+        let mut dense = Execution::new(alg, &pts);
+        let mut shard = ShardedExecution::new(alg, &vals).threads(3);
+        let mut s1 = SplitAttack { magnitude: 2.0 };
+        let mut s2 = s1;
+        for _ in 0..6 {
+            dense.step_with_faults(&g, byz_mask, &mut s1);
+            shard.step_with_faults(&g, &byz, &mut s2);
+        }
+        for i in 0..9 {
+            assert_eq!(
+                dense.outputs_slice()[i][0].to_bits(),
+                shard.values()[i].to_bits(),
+                "agent {i}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "graph size")]
+    fn size_mismatch_panics() {
+        let mut e = ShardedExecution::new(Midpoint, &[0.0, 1.0]);
+        e.step(&CsrDigraph::ring_lattice(3, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "honest agent")]
+    fn all_byzantine_rejected() {
+        let mut e = ShardedExecution::new(Midpoint, &[0.0, 1.0]);
+        let byz = WordSet::full(2);
+        let mut s = |_: u64, _: usize, _: usize| 0.0;
+        e.step_with_faults(&Digraph::complete(2), &byz, &mut s);
+    }
+}

@@ -7,7 +7,7 @@
 //! so a [`Trace`] records outputs per round and offers several rate
 //! estimators; the valency-diameter variant lives in `consensus-valency`.
 
-use consensus_algorithms::{diameter, in_convex_hull, Point};
+use consensus_algorithms::{diameter, HullPlanes, Point};
 use consensus_digraph::Digraph;
 
 /// A recorded execution: the output vectors of rounds `0..=T` and the
@@ -119,50 +119,29 @@ impl<const D: usize> Trace<D> {
     /// geometric-rate estimation is meaningless past exact agreement.
     #[must_use]
     pub fn rates(&self) -> RateEstimate {
-        const FLOOR: f64 = 1e-280;
-        let d = self.diameters();
-        // Longest prefix with strictly positive spreads.
-        let last = d.iter().rposition(|&x| x > FLOOR).unwrap_or(0);
-        let t_root = if last == 0 || d[0] <= FLOOR {
-            0.0
-        } else {
-            (d[last] / d[0]).powf(1.0 / last as f64)
-        };
-        let ratios: Vec<f64> = d[..=last]
-            .windows(2)
-            .filter(|w| w[0] > FLOOR && w[1] > FLOOR)
-            .map(|w| w[1] / w[0])
-            .collect();
-        let half = ratios.len() / 2;
-        let tail = &ratios[half..];
-        let steady_state = if tail.is_empty() {
-            t_root
-        } else {
-            let log_sum: f64 = tail.iter().map(|r| r.max(FLOOR).ln()).sum();
-            (log_sum / tail.len() as f64).exp()
-        };
-        let worst_round = self.round_ratios(FLOOR).iter().cloned().fold(0.0, f64::max);
-        RateEstimate {
-            t_root,
-            steady_state,
-            worst_round,
-        }
+        estimate_rates(&self.diameters())
     }
 
     /// **Validity check** (paper §2.1): every recorded output lies in the
     /// convex hull of the initial values. Exact for `D ∈ {1, 2, 3}`
     /// (cross-product half-plane / supporting-plane tests, see
-    /// [`in_convex_hull`]); a bounding-box relaxation for `D ≥ 4`. Only
+    /// [`consensus_algorithms::in_convex_hull`]); a bounding-box
+    /// relaxation for `D ≥ 4`. Only
     /// meaningful for convex combination algorithms — and strict enough
     /// to catch the coordinate-wise box centre leaving the hull at
     /// `d = 3` (arXiv:1805.04923), which the old box check could not.
+    /// The supporting-plane structure of the initial hull is computed
+    /// **once** ([`HullPlanes`]) and queried per point — bit-identical
+    /// to calling [`in_convex_hull`](consensus_algorithms::in_convex_hull)
+    /// per point, but `O(planes)` instead
+    /// of `O(planes · n)` per query.
     #[must_use]
     pub fn validity_holds(&self, tol: f64) -> bool {
-        let hull = &self.outputs[0];
+        let hull = HullPlanes::new(&self.outputs[0]);
         self.outputs
             .iter()
             .flat_map(|round| round.iter())
-            .all(|p| in_convex_hull(p, hull, tol))
+            .all(|p| hull.contains(p, tol))
     }
 
     /// **Agreement+Convergence check**: the spread is ≤ `tol` at the end
@@ -178,6 +157,56 @@ impl<const D: usize> Trace<D> {
             running_min = running_min.min(d);
         }
         self.final_diameter() <= tol
+    }
+}
+
+/// Contraction-rate estimates from a per-round diameter sequence
+/// (`diameters[t] = Δ(y(t))`, `t = 0` the initial configuration).
+///
+/// This is the estimator behind [`Trace::rates`], exposed standalone so
+/// [`crate::DiameterTrace`] (which records only diameters, not outputs)
+/// produces bit-identical estimates to a full trace of the same run.
+/// Returns all-zero estimates for an empty or all-degenerate sequence.
+#[must_use]
+pub fn estimate_rates(diameters: &[f64]) -> RateEstimate {
+    const FLOOR: f64 = 1e-280;
+    let d = diameters;
+    if d.is_empty() {
+        return RateEstimate {
+            t_root: 0.0,
+            steady_state: 0.0,
+            worst_round: 0.0,
+        };
+    }
+    // Longest prefix with strictly positive spreads.
+    let last = d.iter().rposition(|&x| x > FLOOR).unwrap_or(0);
+    let t_root = if last == 0 || d[0] <= FLOOR {
+        0.0
+    } else {
+        (d[last] / d[0]).powf(1.0 / last as f64)
+    };
+    let ratios: Vec<f64> = d[..=last]
+        .windows(2)
+        .filter(|w| w[0] > FLOOR && w[1] > FLOOR)
+        .map(|w| w[1] / w[0])
+        .collect();
+    let half = ratios.len() / 2;
+    let tail = &ratios[half..];
+    let steady_state = if tail.is_empty() {
+        t_root
+    } else {
+        let log_sum: f64 = tail.iter().map(|r| r.max(FLOOR).ln()).sum();
+        (log_sum / tail.len() as f64).exp()
+    };
+    let worst_round = d
+        .windows(2)
+        .filter(|w| w[0] > FLOOR)
+        .map(|w| w[1] / w[0])
+        .fold(0.0, f64::max);
+    RateEstimate {
+        t_root,
+        steady_state,
+        worst_round,
     }
 }
 

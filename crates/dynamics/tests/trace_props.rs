@@ -1,0 +1,112 @@
+//! Property tests tying [`DiameterTrace`] to the full [`Trace`]: in
+//! stride-1 unbounded mode the thin record is **bit-identical** to the
+//! full trace's diameter sequence (and rate estimates), and under
+//! decimation/ring retention the retained samples are exactly the
+//! expected subsequence of the full sequence — decimation never
+//! recomputes or perturbs a value.
+
+use consensus_algorithms::Point;
+use consensus_digraph::Digraph;
+use consensus_dynamics::{DiameterTrace, Trace};
+use proptest::prelude::*;
+
+/// Drives a full trace and a thin trace through the same diameter
+/// sequence (`outputs {0, d}` have spread exactly `d`).
+fn drive(diams: &[f64], thin: &mut DiameterTrace) -> Trace<1> {
+    let mk = |d: f64| vec![Point([0.0]), Point([d])];
+    let mut full = Trace::new(mk(thin.initial_diameter()));
+    for &d in diams {
+        full.record(Digraph::complete(2), mk(d));
+        thin.record(full.final_diameter());
+    }
+    full
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Stride-1 unbounded: diameters and all three rate estimators are
+    /// bit-identical to the full trace.
+    #[test]
+    fn full_mode_is_bit_identical_to_trace(
+        d0 in 0.0f64..4.0,
+        diams in prop::collection::vec(0.0f64..4.0, 25),
+        len in 0usize..26,
+    ) {
+        let mut thin = DiameterTrace::new(d0);
+        let full = drive(&diams[..len], &mut thin);
+        let (a, b) = (full.diameters(), thin.diameters());
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let (ra, rb) = (full.rates(), thin.rates());
+        prop_assert_eq!(ra.t_root.to_bits(), rb.t_root.to_bits());
+        prop_assert_eq!(ra.steady_state.to_bits(), rb.steady_state.to_bits());
+        prop_assert_eq!(ra.worst_round.to_bits(), rb.worst_round.to_bits());
+        prop_assert_eq!(
+            thin.final_diameter().to_bits(),
+            full.final_diameter().to_bits()
+        );
+    }
+
+    /// Decimation retains exactly rounds `{0, s, 2s, …}`, each sample
+    /// bit-equal to the full sequence at that round.
+    #[test]
+    fn decimated_samples_are_an_exact_subsequence(
+        d0 in 0.0f64..4.0,
+        diams in prop::collection::vec(0.0f64..4.0, 40),
+        len in 0usize..41,
+        stride in 1u64..8,
+    ) {
+        let mut thin = DiameterTrace::new(d0).decimated(stride);
+        let full = drive(&diams[..len], &mut thin);
+        let all = full.diameters();
+        let expect: Vec<(u64, f64)> = (0..all.len() as u64)
+            .filter(|r| r % stride == 0)
+            .map(|r| (r, all[r as usize]))
+            .collect();
+        let got: Vec<(u64, f64)> = thin.samples().collect();
+        prop_assert_eq!(got.len(), expect.len());
+        for ((ra, da), (rb, db)) in got.iter().zip(&expect) {
+            prop_assert_eq!(ra, rb);
+            prop_assert_eq!(da.to_bits(), db.to_bits());
+        }
+        // The scalar summaries never decimate.
+        prop_assert_eq!(
+            thin.final_diameter().to_bits(),
+            full.final_diameter().to_bits()
+        );
+        prop_assert_eq!(thin.rounds(), full.rounds() as u64);
+    }
+
+    /// Ring retention keeps exactly the tail of the decimated
+    /// subsequence, and the initial/final scalars survive eviction.
+    #[test]
+    fn ring_keeps_the_exact_tail(
+        d0 in 0.0f64..4.0,
+        diams in prop::collection::vec(0.0f64..4.0, 40),
+        stride in 1u64..5,
+        cap in 1usize..9,
+    ) {
+        let mut thin = DiameterTrace::new(d0).decimated(stride).ring(cap);
+        let full = drive(&diams, &mut thin);
+        let all = full.diameters();
+        let sampled: Vec<(u64, f64)> = (0..all.len() as u64)
+            .filter(|r| r % stride == 0)
+            .map(|r| (r, all[r as usize]))
+            .collect();
+        let tail = &sampled[sampled.len().saturating_sub(cap)..];
+        let got: Vec<(u64, f64)> = thin.samples().collect();
+        prop_assert_eq!(got.len(), tail.len());
+        for ((ra, da), (rb, db)) in got.iter().zip(tail) {
+            prop_assert_eq!(ra, rb);
+            prop_assert_eq!(da.to_bits(), db.to_bits());
+        }
+        prop_assert_eq!(thin.initial_diameter().to_bits(), d0.to_bits());
+        prop_assert_eq!(
+            thin.final_diameter().to_bits(),
+            full.final_diameter().to_bits()
+        );
+    }
+}

