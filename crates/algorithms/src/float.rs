@@ -1,0 +1,103 @@
+//! Total-order float folding helpers (detlint rule R2).
+//!
+//! `f64::max` / `f64::min` use IEEE *maxNum* semantics: they silently
+//! drop a NaN operand, so `fold(NAN_SEEDED, f64::max)` can hide a NaN
+//! produced upstream and two code paths disagreeing on NaN handling can
+//! desynchronize byte-pinned goldens. Every non-test extremum fold in
+//! the workspace goes through these [`f64::total_cmp`]-based combiners
+//! instead: the order is *total* (NaN and signed zero included), so the
+//! result is a well-defined function of the input bits — and a NaN in
+//! the data propagates to the fold result under [`det_max`] rather than
+//! vanishing.
+//!
+//! For NaN-free input these are bit-identical to the `f64::max`/`min`
+//! folds they replaced; the golden suites pin that.
+
+use std::cmp::Ordering;
+
+/// Fold combiner returning the larger operand in the `total_cmp` order.
+///
+/// Totality makes NaN the top of the positive range: a NaN operand is
+/// *returned*, not ignored, so corrupted data surfaces in aggregates.
+///
+/// ```
+/// use consensus_algorithms::float::det_max;
+/// let hi = [0.5, 2.0, -1.0].iter().copied().fold(f64::NEG_INFINITY, det_max);
+/// assert_eq!(hi, 2.0);
+/// assert!(det_max(1.0, f64::NAN).is_nan());
+/// ```
+#[must_use]
+pub fn det_max(a: f64, b: f64) -> f64 {
+    if b.total_cmp(&a) == Ordering::Greater {
+        b
+    } else {
+        a
+    }
+}
+
+/// Fold combiner returning the smaller operand in the `total_cmp` order.
+///
+/// The mirror of [`det_max`]; note that in the total order a *negative*
+/// NaN sorts below `-∞`, so `fold(f64::INFINITY, det_min)` surfaces it.
+///
+/// ```
+/// use consensus_algorithms::float::det_min;
+/// let lo = [0.5, 2.0, -1.0].iter().copied().fold(f64::INFINITY, det_min);
+/// assert_eq!(lo, -1.0);
+/// ```
+#[must_use]
+pub fn det_min(a: f64, b: f64) -> f64 {
+    if b.total_cmp(&a) == Ordering::Less {
+        b
+    } else {
+        a
+    }
+}
+
+/// The `(min, max)` of a value iterator in one pass, `total_cmp`-ordered;
+/// `(+∞, -∞)` for an empty iterator (the conventional fold seeds).
+#[must_use]
+pub fn det_min_max(values: impl IntoIterator<Item = f64>) -> (f64, f64) {
+    values
+        .into_iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+            (det_min(lo, v), det_max(hi, v))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agrees_with_ieee_on_clean_data() {
+        let data = [0.3, -7.25, 1e-12, 42.0, -0.0, 1e300, -1e300];
+        let ieee_max = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let ieee_min = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let (lo, hi) = det_min_max(data);
+        assert_eq!(ieee_max.to_bits(), hi.to_bits());
+        assert_eq!(ieee_min.to_bits(), lo.to_bits());
+    }
+
+    #[test]
+    fn nan_propagates_instead_of_vanishing() {
+        // IEEE maxNum drops the NaN; the total order must keep it.
+        assert!(f64::max(f64::NAN, 1.0) == 1.0);
+        assert!(det_max(f64::NAN, 1.0).is_nan());
+        assert!(det_max(1.0, f64::NAN).is_nan());
+        assert!(det_min(-f64::NAN, f64::NEG_INFINITY).is_nan());
+    }
+
+    #[test]
+    fn signed_zero_is_ordered() {
+        assert_eq!(det_max(-0.0, 0.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(det_min(-0.0, 0.0).to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn empty_iterator_yields_fold_seeds() {
+        let (lo, hi) = det_min_max(std::iter::empty());
+        assert_eq!(lo, f64::INFINITY);
+        assert_eq!(hi, f64::NEG_INFINITY);
+    }
+}

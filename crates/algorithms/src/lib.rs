@@ -48,6 +48,7 @@
 
 mod amortized;
 mod averaging;
+pub mod float;
 mod inbox;
 mod midpoint;
 mod multidim;

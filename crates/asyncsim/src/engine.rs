@@ -188,7 +188,7 @@ impl CrashSchedule {
     /// Panics if an agent appears twice.
     #[must_use]
     pub fn new(crashes: Vec<Crash>) -> Self {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for c in &crashes {
             assert!(seen.insert(c.agent), "agent {} crashes twice", c.agent);
         }

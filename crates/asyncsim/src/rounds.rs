@@ -9,6 +9,7 @@
 //! completes within one normalised delay unit.
 
 use crate::engine::AsyncAlgorithm;
+use consensus_algorithms::float::det_min_max;
 use std::collections::BTreeMap;
 
 /// The per-round update rule applied to the `n − f` received values.
@@ -29,8 +30,7 @@ impl RoundRule {
         debug_assert!(!values.is_empty());
         match self {
             RoundRule::Midpoint => {
-                let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
-                let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let (lo, hi) = det_min_max(values.iter().copied());
                 (lo + hi) / 2.0
             }
             RoundRule::Mean => values.iter().sum::<f64>() / values.len() as f64,

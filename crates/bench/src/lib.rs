@@ -7,5 +7,8 @@
 //! `cargo bench` reproduces the paper end-to-end), and each also has a
 //! standalone binary (`cargo run -p consensus-bench --bin table1`, …).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod experiments;
 pub mod tablefmt;

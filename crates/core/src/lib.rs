@@ -67,6 +67,7 @@ pub mod bounds;
 /// The things almost every user needs, importable in one line.
 pub mod prelude {
     pub use crate::bounds;
+    pub use consensus_algorithms::float::{det_max, det_min, det_min_max};
     pub use consensus_algorithms::{
         Algorithm, AmortizedMidpoint, Inbox, InboxBuffer, MassSplitting, MeanValue, Midpoint,
         MidpointCoordinatewise, MidpointSimplex, Overshoot, Point, QuantizedMidpoint, ScalarKernel,

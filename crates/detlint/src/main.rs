@@ -1,0 +1,142 @@
+//! The `detlint` binary: lints the workspace's `.rs` sources.
+//!
+//! ```text
+//! detlint [--root <dir>] [--json | --allows | --list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage/IO error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use detlint::{lint_source, LintResult, RULES};
+
+/// Directory names never descended into: build output, VCS metadata,
+/// vendored third-party stand-ins, and the golden/baseline artifacts.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "vendor", "ci"];
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut allows = false;
+    let mut list_rules = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--allows" => allows = true,
+            "--list-rules" => list_rules = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root requires a directory"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "detlint [--root <dir>] [--json | --allows | --list-rules]\n\
+                     exit codes: 0 clean, 1 findings, 2 usage/IO error"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if list_rules {
+        for r in RULES {
+            println!("{:<4} {:<20} {}", r.id, r.name, r.desc);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut files = Vec::new();
+    if let Err(e) = collect_rs_files(&root, &root, &mut files) {
+        eprintln!("detlint: cannot walk {}: {e}", root.display());
+        return ExitCode::from(2);
+    }
+    files.sort();
+
+    let mut result = LintResult::default();
+    for (rel, abs) in &files {
+        match std::fs::read_to_string(abs) {
+            Ok(content) => result.merge(lint_source(rel, &content)),
+            Err(e) => {
+                eprintln!("detlint: cannot read {rel}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    result
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule_id).cmp(&(&b.path, b.line, b.rule_id)));
+    result.allows.sort();
+
+    if allows {
+        for a in &result.allows {
+            println!("{}", a.baseline_line());
+        }
+    } else if json {
+        print!("{}", result.render_json());
+    } else {
+        for f in &result.findings {
+            println!("{}", f.render_text());
+        }
+        println!(
+            "detlint: {} file(s), {} finding(s), {} justified allow(s)",
+            files.len(),
+            result.findings.len(),
+            result.allows.len()
+        );
+    }
+
+    if result.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("detlint: {msg}\nusage: detlint [--root <dir>] [--json | --allows | --list-rules]");
+    ExitCode::from(2)
+}
+
+/// Collects `.rs` files under `dir` as `(workspace-relative, absolute)`
+/// pairs, skipping [`SKIP_DIRS`] at any depth.
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    out: &mut Vec<(String, PathBuf)>,
+) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<std::io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_owned();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                collect_rs_files(root, &path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}

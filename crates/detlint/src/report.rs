@@ -1,0 +1,214 @@
+//! Finding/allow data model and the text/JSON renderers.
+//!
+//! JSON is emitted by a tiny hand-rolled writer (no serde in this
+//! crate): keys in a fixed order, findings pre-sorted by the caller,
+//! so the output is byte-stable for a given workspace state — the same
+//! property the golden suites pin for the science outputs.
+
+use crate::rules::Rule;
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Stable rule id (`R1`…, `S1`/`S2`).
+    pub rule_id: &'static str,
+    /// Kebab-case rule name (usable in a suppression).
+    pub rule_name: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The raw offending line, trimmed.
+    pub snippet: String,
+}
+
+impl Finding {
+    /// Builds a finding for `rule` at `path:line`.
+    #[must_use]
+    pub fn new(rule: &'static Rule, path: &str, line: usize, message: String, raw: &str) -> Self {
+        Finding {
+            rule_id: rule.id,
+            rule_name: rule.name,
+            path: path.to_owned(),
+            line,
+            message,
+            snippet: raw.trim().to_owned(),
+        }
+    }
+
+    /// `path:line: [id/name] message` — the text renderer.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut s = format!(
+            "{}:{}: [{}/{}] {}",
+            self.path, self.line, self.rule_id, self.rule_name, self.message
+        );
+        if !self.snippet.is_empty() {
+            s.push_str("\n    | ");
+            s.push_str(&self.snippet);
+        }
+        s
+    }
+}
+
+/// One *used* suppression, for the `--allows` baseline listing.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Allow {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Line of the allow comment (not part of the baseline key).
+    pub line: usize,
+    /// Rule name being allowed.
+    pub rule: String,
+    /// The mandatory justification.
+    pub reason: String,
+}
+
+impl Allow {
+    /// The churn-resistant baseline line: `path<TAB>rule<TAB>reason`
+    /// (no line number, so unrelated edits don't shift the baseline).
+    #[must_use]
+    pub fn baseline_line(&self) -> String {
+        format!("{}\t{}\t{}", self.path, self.rule, self.reason)
+    }
+}
+
+/// The outcome of linting one file or a whole tree.
+#[derive(Debug, Clone, Default)]
+pub struct LintResult {
+    /// Findings, sorted by (path, line, rule id).
+    pub findings: Vec<Finding>,
+    /// Used suppressions, for the baseline listing.
+    pub allows: Vec<Allow>,
+}
+
+impl LintResult {
+    /// Merges `other` into `self` (per-file results into a tree result).
+    pub fn merge(&mut self, other: LintResult) {
+        self.findings.extend(other.findings);
+        self.allows.extend(other.allows);
+    }
+
+    /// Renders the whole result as stable, pretty-printed JSON.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut s = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {");
+            push_field(&mut s, "rule", f.rule_id);
+            push_field(&mut s, "name", f.rule_name);
+            push_field(&mut s, "path", &f.path);
+            s.push_str(&format!(" \"line\": {},", f.line));
+            push_field(&mut s, "message", &f.message);
+            push_field(&mut s, "snippet", &f.snippet);
+            s.pop(); // trailing comma
+            s.push_str(" }");
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n  \"allows\": [");
+        for (i, a) in self.allows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {");
+            push_field(&mut s, "path", &a.path);
+            s.push_str(&format!(" \"line\": {},", a.line));
+            push_field(&mut s, "rule", &a.rule);
+            push_field(&mut s, "reason", &a.reason);
+            s.pop();
+            s.push_str(" }");
+        }
+        if !self.allows.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str(&format!(
+            "],\n  \"finding_count\": {},\n  \"allow_count\": {}\n}}\n",
+            self.findings.len(),
+            self.allows.len()
+        ));
+        s
+    }
+}
+
+fn push_field(s: &mut String, key: &str, value: &str) {
+    s.push_str(&format!(" \"{}\": \"{}\",", key, escape_json(value)));
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RULES;
+
+    #[test]
+    fn json_is_wellformed_and_escaped() {
+        let mut res = LintResult::default();
+        res.findings.push(Finding::new(
+            &RULES[0],
+            "crates/x/src/a.rs",
+            3,
+            "has \"quotes\" and \\slashes\\".to_owned(),
+            "  let m = HashMap::new();  ",
+        ));
+        res.allows.push(Allow {
+            path: "crates/y/src/b.rs".to_owned(),
+            line: 9,
+            rule: "wall-clock".to_owned(),
+            reason: "progress logging only".to_owned(),
+        });
+        let json = res.render_json();
+        assert!(json.contains("\"rule\": \"R1\""));
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\"finding_count\": 1"));
+        assert!(json.contains("\"allow_count\": 1"));
+        assert!(json.contains("\"snippet\": \"let m = HashMap::new();\""));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_result_renders_cleanly() {
+        let json = LintResult::default().render_json();
+        assert!(json.contains("\"findings\": []"));
+        assert!(json.contains("\"finding_count\": 0"));
+    }
+
+    #[test]
+    fn baseline_line_has_no_line_number() {
+        let a = Allow {
+            path: "p.rs".to_owned(),
+            line: 42,
+            rule: "hash-iteration".to_owned(),
+            reason: "why".to_owned(),
+        };
+        assert_eq!(a.baseline_line(), "p.rs\thash-iteration\twhy");
+    }
+}

@@ -1,0 +1,421 @@
+//! The lexical source model: comment/string stripping, `#[cfg(test)]`
+//! region tracking, and suppression-comment parsing.
+//!
+//! Rules match on **stripped code** — comment text and string-literal
+//! *contents* are blanked (structure preserved), so a pattern named in
+//! a doc comment or a diagnostic string never trips a rule, and brace
+//! counting for `#[cfg(test)]` regions is reliable.
+
+/// One physical source line, split into its lexical layers.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// The line with comments removed and string contents blanked.
+    pub code: String,
+    /// Concatenated comment text of the line (for suppression parsing).
+    pub comment: String,
+    /// The raw line, for finding snippets.
+    pub raw: String,
+    /// Whether the line sits inside a `#[cfg(test)]`-gated item.
+    pub in_cfg_test: bool,
+}
+
+/// A scanned source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// The lexical lines.
+    pub lines: Vec<Line>,
+}
+
+/// A parsed `detlint: allow(<rule>, reason = "...")` suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Line the comment sits on (1-based).
+    pub comment_line: usize,
+    /// Line the suppression applies to (the same line, or the next
+    /// line holding code when the comment stands alone).
+    pub target_line: usize,
+    /// The rule id or rule name named in the allow.
+    pub rule: String,
+    /// The justification, empty when the author omitted one.
+    pub reason: String,
+}
+
+/// Lexer states for the stripping pass.
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+impl SourceFile {
+    /// Scans `content` into lexical lines.
+    #[must_use]
+    pub fn scan(path: &str, content: &str) -> Self {
+        let stripped = strip_lines(content);
+        let cfg_flags = cfg_test_flags(&stripped);
+        let lines = content
+            .lines()
+            .enumerate()
+            .map(|(i, raw)| {
+                let (code, comment) = stripped.get(i).cloned().unwrap_or_default();
+                Line {
+                    number: i + 1,
+                    code,
+                    comment,
+                    raw: raw.to_owned(),
+                    in_cfg_test: cfg_flags.get(i).copied().unwrap_or(false),
+                }
+            })
+            .collect();
+        SourceFile {
+            path: path.to_owned(),
+            lines,
+        }
+    }
+
+    /// All suppressions declared in the file, resolved to target lines.
+    #[must_use]
+    pub fn suppressions(&self) -> Vec<Suppression> {
+        let mut out = Vec::new();
+        for (i, line) in self.lines.iter().enumerate() {
+            // Doc comments (`///`, `//!`) describe the syntax; only a
+            // plain `//` comment *is* a suppression. After the leading
+            // `//` is stripped, doc text starts with `/` or `!`.
+            if line.comment.starts_with('/') || line.comment.starts_with('!') {
+                continue;
+            }
+            let Some((rule, reason)) = parse_allow(&line.comment) else {
+                continue;
+            };
+            // A stand-alone comment guards the next code-bearing line;
+            // a trailing comment guards its own line.
+            let target_line = if line.code.trim().is_empty() {
+                self.lines[i + 1..]
+                    .iter()
+                    .find(|l| !l.code.trim().is_empty())
+                    .map_or(line.number, |l| l.number)
+            } else {
+                line.number
+            };
+            out.push(Suppression {
+                comment_line: line.number,
+                target_line,
+                rule,
+                reason,
+            });
+        }
+        out
+    }
+}
+
+/// Strips one file into per-line `(code, comment)` pairs.
+fn strip_lines(content: &str) -> Vec<(String, String)> {
+    let b: Vec<char> = content.chars().collect();
+    let mut out: Vec<(String, String)> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Normal;
+    // Whether the previous code char continues an identifier — guards
+    // against reading the `r` of `for` as a raw-string prefix.
+    let mut prev_ident = false;
+
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            if matches!(state, State::LineComment) {
+                state = State::Normal;
+            }
+            out.push((std::mem::take(&mut code), std::mem::take(&mut comment)));
+            prev_ident = false;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                if c == '/' && b.get(i + 1) == Some(&'/') {
+                    state = State::LineComment;
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && b.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    code.push('"');
+                    state = State::Str;
+                    i += 1;
+                    continue;
+                }
+                if !prev_ident && (c == 'r' || c == 'b') {
+                    // Raw/byte string prefixes: r", r#…#", b", br#…#".
+                    let mut j = i + 1;
+                    let mut raw = c == 'r';
+                    if c == 'b' && b.get(j) == Some(&'r') {
+                        raw = true;
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while raw && b.get(j) == Some(&'#') {
+                        j += 1;
+                        hashes += 1;
+                    }
+                    if b.get(j) == Some(&'"') {
+                        for &p in &b[i..=j] {
+                            code.push(p);
+                        }
+                        state = if raw {
+                            State::RawStr(hashes)
+                        } else {
+                            State::Str
+                        };
+                        i = j + 1;
+                        prev_ident = false;
+                        continue;
+                    }
+                }
+                if c == '\'' {
+                    // Char literal vs lifetime: a literal closes within
+                    // a short lookahead (`'x'`, `'\n'`, `'\u{..}'`).
+                    let look: String = b[i + 1..].iter().take(12).collect();
+                    code.push('\'');
+                    if !prev_ident && is_char_literal(&look) {
+                        state = State::Char;
+                    }
+                    i += 1;
+                    prev_ident = false;
+                    continue;
+                }
+                code.push(c);
+                prev_ident = c.is_alphanumeric() || c == '_';
+                i += 1;
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && b.get(i + 1) == Some(&'/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                match c {
+                    // Skip the escaped char too — except a newline
+                    // (string line-continuation), which must still
+                    // terminate the physical line above.
+                    '\\' if b.get(i + 1).is_some_and(|&n| n != '\n') => i += 1,
+                    '"' => {
+                        code.push('"');
+                        state = State::Normal;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut seen = 0u32;
+                    while seen < hashes && b.get(i + 1 + seen as usize) == Some(&'#') {
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        code.push('"');
+                        state = State::Normal;
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            State::Char => {
+                match c {
+                    '\\' if b.get(i + 1).is_some_and(|&n| n != '\n') => i += 1,
+                    '\'' => {
+                        code.push('\'');
+                        state = State::Normal;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+    }
+    out.push((code, comment));
+    out
+}
+
+/// Whether the text *after* an opening `'` reads as a char literal.
+fn is_char_literal(look: &str) -> bool {
+    let mut cs = look.chars();
+    match cs.next() {
+        None => false,
+        Some('\\') => true, // escape: always a literal
+        Some('\'') => false,
+        Some(_) => cs.next() == Some('\''),
+    }
+}
+
+/// Per-line `#[cfg(test)]` region flags, via brace counting on the
+/// stripped code: the attribute gates the next brace-bearing item (a
+/// `mod tests { ... }` in this workspace) or, braceless, the next item
+/// line alone.
+fn cfg_test_flags(stripped: &[(String, String)]) -> Vec<bool> {
+    let mut flags = vec![false; stripped.len()];
+    let mut depth: i64 = 0;
+    let mut pending = false;
+    // Stack of depths at which a cfg(test) region opened.
+    let mut region_depths: Vec<i64> = Vec::new();
+
+    for (i, (code, _)) in stripped.iter().enumerate() {
+        let trimmed = code.trim();
+        if !region_depths.is_empty() {
+            flags[i] = true;
+        }
+        if trimmed.contains("#[cfg(test)]") || trimmed.contains("#[cfg(all(test") {
+            pending = true;
+            flags[i] = flags[i] || !region_depths.is_empty();
+        } else if pending && !trimmed.is_empty() && !trimmed.starts_with("#[") {
+            flags[i] = true;
+            if trimmed.contains('{') {
+                region_depths.push(depth);
+                pending = false;
+            } else if trimmed.ends_with(';') {
+                // Braceless gated item (`mod x;`, `use ...;`): one line.
+                pending = false;
+            }
+        }
+        for ch in code.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if region_depths.last().is_some_and(|&d| depth <= d) {
+                        region_depths.pop();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    flags
+}
+
+/// Parses `detlint: allow(<rule>[, reason = "..."])` out of comment text.
+fn parse_allow(comment: &str) -> Option<(String, String)> {
+    let start = comment.find("detlint: allow(")?;
+    let body = &comment[start + "detlint: allow(".len()..];
+    let close = body.find(')')?;
+    let inner = &body[..close];
+    let (rule, rest) = match inner.find(',') {
+        Some(c) => (&inner[..c], &inner[c + 1..]),
+        None => (inner, ""),
+    };
+    let rule = rule.trim();
+    // The rule key must look like an id/name — this keeps prose that
+    // merely *mentions* the syntax (`allow(<rule>, ...)`) from parsing.
+    if rule.is_empty()
+        || !rule
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+    {
+        return None;
+    }
+    let reason = rest
+        .trim()
+        .strip_prefix("reason")
+        .and_then(|r| r.trim().strip_prefix('='))
+        .map(|r| r.trim().trim_matches('"').trim().to_owned())
+        .unwrap_or_default();
+    Some((rule.to_owned(), reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let f = SourceFile::scan(
+            "x.rs",
+            "let a = \"HashMap inside\"; // HashMap in comment\nlet b = 1;",
+        );
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].comment.contains("HashMap"));
+        assert!(f.lines[0].code.contains("let a ="));
+        assert_eq!(f.lines[1].code, "let b = 1;");
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let f = SourceFile::scan("x.rs", "a /* x\n /* y */ still\n done */ b");
+        assert_eq!(f.lines[0].code.trim(), "a");
+        assert_eq!(f.lines[1].code.trim(), "");
+        assert_eq!(f.lines[2].code.trim(), "b");
+    }
+
+    #[test]
+    fn raw_strings_and_chars_and_lifetimes() {
+        let f = SourceFile::scan(
+            "x.rs",
+            "let r = r#\"thread_rng\"#; let c = '\"'; fn f<'a>(x: &'a str) {}",
+        );
+        assert!(!f.lines[0].code.contains("thread_rng"));
+        assert!(f.lines[0].code.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_mod_blocks() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn live2() {}";
+        let f = SourceFile::scan("x.rs", src);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_cfg_test).collect();
+        assert_eq!(flags, vec![false, false, true, true, true, false]);
+    }
+
+    #[test]
+    fn string_line_continuations_keep_line_counts() {
+        let src = "let s = \"a \\\n   b\";\nlet m = HashMap::new();";
+        let f = SourceFile::scan("x.rs", src);
+        assert_eq!(f.lines.len(), 3);
+        assert!(f.lines[2].code.contains("HashMap"));
+    }
+
+    #[test]
+    fn suppressions_bind_to_trailing_or_next_line() {
+        let src = "let a = 1; // detlint: allow(R1, reason = \"same line\")\n\
+                   // detlint: allow(wall-clock, reason = \"next line\")\n\
+                   let b = 2;\n\
+                   let c = 3; // detlint: allow(R4)";
+        let f = SourceFile::scan("x.rs", src);
+        let sup = f.suppressions();
+        assert_eq!(sup.len(), 3);
+        assert_eq!((sup[0].target_line, sup[0].rule.as_str()), (1, "R1"));
+        assert_eq!(sup[0].reason, "same line");
+        assert_eq!(
+            (sup[1].target_line, sup[1].rule.as_str()),
+            (3, "wall-clock")
+        );
+        assert_eq!(sup[2].target_line, 4);
+        assert!(sup[2].reason.is_empty(), "missing reason must surface");
+    }
+}

@@ -37,6 +37,14 @@ pub struct CsrDigraph {
     neighbors: Vec<u32>,
 }
 
+/// Checked agent-id narrowing (detlint rule R6): a `usize` id only ever
+/// reaches the `u32` CSR cells after proving it fits, so an `n` beyond
+/// `u32::MAX` panics loudly instead of silently aliasing agent ids.
+#[inline]
+fn agent_u32(i: usize) -> u32 {
+    u32::try_from(i).expect("agent id exceeds u32::MAX")
+}
+
 impl CsrDigraph {
     /// Builds a graph from per-agent in-neighbor lists. Self-loops are
     /// inserted automatically; duplicates are merged; rows are sorted.
@@ -60,9 +68,9 @@ impl CsrDigraph {
                 if j >= n {
                     return Err(DigraphError::BadAgent { agent: j, n });
                 }
-                row.push(j as u32);
+                row.push(agent_u32(j));
             }
-            row.push(i as u32);
+            row.push(agent_u32(i));
             row.sort_unstable();
             row.dedup();
             neighbors.extend_from_slice(&row);
@@ -110,7 +118,7 @@ impl CsrDigraph {
         offsets.push(0);
         let mut neighbors = Vec::with_capacity(g.edge_count());
         for i in 0..n {
-            neighbors.extend(g.in_neighbors(i).map(|j| j as u32));
+            neighbors.extend(g.in_neighbors(i).map(agent_u32));
             offsets.push(neighbors.len());
         }
         CsrDigraph {
@@ -153,9 +161,9 @@ impl CsrDigraph {
         let mut row: Vec<u32> = Vec::with_capacity(k + 1);
         for i in 0..n {
             row.clear();
-            row.push(i as u32);
+            row.push(agent_u32(i));
             for d in 1..=k {
-                row.push(((i + n - d) % n) as u32);
+                row.push(agent_u32((i + n - d) % n));
             }
             row.sort_unstable();
             neighbors.extend_from_slice(&row);
@@ -180,7 +188,7 @@ impl CsrDigraph {
         let offsets = (0..=n).map(|i| i * n).collect();
         let mut neighbors = Vec::with_capacity(n * n);
         for _ in 0..n {
-            neighbors.extend(0..n as u32);
+            neighbors.extend(0..agent_u32(n));
         }
         CsrDigraph {
             n,
@@ -244,7 +252,7 @@ impl CsrDigraph {
     /// Whether `(from, to)` is an edge (`to` hears `from`).
     #[must_use]
     pub fn has_edge(&self, from: Agent, to: Agent) -> bool {
-        self.in_row(to).binary_search(&(from as u32)).is_ok()
+        u32::try_from(from).is_ok_and(|f| self.in_row(to).binary_search(&f).is_ok())
     }
 
     /// Whether the graph is strongly connected (every agent reaches
@@ -273,7 +281,7 @@ impl CsrDigraph {
         let mut outs = vec![0u32; self.neighbors.len()];
         for to in 0..self.n {
             for &from in self.in_row(to) {
-                outs[fill[from as usize]] = to as u32;
+                outs[fill[from as usize]] = agent_u32(to);
                 fill[from as usize] += 1;
             }
         }

@@ -125,7 +125,8 @@ impl MinIndegreeGraphs {
     /// Total number of graphs in the class (`|rows|^n`).
     #[must_use]
     pub fn total(&self) -> u128 {
-        (self.rows0.len() as u128).pow(self.n as u32)
+        let n = u32::try_from(self.n).expect("enumeration capped at n <= 16");
+        (self.rows0.len() as u128).pow(n)
     }
 
     /// Swap bits 0 and i of mask (the agent-i admissible row from a

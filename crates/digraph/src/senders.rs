@@ -71,7 +71,9 @@ impl<'a> SenderSet<'a> {
                 let w = agent / 64;
                 w < words.len() && words[w] & (1u64 << (agent % 64)) != 0
             }
-            SenderSet::Sorted(ids) => ids.binary_search(&(agent as u32)).is_ok(),
+            SenderSet::Sorted(ids) => {
+                u32::try_from(agent).is_ok_and(|a| ids.binary_search(&a).is_ok())
+            }
         }
     }
 

@@ -27,13 +27,14 @@ use consensus_algorithms::{box_diameter, diameter, Point};
 /// metrics need no newtype:
 ///
 /// ```
+/// use consensus_algorithms::float::det_max;
 /// use consensus_algorithms::{Midpoint, Point};
 /// use consensus_digraph::Digraph;
 /// use consensus_dynamics::{metric::Metric, pattern::ConstantPattern, Scenario};
 ///
 /// // Decide when every agent is within ε of agent 0 (a "leader" metric).
 /// let leader = |outs: &[Point<1>]| {
-///     outs.iter().map(|p| p.dist(&outs[0])).fold(0.0, f64::max)
+///     outs.iter().map(|p| p.dist(&outs[0])).fold(0.0, det_max)
 /// };
 /// let inits = [Point([0.0]), Point([1.0]), Point([0.5])];
 /// let mut sc = Scenario::new(Midpoint, &inits)

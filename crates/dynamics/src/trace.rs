@@ -7,6 +7,7 @@
 //! so a [`Trace`] records outputs per round and offers several rate
 //! estimators; the valency-diameter variant lives in `consensus-valency`.
 
+use consensus_algorithms::float::det_max;
 use consensus_algorithms::{diameter, HullPlanes, Point};
 use consensus_digraph::Digraph;
 
@@ -202,7 +203,7 @@ pub fn estimate_rates(diameters: &[f64]) -> RateEstimate {
         .windows(2)
         .filter(|w| w[0] > FLOOR)
         .map(|w| w[1] / w[0])
-        .fold(0.0, f64::max);
+        .fold(0.0, det_max);
     RateEstimate {
         t_root,
         steady_state,

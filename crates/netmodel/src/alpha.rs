@@ -12,7 +12,7 @@
 //! Theorem 5 of the paper: if exact consensus is unsolvable in `N`, every
 //! asymptotic consensus algorithm has contraction rate ≥ `1/(D+1)`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use consensus_digraph::{agents_in, AgentSet, Digraph};
 
@@ -114,7 +114,7 @@ impl AlphaAnalysis {
 
         // Distinct root sets with a witness K for each.
         let mut root_sets: Vec<(AgentSet, usize)> = Vec::new();
-        let mut seen: HashMap<AgentSet, usize> = HashMap::new();
+        let mut seen: BTreeMap<AgentSet, usize> = BTreeMap::new();
         for (ki, k) in graphs.iter().enumerate() {
             let r = k.roots();
             seen.entry(r).or_insert_with(|| {
@@ -127,13 +127,13 @@ impl AlphaAnalysis {
         let mut buckets: Vec<Vec<Vec<u32>>> = Vec::with_capacity(root_sets.len());
         let mut membership: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_graphs];
         for (si, &(s, _)) in root_sets.iter().enumerate() {
-            let mut by_key: HashMap<Vec<AgentSet>, Vec<u32>> = HashMap::new();
+            let mut by_key: BTreeMap<Vec<AgentSet>, Vec<u32>> = BTreeMap::new();
             for (gi, g) in graphs.iter().enumerate() {
                 let key: Vec<AgentSet> = agents_in(s).map(|i| g.in_mask(i)).collect();
                 by_key.entry(key).or_default().push(gi as u32);
             }
             let mut bs: Vec<Vec<u32>> = by_key.into_values().collect();
-            bs.sort(); // stable order for reproducibility
+            bs.sort(); // order by members, not by key: independent of key shape
             for (bi, b) in bs.iter().enumerate() {
                 for &gi in b {
                     membership[gi as usize].push((si as u32, bi as u32));

@@ -71,7 +71,7 @@ fn split_class(
     roots: &[AgentSet],
     class: &[usize],
 ) -> Vec<Vec<usize>> {
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     // Distinct root sets of witnesses inside the class.
     let mut root_sets: Vec<AgentSet> = class.iter().map(|&k| roots[k]).collect();
@@ -96,23 +96,23 @@ fn split_class(
 
     for &s in &root_sets {
         // Graphs with identical in-rows on s belong to one α_{·,K}-clique.
-        let mut by_key: HashMap<Vec<AgentSet>, usize> = HashMap::new();
+        let mut by_key: BTreeMap<Vec<AgentSet>, usize> = BTreeMap::new();
         for (pos, &gi) in class.iter().enumerate() {
             let key: Vec<AgentSet> = agents_in(s).map(|i| graphs[gi].in_mask(i)).collect();
             match by_key.entry(key) {
-                std::collections::hash_map::Entry::Occupied(e) => {
+                std::collections::btree_map::Entry::Occupied(e) => {
                     let a = find(&mut parent, *e.get());
                     let b = find(&mut parent, pos);
                     parent[a.max(b)] = a.min(b);
                 }
-                std::collections::hash_map::Entry::Vacant(e) => {
+                std::collections::btree_map::Entry::Vacant(e) => {
                     e.insert(pos);
                 }
             }
         }
     }
 
-    let mut comps: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut comps: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
     for (pos, &gi) in class.iter().enumerate() {
         let r = find(&mut parent, pos);
         comps.entry(r).or_default().push(gi);

@@ -1,6 +1,6 @@
 //! The [`NetworkModel`] type and the paper's named models.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use consensus_digraph::{enumerate, families, Digraph};
@@ -43,7 +43,7 @@ pub struct NetworkModel {
     name: String,
     n: usize,
     graphs: Vec<Digraph>,
-    index: HashMap<Digraph, usize>,
+    index: BTreeMap<Digraph, usize>,
 }
 
 impl NetworkModel {

@@ -1,0 +1,121 @@
+//! Insertion-order invariance of the α/β aggregation machinery.
+//!
+//! The golden gates byte-pin numbers that flow through
+//! [`NetworkModel`]'s graph indexing and the grouping passes of
+//! [`AlphaAnalysis`] and [`beta::beta_classes`]. Those passes used to
+//! group through `HashMap`s; this suite is the regression net for the
+//! `BTreeMap`/sorted-key rewrite (detlint rule R1): every aggregate the
+//! crate exposes must be **identical** no matter in which order the
+//! graphs were supplied.
+
+use consensus_digraph::Digraph;
+use consensus_netmodel::alpha::AlphaAnalysis;
+use consensus_netmodel::{alpha, beta, NetworkModel};
+use proptest::prelude::*;
+
+/// Deterministic Fisher–Yates driven by a splitmix64 stream, so each
+/// proptest case shuffles differently but reproducibly.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    let mut next = move || {
+        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..items.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// Random n-agent digraph (self-loops enforced) from raw mask bits.
+fn graph_from_bits(n: usize, bits: u64) -> Digraph {
+    let valid = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let masks: Vec<u64> = (0..n)
+        .map(|i| {
+            let mut z = bits.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            (z & valid) | (1u64 << i)
+        })
+        .collect();
+    Digraph::from_in_masks(&masks).expect("masks restricted to n agents")
+}
+
+/// Everything the crate aggregates out of a model, in one comparable bag.
+fn fingerprint(m: &NetworkModel) -> (Vec<Digraph>, Vec<Vec<usize>>, alpha::AlphaDiameter, String) {
+    let analysis = AlphaAnalysis::new(m);
+    let report = beta::analyze(m);
+    (
+        m.graphs().to_vec(),
+        beta::beta_classes(m),
+        analysis.diameter(),
+        format!("{report:?}"),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn model_aggregates_are_insertion_order_invariant(
+        n in 2usize..5,
+        seeds in prop::collection::vec(0u64..u64::MAX, 6),
+        shuffle_seed in 0u64..u64::MAX,
+    ) {
+        let graphs: Vec<Digraph> = seeds.iter().map(|&s| graph_from_bits(n, s)).collect();
+        let reference = NetworkModel::new("ref", graphs.clone()).unwrap();
+
+        let mut shuffled = graphs.clone();
+        shuffle(&mut shuffled, shuffle_seed);
+        // Duplicate a prefix too: dedup must not depend on arrival order.
+        shuffled.extend(graphs.iter().take(2).cloned());
+        let permuted = NetworkModel::new("perm", shuffled).unwrap();
+
+        prop_assert_eq!(fingerprint(&reference), fingerprint(&permuted));
+        // Index lookups agree with positional identity in both models.
+        for (i, g) in reference.graphs().iter().enumerate() {
+            prop_assert_eq!(permuted.index_of(g), Some(i));
+        }
+    }
+
+    #[test]
+    fn alpha_chain_and_membership_stable_under_shuffle(
+        seeds in prop::collection::vec(0u64..u64::MAX, 5),
+        shuffle_seed in 0u64..u64::MAX,
+    ) {
+        let graphs: Vec<Digraph> = seeds.iter().map(|&s| graph_from_bits(3, s)).collect();
+        let a = NetworkModel::new("a", graphs.clone()).unwrap();
+        let mut shuffled = graphs;
+        shuffle(&mut shuffled, shuffle_seed);
+        let b = NetworkModel::new("b", shuffled).unwrap();
+
+        let aa = AlphaAnalysis::new(&a);
+        let ab = AlphaAnalysis::new(&b);
+        prop_assert_eq!(aa.root_sets(), ab.root_sets());
+        for g in 0..a.len() {
+            prop_assert_eq!(aa.distances_from(g), ab.distances_from(g));
+            for h in 0..a.len() {
+                prop_assert_eq!(aa.one_step(g, h), ab.one_step(g, h));
+                prop_assert_eq!(aa.chain(g, h), ab.chain(g, h));
+            }
+        }
+    }
+}
+
+/// The named models of the paper keep their exact published aggregates
+/// after the `BTreeMap` rewrite — a direct pin against silent reordering.
+#[test]
+fn named_model_aggregates_pinned() {
+    let two = NetworkModel::two_agent();
+    assert_eq!(alpha::alpha_diameter(&two), alpha::AlphaDiameter::Finite(2));
+    assert_eq!(beta::beta_classes(&two), vec![vec![0, 1, 2]]);
+    assert!(!beta::exact_consensus_solvable(&two));
+
+    let deaf = NetworkModel::deaf(&Digraph::complete(4));
+    assert_eq!(
+        alpha::alpha_diameter(&deaf),
+        alpha::AlphaDiameter::Finite(1)
+    );
+    assert!(!beta::exact_consensus_solvable(&deaf));
+}

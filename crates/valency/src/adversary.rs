@@ -8,6 +8,7 @@
 //! and picks the best one — exactly the existential step of the proofs,
 //! made constructive by measurement.
 
+use consensus_algorithms::float::det_min;
 use consensus_algorithms::Algorithm;
 use consensus_digraph::{families, Digraph};
 use consensus_dynamics::scenario::Driver;
@@ -246,7 +247,7 @@ impl AdversaryTrace {
             .windows(2)
             .filter(|w| w[0] > 1e-300)
             .map(|w| w[1] / w[0])
-            .fold(f64::INFINITY, f64::min)
+            .fold(f64::INFINITY, det_min)
     }
 
     /// Checks the proofs' invariant `δ̂_k ≥ δ̂_0 · rate^{k·block_len} ·

@@ -14,8 +14,8 @@ use tight_bounds_consensus::netmodel::sampler::NonsplitSampler;
 use tight_bounds_consensus::prelude::*;
 
 fn spread(v: &[f64]) -> f64 {
-    v.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-        - v.iter().cloned().fold(f64::INFINITY, f64::min)
+    let (lo, hi) = det_min_max(v.iter().copied());
+    hi - lo
 }
 
 fn main() {

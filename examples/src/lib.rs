@@ -1,1 +1,4 @@
 //! Shared helpers for the examples (kept intentionally empty; each example is self-contained).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

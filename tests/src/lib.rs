@@ -1,1 +1,4 @@
 //! Integration test support crate; the tests live in `tests/tests/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
