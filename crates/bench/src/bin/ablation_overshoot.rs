@@ -1,4 +1,6 @@
 //! Ablations: non-convex / memory-ful algorithms vs the Theorem 2 bound.
+#![forbid(unsafe_code)]
+
 fn main() {
     println!("{}", consensus_bench::experiments::ablation(false));
 }

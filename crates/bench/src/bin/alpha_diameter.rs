@@ -2,6 +2,8 @@
 //!
 //! Per-model β-class analyses and Lemma-24 chain certificates run as
 //! `consensus-sweep` cells in parallel (β enumeration dominates).
+#![forbid(unsafe_code)]
+
 fn main() {
     println!("{}", consensus_bench::experiments::alpha_diameter_report());
 }

@@ -1,4 +1,6 @@
 //! Asynchronous systems with crashes (Theorems 6–7): the price of rounds.
+#![forbid(unsafe_code)]
+
 fn main() {
     println!(
         "{}",

@@ -2,6 +2,8 @@
 //!
 //! Each (theorem, algorithm) pair is one `consensus-sweep` cell; the
 //! table is assembled from the parallel run in deterministic case order.
+#![forbid(unsafe_code)]
+
 fn main() {
     println!("{}", consensus_bench::experiments::contraction_rates(false));
 }

@@ -2,6 +2,8 @@
 //!
 //! The three adversarial drives (Theorems 1/2/3) are independent
 //! `consensus-sweep` cells executed in parallel.
+#![forbid(unsafe_code)]
+
 fn main() {
     println!(
         "{}",

@@ -2,6 +2,8 @@
 //!
 //! The (theorem × Δ/ε) grid runs as `consensus-sweep` cells in
 //! parallel; the table is assembled in deterministic case order.
+#![forbid(unsafe_code)]
+
 fn main() {
     println!("{}", consensus_bench::experiments::decision_times(false));
 }

@@ -1,4 +1,6 @@
 //! Regenerates Figures 1 and 2 of the paper (ASCII + DOT + checks).
+#![forbid(unsafe_code)]
+
 fn main() {
     println!("{}", consensus_bench::experiments::figures());
 }

@@ -24,6 +24,21 @@
 //!   --multidim      deprecated alias for `--grid multidim`
 //! ```
 //!
+//! Control-plane flags (any of them routes the run through the
+//! checkpointed coordinator — the aggregate JSON stays byte-identical
+//! to the classic path):
+//!
+//! ```text
+//!   --checkpoint PATH     stream finished cells to a resumable .sweepck
+//!   --resume              resume an interrupted run from --checkpoint
+//!   --workers N           run cells in N spawned `sweep-worker` processes
+//!   --metrics-out PATH    write the end-of-run metrics JSON to PATH
+//!   --metrics-addr ADDR   serve live plaintext metrics on ADDR meanwhile
+//!   --stop-after N        stop dispatching after N cells (testing aid)
+//!   --cell-delay-ms MS    stretch every cell by MS ms (CI kill pacing)
+//!   --worker-fail-cells L inject worker failures for cells `a,b,c`
+//! ```
+//!
 //! The CI gate commands (byte-stable against `ci/`):
 //!
 //! ```text
@@ -31,12 +46,27 @@
 //! sweep -- --grid multidim --quick --json          # ci/golden_multidim.json
 //! sweep -- --grid dynamic_rates --quick --json     # ci/golden_dynamic.json
 //! ```
+//!
+//! and the crash-resume gate is the same golden file reached the hard
+//! way: `--golden --json --checkpoint ck`, `SIGKILL` mid-grid, then
+//! `--golden --json --checkpoint ck --resume` — required byte-identical.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use consensus_bench::experiments::{
     dynamic_table, ensemble_table, multidim_table, run_dynamic, run_dynamic_cell, run_ensemble,
     run_ensemble_cell, run_multidim, try_dynamic_spec, try_ensemble_spec, try_multidim_spec,
     GRID_REGISTRY,
 };
+use consensus_bench::orchestrate::AnySpec;
+use tight_bounds_consensus::controlplane::{
+    self, serve_plaintext, Metrics, ProcessPool, RunConfig, WorkerSpawn,
+};
+use tight_bounds_consensus::pool::CancelToken;
 use tight_bounds_consensus::prelude::*;
 
 /// Unwraps a preset/spec lookup, turning an unknown name into the
@@ -55,6 +85,150 @@ fn print_outcome(index: usize, label: &str, seed: u64, o: &CellOutcome) {
     );
 }
 
+/// The control-plane side of the CLI; any set field routes the run
+/// through the checkpointed coordinator instead of the classic
+/// in-process sweep.
+#[derive(Debug, Default)]
+struct ControlFlags {
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+    workers: Option<usize>,
+    metrics_out: Option<String>,
+    metrics_addr: Option<String>,
+    stop_after: Option<u64>,
+    cell_delay_ms: u64,
+    fail_cells: Vec<u64>,
+}
+
+impl ControlFlags {
+    fn engaged(&self) -> bool {
+        self.checkpoint.is_some()
+            || self.resume
+            || self.workers.is_some()
+            || self.metrics_out.is_some()
+            || self.metrics_addr.is_some()
+            || self.stop_after.is_some()
+            || self.cell_delay_ms > 0
+            || !self.fail_cells.is_empty()
+    }
+}
+
+/// Locates the `sweep-worker` binary: the `SWEEP_WORKER` env override,
+/// else the sibling of the running `sweep` binary (both live in the
+/// same cargo target directory).
+fn worker_program() -> PathBuf {
+    if let Ok(p) = std::env::var("SWEEP_WORKER") {
+        return PathBuf::from(p);
+    }
+    let exe = std::env::current_exe().expect("current_exe");
+    let dir = exe.parent().expect("binary has a parent directory");
+    dir.join(format!("sweep-worker{}", std::env::consts::EXE_SUFFIX))
+}
+
+/// Runs the spec through the coordinator (threads or worker processes),
+/// emits the report if the grid completed, and returns the process exit
+/// code: 0 clean/interrupted-with-checkpoint, 1 on failed cells or a
+/// checkpoint error.
+fn run_coordinated(
+    spec: &AnySpec,
+    preset: &str,
+    cf: &ControlFlags,
+    threads: Option<usize>,
+    seed: Option<u64>,
+    emit: impl Fn(&str, String),
+) -> i32 {
+    let plan = spec.plan(preset);
+    let metrics = Arc::new(Metrics::new());
+    let cancel = CancelToken::new();
+    let n_workers = cf.workers.unwrap_or(0);
+    let cfg = RunConfig {
+        threads: if n_workers > 0 {
+            n_workers
+        } else {
+            threads.unwrap_or_else(tight_bounds_consensus::pool::default_threads)
+        },
+        checkpoint: cf.checkpoint.clone(),
+        resume: cf.resume,
+        stop_after: cf.stop_after,
+        cancel: cancel.clone(),
+    };
+    let server = cf.metrics_addr.as_deref().map(|addr| {
+        let s = serve_plaintext(addr, Arc::clone(&metrics), cancel.clone())
+            .expect("failed to bind --metrics-addr");
+        eprintln!("metrics: serving plaintext on http://{}/", s.addr);
+        s
+    });
+
+    let start = Instant::now();
+    let delay = Duration::from_millis(cf.cell_delay_ms);
+    let result = if n_workers > 0 {
+        let mut args = vec![
+            "--grid".into(),
+            spec.grid_name().into(),
+            "--preset".into(),
+            preset.into(),
+        ];
+        if let Some(s) = seed {
+            args.push("--seed".into());
+            args.push(s.to_string());
+        }
+        if cf.cell_delay_ms > 0 {
+            args.push("--cell-delay-ms".into());
+            args.push(cf.cell_delay_ms.to_string());
+        }
+        if !cf.fail_cells.is_empty() {
+            let list: Vec<String> = cf.fail_cells.iter().map(u64::to_string).collect();
+            args.push("--fail-cells".into());
+            args.push(list.join(","));
+        }
+        let pool = ProcessPool::new(
+            WorkerSpawn {
+                program: worker_program(),
+                args,
+            },
+            &metrics,
+        );
+        controlplane::run(&plan, &cfg, &pool, &metrics)
+    } else {
+        let exec = spec.executor(delay);
+        controlplane::run(&plan, &cfg, &exec, &metrics)
+    };
+    let elapsed_ms = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
+
+    cancel.cancel();
+    if let Some(s) = server {
+        s.join();
+    }
+    if let Some(path) = &cf.metrics_out {
+        let snap = metrics.snapshot(n_workers as u64);
+        std::fs::write(path, snap.to_json(Some(elapsed_ms)))
+            .expect("failed to write --metrics-out");
+    }
+
+    let outcome = match result {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    for (cell, error) in &outcome.failed_cells {
+        eprintln!("cell {cell} failed after retry: {error}");
+    }
+    if !outcome.completed {
+        eprintln!(
+            "sweep interrupted after {} of {} cells ({} resumed); rerun with --resume to finish",
+            outcome.resumed + outcome.executed,
+            plan.n_cells,
+            outcome.resumed,
+        );
+        return 0;
+    }
+    let report = spec.report_from_rows(outcome.outcome_rows().expect("completed run has rows"));
+    emit(&report.to_json(), spec.table(&report));
+    i32::from(!outcome.failed_cells.is_empty())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut grid = "ensemble";
@@ -65,6 +239,7 @@ fn main() {
     let mut json_only = false;
     let mut out_path: Option<String> = None;
     let mut replay: Option<usize> = None;
+    let mut cf = ControlFlags::default();
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -113,6 +288,45 @@ fn main() {
                         .expect("--replay needs a cell index"),
                 );
             }
+            "--checkpoint" => {
+                cf.checkpoint = Some(PathBuf::from(it.next().expect("--checkpoint needs a path")));
+            }
+            "--resume" => cf.resume = true,
+            "--workers" => {
+                cf.workers = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .expect("--workers needs a positive number"),
+                );
+            }
+            "--metrics-out" => {
+                cf.metrics_out = Some(it.next().expect("--metrics-out needs a path").clone());
+            }
+            "--metrics-addr" => {
+                cf.metrics_addr = Some(it.next().expect("--metrics-addr needs host:port").clone());
+            }
+            "--stop-after" => {
+                cf.stop_after = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--stop-after needs a cell count"),
+                );
+            }
+            "--cell-delay-ms" => {
+                cf.cell_delay_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--cell-delay-ms needs a number");
+            }
+            "--worker-fail-cells" => {
+                cf.fail_cells = it
+                    .next()
+                    .expect("--worker-fail-cells needs a list `a,b,c`")
+                    .split(',')
+                    .map(|v| v.trim().parse().expect("--worker-fail-cells: bad index"))
+                    .collect();
+            }
             other => {
                 eprintln!("unknown flag `{other}` — see the module docs or --list for usage");
                 std::process::exit(2);
@@ -143,6 +357,18 @@ fn main() {
             }
         }
     };
+
+    if cf.engaged() {
+        if replay.is_some() {
+            eprintln!("--replay is a solo debugging path; drop the control-plane flags");
+            std::process::exit(2);
+        }
+        let mut spec = spec_or_exit(AnySpec::resolve(grid, &preset));
+        if let Some(s) = seed {
+            spec.set_base_seed(s);
+        }
+        std::process::exit(run_coordinated(&spec, &preset, &cf, threads, seed, emit));
+    }
 
     match grid {
         "multidim" => {

@@ -1,4 +1,6 @@
 //! Regenerates Table 1 of the paper (full-effort parameters).
+#![forbid(unsafe_code)]
+
 fn main() {
     println!("{}", consensus_bench::experiments::table1(false));
 }

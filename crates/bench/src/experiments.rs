@@ -830,6 +830,11 @@ pub enum SpecError {
         /// The rejected dimension.
         got: usize,
     },
+    /// The grid name is not in [`GRID_REGISTRY`].
+    UnknownGrid {
+        /// The rejected grid name.
+        got: String,
+    },
 }
 
 impl std::fmt::Display for SpecError {
@@ -842,6 +847,12 @@ impl std::fmt::Display for SpecError {
                 write!(
                     f,
                     "dimension {got} is not in the dispatch set {{1, 2, 3, 4, 8}}"
+                )
+            }
+            SpecError::UnknownGrid { got } => {
+                write!(
+                    f,
+                    "unknown grid `{got}` — run with --list to see the registry"
                 )
             }
         }

@@ -11,4 +11,5 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod orchestrate;
 pub mod tablefmt;

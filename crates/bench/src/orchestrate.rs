@@ -1,0 +1,405 @@
+//! Glue between the experiment grids and the sweep control plane: one
+//! [`AnySpec`] wrapper that gives every registered grid (`ensemble` |
+//! `multidim` | `dynamic_rates`) the same four capabilities the
+//! coordinator needs — a [`SweepPlan`] identity, a [`CellExecutor`],
+//! report assembly from flat outcome rows, and the table renderer.
+//!
+//! The load-bearing invariant: for every grid,
+//!
+//! ```text
+//! report_from_rows(coordinated run rows)  ==  run_<grid>(spec, threads)
+//! ```
+//!
+//! **byte-for-byte** on the JSON — whether the rows came from in-process
+//! threads, spawned worker processes, or a checkpoint resumed across
+//! three kills. The tests at the bottom pin this on the golden presets;
+//! the CI `resume-integrity` job pins it end-to-end against
+//! `ci/golden_sweep.json`.
+//!
+//! This module also hosts the `sweep-worker` serve loop
+//! ([`worker_serve`]) so the worker binary stays a thin `main`.
+
+use std::io::{BufRead as _, Write as _};
+use std::time::Duration;
+
+use tight_bounds_consensus::controlplane::{protocol, CellExecutor, SweepPlan};
+use tight_bounds_consensus::prelude::*;
+use tight_bounds_consensus::sweep::{cell_seed, EnsembleCell};
+
+use crate::experiments::{
+    dynamic_table, ensemble_table, multidim_table, run_dynamic, run_dynamic_cell, run_ensemble,
+    run_ensemble_cell, run_multidim, run_multidim_cell, try_dynamic_spec, try_ensemble_spec,
+    try_multidim_spec, DynamicSpec, EnsembleSpec, MultidimSpec, SpecError,
+};
+
+/// Any registered experiment grid, behind one interface.
+#[derive(Debug, Clone)]
+pub enum AnySpec {
+    /// The scalar averaging ensemble (`--grid ensemble`).
+    Ensemble(EnsembleSpec),
+    /// The `R^d` decision-time grid (`--grid multidim`).
+    Multidim(MultidimSpec),
+    /// The dynamic-network averaging-rate grid (`--grid dynamic_rates`).
+    Dynamic(DynamicSpec),
+}
+
+impl AnySpec {
+    /// Resolves a `(grid, preset)` pair from the registry.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::UnknownGrid`] for an unregistered grid name,
+    /// [`SpecError::UnknownPreset`] for a bad preset within a grid.
+    pub fn resolve(grid: &str, preset: &str) -> Result<AnySpec, SpecError> {
+        match grid {
+            "ensemble" => Ok(AnySpec::Ensemble(try_ensemble_spec(preset)?)),
+            "multidim" => Ok(AnySpec::Multidim(try_multidim_spec(preset)?)),
+            "dynamic_rates" => Ok(AnySpec::Dynamic(try_dynamic_spec(preset)?)),
+            other => Err(SpecError::UnknownGrid { got: other.into() }),
+        }
+    }
+
+    /// The registry name of the wrapped grid.
+    #[must_use]
+    pub fn grid_name(&self) -> &'static str {
+        match self {
+            AnySpec::Ensemble(_) => "ensemble",
+            AnySpec::Multidim(_) => "multidim",
+            AnySpec::Dynamic(_) => "dynamic_rates",
+        }
+    }
+
+    /// The spec's base seed.
+    #[must_use]
+    pub fn base_seed(&self) -> u64 {
+        match self {
+            AnySpec::Ensemble(s) => s.base_seed,
+            AnySpec::Multidim(s) => s.base_seed,
+            AnySpec::Dynamic(s) => s.base_seed,
+        }
+    }
+
+    /// Overrides the base seed (the `--seed` flag).
+    pub fn set_base_seed(&mut self, seed: u64) {
+        match self {
+            AnySpec::Ensemble(s) => s.base_seed = seed,
+            AnySpec::Multidim(s) => s.base_seed = seed,
+            AnySpec::Dynamic(s) => s.base_seed = seed,
+        }
+    }
+
+    /// The number of grid cells.
+    #[must_use]
+    pub fn n_cells(&self) -> usize {
+        match self {
+            AnySpec::Ensemble(s) => s.grid.cells().len(),
+            AnySpec::Multidim(s) => s.grid.cells().len(),
+            AnySpec::Dynamic(s) => s.grid.cells().len(),
+        }
+    }
+
+    /// Outcome rows per cell: 2 for multidim (the matched
+    /// coordinatewise/simplex pair), 1 otherwise.
+    #[must_use]
+    pub fn rows_per_cell(&self) -> usize {
+        match self {
+            AnySpec::Multidim(_) => 2,
+            _ => 1,
+        }
+    }
+
+    /// The coordinator plan (and checkpoint header identity) of this
+    /// spec under the given preset name.
+    #[must_use]
+    pub fn plan(&self, preset: &str) -> SweepPlan {
+        SweepPlan {
+            grid: self.grid_name().into(),
+            preset: preset.into(),
+            base_seed: self.base_seed(),
+            n_cells: self.n_cells(),
+            rows_per_cell: self.rows_per_cell(),
+        }
+    }
+
+    /// An in-process [`CellExecutor`] over this grid (cells
+    /// materialized once). `delay` stretches every cell by a sleep —
+    /// the CI crash-resume job uses it to make a mid-grid `SIGKILL`
+    /// land reliably; zero means no overhead.
+    #[must_use]
+    pub fn executor(&self, delay: Duration) -> GridExecutor<'_> {
+        GridExecutor {
+            spec: self,
+            cells: match self {
+                AnySpec::Ensemble(s) => AnyCells::Ensemble(s.grid.cells()),
+                AnySpec::Multidim(s) => AnyCells::Multidim(s.grid.cells()),
+                AnySpec::Dynamic(s) => AnyCells::Dynamic(s.grid.cells()),
+            },
+            delay,
+        }
+    }
+
+    /// Assembles the grid's [`SweepReport`] from coordinator outcome
+    /// rows (flat, `rows_per_cell` per cell, cell order) — the exact
+    /// labels/seeds layout of the in-process `run_*` functions, so the
+    /// JSON is byte-identical to theirs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() != n_cells * rows_per_cell`.
+    #[must_use]
+    pub fn report_from_rows(&self, rows: Vec<CellOutcome>) -> SweepReport {
+        assert_eq!(
+            rows.len(),
+            self.n_cells() * self.rows_per_cell(),
+            "rows_per_cell rows per grid cell"
+        );
+        match self {
+            AnySpec::Ensemble(s) => {
+                let cells = s.grid.cells();
+                let labels: Vec<String> = cells.iter().map(EnsembleCell::label).collect();
+                let seeds: Vec<u64> = (0..cells.len())
+                    .map(|i| cell_seed(s.base_seed, i as u64))
+                    .collect();
+                SweepReport::new(s.name.clone(), s.base_seed, labels, seeds, rows)
+            }
+            AnySpec::Multidim(s) => {
+                let cells = s.grid.cells();
+                let mut labels = Vec::with_capacity(rows.len());
+                let mut seeds = Vec::with_capacity(rows.len());
+                for (i, cell) in cells.iter().enumerate() {
+                    let seed = cell_seed(s.base_seed, i as u64);
+                    for alg in ["coordinatewise", "simplex"] {
+                        labels.push(format!("{} alg={alg}", cell.label()));
+                        seeds.push(seed);
+                    }
+                }
+                SweepReport::new(s.name.clone(), s.base_seed, labels, seeds, rows)
+            }
+            AnySpec::Dynamic(s) => {
+                let cells = s.grid.cells();
+                let labels: Vec<String> = cells.iter().map(DynamicCell::label).collect();
+                let seeds: Vec<u64> = (0..cells.len())
+                    .map(|i| cell_seed(s.base_seed, i as u64))
+                    .collect();
+                SweepReport::new(s.name.clone(), s.base_seed, labels, seeds, rows)
+            }
+        }
+    }
+
+    /// Renders the grid's human table for a report.
+    #[must_use]
+    pub fn table(&self, report: &SweepReport) -> String {
+        match self {
+            AnySpec::Ensemble(_) => ensemble_table(report),
+            AnySpec::Multidim(s) => multidim_table(s, report),
+            AnySpec::Dynamic(s) => dynamic_table(s, report),
+        }
+    }
+
+    /// The classic in-process path (no checkpoint, no workers): runs
+    /// the grid straight on the sweep pool.
+    #[must_use]
+    pub fn run_in_process(&self, threads: Option<usize>) -> SweepReport {
+        match self {
+            AnySpec::Ensemble(s) => run_ensemble(s, threads),
+            AnySpec::Multidim(s) => run_multidim(s, threads),
+            AnySpec::Dynamic(s) => run_dynamic(s, threads),
+        }
+    }
+}
+
+/// The materialized cell lists behind a [`GridExecutor`].
+#[derive(Debug, Clone)]
+enum AnyCells {
+    Ensemble(Vec<EnsembleCell>),
+    Multidim(Vec<MultidimCell>),
+    Dynamic(Vec<DynamicCell>),
+}
+
+/// An in-process [`CellExecutor`] over one grid: runs the same
+/// `run_*_cell` functions as the classic path, with the same
+/// `(base_seed, cell)`-derived [`CellCtx`], so its rows are bit-
+/// identical to an uncoordinated sweep's.
+#[derive(Debug)]
+pub struct GridExecutor<'s> {
+    spec: &'s AnySpec,
+    cells: AnyCells,
+    delay: Duration,
+}
+
+impl GridExecutor<'_> {
+    /// The outcome rows of one cell (panics propagate; the coordinator
+    /// contains them).
+    #[must_use]
+    pub fn rows(&self, cell: usize) -> Vec<CellOutcome> {
+        let ctx = CellCtx {
+            index: cell,
+            seed: cell_seed(self.spec.base_seed(), cell as u64),
+        };
+        match (&self.cells, self.spec) {
+            (AnyCells::Ensemble(cells), AnySpec::Ensemble(s)) => {
+                vec![run_ensemble_cell(&cells[cell], ctx, s.tol, s.max_rounds)]
+            }
+            (AnyCells::Multidim(cells), AnySpec::Multidim(s)) => {
+                let (cw, sx) = run_multidim_cell(&cells[cell], ctx, s.tol, s.max_rounds);
+                vec![cw, sx]
+            }
+            (AnyCells::Dynamic(cells), AnySpec::Dynamic(s)) => {
+                vec![run_dynamic_cell(&cells[cell], ctx, s.tol, s.max_rounds)]
+            }
+            _ => unreachable!("cells always built from the owning spec"),
+        }
+    }
+}
+
+impl CellExecutor for GridExecutor<'_> {
+    fn run_cell(&self, cell: usize) -> Result<Vec<CellOutcome>, String> {
+        if !self.delay.is_zero() {
+            // Pure pacing for the CI kill window: lengthens wall-clock
+            // time, never touches the data path.
+            std::thread::sleep(self.delay);
+        }
+        Ok(self.rows(cell))
+    }
+}
+
+/// The `sweep-worker` serve loop: one request line in, one response
+/// line out, until stdin closes. `fail_cells` injects `failed`
+/// responses for the named cells (the coordinator-retry test aid —
+/// never used by real runs).
+///
+/// # Errors
+///
+/// Returns the first unrecoverable stdio error.
+pub fn worker_serve(
+    spec: &AnySpec,
+    delay: Duration,
+    fail_cells: &[u64],
+) -> Result<(), std::io::Error> {
+    let exec = spec.executor(delay);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match protocol::decode_request(&line) {
+            Err(e) => protocol::encode_failed(u64::MAX, &format!("bad request: {e}")),
+            Ok(cell) if fail_cells.contains(&cell) => {
+                protocol::encode_failed(cell, "injected failure (--fail-cells)")
+            }
+            Ok(cell) => {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    exec.rows(cell as usize)
+                })) {
+                    Ok(rows) => protocol::encode_done(cell, &rows),
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_owned())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_owned());
+                        protocol::encode_failed(cell, &format!("cell panicked: {msg}"))
+                    }
+                }
+            }
+        };
+        out.write_all(reply.as_bytes())?;
+        out.write_all(b"\n")?;
+        out.flush()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tight_bounds_consensus::controlplane::{self, Metrics, RunConfig};
+
+    #[test]
+    fn resolve_covers_the_registry_and_rejects_strangers() {
+        for (grid, _) in crate::experiments::GRID_REGISTRY {
+            let spec = AnySpec::resolve(grid, "golden").expect("registered grid");
+            assert_eq!(spec.grid_name(), *grid);
+            assert!(spec.n_cells() > 0);
+        }
+        let err = AnySpec::resolve("bogus", "golden").expect_err("unregistered");
+        assert!(err.to_string().contains("unknown grid `bogus`"), "{err}");
+    }
+
+    #[test]
+    fn coordinated_golden_ensemble_matches_the_classic_path_byte_for_byte() {
+        let spec = AnySpec::resolve("ensemble", "golden").expect("golden");
+        let classic = spec.run_in_process(Some(2)).to_json();
+
+        let exec = spec.executor(Duration::ZERO);
+        let out = controlplane::run(
+            &spec.plan("golden"),
+            &RunConfig {
+                threads: 3,
+                ..RunConfig::default()
+            },
+            &exec,
+            &Metrics::new(),
+        )
+        .expect("coordinated run");
+        assert!(out.completed);
+        let coordinated = spec
+            .report_from_rows(out.outcome_rows().expect("complete"))
+            .to_json();
+        assert_eq!(
+            classic, coordinated,
+            "the control plane must not change a single byte of the golden JSON"
+        );
+    }
+
+    #[test]
+    fn multidim_rows_pair_up_exactly_like_run_multidim() {
+        // A deliberately tiny multidim grid so the test stays fast.
+        let spec = AnySpec::Multidim(MultidimSpec {
+            name: "unit".into(),
+            grid: MultidimGrid::new()
+                .dims(&[1, 2])
+                .agents(&[4])
+                .topologies(&[Topology::Rooted { density: 0.5 }])
+                .inits(&[MultidimInitDist::UnitCube])
+                .replicates(2),
+            base_seed: 7,
+            tol: 1e-4,
+            max_rounds: 200,
+        });
+        assert_eq!(spec.rows_per_cell(), 2);
+        let classic = spec.run_in_process(Some(1)).to_json();
+        let exec = spec.executor(Duration::ZERO);
+        let out = controlplane::run(
+            &spec.plan("unit"),
+            &RunConfig::default(),
+            &exec,
+            &Metrics::new(),
+        )
+        .expect("run");
+        let coordinated = spec
+            .report_from_rows(out.outcome_rows().expect("complete"))
+            .to_json();
+        assert_eq!(classic, coordinated);
+    }
+
+    #[test]
+    fn worker_protocol_round_trips_executor_rows() {
+        let spec = AnySpec::resolve("ensemble", "golden").expect("golden");
+        let exec = spec.executor(Duration::ZERO);
+        let rows = exec.rows(3);
+        let line = protocol::encode_done(3, &rows);
+        let protocol::Response::Done { outcomes, .. } =
+            protocol::decode_response(&line).expect("decode")
+        else {
+            panic!("expected done");
+        };
+        for (a, b) in outcomes.iter().zip(&rows) {
+            assert_eq!(a.rate.to_bits(), b.rate.to_bits());
+            assert_eq!(a.fingerprint, b.fingerprint);
+        }
+    }
+}

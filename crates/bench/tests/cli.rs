@@ -1,16 +1,29 @@
-//! End-to-end tests of the `sweep` binary's CLI error handling: an
-//! unknown preset or grid must be a clean usage error — one stderr
-//! line naming the rejected value and the valid set, exit code 2 — and
-//! never a panic with a backtrace.
+//! End-to-end tests of the `sweep` binary's CLI: clean usage errors
+//! (one stderr line, exit code 2, never a backtrace) and the
+//! control-plane paths — checkpoint/resume, spawned worker processes,
+//! injected worker failures, and the metrics snapshot — each pinned
+//! byte-identical to the classic in-process golden JSON.
 
+use std::path::PathBuf;
 use std::process::Command;
 
 fn sweep() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_sweep"))
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_sweep"));
+    // Point the coordinator at the test build of the worker explicitly;
+    // the sibling-of-current-exe default also holds under cargo test,
+    // but the env override keeps the tests independent of bin layout.
+    cmd.env("SWEEP_WORKER", env!("CARGO_BIN_EXE_sweep-worker"));
+    cmd
 }
 
 fn run(args: &[&str]) -> std::process::Output {
     sweep().args(args).output().expect("spawn the sweep bin")
+}
+
+fn tmpfile(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("sweep-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{}-{name}", std::process::id()))
 }
 
 #[test]
@@ -66,4 +79,153 @@ fn named_preset_flag_runs_the_golden_grid() {
         json.contains("\"name\": \"golden\""),
         "--preset golden selects the golden ensemble: {json}"
     );
+}
+
+/// The classic golden JSON, computed once per test that needs it.
+fn classic_golden_json() -> Vec<u8> {
+    let out = run(&["--golden", "--json"]);
+    assert!(out.status.success(), "classic golden run");
+    out.stdout
+}
+
+#[test]
+fn interrupted_checkpoint_run_resumes_to_the_identical_golden_json() {
+    let classic = classic_golden_json();
+    let ck = tmpfile("resume.sweepck");
+    std::fs::remove_file(&ck).ok();
+    let ck_s = ck.to_str().expect("utf8 temp path");
+
+    // Phase 1: stop mid-grid (the deterministic stand-in for SIGKILL —
+    // the CI resume-integrity job does the real kill).
+    let out = run(&[
+        "--golden",
+        "--json",
+        "--checkpoint",
+        ck_s,
+        "--stop-after",
+        "6",
+    ]);
+    assert!(out.status.success(), "interrupted run exits 0");
+    assert!(out.stdout.is_empty(), "no JSON for an incomplete grid");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("rerun with --resume"),
+        "points at resume: {err}"
+    );
+    assert!(ck.exists(), "checkpoint file persisted");
+
+    // Phase 2: resume at a different thread count — byte-identical.
+    let out = run(&[
+        "--golden",
+        "--json",
+        "--checkpoint",
+        ck_s,
+        "--resume",
+        "--threads",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "resume run: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(out.stdout, classic, "resumed JSON is byte-identical");
+
+    // Phase 3: resuming a complete checkpoint is a no-op re-aggregation.
+    let out = run(&["--golden", "--json", "--checkpoint", ck_s, "--resume"]);
+    assert!(out.status.success(), "second resume");
+    assert_eq!(out.stdout, classic, "no-op resume is byte-identical too");
+    std::fs::remove_file(&ck).ok();
+}
+
+#[test]
+fn worker_processes_produce_the_identical_golden_json() {
+    let classic = classic_golden_json();
+    let out = run(&["--golden", "--json", "--workers", "3"]);
+    assert!(
+        out.status.success(),
+        "worker run: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        out.stdout, classic,
+        "worker-computed JSON is byte-identical"
+    );
+}
+
+#[test]
+fn resuming_against_a_different_grid_is_a_clean_error() {
+    let ck = tmpfile("mismatch.sweepck");
+    std::fs::remove_file(&ck).ok();
+    let ck_s = ck.to_str().expect("utf8 temp path");
+    let out = run(&[
+        "--golden",
+        "--json",
+        "--checkpoint",
+        ck_s,
+        "--stop-after",
+        "2",
+    ]);
+    assert!(out.status.success());
+    let out = run(&[
+        "--grid",
+        "dynamic_rates",
+        "--quick",
+        "--json",
+        "--checkpoint",
+        ck_s,
+        "--resume",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "mismatched resume exits 1");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("different sweep"), "names the mismatch: {err}");
+    assert!(!err.contains("panicked"), "no backtrace: {err}");
+    std::fs::remove_file(&ck).ok();
+}
+
+#[test]
+fn injected_worker_failures_surface_as_failed_cells_not_a_crash() {
+    let out = run(&[
+        "--golden",
+        "--json",
+        "--workers",
+        "2",
+        "--worker-fail-cells",
+        "3,7",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "failed cells exit 1");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("cell 3 failed after retry") && err.contains("cell 7 failed after retry"),
+        "both failed cells reported: {err}"
+    );
+    assert!(
+        err.contains("injected failure"),
+        "carries the worker error: {err}"
+    );
+    // The report still aggregates — the two poisoned cells count as
+    // failures, the other 14 are bit-identical to the golden run.
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        json.contains("\"failures\": 2"),
+        "summary counts them: {json}"
+    );
+}
+
+#[test]
+fn metrics_snapshot_is_written_and_accounts_for_every_cell() {
+    let metrics = tmpfile("metrics.json");
+    std::fs::remove_file(&metrics).ok();
+    let out = run(&[
+        "--golden",
+        "--json",
+        "--metrics-out",
+        metrics.to_str().expect("utf8 temp path"),
+    ]);
+    assert!(out.status.success());
+    let snap = std::fs::read_to_string(&metrics).expect("metrics file written");
+    assert!(snap.contains("\"cells_total\": 16"), "{snap}");
+    assert!(snap.contains("\"cells_done\": 16"), "{snap}");
+    assert!(snap.contains("\"cells_failed\": 0"), "{snap}");
+    std::fs::remove_file(&metrics).ok();
 }

@@ -1,0 +1,463 @@
+//! The line-delimited JSON protocol between the coordinator and a
+//! `sweep-worker` process.
+//!
+//! One request line in, one response line out, over the worker's
+//! stdin/stdout — the same one-process-per-pipe shape as an LSP server,
+//! minus the framing headers. The grid, preset, and base seed are fixed
+//! per worker (passed as process arguments at spawn), so a request only
+//! names the cell:
+//!
+//! ```text
+//! → {"cell": 7}
+//! ← {"cell": 7, "status": "done", "outcomes": [{"rate_bits": "3fe0000000000000",
+//!      "decision_round": 12, "rounds": 12, "converged": true,
+//!      "fingerprint": "00000000deadbeef"}]}
+//! ← {"cell": 7, "status": "failed", "error": "..."}        (on a cell error)
+//! ```
+//!
+//! `rate_bits` and `fingerprint` are raw hexadecimal `u64`s — the rate
+//! crosses the pipe as its exact `f64::to_bits` pattern, never as a
+//! decimal, so the process-worker path aggregates **bit**-identically to
+//! the in-process path. The parser below is a minimal hand-rolled JSON
+//! reader (the workspace is offline; no serde): it accepts arbitrary
+//! whitespace and field order but only the scalar shapes this protocol
+//! uses.
+
+use consensus_sweep::CellOutcome;
+
+/// Encodes a cell-dispatch request line (no trailing newline).
+#[must_use]
+pub fn encode_request(cell: u64) -> String {
+    format!("{{\"cell\": {cell}}}")
+}
+
+/// Encodes a success response line for `cell` (no trailing newline).
+#[must_use]
+pub fn encode_done(cell: u64, outcomes: &[CellOutcome]) -> String {
+    let mut out = format!("{{\"cell\": {cell}, \"status\": \"done\", \"outcomes\": [");
+    for (i, o) in outcomes.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let decision = o
+            .decision_round
+            .map_or("null".to_owned(), |d| d.to_string());
+        out.push_str(&format!(
+            "{{\"rate_bits\": \"{:016x}\", \"decision_round\": {decision}, \"rounds\": {}, \"converged\": {}, \"fingerprint\": \"{:016x}\"}}",
+            o.rate.to_bits(),
+            o.rounds,
+            o.converged,
+            o.fingerprint,
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Encodes a failure response line for `cell` (no trailing newline).
+#[must_use]
+pub fn encode_failed(cell: u64, error: &str) -> String {
+    format!(
+        "{{\"cell\": {cell}, \"status\": \"failed\", \"error\": \"{}\"}}",
+        consensus_sweep::report::json_escape(error)
+    )
+}
+
+/// A decoded worker response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The cell ran; its outcome rows, bit-exact.
+    Done {
+        /// The echoed cell index.
+        cell: u64,
+        /// The cell's outcome rows.
+        outcomes: Vec<CellOutcome>,
+    },
+    /// The worker could not run the cell.
+    Failed {
+        /// The echoed cell index.
+        cell: u64,
+        /// The worker's error message.
+        error: String,
+    },
+}
+
+/// Decodes a request line; returns the cell index.
+///
+/// # Errors
+///
+/// Returns a description of the malformed line.
+pub fn decode_request(line: &str) -> Result<u64, String> {
+    let v = Json::parse(line)?;
+    v.field("cell")?.as_u64()
+}
+
+/// Decodes a response line.
+///
+/// # Errors
+///
+/// Returns a description of the malformed line.
+pub fn decode_response(line: &str) -> Result<Response, String> {
+    let v = Json::parse(line)?;
+    let cell = v.field("cell")?.as_u64()?;
+    let status = v.field("status")?.as_str()?;
+    match status {
+        "done" => {
+            let rows = v.field("outcomes")?.as_array()?;
+            let mut outcomes = Vec::with_capacity(rows.len());
+            for row in rows {
+                outcomes.push(CellOutcome {
+                    rate: f64::from_bits(row.field("rate_bits")?.as_hex_u64()?),
+                    decision_round: match row.field("decision_round")? {
+                        Json::Null => None,
+                        other => Some(other.as_u64()?),
+                    },
+                    rounds: row.field("rounds")?.as_u64()?,
+                    converged: row.field("converged")?.as_bool()?,
+                    fingerprint: row.field("fingerprint")?.as_hex_u64()?,
+                });
+            }
+            Ok(Response::Done { cell, outcomes })
+        }
+        "failed" => Ok(Response::Failed {
+            cell,
+            error: v.field("error")?.as_str()?.to_owned(),
+        }),
+        other => Err(format!("unknown response status {other:?}")),
+    }
+}
+
+/// A minimal JSON value: just the shapes the worker protocol uses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number, kept as its source text so `u64`s never round-trip
+    /// through `f64`.
+    Num(String),
+    /// A string literal (escapes resolved).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as ordered key/value pairs (no hash maps — object
+    /// sizes here are tiny and iteration order stays deterministic).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one JSON value spanning the whole input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Looks up a field of an object.
+    ///
+    /// # Errors
+    ///
+    /// Errs when `self` is not an object or the field is absent.
+    pub fn field(&self, name: &str) -> Result<&Json, String> {
+        match self {
+            Json::Obj(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field {name:?}")),
+            _ => Err(format!("expected an object with field {name:?}")),
+        }
+    }
+
+    /// The value as a `u64` (decimal).
+    ///
+    /// # Errors
+    ///
+    /// Errs when the value is not an unsigned decimal number.
+    pub fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            Json::Num(s) => s.parse().map_err(|_| format!("not a u64: {s:?}")),
+            _ => Err("expected a number".to_owned()),
+        }
+    }
+
+    /// The value as a `u64` parsed from a 16-digit hex string (the
+    /// `rate_bits` / `fingerprint` encoding).
+    ///
+    /// # Errors
+    ///
+    /// Errs when the value is not a hex string.
+    pub fn as_hex_u64(&self) -> Result<u64, String> {
+        match self {
+            Json::Str(s) => u64::from_str_radix(s, 16).map_err(|_| format!("not hex: {s:?}")),
+            _ => Err("expected a hex string".to_owned()),
+        }
+    }
+
+    /// The value as a borrowed string.
+    ///
+    /// # Errors
+    ///
+    /// Errs when the value is not a string.
+    pub fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err("expected a string".to_owned()),
+        }
+    }
+
+    /// The value as a bool.
+    ///
+    /// # Errors
+    ///
+    /// Errs when the value is not a bool.
+    pub fn as_bool(&self) -> Result<bool, String> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            _ => Err("expected a bool".to_owned()),
+        }
+    }
+
+    /// The value as a borrowed array.
+    ///
+    /// # Errors
+    ///
+    /// Errs when the value is not an array.
+    pub fn as_array(&self) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            _ => Err("expected an array".to_owned()),
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at offset {pos}", b as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_owned()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let val = parse_value(bytes, pos)?;
+                pairs.push((key, val));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            if *pos == start {
+                return Err(format!("unexpected byte at offset {pos}"));
+            }
+            Ok(Json::Num(
+                std::str::from_utf8(&bytes[start..*pos])
+                    .map_err(|_| "non-UTF-8 number".to_owned())?
+                    .to_owned(),
+            ))
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = Vec::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_owned()),
+            Some(b'"') => {
+                *pos += 1;
+                return String::from_utf8(out).map_err(|_| "non-UTF-8 string".to_owned());
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'/') => out.push(b'/'),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                            16,
+                        )
+                        .map_err(|_| "bad \\u escape")?;
+                        let c = char::from_u32(code).ok_or("bad \\u code point")?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at offset {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(&b) => {
+                out.push(b);
+                *pos += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(rate: f64) -> CellOutcome {
+        CellOutcome {
+            rate,
+            decision_round: Some(12),
+            rounds: 12,
+            converged: true,
+            fingerprint: 0xDEAD_BEEF,
+        }
+    }
+
+    #[test]
+    fn request_round_trips() {
+        assert_eq!(decode_request(&encode_request(7)).unwrap(), 7);
+        assert_eq!(decode_request(" { \"cell\" : 123 } ").unwrap(), 123);
+        assert!(decode_request("{\"cells\": 1}").is_err());
+    }
+
+    #[test]
+    fn done_response_round_trips_bit_exactly() {
+        let outcomes = vec![outcome(1.0 / 3.0), outcome(f64::NAN)];
+        let line = encode_done(9, &outcomes);
+        let Response::Done {
+            cell,
+            outcomes: got,
+        } = decode_response(&line).unwrap()
+        else {
+            panic!("expected done");
+        };
+        assert_eq!(cell, 9);
+        assert_eq!(got.len(), 2);
+        for (a, b) in got.iter().zip(&outcomes) {
+            assert_eq!(a.rate.to_bits(), b.rate.to_bits(), "rate crosses as bits");
+            assert_eq!(a.decision_round, b.decision_round);
+            assert_eq!(a.rounds, b.rounds);
+            assert_eq!(a.converged, b.converged);
+            assert_eq!(a.fingerprint, b.fingerprint);
+        }
+    }
+
+    #[test]
+    fn no_decision_encodes_as_null() {
+        let mut o = outcome(0.5);
+        o.decision_round = None;
+        let line = encode_done(0, &[o]);
+        assert!(line.contains("\"decision_round\": null"), "{line}");
+        let Response::Done { outcomes, .. } = decode_response(&line).unwrap() else {
+            panic!("expected done");
+        };
+        assert_eq!(outcomes[0].decision_round, None);
+    }
+
+    #[test]
+    fn failed_response_round_trips_with_escapes() {
+        let line = encode_failed(3, "panic: \"quoted\"\nsecond line");
+        let Response::Failed { cell, error } = decode_response(&line).unwrap() else {
+            panic!("expected failed");
+        };
+        assert_eq!(cell, 3);
+        assert_eq!(error, "panic: \"quoted\"\nsecond line");
+    }
+
+    #[test]
+    fn malformed_lines_err_cleanly() {
+        assert!(decode_response("").is_err());
+        assert!(decode_response("{").is_err());
+        assert!(decode_response("{\"cell\": 1}").is_err(), "missing status");
+        assert!(
+            decode_response("{\"cell\": 1, \"status\": \"bogus\"}").is_err(),
+            "unknown status"
+        );
+        assert!(Json::parse("{\"a\": 1} trailing").is_err());
+    }
+}

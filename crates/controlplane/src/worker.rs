@@ -1,0 +1,166 @@
+//! Spawned worker processes: the coordinator side of the
+//! `sweep-worker` protocol.
+//!
+//! A [`ProcessPool`] owns a stack of idle worker processes. Dispatching
+//! a cell pops one (spawning lazily if the stack is empty), writes one
+//! request line, reads one response line, and pushes the worker back.
+//! Workers that die mid-cell — crash, kill, malformed output — are
+//! discarded and counted as a restart; the *cell* error is returned to
+//! the coordinator, whose retry policy (once, then `WorkerFailed`)
+//! decides what happens next. A retried cell therefore runs on a fresh
+//! process.
+//!
+//! Workers exit on stdin EOF, so dropping the pool (which drops every
+//! child's stdin) is a clean broadcast shutdown — no signals needed.
+//! Because each cell's result is a pure function of `(grid, preset,
+//! base_seed, cell)`, *which* process runs a cell never matters: the
+//! process path aggregates bit-identically to the in-process path.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::Mutex;
+
+use consensus_sweep::CellOutcome;
+
+use crate::coordinator::CellExecutor;
+use crate::metrics::Metrics;
+use crate::protocol;
+
+/// How to spawn one worker process.
+#[derive(Debug, Clone)]
+pub struct WorkerSpawn {
+    /// The worker binary.
+    pub program: PathBuf,
+    /// Its arguments (grid/preset/seed configuration — fixed per run).
+    pub args: Vec<String>,
+}
+
+/// One live worker process with its pipes.
+#[derive(Debug)]
+struct WorkerProc {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl WorkerProc {
+    fn spawn(spawn: &WorkerSpawn) -> Result<WorkerProc, String> {
+        let mut child = Command::new(&spawn.program)
+            .args(&spawn.args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("cannot spawn worker {}: {e}", spawn.program.display()))?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        Ok(WorkerProc {
+            child,
+            stdin,
+            stdout,
+        })
+    }
+
+    /// One request/response round trip.
+    fn run_cell(&mut self, cell: u64) -> Result<protocol::Response, String> {
+        let mut line = protocol::encode_request(cell);
+        line.push('\n');
+        self.stdin
+            .write_all(line.as_bytes())
+            .and_then(|()| self.stdin.flush())
+            .map_err(|e| format!("worker hung up on request for cell {cell}: {e}"))?;
+        let mut reply = String::new();
+        let n = self
+            .stdout
+            .read_line(&mut reply)
+            .map_err(|e| format!("cannot read worker reply for cell {cell}: {e}"))?;
+        if n == 0 {
+            return Err(format!("worker exited before replying for cell {cell}"));
+        }
+        let resp = protocol::decode_response(reply.trim_end())
+            .map_err(|e| format!("malformed worker reply for cell {cell}: {e}"))?;
+        let echoed = match &resp {
+            protocol::Response::Done { cell, .. } | protocol::Response::Failed { cell, .. } => {
+                *cell
+            }
+        };
+        if echoed != cell {
+            return Err(format!(
+                "worker answered cell {echoed} to a request for cell {cell}"
+            ));
+        }
+        Ok(resp)
+    }
+}
+
+impl Drop for WorkerProc {
+    fn drop(&mut self) {
+        // Closing stdin asks the worker to exit; reap it so no zombies
+        // accumulate over a long sweep.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// A pool of spawned worker processes implementing [`CellExecutor`].
+///
+/// Thread-safe: the idle stack is a mutex, but each round trip happens
+/// *outside* the lock, so `N` coordinator threads drive `N` concurrent
+/// worker processes.
+#[derive(Debug)]
+pub struct ProcessPool<'m> {
+    spawn: WorkerSpawn,
+    idle: Mutex<Vec<WorkerProc>>,
+    metrics: &'m Metrics,
+}
+
+impl<'m> ProcessPool<'m> {
+    /// A pool that spawns workers on demand with the given command
+    /// line, reporting restarts to `metrics`.
+    #[must_use]
+    pub fn new(spawn: WorkerSpawn, metrics: &'m Metrics) -> Self {
+        ProcessPool {
+            spawn,
+            idle: Mutex::new(Vec::new()),
+            metrics,
+        }
+    }
+
+    fn take_worker(&self) -> Result<WorkerProc, String> {
+        if let Some(w) = self.idle.lock().expect("worker stack poisoned").pop() {
+            return Ok(w);
+        }
+        WorkerProc::spawn(&self.spawn)
+    }
+}
+
+impl CellExecutor for ProcessPool<'_> {
+    fn run_cell(&self, cell: usize) -> Result<Vec<CellOutcome>, String> {
+        let mut worker = self.take_worker()?;
+        match worker.run_cell(cell as u64) {
+            Ok(protocol::Response::Done { outcomes, .. }) => {
+                // Healthy worker: back on the stack for the next cell.
+                self.idle
+                    .lock()
+                    .expect("worker stack poisoned")
+                    .push(worker);
+                Ok(outcomes)
+            }
+            Ok(protocol::Response::Failed { error, .. }) => {
+                // The worker survived and reported a cell error; keep it.
+                self.idle
+                    .lock()
+                    .expect("worker stack poisoned")
+                    .push(worker);
+                Err(error)
+            }
+            Err(e) => {
+                // Transport failure: the process is suspect. Drop it
+                // (kill + reap) and let the retry run on a fresh spawn.
+                self.metrics.worker_restart();
+                drop(worker);
+                Err(e)
+            }
+        }
+    }
+}

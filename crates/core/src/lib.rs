@@ -22,6 +22,7 @@
 //! | [`asyncsim`] | `consensus-asyncsim` | asynchronous crashes, round-based executors, MinRelay (Thms 6–7) |
 //! | [`sweep`] | `consensus-sweep` | parallel multi-seed sweep grids, work-stealing pool, ensemble statistics, `R^d` multidim axes |
 //! | [`dynet`] | `consensus-dynet` | dynamic-network adversaries (T-interval, eventually-rooted, bounded churn, adaptive) and the averaging-rate ensemble axes (arXiv:1408.0620) |
+//! | [`controlplane`] | `consensus-controlplane` | checkpointed sweep coordinator: `.sweepck` resume, worker processes, run metrics |
 //!
 //! plus [`bounds`] — every closed-form bound of Table 1 and Theorems
 //! 8–11 as documented, tested functions, and a machine-readable
@@ -54,6 +55,7 @@
 pub use consensus_algorithms as algorithms;
 pub use consensus_approx as approx;
 pub use consensus_asyncsim as asyncsim;
+pub use consensus_controlplane as controlplane;
 pub use consensus_digraph as digraph;
 pub use consensus_dynamics as dynamics;
 pub use consensus_dynet as dynet;
@@ -74,6 +76,7 @@ pub mod prelude {
         SelfWeightedAverage, TrimmedMean, TwoAgentThirds, WindowedMidpoint,
     };
     pub use consensus_approx::{rules as decision_rules, Decider};
+    pub use consensus_controlplane::{CellExecutor, Metrics, RunConfig, SweepPlan};
     pub use consensus_digraph::{families, CsrDigraph, Digraph, RoundTopology, SenderSet, WordSet};
     pub use consensus_dynamics::{
         pattern, scenario, BoxDiameter, DiameterTrace, Execution, HullDiameter, Metric, Scenario,

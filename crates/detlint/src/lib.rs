@@ -15,7 +15,7 @@
 //! | R2 | `float-ordering` | `sort_by`+`partial_cmp`, bare `f64::max`/`f64::min` combinators |
 //! | R3 | `wall-clock` | `Instant::now`/`SystemTime::now` outside `crates/bench` |
 //! | R4 | `unseeded-rng` | `thread_rng`, `from_entropy`, `OsRng`, `rand::random` (everywhere, tests included) |
-//! | R5 | `crate-header` | crate roots missing `#![forbid(unsafe_code)]` |
+//! | R5 | `crate-header` | crate roots (`src/lib.rs`, `src/main.rs`, `src/bin/*`) missing `#![forbid(unsafe_code)]` |
 //! | R6 | `narrowing-cast` | `as u8/u16/u32` on the `digraph`/`dynamics` hot paths |
 //! | S1 | `suppression-reason` | a `detlint: allow(...)` without a written reason |
 //! | S2 | `unused-suppression` | an allow that no longer suppresses anything |

@@ -39,7 +39,7 @@ pub const RULES: &[Rule] = &[
     Rule {
         id: "R5",
         name: "crate-header",
-        desc: "crate root missing the #![forbid(unsafe_code)] header of the workspace deny set",
+        desc: "crate root (src/lib.rs, src/main.rs, or a src/bin/ target) missing the #![forbid(unsafe_code)] header of the workspace deny set",
     },
     Rule {
         id: "R6",
@@ -74,7 +74,10 @@ struct PathClass {
     bench_crate: bool,
     /// Inside the `digraph`/`dynamics` hot-path crates (R6 scope).
     hot_path: bool,
-    /// A crate root (`src/lib.rs`) that must carry the deny header.
+    /// A compilation root — `src/lib.rs`, `src/main.rs`, or a binary
+    /// target under `src/bin/` — that must carry the deny header
+    /// (inner attributes don't cross target boundaries, so every root
+    /// needs its own).
     crate_root: bool,
 }
 
@@ -87,7 +90,9 @@ fn classify(path: &str) -> PathClass {
         test_code: test_dir,
         bench_crate: path.starts_with("crates/bench/"),
         hot_path: path.starts_with("crates/digraph/src") || path.starts_with("crates/dynamics/src"),
-        crate_root: path.ends_with("src/lib.rs"),
+        crate_root: path.ends_with("src/lib.rs")
+            || path.ends_with("src/main.rs")
+            || path.contains("/src/bin/"),
     }
 }
 
@@ -362,6 +367,25 @@ mod tests {
         );
         // Non-root files don't need the header.
         assert!(finding_ids("crates/x/src/a.rs", "pub mod b;").is_empty());
+    }
+
+    #[test]
+    fn r5_covers_binary_roots_too() {
+        // src/main.rs and every src/bin/ target are their own
+        // compilation roots: the lib header doesn't protect them.
+        assert_eq!(
+            finding_ids("crates/x/src/main.rs", "fn main() {}"),
+            vec!["R5"]
+        );
+        assert_eq!(
+            finding_ids("crates/bench/src/bin/sweep.rs", "fn main() {}"),
+            vec!["R5"]
+        );
+        assert!(finding_ids(
+            "crates/bench/src/bin/sweep.rs",
+            "#![forbid(unsafe_code)]\nfn main() {}"
+        )
+        .is_empty());
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! A hand-rolled work-stealing thread pool for embarrassingly parallel
-//! workloads: sweep cell grids and the sharded executor's intra-round
-//! chunks.
+//! workloads: sweep cell grids, the sharded executor's intra-round
+//! chunks, and the sweep control plane's cell dispatch.
 //!
 //! The build environment has no registry access, so instead of `rayon`
-//! this crate implements the minimal scheduler those two consumers
-//! need: every worker owns a deque of job indices (dealt round-robin up
+//! this crate implements the minimal scheduler those consumers need:
+//! every worker owns a deque of job indices (dealt round-robin up
 //! front), pops work from its own front, and when empty steals from the
 //! back of the other workers' deques. All threads are scoped
 //! ([`std::thread::scope`]), so runners may borrow from the caller's
@@ -17,22 +17,60 @@
 //! crate). [`for_each_chunk_mut`] extends the same guarantee to
 //! in-place parallel writes: chunks are disjoint, so any pure-per-slot
 //! writer is deterministic at every worker count.
+//!
+//! Two extensions serve the checkpointing control plane:
+//!
+//! * [`CancelToken`] — a shared stop flag. A cancelled run stops
+//!   *pulling* new jobs but drains the cells already in flight, so a
+//!   coordinator shutdown never tears a half-written result out of a
+//!   worker's hands.
+//! * [`try_run_indexed_observed`] — invokes an observer on the worker
+//!   thread the moment each cell completes (the streaming-checkpoint
+//!   hook), and reports **every** panicking cell, not just the first.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
-/// A cell runner panicked inside the pool.
+/// A shared cancellation flag: cloning yields handles onto the same
+/// flag, so a coordinator can hand one to the pool (and a metrics
+/// server, and a signal hook) and stop them all with one call.
 ///
-/// Identifies *which* cell blew up (the panic payload alone does not:
-/// by the time a scoped-thread join re-raises it, the cell index is
-/// gone). The sweep harness enriches this further with the cell's
-/// derived seed.
+/// Cancellation is *cooperative draining*: a cancelled pool run stops
+/// dispatching queued cells but lets in-flight cells finish, so every
+/// observed result is complete and every checkpoint record is whole.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Raises the flag. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// One panicking cell inside a pool run: the cell index and the
+/// stringified panic payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PoolError {
+pub struct CellPanic {
     /// The index of the cell whose runner panicked.
     pub cell: usize,
     /// The panic payload, stringified (`&str` / `String` payloads are
@@ -40,9 +78,47 @@ pub struct PoolError {
     pub message: String,
 }
 
+/// One or more cell runners panicked inside the pool.
+///
+/// Every panicking cell is collected — a multi-cell failure lists
+/// *all* bad indices in ascending order, so a sweep over a poisoned
+/// grid reports the complete damage in one pass instead of one cell
+/// per re-run. (The panic payload alone cannot identify the cell: by
+/// the time a scoped-thread join re-raises it, the index is gone. The
+/// sweep harness enriches each entry further with the cell's derived
+/// seed.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolError {
+    /// Every panicking cell, ascending by index; never empty.
+    pub failures: Vec<CellPanic>,
+}
+
+impl PoolError {
+    /// The lowest-indexed panicking cell (the head of `failures`).
+    #[must_use]
+    pub fn first(&self) -> &CellPanic {
+        &self.failures[0]
+    }
+
+    /// The panicking cell indices, ascending.
+    #[must_use]
+    pub fn cells(&self) -> Vec<usize> {
+        self.failures.iter().map(|f| f.cell).collect()
+    }
+}
+
 impl std::fmt::Display for PoolError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "cell {} panicked: {}", self.cell, self.message)
+        if self.failures.len() == 1 {
+            let p = &self.failures[0];
+            write!(f, "cell {} panicked: {}", p.cell, p.message)
+        } else {
+            write!(f, "{} cells panicked:", self.failures.len())?;
+            for p in &self.failures {
+                write!(f, " [cell {}: {}]", p.cell, p.message)?;
+            }
+            Ok(())
+        }
     }
 }
 
@@ -68,9 +144,8 @@ fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
 ///
 /// # Panics
 ///
-/// Propagates the first panic of any cell runner, re-raised with the
-/// offending cell index (see [`try_run_indexed`] for the non-panicking
-/// form).
+/// Propagates cell-runner panics, re-raised with every offending cell
+/// index (see [`try_run_indexed`] for the non-panicking form).
 pub fn run_indexed<R, F>(n_cells: usize, threads: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -82,38 +157,99 @@ where
     }
 }
 
-/// Like [`run_indexed`], but a panicking cell runner is reported as a
-/// [`PoolError`] naming the cell instead of tearing the caller down.
+/// Like [`run_indexed`], but panicking cell runners are reported as a
+/// [`PoolError`] naming **every** bad cell instead of tearing the
+/// caller down.
 ///
-/// When several cells panic concurrently, the one with the smallest
-/// index is reported (deterministic regardless of interleaving). The
-/// closure is wrapped in [`AssertUnwindSafe`]: a panicking cell may
-/// leave caller-owned shared state (atomics, mutexes) partially
-/// updated, as with any propagated panic.
+/// All cells run to completion even when some panic (a panicking cell
+/// is caught and recorded, and its worker moves on), so the error is a
+/// complete census of the poisoned cells — deterministic regardless of
+/// interleaving, ascending by index. The closure is wrapped in
+/// [`AssertUnwindSafe`]: a panicking cell may leave caller-owned shared
+/// state (atomics, mutexes) partially updated, as with any propagated
+/// panic.
 ///
 /// # Errors
 ///
-/// Returns the lowest-indexed panicking cell and its panic message.
+/// Returns every panicking cell with its panic message, ascending by
+/// cell index.
 pub fn try_run_indexed<R, F>(n_cells: usize, threads: usize, f: F) -> Result<Vec<R>, PoolError>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    let slots = try_run_indexed_observed(n_cells, threads, &CancelToken::new(), f, |_, _| {})?;
+    // No cancellation and no error ⇒ every cell completed.
+    Ok(slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("cell {i} never ran")))
+        .collect())
+}
+
+/// The streaming, cancellable core of the pool: runs the cells of
+/// `0..n_cells` on up to `threads` workers, invoking `observe(i, &r)`
+/// **on the worker thread** the moment cell `i` completes — the hook a
+/// checkpointing coordinator uses to stream results to disk in
+/// completion order — and stopping the dispatch of *new* cells once
+/// `cancel` is raised (in-flight cells drain and are still observed).
+///
+/// Returns one slot per cell: `Some(result)` for cells that ran,
+/// `None` for cells skipped because of cancellation. Without
+/// cancellation every slot is `Some`.
+///
+/// A panic inside `f` *or* `observe` is recorded against the cell and
+/// the worker moves on; all such cells are reported together.
+///
+/// # Errors
+///
+/// Returns every panicking cell with its panic message, ascending by
+/// cell index.
+pub fn try_run_indexed_observed<R, F, O>(
+    n_cells: usize,
+    threads: usize,
+    cancel: &CancelToken,
+    f: F,
+    observe: O,
+) -> Result<Vec<Option<R>>, PoolError>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+    O: Fn(usize, &R) + Sync,
+{
     let workers = threads.max(1).min(n_cells.max(1));
+    let run_one = |i: usize| -> Result<R, CellPanic> {
+        catch_unwind(AssertUnwindSafe(|| {
+            let r = f(i);
+            observe(i, &r);
+            r
+        }))
+        .map_err(|payload| CellPanic {
+            cell: i,
+            message: payload_message(payload),
+        })
+    };
+
     if workers <= 1 {
-        let mut out = Vec::with_capacity(n_cells);
+        let mut out: Vec<Option<R>> = Vec::with_capacity(n_cells);
+        let mut failures = Vec::new();
         for i in 0..n_cells {
-            match catch_unwind(AssertUnwindSafe(|| f(i))) {
-                Ok(r) => out.push(r),
-                Err(payload) => {
-                    return Err(PoolError {
-                        cell: i,
-                        message: payload_message(payload),
-                    })
+            if cancel.is_cancelled() {
+                out.push(None);
+                continue;
+            }
+            match run_one(i) {
+                Ok(r) => out.push(Some(r)),
+                Err(p) => {
+                    failures.push(p);
+                    out.push(None);
                 }
             }
         }
-        return Ok(out);
+        if failures.is_empty() {
+            return Ok(out);
+        }
+        return Err(PoolError { failures });
     }
 
     // Deal the cells round-robin so every deque starts with work spread
@@ -126,59 +262,48 @@ where
     let deques: Vec<Mutex<VecDeque<usize>>> = deques.into_iter().map(Mutex::new).collect();
 
     let mut collected: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
-    let mut failures: Vec<PoolError> = Vec::new();
+    let mut failures: Vec<CellPanic> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let deques = &deques;
-                let f = &f;
+                let run_one = &run_one;
                 scope.spawn(move || {
                     let mut done: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        let job = next_job(deques, w);
-                        match job {
-                            Some(i) => match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    let mut bad: Vec<CellPanic> = Vec::new();
+                    while !cancel.is_cancelled() {
+                        match next_job(deques, w) {
+                            Some(i) => match run_one(i) {
                                 Ok(r) => done.push((i, r)),
-                                Err(payload) => {
-                                    return (
-                                        done,
-                                        Some(PoolError {
-                                            cell: i,
-                                            message: payload_message(payload),
-                                        }),
-                                    )
-                                }
+                                Err(p) => bad.push(p),
                             },
                             None => break,
                         }
                     }
-                    (done, None)
+                    (done, bad)
                 })
             })
             .collect();
         for h in handles {
-            let (done, err) = h.join().expect("pool worker infrastructure panicked");
+            let (done, bad) = h.join().expect("pool worker infrastructure panicked");
             collected.push(done);
-            failures.extend(err);
+            failures.extend(bad);
         }
     });
 
-    if let Some(err) = failures.into_iter().min_by_key(|e| e.cell) {
-        return Err(err);
+    if !failures.is_empty() {
+        failures.sort_by_key(|p| p.cell);
+        return Err(PoolError { failures });
     }
 
-    // Reassemble in cell order; every index appears exactly once because
+    // Reassemble in cell order; every index appears at most once because
     // jobs are only produced by the up-front deal.
     let mut slots: Vec<Option<R>> = (0..n_cells).map(|_| None).collect();
     for (i, r) in collected.into_iter().flatten() {
         debug_assert!(slots[i].is_none(), "cell {i} ran twice");
         slots[i] = Some(r);
     }
-    Ok(slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, r)| r.unwrap_or_else(|| panic!("cell {i} never ran")))
-        .collect())
+    Ok(slots)
 }
 
 /// Applies `f` to disjoint chunks of `items`, in parallel across up to
@@ -323,20 +448,45 @@ mod tests {
                 i * 10
             })
             .unwrap_err();
-            assert_eq!(err.cell, 5);
+            assert_eq!(err.first().cell, 5);
             assert!(
-                err.message.contains("cell five is poisoned"),
+                err.first().message.contains("cell five is poisoned"),
                 "payload lost: {}",
-                err.message
+                err.first().message
             );
             assert!(err.to_string().contains("cell 5 panicked"));
         }
     }
 
+    /// Regression for the first-panic-only bug: a multi-cell failure
+    /// must list **every** bad cell, not just the lowest-indexed one.
     #[test]
-    fn try_run_reports_lowest_failing_cell() {
+    fn try_run_collects_every_panicking_cell() {
+        for threads in [1, 2, 4] {
+            let err = try_run_indexed(8, threads, |i| {
+                assert!(i != 2 && i != 6, "cell {i} is poisoned");
+                i
+            })
+            .unwrap_err();
+            assert_eq!(err.cells(), vec![2, 6], "threads={threads}");
+            assert!(err.failures[0].message.contains("cell 2 is poisoned"));
+            assert!(err.failures[1].message.contains("cell 6 is poisoned"));
+            let text = err.to_string();
+            assert!(
+                text.contains("2 cells panicked") && text.contains("cell 6"),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_run_reports_all_odd_cells() {
         let err = try_run_indexed(16, 4, |i| assert!(i % 2 == 0, "odd cell {i}")).unwrap_err();
-        assert_eq!(err.cell, 1, "smallest failing index wins");
+        assert_eq!(
+            err.cells(),
+            (0..16).filter(|i| i % 2 == 1).collect::<Vec<_>>()
+        );
+        assert_eq!(err.first().cell, 1, "smallest failing index leads");
     }
 
     #[test]
@@ -354,7 +504,74 @@ mod tests {
             }
         })
         .unwrap_err();
-        assert_eq!(err.message, "seed 42 went bad");
+        assert_eq!(err.first().message, "seed 42 went bad");
+    }
+
+    #[test]
+    fn observer_sees_every_completion_exactly_once() {
+        for threads in [1, 3] {
+            let seen: Vec<AtomicUsize> = (0..33).map(|_| AtomicUsize::new(0)).collect();
+            let out = try_run_indexed_observed(
+                33,
+                threads,
+                &CancelToken::new(),
+                |i| i * 3,
+                |i, r| {
+                    assert_eq!(*r, i * 3, "observer sees the cell's own result");
+                    seen[i].fetch_add(1, Ordering::SeqCst);
+                },
+            )
+            .unwrap();
+            assert!(seen.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+            assert!(out.iter().enumerate().all(|(i, r)| *r == Some(i * 3)));
+        }
+    }
+
+    #[test]
+    fn cancellation_drains_without_new_dispatch() {
+        let cancel = CancelToken::new();
+        let started = AtomicUsize::new(0);
+        let out = try_run_indexed_observed(
+            64,
+            2,
+            &cancel,
+            |i| {
+                started.fetch_add(1, Ordering::SeqCst);
+                if started.load(Ordering::SeqCst) >= 4 {
+                    cancel.cancel();
+                }
+                i
+            },
+            |_, _| {},
+        )
+        .unwrap();
+        let ran = out.iter().filter(|r| r.is_some()).count();
+        assert!(ran >= 4, "the in-flight cells drained: {ran}");
+        assert!(ran < 64, "cancellation stopped new dispatch: {ran}");
+        // Completed slots hold their cell's result; skipped slots are None.
+        for (i, r) in out.iter().enumerate() {
+            if let Some(v) = r {
+                assert_eq!(*v, i);
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_before_start_runs_nothing() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let out = try_run_indexed_observed(8, 3, &cancel, |_| unreachable!("cancelled"), |_, _| {})
+            .unwrap();
+        assert!(out.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
     }
 
     #[test]

@@ -14,7 +14,17 @@
 //!    [`Sweep::run_cell`].
 //! 3. **Replayability** — `run_cell(i, f)` re-executes exactly the cell
 //!    the full run executed at index `i`, same seed, same configuration.
+//!
+//! On top of these, [`Sweep::try_run_where`] is the **checkpointing
+//! hook** used by `consensus-controlplane`: it runs an arbitrary
+//! *subset* of the grid (the cells a checkpoint does not already
+//! cover), streams every completion to an observer the moment it
+//! lands, and honors a [`CancelToken`] so a coordinator shutdown
+//! drains cleanly. Because per-cell seeds depend only on the cell
+//! index, a subset run is bit-identical to the same cells of a full
+//! run — the property that makes cell-exact resume possible at all.
 
+use consensus_pool::CancelToken;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -34,13 +44,12 @@ pub fn cell_seed(base_seed: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// A cell runner panicked during [`Sweep::try_run`].
-///
-/// Carries everything needed to replay the failure solo: the cell
-/// index, the deterministic seed that cell ran with, and the panic
-/// message. `sweep.run_cell(err.cell, runner)` reproduces it exactly.
+/// One panicking cell of a sweep: everything needed to replay the
+/// failure solo — the cell index, the deterministic seed that cell ran
+/// with, and the panic message. `sweep.run_cell(failure.cell, runner)`
+/// reproduces it exactly.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SweepError {
+pub struct CellFailure {
     /// The index of the poisoned cell.
     pub cell: usize,
     /// The seed the poisoned cell ran with
@@ -50,13 +59,94 @@ pub struct SweepError {
     pub message: String,
 }
 
-impl std::fmt::Display for SweepError {
+impl std::fmt::Display for CellFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "sweep cell {} (seed {:#018x}) panicked: {}",
+            "cell {} (seed {:#018x}): {}",
             self.cell, self.seed, self.message
         )
+    }
+}
+
+/// A sweep-level failure.
+///
+/// * [`SweepError::CellsPanicked`] — one or more cell runners
+///   panicked. **Every** panicking cell is listed with its replay seed
+///   (the pool collects them all), so a multi-cell failure is a
+///   complete census, not a one-at-a-time drip.
+/// * [`SweepError::Checkpoint`] — the checkpoint layer rejected
+///   something: an unreadable or corrupted `.sweepck` file, a header
+///   that does not match the sweep being resumed, or an append that
+///   failed mid-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// One or more cell runners panicked; ascending by cell index,
+    /// never empty.
+    CellsPanicked {
+        /// Every panicking cell with its replay seed and message.
+        failures: Vec<CellFailure>,
+    },
+    /// Checkpoint I/O or validation failed.
+    Checkpoint {
+        /// The cell whose record was being written, when applicable.
+        cell: Option<u64>,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl SweepError {
+    /// A checkpoint error not tied to a particular cell.
+    #[must_use]
+    pub fn checkpoint(message: impl Into<String>) -> Self {
+        SweepError::Checkpoint {
+            cell: None,
+            message: message.into(),
+        }
+    }
+
+    /// The per-cell failures (empty for checkpoint errors).
+    #[must_use]
+    pub fn failures(&self) -> &[CellFailure] {
+        match self {
+            SweepError::CellsPanicked { failures } => failures,
+            SweepError::Checkpoint { .. } => &[],
+        }
+    }
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::CellsPanicked { failures } if failures.len() == 1 => {
+                let p = &failures[0];
+                write!(
+                    f,
+                    "sweep cell {} (seed {:#018x}) panicked: {}",
+                    p.cell, p.seed, p.message
+                )
+            }
+            SweepError::CellsPanicked { failures } => {
+                write!(f, "{} sweep cells panicked:", failures.len())?;
+                for p in failures {
+                    write!(f, " [{p}]")?;
+                }
+                Ok(())
+            }
+            SweepError::Checkpoint {
+                cell: Some(c),
+                message,
+            } => {
+                write!(f, "sweep checkpoint error at cell {c}: {message}")
+            }
+            SweepError::Checkpoint {
+                cell: None,
+                message,
+            } => {
+                write!(f, "sweep checkpoint error: {message}")
+            }
+        }
     }
 }
 
@@ -185,15 +275,15 @@ impl<C: Sync> Sweep<C> {
         })
     }
 
-    /// Like [`Sweep::run`], but a panicking cell is reported as a
-    /// [`SweepError`] naming the cell *and its seed* instead of tearing
-    /// the whole sweep down — the error is a ready-made replay recipe
-    /// for [`Sweep::run_cell`].
+    /// Like [`Sweep::run`], but panicking cells are reported as a
+    /// [`SweepError`] naming **every** bad cell *and its seed* instead
+    /// of tearing the whole sweep down — each entry is a ready-made
+    /// replay recipe for [`Sweep::run_cell`].
     ///
     /// # Errors
     ///
-    /// Returns the lowest-indexed panicking cell with its seed and
-    /// panic message.
+    /// Returns every panicking cell with its seed and panic message,
+    /// ascending by cell index.
     pub fn try_run<R, F>(&self, f: F) -> Result<Vec<R>, SweepError>
     where
         R: Send,
@@ -202,11 +292,70 @@ impl<C: Sync> Sweep<C> {
         pool::try_run_indexed(self.cells.len(), self.threads, |i| {
             f(&self.cells[i], self.ctx(i))
         })
-        .map_err(|e| SweepError {
-            cell: e.cell,
-            seed: self.seed_of(e.cell),
-            message: e.message,
-        })
+        .map_err(|e| self.enrich(e))
+    }
+
+    /// The checkpointing entry point: runs only the cells where
+    /// `todo[i]` is `true`, invoking `observe(i, &result)` **on the
+    /// worker thread** the moment cell `i` completes — completion
+    /// order, not cell order — and stopping the dispatch of new cells
+    /// once `cancel` is raised (in-flight cells drain and are still
+    /// observed).
+    ///
+    /// Because every cell's seed depends only on `(base_seed, i)`, the
+    /// subset run is bit-identical to the same cells of a full
+    /// [`Sweep::run`] — this is what makes a checkpoint resume
+    /// cell-exact. Returns one slot per grid cell: `Some` for cells run
+    /// here, `None` for cells skipped (masked out or cancelled).
+    ///
+    /// # Errors
+    ///
+    /// Returns every panicking cell with its seed and panic message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `todo.len() != self.len()`.
+    pub fn try_run_where<R, F, O>(
+        &self,
+        todo: &[bool],
+        cancel: &CancelToken,
+        f: F,
+        observe: O,
+    ) -> Result<Vec<Option<R>>, SweepError>
+    where
+        R: Send,
+        F: Fn(&C, CellCtx) -> R + Sync,
+        O: Fn(usize, &R) + Sync,
+    {
+        assert_eq!(todo.len(), self.cells.len(), "one mask entry per cell");
+        let indices: Vec<usize> = (0..self.cells.len()).filter(|&i| todo[i]).collect();
+        let packed = pool::try_run_indexed_observed(
+            indices.len(),
+            self.threads,
+            cancel,
+            |j| {
+                let i = indices[j];
+                f(&self.cells[i], self.ctx(i))
+            },
+            |j, r| observe(indices[j], r),
+        )
+        .map_err(|e| {
+            self.enrich(consensus_pool::PoolError {
+                failures: e
+                    .failures
+                    .into_iter()
+                    .map(|p| consensus_pool::CellPanic {
+                        cell: indices[p.cell],
+                        message: p.message,
+                    })
+                    .collect(),
+            })
+        })?;
+        let mut out: Vec<Option<R>> = (0..self.cells.len()).map(|_| None).collect();
+        for (j, r) in packed.into_iter().enumerate() {
+            out[indices[j]] = r;
+        }
+        Ok(out)
     }
 
     /// Replays a single cell exactly as the full run executed it (same
@@ -228,6 +377,21 @@ impl<C: Sync> Sweep<C> {
         CellCtx {
             index,
             seed: self.seed_of(index),
+        }
+    }
+
+    /// Maps a pool error onto the sweep's cell seeds.
+    fn enrich(&self, e: consensus_pool::PoolError) -> SweepError {
+        SweepError::CellsPanicked {
+            failures: e
+                .failures
+                .into_iter()
+                .map(|p| CellFailure {
+                    cell: p.cell,
+                    seed: self.seed_of(p.cell),
+                    message: p.message,
+                })
+                .collect(),
         }
     }
 }
@@ -300,13 +464,39 @@ mod tests {
         let err = sweep
             .try_run(|&c, _ctx| assert!(c != 7, "bad cell payload"))
             .unwrap_err();
-        assert_eq!(err.cell, 7);
-        assert_eq!(err.seed, sweep.seed_of(7), "error carries the replay seed");
-        assert!(err.message.contains("bad cell payload"));
+        let failures = err.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].cell, 7);
+        assert_eq!(
+            failures[0].seed,
+            sweep.seed_of(7),
+            "error carries the replay seed"
+        );
+        assert!(failures[0].message.contains("bad cell payload"));
         assert!(err.to_string().contains("sweep cell 7"));
         // The error is a replay recipe: run_cell reproduces the panic.
-        let replay = std::panic::catch_unwind(|| sweep.run_cell(err.cell, |&c, _| c != 7));
+        let replay = std::panic::catch_unwind(|| sweep.run_cell(failures[0].cell, |&c, _| c != 7));
         assert!(replay.is_err() || !replay.unwrap_or(true));
+    }
+
+    /// Regression: a grid with *two* poisoned cells reports both
+    /// `(cell, seed)` pairs in one error.
+    #[test]
+    fn try_run_lists_every_bad_cell_with_its_seed() {
+        let sweep = Sweep::new((0u64..10).collect()).seed(7).threads(4);
+        let err = sweep
+            .try_run(|&c, _ctx| assert!(c != 3 && c != 8, "cell {c} poisoned"))
+            .unwrap_err();
+        let failures = err.failures();
+        assert_eq!(
+            failures.iter().map(|p| p.cell).collect::<Vec<_>>(),
+            vec![3, 8]
+        );
+        assert_eq!(failures[0].seed, sweep.seed_of(3));
+        assert_eq!(failures[1].seed, sweep.seed_of(8));
+        let text = err.to_string();
+        assert!(text.contains("2 sweep cells panicked"), "{text}");
+        assert!(text.contains("cell 8"), "{text}");
     }
 
     #[test]
@@ -315,5 +505,76 @@ mod tests {
         let a = sweep.try_run(|&c, ctx| (c, ctx.seed)).unwrap();
         let b = sweep.run(|&c, ctx| (c, ctx.seed));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn try_run_where_is_bit_identical_to_the_full_run_subset() {
+        let sweep = Sweep::new((0u64..20).collect()).seed(13).threads(4);
+        let full = sweep.run(|&c, ctx| {
+            let mut rng = ctx.rng();
+            (c, ctx.seed, rng.random_range(0.0f64..1.0))
+        });
+        let mask: Vec<bool> = (0..20).map(|i| i % 3 != 1).collect();
+        let subset = sweep
+            .try_run_where(
+                &mask,
+                &CancelToken::new(),
+                |&c, ctx| {
+                    let mut rng = ctx.rng();
+                    (c, ctx.seed, rng.random_range(0.0f64..1.0))
+                },
+                |_, _| {},
+            )
+            .unwrap();
+        for i in 0..20 {
+            if mask[i] {
+                assert_eq!(subset[i], Some(full[i]), "cell {i} resumes bit-identically");
+            } else {
+                assert_eq!(subset[i], None, "masked cell {i} must not run");
+            }
+        }
+    }
+
+    #[test]
+    fn try_run_where_observer_streams_only_todo_cells() {
+        use std::sync::Mutex;
+        let sweep = Sweep::new((0u64..9).collect()).seed(3).threads(2);
+        let mask: Vec<bool> = (0..9).map(|i| i >= 4).collect();
+        let seen = Mutex::new(Vec::new());
+        let _ = sweep
+            .try_run_where(
+                &mask,
+                &CancelToken::new(),
+                |&c, _| c * 2,
+                |i, r| {
+                    seen.lock().unwrap().push((i, *r));
+                },
+            )
+            .unwrap();
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            (4..9).map(|i| (i, i as u64 * 2)).collect::<Vec<_>>(),
+            "observer fires once per todo cell with its result"
+        );
+    }
+
+    #[test]
+    fn try_run_where_reports_original_cell_indices() {
+        let sweep = Sweep::new((0u64..10).collect()).seed(1).threads(2);
+        let mask: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        let err = sweep
+            .try_run_where(
+                &mask,
+                &CancelToken::new(),
+                |&c, _| assert!(c != 6, "poisoned"),
+                |_, _| {},
+            )
+            .unwrap_err();
+        let failures = err.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].cell, 6, "grid index, not subset index");
+        assert_eq!(failures[0].seed, sweep.seed_of(6));
     }
 }

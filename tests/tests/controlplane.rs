@@ -1,0 +1,164 @@
+//! Facade-level integration of the sweep control plane: the prelude
+//! exports (`CellExecutor`, `Metrics`, `RunConfig`, `SweepPlan`)
+//! compose the way the README's "Resumable sweeps" section shows, and
+//! an interrupt/resume cycle through the public API is bit-identical
+//! to an uninterrupted run.
+
+use std::path::PathBuf;
+
+use tight_bounds_consensus::controlplane;
+use tight_bounds_consensus::pool::CancelToken;
+use tight_bounds_consensus::prelude::*;
+use tight_bounds_consensus::sweep::cell_seed;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("controlplane-facade");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{}-{name}.sweepck", std::process::id()))
+}
+
+/// A tiny real workload: midpoint over an ensemble grid's cells, one
+/// row per cell, seeded exactly like a `Sweep` would seed it.
+fn executor(base_seed: u64) -> impl CellExecutor {
+    let cells = EnsembleGrid::new()
+        .agents(&[4, 6])
+        .topologies(&[Topology::Complete, Topology::Rooted { density: 0.4 }])
+        .inits(&[InitDist::Uniform])
+        .params(&[0.5])
+        .replicates(3)
+        .cells();
+    move |cell: usize| -> Result<Vec<CellOutcome>, String> {
+        let ctx = CellCtx {
+            index: cell,
+            seed: cell_seed(base_seed, cell as u64),
+        };
+        let c = &cells[cell];
+        let inits = c.inits(&mut ctx.rng());
+        let mut sc = Scenario::new(Midpoint, &inits)
+            .pattern(c.pattern(ctx.subseed(1)))
+            .decide(1e-6);
+        let decision = sc.decision_round(120);
+        let exec = sc.execution();
+        Ok(vec![CellOutcome {
+            rate: exec.value_diameter(),
+            decision_round: decision,
+            rounds: exec.round(),
+            converged: decision.is_some(),
+            fingerprint: tight_bounds_consensus::sweep::fingerprint(exec.outputs_slice()),
+        }])
+    }
+}
+
+#[test]
+fn prelude_controlplane_quickstart_resumes_bit_identically() {
+    let plan = SweepPlan {
+        grid: "facade".into(),
+        preset: "unit".into(),
+        base_seed: 11,
+        n_cells: 12,
+        rows_per_cell: 1,
+    };
+    let exec = executor(plan.base_seed);
+
+    let fresh =
+        controlplane::run(&plan, &RunConfig::default(), &exec, &Metrics::new()).expect("fresh run");
+    assert!(fresh.completed);
+
+    let ck = tmp("quickstart");
+    std::fs::remove_file(&ck).ok();
+    let interrupted = controlplane::run(
+        &plan,
+        &RunConfig {
+            threads: 2,
+            checkpoint: Some(ck.clone()),
+            stop_after: Some(4),
+            ..RunConfig::default()
+        },
+        &exec,
+        &Metrics::new(),
+    )
+    .expect("interrupted run");
+    assert!(!interrupted.completed);
+
+    let metrics = Metrics::new();
+    let resumed = controlplane::run(
+        &plan,
+        &RunConfig {
+            threads: 3,
+            checkpoint: Some(ck.clone()),
+            resume: true,
+            ..RunConfig::default()
+        },
+        &exec,
+        &metrics,
+    )
+    .expect("resumed run");
+    std::fs::remove_file(&ck).ok();
+    assert!(resumed.completed);
+    assert!(resumed.resumed >= 4, "checkpointed cells were reused");
+
+    let a = fresh.outcome_rows().expect("complete");
+    let b = resumed.outcome_rows().expect("complete");
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.rate.to_bits(), y.rate.to_bits());
+        assert_eq!(x.decision_round, y.decision_round);
+        assert_eq!(x.fingerprint, y.fingerprint);
+    }
+
+    // The metrics snapshot accounts for every cell exactly once.
+    let snap = metrics.snapshot(0);
+    assert_eq!(snap.cells_total, 12);
+    assert_eq!(snap.cells_resumed + snap.cells_done, 12);
+    assert_eq!(snap.cells_failed, 0);
+    let json = snap.to_json(None);
+    assert!(json.contains("\"cells_total\": 12"), "{json}");
+    assert!(
+        json.contains("\"elapsed_ms\": null"),
+        "deterministic without a clock: {json}"
+    );
+}
+
+#[test]
+fn cancellation_leaves_a_resumable_checkpoint_via_the_facade() {
+    let plan = SweepPlan {
+        grid: "facade".into(),
+        preset: "cancel".into(),
+        base_seed: 23,
+        n_cells: 10,
+        rows_per_cell: 1,
+    };
+    let exec = executor(plan.base_seed);
+    let ck = tmp("cancel");
+    std::fs::remove_file(&ck).ok();
+
+    let cancel = CancelToken::new();
+    cancel.cancel(); // cancelled before dispatch: nothing runs, file still valid
+    let out = controlplane::run(
+        &plan,
+        &RunConfig {
+            checkpoint: Some(ck.clone()),
+            cancel,
+            ..RunConfig::default()
+        },
+        &exec,
+        &Metrics::new(),
+    )
+    .expect("cancelled run");
+    assert!(!out.completed);
+    assert_eq!(out.executed, 0);
+
+    let resumed = controlplane::run(
+        &plan,
+        &RunConfig {
+            checkpoint: Some(ck.clone()),
+            resume: true,
+            ..RunConfig::default()
+        },
+        &exec,
+        &Metrics::new(),
+    )
+    .expect("resume after cancel");
+    std::fs::remove_file(&ck).ok();
+    assert!(resumed.completed);
+}
