@@ -54,6 +54,38 @@ pub fn det_min(a: f64, b: f64) -> f64 {
     }
 }
 
+/// The first index attaining the `total_cmp` maximum of a value
+/// iterator, with the value; `None` for an empty iterator.
+///
+/// This is the deterministic argmax the greedy adversaries reduce with:
+/// strictly-greater-wins, so ties keep the **lowest** index — the same
+/// tie-break a serial `d > best` loop produces, which is what lets a
+/// pool-parallel candidate scan reproduce the serial choice bit-for-bit
+/// when the scores are folded back in index order. A NaN score ranks
+/// above every real number in the total order, so corrupted candidates
+/// win the argmax (loudly) instead of being silently skipped; callers on
+/// guarded paths pair this with a debug assertion on NaN.
+///
+/// ```
+/// use consensus_algorithms::float::det_argmax;
+/// assert_eq!(det_argmax([1.0, 3.0, 3.0, 2.0]), Some((1, 3.0)));
+/// assert_eq!(det_argmax(std::iter::empty()), None);
+/// ```
+#[must_use]
+pub fn det_argmax(values: impl IntoIterator<Item = f64>) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, v) in values.into_iter().enumerate() {
+        let better = match best {
+            None => true,
+            Some((_, b)) => v.total_cmp(&b) == Ordering::Greater,
+        };
+        if better {
+            best = Some((i, v));
+        }
+    }
+    best
+}
+
 /// The `(min, max)` of a value iterator in one pass, `total_cmp`-ordered;
 /// `(+∞, -∞)` for an empty iterator (the conventional fold seeds).
 #[must_use]
@@ -92,6 +124,28 @@ mod tests {
     fn signed_zero_is_ordered() {
         assert_eq!(det_max(-0.0, 0.0).to_bits(), 0.0f64.to_bits());
         assert_eq!(det_min(-0.0, 0.0).to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn argmax_keeps_first_index_on_ties() {
+        assert_eq!(det_argmax([0.5, 0.5, 0.5]), Some((0, 0.5)));
+        assert_eq!(det_argmax([0.0, 1.0, 1.0, 0.0]), Some((1, 1.0)));
+        // Matches the serial `d > best` loop seeded at -∞, bit for bit.
+        let data = [0.3, -7.25, 42.0, 42.0, 1e-12];
+        let mut serial = (0usize, f64::NEG_INFINITY);
+        for (i, &d) in data.iter().enumerate() {
+            if d > serial.1 {
+                serial = (i, d);
+            }
+        }
+        assert_eq!(det_argmax(data), Some(serial));
+    }
+
+    #[test]
+    fn argmax_surfaces_nan() {
+        let (i, v) = det_argmax([1.0, f64::NAN, 2.0]).unwrap();
+        assert_eq!(i, 1);
+        assert!(v.is_nan());
     }
 
     #[test]

@@ -167,12 +167,16 @@ impl<const D: usize> IndexMut<usize> for Point<D> {
 
 /// The diameter `diam(A) = sup_{x,y∈A} ‖x − y‖` of a finite point set
 /// (paper §2.1, `Δ(y(t))`). Empty and singleton sets have diameter 0.
+///
+/// The fold uses [`crate::float::det_max`], so a NaN coordinate in the
+/// data yields a NaN diameter instead of being silently dropped — the
+/// adaptive adversaries' argmaxes rely on corrupted forks surfacing.
 #[must_use]
 pub fn diameter<const D: usize>(points: &[Point<D>]) -> f64 {
     let mut best: f64 = 0.0;
     for (i, a) in points.iter().enumerate() {
         for b in &points[i + 1..] {
-            best = best.max(a.dist(b));
+            best = crate::float::det_max(best, a.dist(b));
         }
     }
     best

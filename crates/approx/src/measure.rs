@@ -33,7 +33,9 @@ pub fn minimal_decision_round<A, const D: usize>(
     max_rounds: usize,
 ) -> Option<u64>
 where
-    A: Algorithm<D> + Clone,
+    A: Algorithm<D> + Clone + Sync,
+    A::State: Sync,
+    A::Msg: Sync,
 {
     Scenario::new(alg, inits)
         .adversary(adversary.driver())
@@ -60,7 +62,9 @@ pub fn minimal_decision_round_with<A, M, const D: usize>(
     max_rounds: usize,
 ) -> Option<u64>
 where
-    A: Algorithm<D> + Clone,
+    A: Algorithm<D> + Clone + Sync,
+    A::State: Sync,
+    A::Msg: Sync,
     M: Metric<D>,
 {
     Scenario::new(alg, inits)
@@ -82,7 +86,9 @@ pub fn decision_time_series<A, const D: usize>(
     max_rounds: usize,
 ) -> Vec<(f64, Option<u64>)>
 where
-    A: Algorithm<D> + Clone,
+    A: Algorithm<D> + Clone + Sync,
+    A::State: Sync,
+    A::Msg: Sync,
 {
     let delta = consensus_algorithms::diameter(inits);
     ratios

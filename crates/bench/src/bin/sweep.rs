@@ -8,7 +8,8 @@
 //! ```text
 //! cargo run --release -p consensus-bench --bin sweep -- [FLAGS]
 //!   --grid NAME     which experiment grid to run (see --list):
-//!                   ensemble (default) | multidim | dynamic_rates
+//!                   ensemble (default) | multidim | dynamic_rates |
+//!                   adversary_search
 //!   --list          print the registered grids and exit
 //!   --golden        run the fixed CI preset of the selected grid
 //!   --quick         run the small smoke preset (for `ensemble` this
@@ -45,6 +46,7 @@
 //! sweep -- --golden --json                         # ci/golden_sweep.json
 //! sweep -- --grid multidim --quick --json          # ci/golden_multidim.json
 //! sweep -- --grid dynamic_rates --quick --json     # ci/golden_dynamic.json
+//! sweep -- --grid adversary_search --quick --json  # ci/golden_adversary.json
 //! ```
 //!
 //! and the crash-resume gate is the same golden file reached the hard
@@ -57,6 +59,9 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use consensus_bench::advsearch::{
+    adversary_table, run_adversary, run_adversary_cell, try_adversary_spec,
+};
 use consensus_bench::experiments::{
     dynamic_table, ensemble_table, multidim_table, run_dynamic, run_dynamic_cell, run_ensemble,
     run_ensemble_cell, run_multidim, try_dynamic_spec, try_ensemble_spec, try_multidim_spec,
@@ -400,6 +405,22 @@ fn main() {
             let report = run_multidim(&mspec, threads);
             emit(&report.to_json(), multidim_table(&mspec, &report));
         }
+        "adversary_search" => {
+            let mut aspec = spec_or_exit(try_adversary_spec(&preset));
+            if let Some(s) = seed {
+                aspec.base_seed = s;
+            }
+            if let Some(index) = replay {
+                let sweep = Sweep::new(aspec.cells.clone()).seed(aspec.base_seed);
+                let (label, o) = sweep.run_cell(index, |cell, ctx| {
+                    (cell.label(), run_adversary_cell(cell, ctx))
+                });
+                print_outcome(index, &label, sweep.seed_of(index), &o);
+                return;
+            }
+            let report = run_adversary(&aspec, threads);
+            emit(&report.to_json(), adversary_table(&aspec, &report));
+        }
         "dynamic_rates" => {
             let mut dspec = spec_or_exit(try_dynamic_spec(&preset));
             if let Some(s) = seed {
@@ -437,16 +458,19 @@ fn main() {
             let report = run_ensemble(&spec, threads);
             let mut table = ensemble_table(&report);
             if preset == "quick" && !json_only {
-                // The quick smoke run also exercises the multidimensional
-                // and dynamic-network grids — the R^d separation and the
-                // averaging-rate table at a glance. The --seed override
-                // applies to all three, keeping the tables on the same
+                // The quick smoke run also exercises the multidimensional,
+                // dynamic-network, and adversary-search grids — the R^d
+                // separation, the averaging-rate table, and the adaptive
+                // adversary invariants at a glance. The --seed override
+                // applies to all of them, keeping the tables on the same
                 // base seed.
                 let mut mspec = spec_or_exit(try_multidim_spec("quick"));
                 let mut dspec = spec_or_exit(try_dynamic_spec("quick"));
+                let mut aspec = spec_or_exit(try_adversary_spec("quick"));
                 if let Some(s) = seed {
                     mspec.base_seed = s;
                     dspec.base_seed = s;
+                    aspec.base_seed = s;
                 }
                 let mreport = run_multidim(&mspec, threads);
                 table.push('\n');
@@ -454,6 +478,9 @@ fn main() {
                 let dreport = run_dynamic(&dspec, threads);
                 table.push('\n');
                 table.push_str(&dynamic_table(&dspec, &dreport));
+                let areport = run_adversary(&aspec, threads);
+                table.push('\n');
+                table.push_str(&adversary_table(&aspec, &areport));
             }
             if out_path.is_some() {
                 table.push_str(

@@ -38,7 +38,9 @@ fn run_cases<R: Send>(cases: Vec<Case<R>>) -> Vec<R> {
 
 fn drive_rate<A>(alg: A, adv: &GreedyValencyAdversary, inits: &[Point<1>], steps: usize) -> f64
 where
-    A: Algorithm<1> + Clone,
+    A: Algorithm<1> + Clone + Sync,
+    A::State: Sync,
+    A::Msg: Sync,
 {
     let mut sc = Scenario::new(alg, inits).adversary(adv.driver());
     sc.advance(steps * adv.block_len());
@@ -283,7 +285,7 @@ pub fn contraction_rates(quick: bool) -> String {
 
     /// One Theorem-1 cell (the adversary is rebuilt inside the cell, so
     /// the closure captures only plain data).
-    fn thm1<A: Algorithm<1> + Clone + Sync + 'static>(
+    fn thm1<A: Algorithm<1, State: Sync, Msg: Sync> + Clone + Sync + 'static>(
         name: &'static str,
         alg: A,
         steps: usize,
@@ -301,7 +303,7 @@ pub fn contraction_rates(quick: bool) -> String {
     }
 
     /// One Theorem-2 cell on deaf(K_4).
-    fn thm2<A: Algorithm<1> + Clone + Sync + 'static>(
+    fn thm2<A: Algorithm<1, State: Sync, Msg: Sync> + Clone + Sync + 'static>(
         name: &'static str,
         alg: A,
         steps: usize,
@@ -1670,6 +1672,10 @@ pub const GRID_REGISTRY: &[(&str, &str)] = &[
         "dynamic_rates",
         "averaging rates under dynamic-network adversaries: T-interval, eventually-rooted, bounded churn, diameter-max (presets: quick/golden | full)",
     ),
+    (
+        "adversary_search",
+        "adaptive adversary search: strict-probe theorem adversaries, pooled vs serial candidate forks, beam vs exhaustive rooted argmax (presets: quick/golden | full)",
+    ),
 ];
 
 /// Everything, in paper order (what `cargo bench` prints).
@@ -1863,6 +1869,7 @@ mod tests {
         assert!(names.contains(&"ensemble"));
         assert!(names.contains(&"multidim"));
         assert!(names.contains(&"dynamic_rates"));
+        assert!(names.contains(&"adversary_search"));
         assert!(GRID_REGISTRY.iter().all(|(_, d)| !d.is_empty()));
     }
 

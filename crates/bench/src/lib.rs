@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod advsearch;
 pub mod experiments;
 pub mod orchestrate;
 pub mod tablefmt;

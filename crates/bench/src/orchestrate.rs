@@ -1,6 +1,6 @@
 //! Glue between the experiment grids and the sweep control plane: one
 //! [`AnySpec`] wrapper that gives every registered grid (`ensemble` |
-//! `multidim` | `dynamic_rates`) the same four capabilities the
+//! `multidim` | `dynamic_rates` | `adversary_search`) the same four capabilities the
 //! coordinator needs — a [`SweepPlan`] identity, a [`CellExecutor`],
 //! report assembly from flat outcome rows, and the table renderer.
 //!
@@ -26,6 +26,9 @@ use tight_bounds_consensus::controlplane::{protocol, CellExecutor, SweepPlan};
 use tight_bounds_consensus::prelude::*;
 use tight_bounds_consensus::sweep::{cell_seed, EnsembleCell};
 
+use crate::advsearch::{
+    adversary_table, run_adversary, run_adversary_cell, try_adversary_spec, AdvCell, AdversarySpec,
+};
 use crate::experiments::{
     dynamic_table, ensemble_table, multidim_table, run_dynamic, run_dynamic_cell, run_ensemble,
     run_ensemble_cell, run_multidim, run_multidim_cell, try_dynamic_spec, try_ensemble_spec,
@@ -41,6 +44,8 @@ pub enum AnySpec {
     Multidim(MultidimSpec),
     /// The dynamic-network averaging-rate grid (`--grid dynamic_rates`).
     Dynamic(DynamicSpec),
+    /// The adaptive adversary-search grid (`--grid adversary_search`).
+    Adversary(AdversarySpec),
 }
 
 impl AnySpec {
@@ -55,6 +60,7 @@ impl AnySpec {
             "ensemble" => Ok(AnySpec::Ensemble(try_ensemble_spec(preset)?)),
             "multidim" => Ok(AnySpec::Multidim(try_multidim_spec(preset)?)),
             "dynamic_rates" => Ok(AnySpec::Dynamic(try_dynamic_spec(preset)?)),
+            "adversary_search" => Ok(AnySpec::Adversary(try_adversary_spec(preset)?)),
             other => Err(SpecError::UnknownGrid { got: other.into() }),
         }
     }
@@ -66,6 +72,7 @@ impl AnySpec {
             AnySpec::Ensemble(_) => "ensemble",
             AnySpec::Multidim(_) => "multidim",
             AnySpec::Dynamic(_) => "dynamic_rates",
+            AnySpec::Adversary(_) => "adversary_search",
         }
     }
 
@@ -76,6 +83,7 @@ impl AnySpec {
             AnySpec::Ensemble(s) => s.base_seed,
             AnySpec::Multidim(s) => s.base_seed,
             AnySpec::Dynamic(s) => s.base_seed,
+            AnySpec::Adversary(s) => s.base_seed,
         }
     }
 
@@ -85,6 +93,7 @@ impl AnySpec {
             AnySpec::Ensemble(s) => s.base_seed = seed,
             AnySpec::Multidim(s) => s.base_seed = seed,
             AnySpec::Dynamic(s) => s.base_seed = seed,
+            AnySpec::Adversary(s) => s.base_seed = seed,
         }
     }
 
@@ -95,6 +104,7 @@ impl AnySpec {
             AnySpec::Ensemble(s) => s.grid.cells().len(),
             AnySpec::Multidim(s) => s.grid.cells().len(),
             AnySpec::Dynamic(s) => s.grid.cells().len(),
+            AnySpec::Adversary(s) => s.cells.len(),
         }
     }
 
@@ -133,6 +143,7 @@ impl AnySpec {
                 AnySpec::Ensemble(s) => AnyCells::Ensemble(s.grid.cells()),
                 AnySpec::Multidim(s) => AnyCells::Multidim(s.grid.cells()),
                 AnySpec::Dynamic(s) => AnyCells::Dynamic(s.grid.cells()),
+                AnySpec::Adversary(s) => AnyCells::Adversary(s.cells.clone()),
             },
             delay,
         }
@@ -183,6 +194,13 @@ impl AnySpec {
                     .collect();
                 SweepReport::new(s.name.clone(), s.base_seed, labels, seeds, rows)
             }
+            AnySpec::Adversary(s) => {
+                let labels: Vec<String> = s.cells.iter().map(AdvCell::label).collect();
+                let seeds: Vec<u64> = (0..s.cells.len())
+                    .map(|i| cell_seed(s.base_seed, i as u64))
+                    .collect();
+                SweepReport::new(s.name.clone(), s.base_seed, labels, seeds, rows)
+            }
         }
     }
 
@@ -193,6 +211,7 @@ impl AnySpec {
             AnySpec::Ensemble(_) => ensemble_table(report),
             AnySpec::Multidim(s) => multidim_table(s, report),
             AnySpec::Dynamic(s) => dynamic_table(s, report),
+            AnySpec::Adversary(s) => adversary_table(s, report),
         }
     }
 
@@ -204,6 +223,7 @@ impl AnySpec {
             AnySpec::Ensemble(s) => run_ensemble(s, threads),
             AnySpec::Multidim(s) => run_multidim(s, threads),
             AnySpec::Dynamic(s) => run_dynamic(s, threads),
+            AnySpec::Adversary(s) => run_adversary(s, threads),
         }
     }
 }
@@ -214,6 +234,7 @@ enum AnyCells {
     Ensemble(Vec<EnsembleCell>),
     Multidim(Vec<MultidimCell>),
     Dynamic(Vec<DynamicCell>),
+    Adversary(Vec<AdvCell>),
 }
 
 /// An in-process [`CellExecutor`] over one grid: runs the same
@@ -246,6 +267,9 @@ impl GridExecutor<'_> {
             }
             (AnyCells::Dynamic(cells), AnySpec::Dynamic(s)) => {
                 vec![run_dynamic_cell(&cells[cell], ctx, s.tol, s.max_rounds)]
+            }
+            (AnyCells::Adversary(cells), AnySpec::Adversary(_)) => {
+                vec![run_adversary_cell(&cells[cell], ctx)]
             }
             _ => unreachable!("cells always built from the owning spec"),
         }

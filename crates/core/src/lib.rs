@@ -69,7 +69,7 @@ pub mod bounds;
 /// The things almost every user needs, importable in one line.
 pub mod prelude {
     pub use crate::bounds;
-    pub use consensus_algorithms::float::{det_max, det_min, det_min_max};
+    pub use consensus_algorithms::float::{det_argmax, det_max, det_min, det_min_max};
     pub use consensus_algorithms::{
         Algorithm, AmortizedMidpoint, Inbox, InboxBuffer, MassSplitting, MeanValue, Midpoint,
         MidpointCoordinatewise, MidpointSimplex, Overshoot, Point, QuantizedMidpoint, ScalarKernel,
@@ -83,13 +83,13 @@ pub mod prelude {
         ShardedExecution, Trace,
     };
     pub use consensus_dynet::{
-        AdversaryKind, BoundedChurnAdversary, DiameterMaximiser, DynAdversary, DynamicCell,
-        DynamicGrid, RotatingTreeSchedule, TIntervalAdversary,
+        AdversaryKind, BeamSearch, BoundedChurnAdversary, DiameterMaximiser, DynAdversary,
+        DynamicCell, DynamicGrid, ExhaustiveRooted, RotatingTreeSchedule, TIntervalAdversary,
     };
     pub use consensus_netmodel::{alpha, beta, NetworkModel};
     pub use consensus_sweep::{
         CellCtx, CellOutcome, EnsembleGrid, InitDist, MultidimCell, MultidimGrid, MultidimInitDist,
         Stats, Sweep, SweepReport, SweepSummary, Topology,
     };
-    pub use consensus_valency::{adversary, ProbeSet};
+    pub use consensus_valency::{adversary, ProbeFamily, ProbeSet, ProbeTruncation};
 }

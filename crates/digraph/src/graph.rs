@@ -1,6 +1,7 @@
 //! The core [`Digraph`] type and its operations.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::{Agent, MAX_AGENTS};
 
@@ -58,11 +59,18 @@ impl std::error::Error for DigraphError {}
 ///
 /// Structural equality, ordering and hashing are derived, so graphs can be
 /// used as set/map keys when building network models.
+///
+/// The mask table lives behind an [`Arc`] with copy-on-write mutation:
+/// cloning a graph is a refcount bump (no heap allocation), which is what
+/// keeps the per-round loops of the adaptive adversaries — which commit a
+/// clone of the chosen candidate every round — allocation-free. Mutators
+/// ([`Digraph::add_edge`], [`Digraph::remove_edge`]) detach the storage
+/// on first write, so shared clones never observe each other's edits.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Digraph {
     n: usize,
     /// `in_masks[i]` has bit `j` set iff `(j, i)` is an edge (`i` hears `j`).
-    in_masks: Vec<AgentSet>,
+    in_masks: Arc<Vec<AgentSet>>,
 }
 
 impl Digraph {
@@ -87,8 +95,24 @@ impl Digraph {
         if n == 0 || n > MAX_AGENTS {
             return Err(DigraphError::BadSize(n));
         }
-        let in_masks = (0..n).map(|i| 1u64 << i).collect();
+        let in_masks = Arc::new((0..n).map(|i| 1u64 << i).collect());
         Ok(Digraph { n, in_masks })
+    }
+
+    /// Copy-on-write access to the mask table: detaches the storage from
+    /// any sharing clones before handing out mutable access.
+    #[inline]
+    fn masks_mut(&mut self) -> &mut Vec<AgentSet> {
+        Arc::make_mut(&mut self.in_masks)
+    }
+
+    /// Whether two graphs share the same physical mask storage (i.e. one
+    /// is an unmutated clone of the other). This is the observable form
+    /// of the allocation-free-clone contract: `g.clone()` shares storage
+    /// until the first mutation detaches it.
+    #[must_use]
+    pub fn shares_storage(&self, other: &Digraph) -> bool {
+        Arc::ptr_eq(&self.in_masks, &other.in_masks)
     }
 
     /// Creates the complete graph `K_n` (every agent hears every agent).
@@ -100,7 +124,7 @@ impl Digraph {
     pub fn complete(n: usize) -> Self {
         let mut g = Digraph::empty(n);
         let all = full_mask(n);
-        for m in &mut g.in_masks {
+        for m in g.masks_mut() {
             *m = all;
         }
         g
@@ -119,6 +143,7 @@ impl Digraph {
         edges: impl IntoIterator<Item = (Agent, Agent)>,
     ) -> Result<Self, DigraphError> {
         let mut g = Digraph::try_empty(n)?;
+        let masks = g.masks_mut();
         for (from, to) in edges {
             if from >= n {
                 return Err(DigraphError::BadAgent { agent: from, n });
@@ -126,7 +151,7 @@ impl Digraph {
             if to >= n {
                 return Err(DigraphError::BadAgent { agent: to, n });
             }
-            g.in_masks[to] |= 1u64 << from;
+            masks[to] |= 1u64 << from;
         }
         Ok(g)
     }
@@ -145,11 +170,13 @@ impl Digraph {
             return Err(DigraphError::BadSize(n));
         }
         let all = full_mask(n);
-        let in_masks = masks
-            .iter()
-            .enumerate()
-            .map(|(i, &m)| (m | (1u64 << i)) & all)
-            .collect();
+        let in_masks = Arc::new(
+            masks
+                .iter()
+                .enumerate()
+                .map(|(i, &m)| (m | (1u64 << i)) & all)
+                .collect(),
+        );
         Ok(Digraph { n, in_masks })
     }
 
@@ -245,7 +272,7 @@ impl Digraph {
     /// Panics if an endpoint is out of range.
     pub fn add_edge(&mut self, from: Agent, to: Agent) {
         assert!(from < self.n && to < self.n, "edge endpoint out of range");
-        self.in_masks[to] |= 1u64 << from;
+        self.masks_mut()[to] |= 1u64 << from;
     }
 
     /// Removes the edge `(from, to)`. Self-loops cannot be removed; asking
@@ -257,7 +284,7 @@ impl Digraph {
     pub fn remove_edge(&mut self, from: Agent, to: Agent) {
         assert!(from < self.n && to < self.n, "edge endpoint out of range");
         if from != to {
-            self.in_masks[to] &= !(1u64 << from);
+            self.masks_mut()[to] &= !(1u64 << from);
         }
     }
 
@@ -301,9 +328,11 @@ impl Digraph {
     #[must_use]
     pub fn product(&self, other: &Digraph) -> Digraph {
         assert_eq!(self.n, other.n, "product of graphs of different sizes");
-        let in_masks = (0..self.n)
-            .map(|j| self.in_union(other.in_masks[j]))
-            .collect();
+        let in_masks = Arc::new(
+            (0..self.n)
+                .map(|j| self.in_union(other.in_masks[j]))
+                .collect(),
+        );
         Digraph {
             n: self.n,
             in_masks,
@@ -324,7 +353,7 @@ impl Digraph {
         assert_eq!(self.n, other.n, "difference of graphs of different sizes");
         self.in_masks
             .iter()
-            .zip(&other.in_masks)
+            .zip(other.in_masks.iter())
             .map(|(&a, &b)| (a ^ b).count_ones() as usize)
             .sum()
     }
@@ -337,12 +366,13 @@ impl Digraph {
     #[must_use]
     pub fn union(&self, other: &Digraph) -> Digraph {
         assert_eq!(self.n, other.n, "union of graphs of different sizes");
-        let in_masks = self
-            .in_masks
-            .iter()
-            .zip(&other.in_masks)
-            .map(|(&a, &b)| a | b)
-            .collect();
+        let in_masks = Arc::new(
+            self.in_masks
+                .iter()
+                .zip(other.in_masks.iter())
+                .map(|(&a, &b)| a | b)
+                .collect(),
+        );
         Digraph {
             n: self.n,
             in_masks,
@@ -435,7 +465,7 @@ impl Digraph {
     pub fn make_deaf(&self, i: Agent) -> Digraph {
         assert!(i < self.n, "agent {i} out of range");
         let mut g = self.clone();
-        g.in_masks[i] = 1u64 << i;
+        g.masks_mut()[i] = 1u64 << i;
         g
     }
 
@@ -704,5 +734,32 @@ mod tests {
     fn agents_in_iterates_ascending() {
         let v: Vec<_> = agents_in(0b10110).collect();
         assert_eq!(v, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn clone_shares_storage_until_mutation() {
+        // The allocation-free-clone contract the adaptive adversary
+        // loops rely on: a clone is a refcount bump, and the first
+        // mutation detaches it without touching the original.
+        let g = Digraph::complete(5);
+        let mut h = g.clone();
+        assert!(g.shares_storage(&h), "unmutated clone must share storage");
+        h.remove_edge(0, 1);
+        assert!(!g.shares_storage(&h), "mutation must detach the clone");
+        assert!(g.has_edge(0, 1), "original must be unaffected");
+        assert!(!h.has_edge(0, 1));
+        // A clone of the mutated graph shares the *new* storage.
+        let h2 = h.clone();
+        assert!(h2.shares_storage(&h));
+        assert!(!h2.shares_storage(&g));
+    }
+
+    #[test]
+    fn make_deaf_detaches_storage() {
+        let g = Digraph::complete(4);
+        let f = g.make_deaf(2);
+        assert!(!f.shares_storage(&g));
+        assert!(f.is_deaf(2));
+        assert!(!g.is_deaf(2));
     }
 }

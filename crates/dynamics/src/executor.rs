@@ -136,16 +136,26 @@ impl<A: Algorithm<D>, const D: usize> Execution<A, D> {
     }
 
     /// Runs under `pattern` until the spread drops to ≤ `tol` (or
-    /// `max_rounds` elapse) and returns the common limit estimate (the
-    /// centroid of the final outputs). Used by the valency engine as
-    /// "the limit of this continuation"; records no trace and performs
-    /// no per-round allocation beyond the pattern's own graphs.
+    /// `max_rounds` elapse) and returns the limit estimate (the centroid
+    /// of the final outputs) **together with its convergence status**.
+    /// Used by the valency engine as "the limit of this continuation";
+    /// records no trace and performs no per-round allocation beyond the
+    /// pattern's own graphs.
+    ///
+    /// [`LimitEstimate::converged`] reports whether the spread actually
+    /// reached `tol` within the horizon. A truncated probe (`converged ==
+    /// false`) returns the centroid of a configuration that is still
+    /// spread out, which is *not* a reachable limit — silently treating
+    /// it as one is exactly the bug that can make a valency
+    /// under-approximation `δ̂` unsound, so callers must check the flag
+    /// (or run in a strict mode that refuses truncated probes).
     pub fn limit_estimate<P: PatternSource>(
         &mut self,
         pattern: &mut P,
         tol: f64,
         max_rounds: usize,
-    ) -> Point<D> {
+    ) -> LimitEstimate<D> {
+        let start = self.round;
         for _ in 0..max_rounds {
             if self.value_diameter() <= tol {
                 break;
@@ -157,8 +167,32 @@ impl<A: Algorithm<D>, const D: usize> Execution<A, D> {
         for p in &self.outs {
             acc += *p;
         }
-        acc * (1.0 / self.outs.len() as f64)
+        LimitEstimate {
+            point: acc * (1.0 / self.outs.len() as f64),
+            converged: self.value_diameter() <= tol,
+            rounds: self.round - start,
+        }
     }
+}
+
+/// The result of [`Execution::limit_estimate`]: the centroid of the
+/// final configuration plus whether the run actually converged.
+///
+/// The centroid is only a trustworthy "limit of this continuation" when
+/// [`LimitEstimate::converged`] is `true`; otherwise the probe horizon
+/// expired first and the point is the centre of a configuration that is
+/// still `> tol` wide.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LimitEstimate<const D: usize> {
+    /// Centroid of the final outputs.
+    pub point: Point<D>,
+    /// Whether the value spread reached the tolerance within the
+    /// horizon. `false` means the estimate is truncated: the point is
+    /// **not** a certified reachable limit.
+    pub converged: bool,
+    /// Rounds actually executed by the probe (`≤ max_rounds`; fewer on
+    /// early convergence).
+    pub rounds: u64,
 }
 
 impl<A: Algorithm<1, Msg = Point<1>>> Execution<A, 1> {
@@ -299,7 +333,22 @@ mod tests {
         let mut e = Execution::new(Midpoint, &pts(&[0.0, 1.0]));
         let mut p = ConstantPattern::new(Digraph::complete(2));
         let lim = e.limit_estimate(&mut p, 1e-12, 100);
-        assert!((lim[0] - 0.5).abs() < 1e-9);
+        assert!((lim.point[0] - 0.5).abs() < 1e-9);
+        assert!(lim.converged);
+        assert!(lim.rounds < 100, "clique converges early");
+    }
+
+    #[test]
+    fn limit_estimate_reports_truncation() {
+        // The empty graph never contracts: the horizon expires with the
+        // spread intact, and the estimate must say so instead of
+        // passing its centroid off as a reachable limit.
+        let mut e = Execution::new(Midpoint, &pts(&[0.0, 1.0]));
+        let mut p = ConstantPattern::new(Digraph::empty(2));
+        let lim = e.limit_estimate(&mut p, 1e-12, 50);
+        assert!(!lim.converged, "deaf-everywhere pattern cannot converge");
+        assert_eq!(lim.rounds, 50, "the whole horizon must be spent");
+        assert!((lim.point[0] - 0.5).abs() < 1e-9, "centroid still reported");
     }
 
     #[test]

@@ -59,7 +59,7 @@ mod sharded;
 mod trace;
 
 pub use diameter_trace::DiameterTrace;
-pub use executor::Execution;
+pub use executor::{Execution, LimitEstimate};
 pub use metric::{BoxDiameter, HullDiameter, Metric};
 pub use scenario::{FaultyScenario, Scenario};
 pub use sharded::{ShardedExecution, DEFAULT_CHUNK};

@@ -1,6 +1,7 @@
 //! The adaptive diameter-maximising driver: a greedy value-aware
 //! adversary over a fixed candidate graph set.
 
+use consensus_algorithms::float::det_argmax;
 use consensus_algorithms::Algorithm;
 use consensus_digraph::{enumerate, families, Digraph};
 use consensus_dynamics::scenario::Driver;
@@ -26,6 +27,7 @@ use consensus_dynamics::Execution;
 #[derive(Debug, Clone)]
 pub struct DiameterMaximiser {
     candidates: Vec<Digraph>,
+    fork_threads: usize,
 }
 
 impl DiameterMaximiser {
@@ -42,7 +44,27 @@ impl DiameterMaximiser {
             candidates.iter().all(|g| g.n() == n),
             "mixed candidate graph sizes"
         );
-        DiameterMaximiser { candidates }
+        DiameterMaximiser {
+            candidates,
+            fork_threads: 1,
+        }
+    }
+
+    /// Dispatches the per-round candidate forks onto `threads` pool
+    /// workers (`0` means [`consensus_pool::default_threads`]; the
+    /// default `1` evaluates candidates serially in the caller's
+    /// thread). Scores are reduced back **in candidate index order**
+    /// with a strictly-greater-wins argmax, so the committed graph — and
+    /// hence the entire adversarial schedule — is bit-for-bit identical
+    /// at every thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.fork_threads = if threads == 0 {
+            consensus_pool::default_threads()
+        } else {
+            threads
+        };
+        self
     }
 
     /// The candidate set `deaf(K_n) = {F_1, …, F_n}` (§5 of the source
@@ -64,12 +86,15 @@ impl DiameterMaximiser {
     /// # Panics
     ///
     /// Panics if `n ∉ 1..=4` (the class has `2^{n(n−1)}` members; the
-    /// cap keeps the per-round probe cost sane).
+    /// cap keeps the per-round probe cost sane). For larger `n` use the
+    /// seeded [`crate::BeamSearch`] driver, which explores the rooted
+    /// class incrementally instead of enumerating it.
     #[must_use]
     pub fn all_rooted(n: usize) -> Self {
         assert!(
             (1..=4).contains(&n),
-            "rooted enumeration is capped at n ≤ 4 (got n = {n})"
+            "rooted enumeration is capped at n ≤ 4 (got n = {n}); \
+             use BeamSearch for larger n"
         );
         Self::from_candidates(enumerate::rooted_graphs(n).collect())
     }
@@ -83,20 +108,26 @@ impl DiameterMaximiser {
 
 impl<A, const D: usize> Driver<A, D> for DiameterMaximiser
 where
-    A: Algorithm<D> + Clone,
+    A: Algorithm<D> + Clone + Sync,
+    A::State: Sync,
+    A::Msg: Sync,
 {
     fn next_block(&mut self, exec: &Execution<A, D>, out: &mut Vec<Digraph>) {
-        let mut best = 0;
-        let mut best_diameter = f64::NEG_INFINITY;
-        for (i, g) in self.candidates.iter().enumerate() {
+        let score = |i: usize| {
             let mut fork = exec.clone();
-            fork.step(g);
-            let d = fork.value_diameter();
-            if d > best_diameter {
-                best_diameter = d;
-                best = i;
-            }
-        }
+            fork.step(&self.candidates[i]);
+            fork.value_diameter()
+        };
+        let diameters: Vec<f64> = if self.fork_threads > 1 {
+            consensus_pool::run_indexed(self.candidates.len(), self.fork_threads, score)
+        } else {
+            (0..self.candidates.len()).map(score).collect()
+        };
+        let (best, d) = det_argmax(diameters).expect("at least one candidate");
+        debug_assert!(
+            !d.is_nan(),
+            "candidate {best} produced a NaN value diameter"
+        );
         out.push(self.candidates[best].clone());
     }
 }
@@ -169,5 +200,69 @@ mod tests {
     #[should_panic(expected = "at least one candidate")]
     fn empty_candidate_set_rejected() {
         let _ = DiameterMaximiser::from_candidates(vec![]);
+    }
+
+    #[test]
+    fn pooled_forks_match_serial_bit_for_bit() {
+        let n = 6;
+        let rounds = 8;
+        let serial = {
+            let mut sc =
+                Scenario::new(MeanValue, &spread(n)).adversary(DiameterMaximiser::deaf_complete(n));
+            sc.advance(rounds);
+            sc.execution().outputs()
+        };
+        for threads in [2, 4, 8] {
+            let mut sc = Scenario::new(MeanValue, &spread(n))
+                .adversary(DiameterMaximiser::deaf_complete(n).threads(threads));
+            sc.advance(rounds);
+            let got = sc.execution().outputs();
+            assert_eq!(got.len(), serial.len());
+            for (a, b) in got.iter().zip(serial.iter()) {
+                assert_eq!(a[0].to_bits(), b[0].to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    /// An algorithm whose outputs turn NaN after the first step — the
+    /// poisoned candidate the old `d > best_diameter` argmax silently
+    /// skipped (NaN fails every `>`, so the corrupted fork could never
+    /// win and the corruption went unnoticed).
+    #[derive(Clone, Debug)]
+    struct Poisoned;
+
+    impl Algorithm<1> for Poisoned {
+        type State = Point<1>;
+        type Msg = Point<1>;
+        fn name(&self) -> std::borrow::Cow<'static, str> {
+            "poisoned".into()
+        }
+        fn init(&self, _agent: usize, y0: Point<1>) -> Self::State {
+            y0
+        }
+        fn message(&self, state: &Self::State) -> Self::Msg {
+            *state
+        }
+        fn step(
+            &self,
+            _agent: usize,
+            state: &mut Self::State,
+            _inbox: consensus_algorithms::Inbox<'_, Self::Msg>,
+            _round: u64,
+        ) {
+            *state = Point([f64::NAN]);
+        }
+        fn output(&self, state: &Self::State) -> Point<1> {
+            *state
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN value diameter")]
+    fn poisoned_candidate_is_surfaced_not_skipped() {
+        let mut adv = DiameterMaximiser::deaf_complete(3);
+        let exec = Execution::new(Poisoned, &spread(3));
+        let mut out = Vec::new();
+        Driver::next_block(&mut adv, &exec, &mut out);
     }
 }

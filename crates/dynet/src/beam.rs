@@ -1,0 +1,491 @@
+//! Seeded beam search over rooted digraphs: the scalable replacement
+//! for the exhaustive all-rooted enumeration.
+//!
+//! [`DiameterMaximiser::all_rooted`](crate::DiameterMaximiser::all_rooted)
+//! scores all `2^{n(n−1)}`-ish rooted graphs per round, which caps it at
+//! `n ≤ 4`. [`BeamSearch`] explores the same space incrementally: each
+//! round it grows a candidate frontier from a deterministic seed set
+//! (the deaf family, the clique, and the previously committed graph) by
+//! single-edge toggles plus splitmix64-seeded multi-edge mutations,
+//! keeps the `width` best candidates for `depth` expansion waves, and
+//! commits the overall best. Everything is a pure function of
+//! `(parameters, seed, execution state)`, so runs replay bit-for-bit.
+//!
+//! # Exactness at small `n`
+//!
+//! The rooted class is connected under single-edge toggles *through the
+//! clique*: every supergraph of a rooted graph is rooted, so deleting
+//! the edges of `K_n \ G` one at a time walks from `K_n` down to any
+//! rooted `G` without ever leaving the class. A beam wide enough to
+//! never prune (`width ≥ |class|`) with `depth ≥ n(n−1)` therefore
+//! visits **every** rooted graph, and its argmax — under the canonical
+//! comparator (score descending by `total_cmp`, then smaller
+//! [`Digraph`]) — coincides exactly with the [`ExhaustiveRooted`]
+//! reference driver's. The `ci/golden_adversary.json` gate and the
+//! `beam_props` suite pin this equivalence at `n ∈ {2, 3, 4}`.
+
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+
+use consensus_algorithms::Algorithm;
+use consensus_digraph::{enumerate, families, Digraph};
+use consensus_dynamics::scenario::Driver;
+use consensus_dynamics::Execution;
+
+/// splitmix64 step — the same mixer `consensus_sweep::cell_seed` uses,
+/// kept local so the beam's mutation stream needs no extra dependency
+/// surface.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `true` iff `(a_score, a)` ranks strictly better than `(b_score, b)`
+/// under the canonical beam comparator: larger score first
+/// (`total_cmp`, so NaN ranks above every real and surfaces loudly),
+/// ties broken towards the smaller graph in [`Digraph`]'s derived
+/// order. Both [`BeamSearch`] and [`ExhaustiveRooted`] commit with this
+/// comparator, which is what makes their argmaxes comparable.
+fn ranks_better(a_score: f64, a: &Digraph, b_score: f64, b: &Digraph) -> bool {
+    match a_score.total_cmp(&b_score) {
+        Ordering::Greater => true,
+        Ordering::Less => false,
+        Ordering::Equal => a < b,
+    }
+}
+
+/// Scores `candidates` by one-step lookahead: fork the execution, apply
+/// the candidate for one round, measure the value diameter. Pooled when
+/// `threads > 1`; scores come back in candidate index order either way,
+/// so the downstream argmax is thread-count invariant.
+fn score_candidates<A, const D: usize>(
+    candidates: &[Digraph],
+    exec: &Execution<A, D>,
+    threads: usize,
+) -> Vec<f64>
+where
+    A: Algorithm<D> + Clone + Sync,
+    A::State: Sync,
+    A::Msg: Sync,
+{
+    let score = |i: usize| {
+        let mut fork = exec.clone();
+        fork.step(&candidates[i]);
+        fork.value_diameter()
+    };
+    if threads > 1 {
+        consensus_pool::run_indexed(candidates.len(), threads, score)
+    } else {
+        (0..candidates.len()).map(score).collect()
+    }
+}
+
+/// The committed argmax over scored graphs under the canonical
+/// comparator; `None` on an empty list.
+fn commit_best(scored: &[(Digraph, f64)]) -> Option<(Digraph, f64)> {
+    let mut best: Option<&(Digraph, f64)> = None;
+    for cand in scored {
+        let better = match best {
+            None => true,
+            Some(b) => ranks_better(cand.1, &cand.0, b.1, &b.0),
+        };
+        if better {
+            best = Some(cand);
+        }
+    }
+    best.cloned()
+}
+
+/// A value-aware adaptive adversary over the rooted-graph class, driven
+/// by seeded beam search — scales the [`DiameterMaximiser`]-style greedy
+/// one-step lookahead to `n ≥ 16`.
+///
+/// Per round the driver:
+///
+/// 1. seeds the frontier with the deaf family `deaf(K_n)`, the clique
+///    `K_n`, and the graph committed in the previous round;
+/// 2. runs `depth` expansion waves: every frontier graph spawns all of
+///    its rooted single-edge toggles plus `mutations` splitmix64-seeded
+///    multi-edge mutants, fresh candidates are scored (pool-parallel
+///    with [`BeamSearch::threads`] > 1), and the `width` best scored
+///    graphs survive as the next frontier;
+/// 3. commits the best graph seen overall (canonical comparator:
+///    score descending, then smaller graph).
+///
+/// The mutation stream is a pure function of `(seed, round)` and the
+/// deterministic frontier order, so the driver is replayable and
+/// bit-identical at every thread count.
+///
+/// [`DiameterMaximiser`]: crate::DiameterMaximiser
+#[derive(Debug, Clone)]
+pub struct BeamSearch {
+    n: usize,
+    width: usize,
+    depth: usize,
+    mutations: usize,
+    seed: u64,
+    fork_threads: usize,
+    committed: Option<Digraph>,
+    round: u64,
+}
+
+impl BeamSearch {
+    /// A beam adversary for `n` agents with the default knobs
+    /// (width 6, depth 2, 4 mutations per frontier graph).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `n > 64`.
+    #[must_use]
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!((2..=64).contains(&n), "beam search needs 2 ≤ n ≤ 64");
+        BeamSearch {
+            n,
+            width: 6,
+            depth: 2,
+            mutations: 4,
+            seed,
+            fork_threads: 1,
+            committed: None,
+            round: 0,
+        }
+    }
+
+    /// Sets the beam width (frontier size kept between waves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    #[must_use]
+    pub fn width(mut self, width: usize) -> Self {
+        assert!(width >= 1, "beam width must be at least 1");
+        self.width = width;
+        self
+    }
+
+    /// Sets the number of expansion waves per round.
+    #[must_use]
+    pub fn depth(mut self, depth: usize) -> Self {
+        self.depth = depth;
+        self
+    }
+
+    /// Sets the number of random multi-edge mutants spawned per frontier
+    /// graph per wave (`0` makes the expansion purely the deterministic
+    /// single-edge toggles — the exhaustive-equivalence configuration).
+    #[must_use]
+    pub fn mutations(mut self, mutations: usize) -> Self {
+        self.mutations = mutations;
+        self
+    }
+
+    /// Dispatches candidate scoring onto `threads` pool workers (`0`
+    /// means [`consensus_pool::default_threads`]; the default `1` scores
+    /// serially). The committed schedule is bit-for-bit identical at
+    /// every thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.fork_threads = if threads == 0 {
+            consensus_pool::default_threads()
+        } else {
+            threads
+        };
+        self
+    }
+
+    /// The agent count this adversary attacks.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// All rooted single-edge toggles of `g`, in deterministic
+    /// `(from, to)` order.
+    fn toggle_neighbours(g: &Digraph, out: &mut Vec<Digraph>) {
+        let n = g.n();
+        for from in 0..n {
+            for to in 0..n {
+                if from == to {
+                    continue;
+                }
+                let mut h = g.clone();
+                if h.has_edge(from, to) {
+                    h.remove_edge(from, to);
+                } else {
+                    h.add_edge(from, to);
+                }
+                if h.is_rooted() {
+                    out.push(h);
+                }
+            }
+        }
+    }
+
+    /// `count` random multi-edge mutants of `g` drawn from the
+    /// splitmix64 stream; only rooted mutants are emitted.
+    fn mutate(g: &Digraph, count: usize, rng: &mut u64, out: &mut Vec<Digraph>) {
+        let n = g.n();
+        for _ in 0..count {
+            let mut h = g.clone();
+            // 2–3 toggles per mutant: enough to escape the single-toggle
+            // neighbourhood without losing locality.
+            let toggles = 2 + (splitmix64(rng) % 2) as usize;
+            for _ in 0..toggles {
+                let from = (splitmix64(rng) % n as u64) as usize;
+                let mut to = (splitmix64(rng) % n as u64) as usize;
+                if from == to {
+                    to = (to + 1) % n;
+                }
+                if h.has_edge(from, to) {
+                    h.remove_edge(from, to);
+                } else {
+                    h.add_edge(from, to);
+                }
+            }
+            if h.is_rooted() {
+                out.push(h);
+            }
+        }
+    }
+
+    /// One full beam search against the configuration in `exec`;
+    /// returns the committed graph and its one-step score.
+    fn search<A, const D: usize>(&self, exec: &Execution<A, D>) -> (Digraph, f64)
+    where
+        A: Algorithm<D> + Clone + Sync,
+        A::State: Sync,
+        A::Msg: Sync,
+    {
+        // Deterministic seed frontier: the Theorem-2 deaf family, the
+        // clique, and the previous round's committed graph (warm start).
+        let mut seeds: Vec<Digraph> = families::deaf_family(&Digraph::complete(self.n));
+        seeds.push(Digraph::complete(self.n));
+        if let Some(g) = &self.committed {
+            seeds.push(g.clone());
+        }
+        let mut visited: BTreeSet<Digraph> = BTreeSet::new();
+        seeds.retain(|g| visited.insert(g.clone()));
+
+        let scores = score_candidates(&seeds, exec, self.fork_threads);
+        let mut frontier: Vec<(Digraph, f64)> = seeds.into_iter().zip(scores).collect();
+        let mut best = commit_best(&frontier).expect("seed frontier is non-empty");
+
+        // The mutation stream depends only on (seed, round): replays and
+        // thread counts cannot perturb it.
+        let mut rng = self.seed ^ self.round.wrapping_mul(0xA076_1D64_78BD_642F);
+
+        for _ in 0..self.depth {
+            frontier.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            frontier.truncate(self.width);
+
+            let mut fresh: Vec<Digraph> = Vec::new();
+            for (g, _) in &frontier {
+                Self::toggle_neighbours(g, &mut fresh);
+                Self::mutate(g, self.mutations, &mut rng, &mut fresh);
+            }
+            fresh.retain(|g| visited.insert(g.clone()));
+            if fresh.is_empty() {
+                break;
+            }
+
+            let scores = score_candidates(&fresh, exec, self.fork_threads);
+            for (g, s) in fresh.into_iter().zip(scores) {
+                if ranks_better(s, &g, best.1, &best.0) {
+                    best = (g.clone(), s);
+                }
+                frontier.push((g, s));
+            }
+        }
+        best
+    }
+}
+
+impl<A, const D: usize> Driver<A, D> for BeamSearch
+where
+    A: Algorithm<D> + Clone + Sync,
+    A::State: Sync,
+    A::Msg: Sync,
+{
+    fn next_block(&mut self, exec: &Execution<A, D>, out: &mut Vec<Digraph>) {
+        let (g, d) = self.search(exec);
+        debug_assert!(!d.is_nan(), "beam candidate produced a NaN value diameter");
+        self.committed = Some(g.clone());
+        self.round += 1;
+        out.push(g);
+    }
+}
+
+/// The exhaustive reference for [`BeamSearch`]: scores **every** rooted
+/// graph each round and commits with the same canonical comparator.
+/// Only feasible at `n ≤ 4`; exists so the beam's exact-equivalence
+/// claim is testable against an independent argmax over the full class.
+///
+/// (This is *not* [`DiameterMaximiser`](crate::DiameterMaximiser) with
+/// [`all_rooted`](crate::DiameterMaximiser::all_rooted) candidates: that
+/// driver tie-breaks by enumeration order, the beam by graph order —
+/// the comparator must match for equivalence to be exact.)
+#[derive(Debug, Clone)]
+pub struct ExhaustiveRooted {
+    candidates: Vec<Digraph>,
+    fork_threads: usize,
+}
+
+impl ExhaustiveRooted {
+    /// Enumerates all rooted graphs on `n` agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n ∉ 1..=4` (class size is exponential in `n²`).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(
+            (1..=4).contains(&n),
+            "exhaustive rooted enumeration is capped at n ≤ 4 (got n = {n})"
+        );
+        ExhaustiveRooted {
+            candidates: enumerate::rooted_graphs(n).collect(),
+            fork_threads: 1,
+        }
+    }
+
+    /// Dispatches scoring onto `threads` pool workers (`0` means
+    /// [`consensus_pool::default_threads`]); results are thread-count
+    /// invariant.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.fork_threads = if threads == 0 {
+            consensus_pool::default_threads()
+        } else {
+            threads
+        };
+        self
+    }
+
+    /// The enumerated rooted class.
+    #[must_use]
+    pub fn candidates(&self) -> &[Digraph] {
+        &self.candidates
+    }
+}
+
+impl<A, const D: usize> Driver<A, D> for ExhaustiveRooted
+where
+    A: Algorithm<D> + Clone + Sync,
+    A::State: Sync,
+    A::Msg: Sync,
+{
+    fn next_block(&mut self, exec: &Execution<A, D>, out: &mut Vec<Digraph>) {
+        let scores = score_candidates(&self.candidates, exec, self.fork_threads);
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &s) in scores.iter().enumerate() {
+            let better = match best {
+                None => true,
+                Some((bi, bs)) => ranks_better(s, &self.candidates[i], bs, &self.candidates[bi]),
+            };
+            if better {
+                best = Some((i, s));
+            }
+        }
+        let (i, d) = best.expect("rooted class is non-empty");
+        debug_assert!(!d.is_nan(), "candidate {i} produced a NaN value diameter");
+        out.push(self.candidates[i].clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consensus_algorithms::{MeanValue, Midpoint, Point};
+    use consensus_dynamics::Scenario;
+
+    fn spread(n: usize) -> Vec<Point<1>> {
+        (0..n).map(|i| Point([i as f64 / (n - 1) as f64])).collect()
+    }
+
+    /// Width that can never prune at n ≤ 4 (≥ the full digraph count).
+    fn full_width(n: usize) -> usize {
+        1 << (n * (n - 1))
+    }
+
+    #[test]
+    fn full_width_beam_matches_exhaustive_argmax() {
+        for n in [2, 3, 4] {
+            let rounds = 4;
+            let mut beam_sc = Scenario::new(Midpoint, &spread(n)).adversary(
+                BeamSearch::new(n, 7)
+                    .width(full_width(n))
+                    .depth(n * (n - 1))
+                    .mutations(0),
+            );
+            let mut ex_sc = Scenario::new(Midpoint, &spread(n)).adversary(ExhaustiveRooted::new(n));
+            let beam_trace = beam_sc.run(rounds);
+            let ex_trace = ex_sc.run(rounds);
+            assert_eq!(
+                beam_trace.outputs_at(rounds),
+                ex_trace.outputs_at(rounds),
+                "n={n}: full-width beam must equal the exhaustive argmax"
+            );
+        }
+    }
+
+    #[test]
+    fn beam_is_seed_deterministic_and_thread_invariant() {
+        let n = 8;
+        let run = |threads: usize| {
+            let mut sc = Scenario::new(MeanValue, &spread(n))
+                .adversary(BeamSearch::new(n, 42).threads(threads));
+            sc.advance(6);
+            sc.execution().outputs()
+        };
+        let serial = run(1);
+        for threads in [2, 4] {
+            let got = run(threads);
+            for (a, b) in got.iter().zip(serial.iter()) {
+                assert_eq!(a[0].to_bits(), b[0].to_bits(), "threads={threads}");
+            }
+        }
+        assert_eq!(run(1), serial, "same seed, same schedule");
+    }
+
+    #[test]
+    fn beam_at_n16_beats_the_deaf_family_rate() {
+        // The point of searching beyond deaf(K_n): against plain
+        // averaging there are rooted graphs (path-like chains) that
+        // contract far slower than any deaf clique variant.
+        let n = 16;
+        let rounds = 12;
+        let mut beam = Scenario::new(MeanValue, &spread(n))
+            .adversary(BeamSearch::new(n, 3).width(4).depth(2).mutations(2));
+        beam.advance(rounds);
+        let beam_diam = beam.execution().value_diameter();
+        let mut deaf = Scenario::new(MeanValue, &spread(n))
+            .adversary(crate::DiameterMaximiser::deaf_complete(n));
+        deaf.advance(rounds);
+        let deaf_diam = deaf.execution().value_diameter();
+        assert!(
+            beam_diam >= deaf_diam - 1e-12,
+            "beam ({beam_diam:e}) must be at least as adversarial as deaf ({deaf_diam:e})"
+        );
+    }
+
+    #[test]
+    fn committed_graphs_are_always_rooted() {
+        let n = 6;
+        let mut adv = BeamSearch::new(n, 11).width(3).depth(2).mutations(3);
+        let exec = Execution::new(Midpoint, &spread(n));
+        for _ in 0..5 {
+            let mut out = Vec::new();
+            Driver::next_block(&mut adv, &exec, &mut out);
+            assert!(out.iter().all(Digraph::is_rooted));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2 ≤ n ≤ 64")]
+    fn beam_rejects_degenerate_n() {
+        let _ = BeamSearch::new(1, 0);
+    }
+}

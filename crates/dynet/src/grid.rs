@@ -22,7 +22,9 @@ use consensus_dynamics::Execution;
 use consensus_sweep::InitDist;
 use rand::RngCore;
 
-use crate::{BoundedChurnAdversary, DiameterMaximiser, RotatingTreeSchedule, TIntervalAdversary};
+use crate::{
+    BeamSearch, BoundedChurnAdversary, DiameterMaximiser, RotatingTreeSchedule, TIntervalAdversary,
+};
 
 /// The adversary-kind axis of a [`DynamicGrid`]. The structural
 /// parameters — window length `T`, chaotic-prefix length, churn budget
@@ -47,6 +49,13 @@ pub enum AdversaryKind {
     },
     /// [`DiameterMaximiser`] over the deaf family `deaf(K_n)`.
     DiameterMax,
+    /// [`BeamSearch`] over the rooted class with the given beam knobs.
+    BeamRooted {
+        /// Beam width (frontier size kept between expansion waves).
+        width: usize,
+        /// Expansion waves per round.
+        depth: usize,
+    },
 }
 
 impl AdversaryKind {
@@ -61,6 +70,9 @@ impl AdversaryKind {
             }
             AdversaryKind::BoundedChurn { churn } => format!("bounded-churn(k={churn})"),
             AdversaryKind::DiameterMax => "diameter-max".to_owned(),
+            AdversaryKind::BeamRooted { width, depth } => {
+                format!("beam-rooted(w={width},d={depth})")
+            }
         }
     }
 
@@ -82,6 +94,9 @@ impl AdversaryKind {
             AdversaryKind::DiameterMax => {
                 DynAdversary::DiameterMax(DiameterMaximiser::deaf_complete(n))
             }
+            AdversaryKind::BeamRooted { width, depth } => {
+                DynAdversary::Beam(BeamSearch::new(n, seed).width(width).depth(depth))
+            }
         }
     }
 }
@@ -99,11 +114,15 @@ pub enum DynAdversary {
     Churn(BoundedChurnAdversary),
     /// Greedy adaptive diameter maximisation.
     DiameterMax(DiameterMaximiser),
+    /// Seeded beam search over the rooted class.
+    Beam(BeamSearch),
 }
 
 impl<A, const D: usize> Driver<A, D> for DynAdversary
 where
-    A: Algorithm<D> + Clone,
+    A: Algorithm<D> + Clone + Sync,
+    A::State: Sync,
+    A::Msg: Sync,
 {
     fn next_block(&mut self, exec: &Execution<A, D>, out: &mut Vec<Digraph>) {
         match self {
@@ -111,6 +130,7 @@ where
             DynAdversary::Rotating(a) => Driver::<A, D>::next_block(a, exec, out),
             DynAdversary::Churn(a) => Driver::<A, D>::next_block(a, exec, out),
             DynAdversary::DiameterMax(a) => Driver::<A, D>::next_block(a, exec, out),
+            DynAdversary::Beam(a) => Driver::<A, D>::next_block(a, exec, out),
         }
     }
 }

@@ -25,6 +25,12 @@
 //!   execution against a small candidate graph set each round and picks
 //!   the graph maximising the next-round value diameter (a greedy
 //!   value-aware adversary in the spirit of the valency probes).
+//! * [`BeamSearch`] — the scalable form of the adaptive adversary:
+//!   seeded beam search over the rooted-graph class (single-edge
+//!   toggles + splitmix64 mutations), replacing the `n ≤ 4` exhaustive
+//!   enumeration with a width/depth-bounded frontier that reaches
+//!   `n ≥ 16`; [`ExhaustiveRooted`] is its exhaustive reference at
+//!   small `n`.
 //!
 //! All non-adaptive adversaries are deterministic functions of
 //! `(parameters, seed)`: the same seed reproduces the exact same graph
@@ -55,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod beam;
 pub mod churn;
 pub mod grid;
 pub mod rotating;
@@ -62,6 +69,7 @@ pub mod tinterval;
 mod util;
 
 pub use adaptive::DiameterMaximiser;
+pub use beam::{BeamSearch, ExhaustiveRooted};
 pub use churn::BoundedChurnAdversary;
 pub use grid::{AdversaryKind, DynAdversary, DynamicCell, DynamicGrid};
 pub use rotating::RotatingTreeSchedule;

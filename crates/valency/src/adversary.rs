@@ -8,7 +8,7 @@
 //! and picks the best one — exactly the existential step of the proofs,
 //! made constructive by measurement.
 
-use consensus_algorithms::float::det_min;
+use consensus_algorithms::float::{det_argmax, det_min};
 use consensus_algorithms::Algorithm;
 use consensus_digraph::{families, Digraph};
 use consensus_dynamics::scenario::Driver;
@@ -43,6 +43,8 @@ pub struct GreedyValencyAdversary {
     probes: ProbeSet,
     /// Rounds per adversary step (all candidates must have this length).
     block_len: usize,
+    /// Pool workers for the per-step candidate forks (1 = serial).
+    fork_threads: usize,
 }
 
 impl GreedyValencyAdversary {
@@ -64,7 +66,33 @@ impl GreedyValencyAdversary {
             candidates,
             probes,
             block_len,
+            fork_threads: 1,
         }
+    }
+
+    /// Dispatches the per-step candidate forks onto `threads` pool
+    /// workers (`0` means [`consensus_pool::default_threads`]; the
+    /// default `1` evaluates candidates serially). Candidate scores are
+    /// reduced back **in index order** with a strictly-greater-wins
+    /// argmax, so the chosen move — and hence the whole drive — is
+    /// bit-for-bit identical at every thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.fork_threads = if threads == 0 {
+            consensus_pool::default_threads()
+        } else {
+            threads
+        };
+        self
+    }
+
+    /// Puts the underlying probe set into strict mode: a truncated probe
+    /// aborts the drive (panics with the [`crate::ProbeTruncation`]
+    /// message) instead of silently under-approximating `δ̂`.
+    #[must_use]
+    pub fn strict(mut self) -> Self {
+        self.probes = self.probes.strict();
+        self
     }
 
     /// The number of rounds each adversary step applies.
@@ -98,6 +126,7 @@ impl GreedyValencyAdversary {
                 deltas: Vec::new(),
                 value_diameters: Vec::new(),
                 chosen: Vec::new(),
+                converged: true,
             },
         }
     }
@@ -112,7 +141,9 @@ impl GreedyValencyAdversary {
         steps: usize,
     ) -> AdversaryTrace
     where
-        A: Algorithm<D> + Clone,
+        A: Algorithm<D> + Clone + Sync,
+        A::State: Sync,
+        A::Msg: Sync,
     {
         let mut driver = self.driver();
         driver.sample_initial(exec);
@@ -155,20 +186,50 @@ impl ValencyDriver<'_> {
 
     fn sample_initial<A, const D: usize>(&mut self, exec: &Execution<A, D>)
     where
-        A: Algorithm<D> + Clone,
+        A: Algorithm<D> + Clone + Sync,
+        A::State: Sync,
+        A::Msg: Sync,
     {
         if self.record.deltas.is_empty() {
-            self.record
-                .deltas
-                .push(self.adv.probes.estimate(exec).diameter());
+            let est = self.adv.probes.estimate(exec);
+            self.record.deltas.push(est.diameter());
+            self.record.converged &= est.converged;
             self.record.value_diameters.push(exec.value_diameter());
+        }
+    }
+
+    /// Scores every candidate successor: forks the execution, applies
+    /// the move, probes the fork. Pool-parallel when the adversary was
+    /// built with [`GreedyValencyAdversary::threads`] > 1; the scores
+    /// come back in candidate index order either way.
+    fn score_candidates<A, const D: usize>(&self, exec: &Execution<A, D>) -> Vec<(f64, bool)>
+    where
+        A: Algorithm<D> + Clone + Sync,
+        A::State: Sync,
+        A::Msg: Sync,
+    {
+        let score = |ci: usize| {
+            let cand = &self.adv.candidates[ci];
+            let mut fork = exec.clone();
+            for g in &cand.graphs {
+                fork.step(g);
+            }
+            let est = self.adv.probes.estimate(&fork);
+            (est.diameter(), est.converged)
+        };
+        if self.adv.fork_threads > 1 {
+            consensus_pool::run_indexed(self.adv.candidates.len(), self.adv.fork_threads, score)
+        } else {
+            (0..self.adv.candidates.len()).map(score).collect()
         }
     }
 }
 
 impl<A, const D: usize> Driver<A, D> for ValencyDriver<'_>
 where
-    A: Algorithm<D> + Clone,
+    A: Algorithm<D> + Clone + Sync,
+    A::State: Sync,
+    A::Msg: Sync,
 {
     fn block_len(&self) -> usize {
         self.adv.block_len
@@ -176,20 +237,15 @@ where
 
     fn next_block(&mut self, exec: &Execution<A, D>, out: &mut Vec<Digraph>) {
         self.sample_initial(exec);
-        let mut best: Option<(usize, f64)> = None;
-        for (ci, cand) in self.adv.candidates.iter().enumerate() {
-            let mut fork = exec.clone();
-            for g in &cand.graphs {
-                fork.step(g);
-            }
-            let d = self.adv.probes.estimate(&fork).diameter();
-            if best.is_none_or(|(_, bd)| d > bd) {
-                best = Some((ci, d));
-            }
-        }
-        let (ci, d) = best.expect("at least one candidate");
+        let scores = self.score_candidates(exec);
+        let (ci, d) = det_argmax(scores.iter().map(|&(d, _)| d)).expect("at least one candidate");
+        debug_assert!(
+            !d.is_nan(),
+            "candidate {ci} produced a NaN valency diameter"
+        );
         self.record.deltas.push(d);
         self.record.chosen.push(ci);
+        self.record.converged &= scores[ci].1;
         out.extend(self.adv.candidates[ci].graphs.iter().cloned());
     }
 
@@ -210,6 +266,12 @@ pub struct AdversaryTrace {
     pub value_diameters: Vec<f64>,
     /// Index of the chosen candidate at each step.
     pub chosen: Vec<usize>,
+    /// `true` iff every probe of every *chosen* configuration (initial
+    /// sample and committed candidates) converged within the probe
+    /// horizon. When `false`, the recorded `δ̂` values may
+    /// under-approximate and rate claims should be treated as lower
+    /// bounds on the estimate only — or re-run in strict mode.
+    pub converged: bool,
 }
 
 impl AdversaryTrace {

@@ -25,7 +25,9 @@ pub fn lemma8_initial_valency<A, const D: usize>(
     inits: &[Point<D>],
 ) -> (f64, f64)
 where
-    A: Algorithm<D> + Clone,
+    A: Algorithm<D> + Clone + Sync,
+    A::State: Sync,
+    A::Msg: Sync,
 {
     assert!(
         model.every_agent_deaf_somewhere(),
@@ -52,7 +54,9 @@ pub fn lemma3_monotonicity<A, const D: usize>(
     inits: &[Point<D>],
 ) -> (f64, f64)
 where
-    A: Algorithm<D> + Clone,
+    A: Algorithm<D> + Clone + Sync,
+    A::State: Sync,
+    A::Msg: Sync,
 {
     assert!(
         sub.graphs().iter().all(|g| full.contains(g)),
@@ -84,7 +88,9 @@ pub fn lemma7_intersection<A, const D: usize>(
     ell: usize,
 ) -> f64
 where
-    A: Algorithm<D> + Clone,
+    A: Algorithm<D> + Clone + Sync,
+    A::State: Sync,
+    A::Msg: Sync,
 {
     let n = g.n();
     assert!(i < n && j < n && ell < n && i != j && ell != i && ell != j);

@@ -53,4 +53,4 @@ pub mod checks;
 pub mod probe;
 
 pub use adversary::{AdversaryTrace, GreedyValencyAdversary};
-pub use probe::{ProbePattern, ProbeSet, ValencyEstimate};
+pub use probe::{ProbeFamily, ProbePattern, ProbeSet, ProbeTruncation, ValencyEstimate};

@@ -2,9 +2,98 @@
 
 use consensus_algorithms::{diameter, Algorithm, Point};
 use consensus_digraph::Digraph;
-use consensus_dynamics::pattern::{ConstantPattern, PeriodicPattern};
-use consensus_dynamics::Execution;
+use consensus_dynamics::pattern::PatternSource;
+use consensus_dynamics::{Execution, LimitEstimate};
 use consensus_netmodel::NetworkModel;
+
+/// A cyclic pattern over **borrowed** graphs: the probe loop hands out
+/// refcount-bump clones of the probe set's own storage instead of
+/// cloning the graph vector per probe run (the per-round adversary loop
+/// stays allocation-free, matching the executor's inbox contract).
+struct SliceCycle<'a> {
+    graphs: &'a [Digraph],
+    pos: usize,
+}
+
+impl PatternSource for SliceCycle<'_> {
+    fn next_graph(&mut self, _round: u64) -> Digraph {
+        let g = self.graphs[self.pos].clone();
+        self.pos = (self.pos + 1) % self.graphs.len();
+        g
+    }
+}
+
+/// Which constructor produced a [`ProbeSet`] — emitted in bench labels
+/// so golden rows are self-describing, and carried by truncation errors.
+///
+/// The interesting variant is [`ProbeFamily::DeafFallbackConstants`]:
+/// [`ProbeSet::deaf_continuations`] on a model without any deaf graph
+/// *silently* degrades to the generic constant family, which probes a
+/// different (Theorem-5-style) quantity than the Lemma 7/8 arguments
+/// expect. The fallback is still sound (`δ̂ ≤ δ`), but reports must say
+/// it happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeFamily {
+    /// Explicit patterns via [`ProbeSet::new`].
+    Explicit,
+    /// `G^ω` for every graph of the model ([`ProbeSet::constants`]).
+    Constants,
+    /// Constant continuations of the model's deaf graphs
+    /// ([`ProbeSet::deaf_continuations`], deaf graphs present).
+    Deaf,
+    /// [`ProbeSet::deaf_continuations`] found **no** deaf graph and fell
+    /// back to the constant family.
+    DeafFallbackConstants,
+    /// The periodic `σ_i^ω` probes of §6 ([`ProbeSet::sigma_psi`]).
+    SigmaPsi,
+}
+
+impl ProbeFamily {
+    /// A short stable label for bench/golden rows.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ProbeFamily::Explicit => "explicit",
+            ProbeFamily::Constants => "constants",
+            ProbeFamily::Deaf => "deaf",
+            ProbeFamily::DeafFallbackConstants => "constants(deaf-fallback)",
+            ProbeFamily::SigmaPsi => "sigma-psi",
+        }
+    }
+}
+
+/// A strict-mode probe failure: some probe pattern's spread never
+/// reached the tolerance within the horizon, so its centroid is not a
+/// certified reachable limit and the valency estimate would silently
+/// under-approximate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeTruncation {
+    /// Index of the first truncated pattern (in [`ProbeSet::patterns`]
+    /// order).
+    pub pattern: usize,
+    /// The family the probe set was built from.
+    pub family: ProbeFamily,
+    /// The probe horizon that expired.
+    pub max_rounds: usize,
+    /// The convergence tolerance that was not reached.
+    pub tol: f64,
+}
+
+impl std::fmt::Display for ProbeTruncation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "probe {} of the {} family did not converge to tol {:e} within {} rounds: \
+             its centroid is not a certified limit (raise max_rounds or drop strict mode)",
+            self.pattern,
+            self.family.label(),
+            self.tol,
+            self.max_rounds
+        )
+    }
+}
+
+impl std::error::Error for ProbeTruncation {}
 
 /// One probe continuation: an eventually-periodic communication pattern
 /// from the model, used to realise one reachable limit from a
@@ -23,21 +112,17 @@ impl ProbePattern {
         exec: &Execution<A, D>,
         tol: f64,
         max_rounds: usize,
-    ) -> Point<D>
+    ) -> LimitEstimate<D>
     where
         A: Algorithm<D> + Clone,
     {
         let mut fork = exec.clone();
-        match self {
-            ProbePattern::Constant(g) => {
-                let mut p = ConstantPattern::new(g.clone());
-                fork.limit_estimate(&mut p, tol, max_rounds)
-            }
-            ProbePattern::Periodic(gs) => {
-                let mut p = PeriodicPattern::new(gs.clone());
-                fork.limit_estimate(&mut p, tol, max_rounds)
-            }
-        }
+        let graphs: &[Digraph] = match self {
+            ProbePattern::Constant(g) => std::slice::from_ref(g),
+            ProbePattern::Periodic(gs) => gs,
+        };
+        let mut p = SliceCycle { graphs, pos: 0 };
+        fork.limit_estimate(&mut p, tol, max_rounds)
     }
 }
 
@@ -49,9 +134,30 @@ impl ProbePattern {
 /// estimated diameter `δ̂(C)` **never exceeds** the true `δ(C)`. The
 /// per-theorem constructors choose exactly the continuations the paper's
 /// proofs use, which is why `δ̂` tracks the proofs' quantities tightly.
+///
+/// # Convergence and strict mode
+///
+/// Each probe runs for at most `max_rounds` rounds. A probe whose
+/// spread never falls below `tol` is *truncated*: its centroid is only
+/// an approximation of the true reachable limit, and `δ̂` may
+/// under-approximate what the probe family was meant to witness. By
+/// default [`ProbeSet::estimate`] records this in
+/// [`ValencyEstimate::converged`]; with [`ProbeSet::strict`] set,
+/// truncation becomes a hard error ([`ProbeSet::try_estimate`] returns
+/// [`ProbeTruncation`], and `estimate` panics with its message).
+///
+/// # Parallelism
+///
+/// With [`ProbeSet::threads`] > 1 the probe forks are dispatched onto
+/// the shared `consensus-pool` executor. Limits are collected back **in
+/// pattern index order**, so the resulting estimate is bit-for-bit
+/// identical to the serial one at every thread count.
 #[derive(Debug, Clone)]
 pub struct ProbeSet {
     patterns: Vec<ProbePattern>,
+    family: ProbeFamily,
+    strict: bool,
+    threads: usize,
     /// Convergence tolerance for probe runs.
     pub tol: f64,
     /// Probe horizon (rounds) — probes stop early on convergence.
@@ -66,9 +172,16 @@ impl ProbeSet {
     /// Panics if `patterns` is empty.
     #[must_use]
     pub fn new(patterns: Vec<ProbePattern>) -> Self {
+        Self::with_family(patterns, ProbeFamily::Explicit)
+    }
+
+    fn with_family(patterns: Vec<ProbePattern>, family: ProbeFamily) -> Self {
         assert!(!patterns.is_empty(), "need at least one probe");
         ProbeSet {
             patterns,
+            family,
+            strict: false,
+            threads: 1,
             tol: 1e-12,
             max_rounds: 600,
         }
@@ -78,19 +191,22 @@ impl ProbeSet {
     /// family used with Theorem 5's adversary.
     #[must_use]
     pub fn constants(model: &NetworkModel) -> Self {
-        Self::new(
+        Self::with_family(
             model
                 .graphs()
                 .iter()
                 .cloned()
                 .map(ProbePattern::Constant)
                 .collect(),
+            ProbeFamily::Constants,
         )
     }
 
     /// Constant probes for the graphs in which some agent is deaf — the
     /// family behind Lemma 7/Lemma 8 and Theorems 1 and 2. Falls back to
-    /// all constants if no graph has a deaf agent.
+    /// all constants if no graph has a deaf agent; the fallback is
+    /// recorded as [`ProbeFamily::DeafFallbackConstants`] in
+    /// [`ProbeSet::family`] so reports can surface it.
     #[must_use]
     pub fn deaf_continuations(model: &NetworkModel) -> Self {
         let deaf: Vec<ProbePattern> = model
@@ -101,9 +217,11 @@ impl ProbeSet {
             .map(ProbePattern::Constant)
             .collect();
         if deaf.is_empty() {
-            Self::constants(model)
+            let mut set = Self::constants(model);
+            set.family = ProbeFamily::DeafFallbackConstants;
+            set
         } else {
-            Self::new(deaf)
+            Self::with_family(deaf, ProbeFamily::Deaf)
         }
     }
 
@@ -120,7 +238,40 @@ impl ProbeSet {
                 ProbePattern::Periodic(vec![psi; n - 2])
             })
             .collect();
-        Self::new(probes)
+        Self::with_family(probes, ProbeFamily::SigmaPsi)
+    }
+
+    /// Makes truncated probes a hard error instead of a flag.
+    #[must_use]
+    pub fn strict(mut self) -> Self {
+        self.strict = true;
+        self
+    }
+
+    /// Dispatches probe forks onto `threads` pool workers (`0` means
+    /// [`consensus_pool::default_threads`]; the default `1` runs
+    /// serially in the caller's thread). Results are identical at every
+    /// thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 {
+            consensus_pool::default_threads()
+        } else {
+            threads
+        };
+        self
+    }
+
+    /// Whether truncated probes are a hard error.
+    #[must_use]
+    pub fn is_strict(&self) -> bool {
+        self.strict
+    }
+
+    /// The constructor family this set was built from.
+    #[must_use]
+    pub fn family(&self) -> ProbeFamily {
+        self.family
     }
 
     /// The probes in this set.
@@ -131,17 +282,62 @@ impl ProbeSet {
 
     /// Estimates the valency of the configuration held by `exec`
     /// (which is **not** advanced — probes run on forks).
+    ///
+    /// # Panics
+    ///
+    /// In strict mode ([`ProbeSet::strict`]), panics if any probe is
+    /// truncated; use [`ProbeSet::try_estimate`] to handle the error.
     #[must_use]
     pub fn estimate<A, const D: usize>(&self, exec: &Execution<A, D>) -> ValencyEstimate<D>
     where
-        A: Algorithm<D> + Clone,
+        A: Algorithm<D> + Clone + Sync,
+        A::State: Sync,
+        A::Msg: Sync,
     {
-        let limits = self
-            .patterns
-            .iter()
-            .map(|p| p.limit(exec, self.tol, self.max_rounds))
-            .collect();
-        ValencyEstimate { limits }
+        match self.try_estimate(exec) {
+            Ok(est) => est,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`ProbeSet::estimate`], but returns [`ProbeTruncation`]
+    /// instead of panicking when strict mode rejects a truncated probe.
+    /// Outside strict mode this never fails: truncation is reported via
+    /// [`ValencyEstimate::converged`].
+    pub fn try_estimate<A, const D: usize>(
+        &self,
+        exec: &Execution<A, D>,
+    ) -> Result<ValencyEstimate<D>, ProbeTruncation>
+    where
+        A: Algorithm<D> + Clone + Sync,
+        A::State: Sync,
+        A::Msg: Sync,
+    {
+        let runs: Vec<LimitEstimate<D>> = if self.threads > 1 {
+            consensus_pool::run_indexed(self.patterns.len(), self.threads, |i| {
+                self.patterns[i].limit(exec, self.tol, self.max_rounds)
+            })
+        } else {
+            self.patterns
+                .iter()
+                .map(|p| p.limit(exec, self.tol, self.max_rounds))
+                .collect()
+        };
+        let truncated = runs.iter().position(|r| !r.converged);
+        if self.strict {
+            if let Some(pattern) = truncated {
+                return Err(ProbeTruncation {
+                    pattern,
+                    family: self.family,
+                    max_rounds: self.max_rounds,
+                    tol: self.tol,
+                });
+            }
+        }
+        Ok(ValencyEstimate {
+            limits: runs.iter().map(|r| r.point).collect(),
+            converged: truncated.is_none(),
+        })
     }
 }
 
@@ -150,6 +346,10 @@ impl ProbeSet {
 pub struct ValencyEstimate<const D: usize> {
     /// One reachable limit per probe pattern (same order).
     pub limits: Vec<Point<D>>,
+    /// `true` iff **every** probe reached its tolerance within the
+    /// horizon. When `false`, some entries of `limits` are truncated
+    /// centroids and `δ̂` may under-approximate the family's witness.
+    pub converged: bool,
 }
 
 impl<const D: usize> ValencyEstimate<D> {
@@ -207,6 +407,25 @@ mod tests {
     }
 
     #[test]
+    fn probe_loop_hands_out_refcount_clones_not_deep_copies() {
+        // The allocation contract of the per-round adversary loop: the
+        // probe pattern source must emit copy-on-write clones of the
+        // probe set's own graph storage, never fresh mask vectors.
+        let graphs = vec![Digraph::complete(5), Digraph::complete(5).make_deaf(0)];
+        let mut cyc = SliceCycle {
+            graphs: &graphs,
+            pos: 0,
+        };
+        for round in 0..6u64 {
+            let emitted = cyc.next_graph(round);
+            assert!(
+                emitted.shares_storage(&graphs[(round as usize) % graphs.len()]),
+                "round {round}: probe graph must share storage with the probe set"
+            );
+        }
+    }
+
+    #[test]
     fn estimates_shrink_along_contraction() {
         // δ̂ is monotone along midpoint rounds on the clique.
         let model = NetworkModel::deaf(&Digraph::complete(3));
@@ -223,13 +442,82 @@ mod tests {
         let n = 5;
         let probes = ProbeSet::sigma_psi(n);
         assert_eq!(probes.patterns().len(), 3);
+        assert_eq!(probes.family(), ProbeFamily::SigmaPsi);
         let alg = consensus_algorithms::AmortizedMidpoint::for_agents(n);
         let exec = Execution::new(alg, &pts(&[0.0, 1.0, 0.3, 0.8, 0.5]));
         let est = probes.estimate(&exec);
+        assert!(est.converged, "σ-probes converge within the horizon");
         assert!(est.diameter() > 0.0, "distinct σ-limits witness valency");
         assert!(
             est.diameter() <= 1.0 + 1e-9,
             "validity keeps limits in hull"
         );
+    }
+
+    #[test]
+    fn deaf_fallback_is_recorded_not_silent() {
+        // A model with no deaf graph: the deaf family silently degraded
+        // to constants before; now the degradation is labelled.
+        let model = NetworkModel::singleton(Digraph::complete(3));
+        let probes = ProbeSet::deaf_continuations(&model);
+        assert_eq!(probes.family(), ProbeFamily::DeafFallbackConstants);
+        assert_eq!(probes.family().label(), "constants(deaf-fallback)");
+        // And a model *with* deaf graphs keeps the honest label.
+        let deaf_model = NetworkModel::deaf(&Digraph::complete(3));
+        assert_eq!(
+            ProbeSet::deaf_continuations(&deaf_model).family(),
+            ProbeFamily::Deaf
+        );
+    }
+
+    #[test]
+    fn strict_mode_errors_on_truncation() {
+        // An empty graph (self-loops only) keeps both agents frozen at
+        // their initial values: spread 1.0 forever, never below tol.
+        let frozen = Digraph::try_empty(2).unwrap();
+        let mut probes = ProbeSet::new(vec![ProbePattern::Constant(frozen)]).strict();
+        probes.max_rounds = 25;
+        let exec = Execution::new(Midpoint, &pts(&[0.0, 1.0]));
+        let err = probes.try_estimate(&exec).unwrap_err();
+        assert_eq!(err.pattern, 0);
+        assert_eq!(err.family, ProbeFamily::Explicit);
+        assert_eq!(err.max_rounds, 25);
+        let msg = err.to_string();
+        assert!(msg.contains("did not converge"), "got: {msg}");
+        // Non-strict: same probes, flag instead of error.
+        let mut lax = ProbeSet::new(probes.patterns().to_vec());
+        lax.max_rounds = 25;
+        let est = lax.estimate(&exec);
+        assert!(!est.converged);
+        assert!((est.diameter() - 0.0).abs() < 1e-12, "single probe: δ̂ = 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "did not converge")]
+    fn strict_estimate_panics_on_truncation() {
+        let frozen = Digraph::try_empty(2).unwrap();
+        let mut probes = ProbeSet::new(vec![ProbePattern::Constant(frozen)]).strict();
+        probes.max_rounds = 25;
+        let exec = Execution::new(Midpoint, &pts(&[0.0, 1.0]));
+        let _ = probes.estimate(&exec);
+    }
+
+    #[test]
+    fn pooled_probes_match_serial_bit_for_bit() {
+        let model = NetworkModel::deaf(&Digraph::complete(4));
+        let serial = ProbeSet::deaf_continuations(&model);
+        let exec = Execution::new(Midpoint, &pts(&[0.0, 0.4, 0.7, 1.0]));
+        let want = serial.estimate(&exec);
+        for threads in [2, 4, 8] {
+            let pooled = ProbeSet::deaf_continuations(&model).threads(threads);
+            let got = pooled.estimate(&exec);
+            assert_eq!(got.converged, want.converged);
+            assert_eq!(got.limits.len(), want.limits.len());
+            for (a, b) in got.limits.iter().zip(want.limits.iter()) {
+                for d in 0..1 {
+                    assert_eq!(a[d].to_bits(), b[d].to_bits(), "threads={threads}");
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,74 @@
+//! Property tests for the pool-backed valency machinery: running probe
+//! continuations or adversary candidate forks on the shared worker pool
+//! is an implementation detail — at **every** thread count the
+//! estimates, the chosen schedules, and the driven executions must be
+//! bit-identical to the serial scan. This is the invariant that lets
+//! the `adversary_search` grid pin one golden file regardless of the
+//! machine it runs on.
+
+use consensus_algorithms::{Midpoint, Point};
+use consensus_digraph::Digraph;
+use consensus_dynamics::Execution;
+use consensus_netmodel::NetworkModel;
+use consensus_valency::{adversary, ProbeSet};
+use proptest::prelude::*;
+
+/// Initial scalar values spread over `[0, 1]`, indexed by agent.
+fn inits(n: usize, raw: &[f64]) -> Vec<Point<1>> {
+    (0..n).map(|i| Point([raw[i % raw.len()]])).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// **Pooled probes ≡ serial probes**: the deaf-continuation probe
+    /// set over `deaf(K_n)` produces bit-identical limits, and the same
+    /// convergence verdict, at thread counts 1, 2, 4, and 8.
+    #[test]
+    fn pooled_probe_estimates_match_serial(
+        n in 3usize..6,
+        raw in proptest::collection::vec(0.0f64..1.0, 6),
+    ) {
+        let model = NetworkModel::deaf(&Digraph::complete(n));
+        let exec = Execution::new(Midpoint, &inits(n, &raw));
+        let serial = ProbeSet::deaf_continuations(&model).estimate(&exec);
+        for threads in [2, 4, 8] {
+            let pooled = ProbeSet::deaf_continuations(&model)
+                .threads(threads)
+                .estimate(&exec);
+            prop_assert_eq!(pooled.converged, serial.converged);
+            prop_assert_eq!(pooled.limits.len(), serial.limits.len());
+            for (p, s) in pooled.limits.iter().zip(serial.limits.iter()) {
+                prop_assert_eq!(p[0].to_bits(), s[0].to_bits(), "threads={}", threads);
+            }
+        }
+    }
+
+    /// **Pooled adversary ≡ serial adversary**: the Theorem-2 greedy
+    /// valency adversary driven with pooled candidate forks replays the
+    /// serial schedule exactly — same δ̂ trace bits, same chosen
+    /// candidates, same final agent outputs — at every thread count.
+    #[test]
+    fn pooled_adversary_drives_match_serial(
+        n in 3usize..6,
+        steps in 1usize..6,
+        raw in proptest::collection::vec(0.0f64..1.0, 6),
+    ) {
+        let g = Digraph::complete(n);
+        let start = inits(n, &raw);
+        let mut serial_exec = Execution::new(Midpoint, &start);
+        let serial = adversary::theorem2(&g).drive(&mut serial_exec, steps);
+        for threads in [2, 4, 8] {
+            let mut exec = Execution::new(Midpoint, &start);
+            let trace = adversary::theorem2(&g).threads(threads).drive(&mut exec, steps);
+            prop_assert_eq!(&trace.chosen, &serial.chosen, "threads={}", threads);
+            prop_assert_eq!(trace.converged, serial.converged);
+            for (a, b) in trace.deltas.iter().zip(serial.deltas.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in exec.outputs_slice().iter().zip(serial_exec.outputs_slice()) {
+                prop_assert_eq!(a[0].to_bits(), b[0].to_bits());
+            }
+        }
+    }
+}

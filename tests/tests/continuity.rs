@@ -19,7 +19,7 @@ fn limit_of<A: Algorithm<1> + Clone>(
         exec.step(g);
     }
     let mut pat = pattern::ConstantPattern::new(tail.clone());
-    exec.limit_estimate(&mut pat, 1e-13, 2000)[0]
+    exec.limit_estimate(&mut pat, 1e-13, 2000).point[0]
 }
 
 #[test]

@@ -114,6 +114,71 @@ fn sweep_results_are_thread_count_independent() {
     }
 }
 
+/// Drives one randomized configuration through the three pool-backed
+/// adaptive-search paths — probe forks, greedy valency candidate forks,
+/// and the beam scorer — and digests every output bit.
+fn adaptive_digest(n: usize, inits: &[Point<1>], steps: usize, threads: usize) -> u64 {
+    let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |bits: u64| {
+        acc = acc.wrapping_mul(0x100_0000_01B3).wrapping_add(bits);
+    };
+
+    // Pool-backed probe continuations.
+    let model = NetworkModel::deaf(&Digraph::complete(n));
+    let exec = Execution::new(Midpoint, inits);
+    let est = ProbeSet::deaf_continuations(&model)
+        .threads(threads)
+        .estimate(&exec);
+    fold(u64::from(est.converged));
+    for p in &est.limits {
+        fold(p[0].to_bits());
+    }
+
+    // Pool-backed greedy valency candidate forks.
+    let mut exec = Execution::new(Midpoint, inits);
+    let trace = adversary::theorem2(&Digraph::complete(n))
+        .threads(threads)
+        .drive(&mut exec, steps);
+    trace.chosen.iter().for_each(|&c| fold(c as u64));
+    trace.deltas.iter().for_each(|d| fold(d.to_bits()));
+    exec.outputs_slice()
+        .iter()
+        .for_each(|p| fold(p[0].to_bits()));
+
+    // Pool-backed beam scoring (random mutations on, so the RNG'd path
+    // is the one being fuzzed, not just the deterministic toggles).
+    let mut sc = Scenario::new(MeanValue, inits)
+        .adversary(BeamSearch::new(n, 0xBEA_5EED).mutations(3).threads(threads));
+    sc.advance(steps);
+    sc.execution()
+        .outputs_slice()
+        .iter()
+        .for_each(|p| fold(p[0].to_bits()));
+    acc
+}
+
+#[test]
+fn adaptive_search_paths_are_thread_count_independent() {
+    let mut rng = StdRng::seed_from_u64(0xADA7_71FE);
+    for trial in 0..5 {
+        let n = rng.random_range(3usize..=8);
+        let steps = rng.random_range(2usize..=6);
+        let inits: Vec<Point<1>> = random_inits(n, &mut rng)
+            .into_iter()
+            .map(|v| Point([v]))
+            .collect();
+        let baseline = adaptive_digest(n, &inits, steps, 1);
+        for _ in 0..3 {
+            let threads = rng.random_range(2usize..=16);
+            assert_eq!(
+                baseline,
+                adaptive_digest(n, &inits, steps, threads),
+                "trial {trial}: adaptive search diverged at threads={threads} (n={n})"
+            );
+        }
+    }
+}
+
 #[test]
 fn pool_chunk_primitive_is_schedule_independent() {
     let mut rng = StdRng::seed_from_u64(0x00C0_FFEE);
