@@ -234,10 +234,27 @@ where
 /// deterministic adversaries), so the sweep context is unused beyond
 /// the harness contract.
 #[must_use]
-pub fn run_adversary_cell(cell: &AdvCell, _ctx: CellCtx) -> CellOutcome {
+pub fn run_adversary_cell(cell: &AdvCell, ctx: CellCtx) -> CellOutcome {
+    run_adversary_cell_traced(cell, ctx, &consensus_obs::TraceHandle::disabled())
+}
+
+/// [`run_adversary_cell`] with a live trace: the greedy-valency drivers
+/// emit one `probe_step` span per adversary step and the beam searches
+/// one `beam_generation` span per committed round, all on
+/// `(ctx.index, lane::PROBE | lane::BEAM)`. Inner probe sets stay
+/// untraced: pooled candidate scoring would commit probe spans in
+/// scheduling order, and the step-level spans already carry the chosen
+/// `δ̂` per step. The outcome is byte-identical to the untraced run.
+#[must_use]
+pub fn run_adversary_cell_traced(
+    cell: &AdvCell,
+    ctx: CellCtx,
+    trace: &consensus_obs::TraceHandle,
+) -> CellOutcome {
+    let shard = ctx.index as u64;
     match *cell {
         AdvCell::Theorem1 { steps } => {
-            let adv = adversary::theorem1().strict();
+            let adv = adversary::theorem1().strict().trace(trace.clone(), shard);
             valency_outcome(
                 &adv,
                 Execution::new(TwoAgentThirds, &spread_inits(2)),
@@ -247,7 +264,8 @@ pub fn run_adversary_cell(cell: &AdvCell, _ctx: CellCtx) -> CellOutcome {
         AdvCell::Theorem2 { n, steps, threads } => {
             let adv = adversary::theorem2(&Digraph::complete(n))
                 .strict()
-                .threads(threads);
+                .threads(threads)
+                .trace(trace.clone(), shard);
             valency_outcome(&adv, Execution::new(Midpoint, &spread_inits(n)), steps)
         }
         AdvCell::DeafValency { n, steps } => {
@@ -262,11 +280,12 @@ pub fn run_adversary_cell(cell: &AdvCell, _ctx: CellCtx) -> CellOutcome {
                 })
                 .collect();
             let probes = ProbeSet::deaf_continuations(&model).strict();
-            let adv = adversary::GreedyValencyAdversary::new(candidates, probes);
+            let adv = adversary::GreedyValencyAdversary::new(candidates, probes)
+                .trace(trace.clone(), shard);
             valency_outcome(&adv, Execution::new(Midpoint, &spread_inits(n)), steps)
         }
         AdvCell::Theorem3 { n, steps } => {
-            let adv = adversary::theorem3(n).strict();
+            let adv = adversary::theorem3(n).strict().trace(trace.clone(), shard);
             valency_outcome(
                 &adv,
                 Execution::new(AmortizedMidpoint::for_agents(n), &spread_inits(n)),
@@ -283,7 +302,8 @@ pub fn run_adversary_cell(cell: &AdvCell, _ctx: CellCtx) -> CellOutcome {
                 BeamSearch::new(n, ADV_BEAM_SEED)
                     .width(1 << (n * (n - 1)))
                     .depth(n * (n - 1))
-                    .mutations(0),
+                    .mutations(0)
+                    .trace(trace.clone(), shard),
             ),
             rounds,
         ),
@@ -304,7 +324,8 @@ pub fn run_adversary_cell(cell: &AdvCell, _ctx: CellCtx) -> CellOutcome {
                     .width(width)
                     .depth(depth)
                     .mutations(mutations)
-                    .threads(threads),
+                    .threads(threads)
+                    .trace(trace.clone(), shard),
             ),
             rounds,
         ),
@@ -451,13 +472,28 @@ pub fn try_adversary_spec(preset: &str) -> Result<AdversarySpec, SpecError> {
 /// parallelism and inner fork pools are both index-ordered).
 #[must_use]
 pub fn run_adversary(spec: &AdversarySpec, threads: Option<usize>) -> SweepReport {
-    let mut sweep = Sweep::new(spec.cells.clone()).seed(spec.base_seed);
+    run_adversary_traced(spec, threads, consensus_obs::TraceHandle::disabled())
+}
+
+/// [`run_adversary`] with a live trace: per-cell sweep spans, the pool
+/// profile, and the per-cell adversary spans of
+/// [`run_adversary_cell_traced`] land in `trace`; the report is
+/// byte-identical to the untraced run.
+#[must_use]
+pub fn run_adversary_traced(
+    spec: &AdversarySpec,
+    threads: Option<usize>,
+    trace: consensus_obs::TraceHandle,
+) -> SweepReport {
+    let mut sweep = Sweep::new(spec.cells.clone())
+        .seed(spec.base_seed)
+        .trace(trace.clone());
     if let Some(t) = threads {
         sweep = sweep.threads(t);
     }
     let labels: Vec<String> = sweep.cells().iter().map(AdvCell::label).collect();
     let seeds: Vec<u64> = (0..sweep.len()).map(|i| sweep.seed_of(i)).collect();
-    let outcomes = sweep.run(run_adversary_cell);
+    let outcomes = sweep.run(|cell, ctx| run_adversary_cell_traced(cell, ctx, &trace));
     SweepReport::new(spec.name.clone(), spec.base_seed, labels, seeds, outcomes)
 }
 

@@ -19,10 +19,27 @@
 //!                   unknown name is a clean error listing the valid set
 //!   --threads N     worker count (default: all cores; results identical)
 //!   --seed S        override the base seed
-//!   --json          print JSON only (golden-diff mode)
-//!   --out PATH      also write the JSON to PATH (e.g. BENCH_sweep.json)
+//!   --json          print JSON only (golden-diff mode; suppresses the
+//!                   default BENCH_<grid>.json side file)
+//!   --out PATH      write the JSON to PATH instead of the default
+//!                   BENCH_<grid>.json side file
 //!   --replay I      re-run cell I solo and print its outcome
 //!   --multidim      deprecated alias for `--grid multidim`
+//! ```
+//!
+//! Tracing flags (the [`consensus_obs`] structured-trace capture; see
+//! the README's Observability section):
+//!
+//! ```text
+//!   --trace-out PATH      write the merged trace as JSONL to PATH
+//!   --trace-level LEVEL   span (default) | round; `round` adds a
+//!                         sequential per-cell round replay with
+//!                         per-round diameter/contraction gauges
+//!                         (ensemble grid, classic path)
+//!   --trace-timing        use a real wall clock and keep profile
+//!                         events (timestamped JSONL; NOT byte-stable —
+//!                         without this flag the trace is the content
+//!                         stream, identical at any --threads value)
 //! ```
 //!
 //! Control-plane flags (any of them routes the run through the
@@ -60,17 +77,20 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use consensus_bench::advsearch::{
-    adversary_table, run_adversary, run_adversary_cell, try_adversary_spec,
+    adversary_table, run_adversary, run_adversary_cell, run_adversary_traced, try_adversary_spec,
 };
 use consensus_bench::experiments::{
-    dynamic_table, ensemble_table, multidim_table, run_dynamic, run_dynamic_cell, run_ensemble,
-    run_ensemble_cell, run_multidim, try_dynamic_spec, try_ensemble_spec, try_multidim_spec,
-    GRID_REGISTRY,
+    dynamic_table, ensemble_table, multidim_table, run_dynamic, run_dynamic_cell,
+    run_dynamic_traced, run_ensemble_cell, run_ensemble_traced, run_multidim, run_multidim_traced,
+    try_dynamic_spec, try_ensemble_spec, try_multidim_spec, GRID_REGISTRY,
 };
+use consensus_bench::obswire::{self, TraceLevel};
 use consensus_bench::orchestrate::AnySpec;
+use consensus_bench::wallclock::WallClock;
 use tight_bounds_consensus::controlplane::{
     self, serve_plaintext, Metrics, ProcessPool, RunConfig, WorkerSpawn,
 };
+use tight_bounds_consensus::obs::{Clock, NullClock, TraceHandle, DEFAULT_RECORDER_CAP};
 use tight_bounds_consensus::pool::CancelToken;
 use tight_bounds_consensus::prelude::*;
 
@@ -103,6 +123,49 @@ struct ControlFlags {
     stop_after: Option<u64>,
     cell_delay_ms: u64,
     fail_cells: Vec<u64>,
+}
+
+/// The tracing side of the CLI: where to write the JSONL capture, at
+/// what granularity, and whether to keep wall-clock timing.
+#[derive(Debug)]
+struct TraceFlags {
+    out: Option<String>,
+    level: TraceLevel,
+    timing: bool,
+}
+
+impl Default for TraceFlags {
+    fn default() -> Self {
+        Self {
+            out: None,
+            level: TraceLevel::Span,
+            timing: false,
+        }
+    }
+}
+
+impl TraceFlags {
+    /// An enabled handle when `--trace-out` was given (wall clock only
+    /// under `--trace-timing`), else the zero-cost disabled handle.
+    fn handle(&self) -> TraceHandle {
+        if self.out.is_none() {
+            return TraceHandle::disabled();
+        }
+        let clock: Arc<dyn Clock> = if self.timing {
+            Arc::new(WallClock::new())
+        } else {
+            Arc::new(NullClock)
+        };
+        TraceHandle::enabled_with(DEFAULT_RECORDER_CAP, clock)
+    }
+
+    /// Writes the capture to `--trace-out` (content stream unless
+    /// `--trace-timing`); a no-op when tracing is off.
+    fn write(&self, trace: &TraceHandle) {
+        let Some(path) = &self.out else { return };
+        obswire::write_trace(path, trace, self.timing).expect("failed to write --trace-out");
+        eprintln!("trace: JSONL written to {path}");
+    }
 }
 
 impl ControlFlags {
@@ -138,10 +201,12 @@ fn run_coordinated(
     spec: &AnySpec,
     preset: &str,
     cf: &ControlFlags,
+    tf: &TraceFlags,
     threads: Option<usize>,
     seed: Option<u64>,
     emit: impl Fn(&str, String),
 ) -> i32 {
+    let trace = &tf.handle();
     let plan = spec.plan(preset);
     let metrics = Arc::new(Metrics::new());
     let cancel = CancelToken::new();
@@ -156,10 +221,18 @@ fn run_coordinated(
         resume: cf.resume,
         stop_after: cf.stop_after,
         cancel: cancel.clone(),
+        trace: trace.clone(),
     };
     let server = cf.metrics_addr.as_deref().map(|addr| {
-        let s = serve_plaintext(addr, Arc::clone(&metrics), cancel.clone())
-            .expect("failed to bind --metrics-addr");
+        let s = serve_plaintext(
+            addr,
+            Arc::clone(&metrics),
+            n_workers as u64,
+            Arc::new(WallClock::new()),
+            trace.clone(),
+            cancel.clone(),
+        )
+        .expect("failed to bind --metrics-addr");
         eprintln!("metrics: serving plaintext on http://{}/", s.addr);
         s
     });
@@ -214,6 +287,7 @@ fn run_coordinated(
         Ok(o) => o,
         Err(e) => {
             eprintln!("{e}");
+            tf.write(trace);
             return 1;
         }
     };
@@ -227,9 +301,12 @@ fn run_coordinated(
             plan.n_cells,
             outcome.resumed,
         );
+        tf.write(trace);
         return 0;
     }
     let report = spec.report_from_rows(outcome.outcome_rows().expect("completed run has rows"));
+    obswire::enrich_report(trace, &report);
+    tf.write(trace);
     emit(&report.to_json(), spec.table(&report));
     i32::from(!outcome.failed_cells.is_empty())
 }
@@ -245,6 +322,7 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut replay: Option<usize> = None;
     let mut cf = ControlFlags::default();
+    let mut tf = TraceFlags::default();
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -324,6 +402,17 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--cell-delay-ms needs a number");
             }
+            "--trace-out" => {
+                tf.out = Some(it.next().expect("--trace-out needs a path").clone());
+            }
+            "--trace-level" => {
+                let v = it.next().expect("--trace-level needs span|round");
+                tf.level = TraceLevel::parse(v).unwrap_or_else(|| {
+                    eprintln!("--trace-level: unknown level `{v}` (valid: span|round)");
+                    std::process::exit(2);
+                });
+            }
+            "--trace-timing" => tf.timing = true,
             "--worker-fail-cells" => {
                 cf.fail_cells = it
                     .next()
@@ -348,6 +437,18 @@ fn main() {
                 std::process::exit(2);
             });
     }
+    if tf.out.is_none() && (tf.level != TraceLevel::Span || tf.timing) {
+        eprintln!("--trace-level/--trace-timing need --trace-out PATH");
+        std::process::exit(2);
+    }
+    // Every grid run leaves a machine-readable report behind
+    // (BENCH_<grid>.json) unless the caller picked an explicit --out
+    // path or asked for stdout-only JSON (the golden-diff mode, which
+    // must not touch the working directory).
+    if out_path.is_none() && !json_only && replay.is_none() {
+        out_path = Some(format!("BENCH_{grid}.json"));
+    }
+    let trace = tf.handle();
 
     let emit = |json: &str, table: String| {
         if let Some(path) = &out_path {
@@ -372,7 +473,9 @@ fn main() {
         if let Some(s) = seed {
             spec.set_base_seed(s);
         }
-        std::process::exit(run_coordinated(&spec, &preset, &cf, threads, seed, emit));
+        std::process::exit(run_coordinated(
+            &spec, &preset, &cf, &tf, threads, seed, emit,
+        ));
     }
 
     match grid {
@@ -402,7 +505,9 @@ fn main() {
                 }
                 return;
             }
-            let report = run_multidim(&mspec, threads);
+            let report = run_multidim_traced(&mspec, threads, trace.clone());
+            obswire::enrich_report(&trace, &report);
+            tf.write(&trace);
             emit(&report.to_json(), multidim_table(&mspec, &report));
         }
         "adversary_search" => {
@@ -418,7 +523,9 @@ fn main() {
                 print_outcome(index, &label, sweep.seed_of(index), &o);
                 return;
             }
-            let report = run_adversary(&aspec, threads);
+            let report = run_adversary_traced(&aspec, threads, trace.clone());
+            obswire::enrich_report(&trace, &report);
+            tf.write(&trace);
             emit(&report.to_json(), adversary_table(&aspec, &report));
         }
         "dynamic_rates" => {
@@ -435,7 +542,9 @@ fn main() {
                 print_outcome(index, &label, sweep.seed_of(index), &o);
                 return;
             }
-            let report = run_dynamic(&dspec, threads);
+            let report = run_dynamic_traced(&dspec, threads, trace.clone());
+            obswire::enrich_report(&trace, &report);
+            tf.write(&trace);
             emit(&report.to_json(), dynamic_table(&dspec, &report));
         }
         _ => {
@@ -455,7 +564,12 @@ fn main() {
                 print_outcome(index, &label, sweep.seed_of(index), &o);
                 return;
             }
-            let report = run_ensemble(&spec, threads);
+            let report = run_ensemble_traced(&spec, threads, trace.clone());
+            obswire::enrich_report(&trace, &report);
+            if tf.level == TraceLevel::Round {
+                obswire::trace_rounds_ensemble(&spec, &report, &trace);
+            }
+            tf.write(&trace);
             let mut table = ensemble_table(&report);
             if preset == "quick" && !json_only {
                 // The quick smoke run also exercises the multidimensional,

@@ -995,7 +995,21 @@ pub fn run_ensemble_cell(
 /// cores; thread count never changes the report).
 #[must_use]
 pub fn run_ensemble(spec: &EnsembleSpec, threads: Option<usize>) -> SweepReport {
-    let mut sweep = Sweep::new(spec.grid.cells()).seed(spec.base_seed);
+    run_ensemble_traced(spec, threads, consensus_obs::TraceHandle::disabled())
+}
+
+/// [`run_ensemble`] with a live trace: per-cell spans and the pool
+/// profile land in `trace`, the report is byte-identical to the
+/// untraced run.
+#[must_use]
+pub fn run_ensemble_traced(
+    spec: &EnsembleSpec,
+    threads: Option<usize>,
+    trace: consensus_obs::TraceHandle,
+) -> SweepReport {
+    let mut sweep = Sweep::new(spec.grid.cells())
+        .seed(spec.base_seed)
+        .trace(trace);
     if let Some(t) = threads {
         sweep = sweep.threads(t);
     }
@@ -1246,7 +1260,21 @@ pub fn try_run_multidim_cell(
 /// cell seed, so the report stays byte-stable and pairwise comparable.
 #[must_use]
 pub fn run_multidim(spec: &MultidimSpec, threads: Option<usize>) -> SweepReport {
-    let mut sweep = Sweep::new(spec.grid.cells()).seed(spec.base_seed);
+    run_multidim_traced(spec, threads, consensus_obs::TraceHandle::disabled())
+}
+
+/// [`run_multidim`] with a live trace: per-cell spans and the pool
+/// profile land in `trace`, the report is byte-identical to the
+/// untraced run.
+#[must_use]
+pub fn run_multidim_traced(
+    spec: &MultidimSpec,
+    threads: Option<usize>,
+    trace: consensus_obs::TraceHandle,
+) -> SweepReport {
+    let mut sweep = Sweep::new(spec.grid.cells())
+        .seed(spec.base_seed)
+        .trace(trace);
     if let Some(t) = threads {
         sweep = sweep.threads(t);
     }
@@ -1531,7 +1559,21 @@ pub fn run_dynamic_cell(
 /// pure functions of their cell seeds).
 #[must_use]
 pub fn run_dynamic(spec: &DynamicSpec, threads: Option<usize>) -> SweepReport {
-    let mut sweep = Sweep::new(spec.grid.cells()).seed(spec.base_seed);
+    run_dynamic_traced(spec, threads, consensus_obs::TraceHandle::disabled())
+}
+
+/// [`run_dynamic`] with a live trace: per-cell spans and the pool
+/// profile land in `trace`, the report is byte-identical to the
+/// untraced run.
+#[must_use]
+pub fn run_dynamic_traced(
+    spec: &DynamicSpec,
+    threads: Option<usize>,
+    trace: consensus_obs::TraceHandle,
+) -> SweepReport {
+    let mut sweep = Sweep::new(spec.grid.cells())
+        .seed(spec.base_seed)
+        .trace(trace);
     if let Some(t) = threads {
         sweep = sweep.threads(t);
     }

@@ -12,5 +12,7 @@
 
 pub mod advsearch;
 pub mod experiments;
+pub mod obswire;
 pub mod orchestrate;
 pub mod tablefmt;
+pub mod wallclock;

@@ -107,6 +107,10 @@ pub struct RunConfig {
     pub stop_after: Option<u64>,
     /// External cancellation (signal handlers, metrics servers, …).
     pub cancel: CancelToken,
+    /// Structured tracing: forwarded to the dispatch [`Sweep`] (cell
+    /// spans, pool profile) plus a profile-class `coordinate` span with
+    /// plan counters. Disabled by default; never affects results.
+    pub trace: consensus_obs::TraceHandle,
 }
 
 /// What a coordinated run produced.
@@ -207,9 +211,19 @@ pub fn run(
     let failed_cells: Mutex<Vec<(u64, String)>> = Mutex::new(Vec::new());
     let rows = plan.rows_per_cell;
 
+    let mut coord_rec = cfg
+        .trace
+        .recorder(consensus_obs::PROFILE_SHARD, consensus_obs::lane::CONTROL);
+    if let Some(rec) = &mut coord_rec {
+        rec.record(consensus_obs::Event::span_begin("coordinate", 0).profile());
+        rec.profile_counter("plan_cells", 0, plan.n_cells as u64);
+        rec.profile_counter("plan_resumed", 0, resumed as u64);
+    }
+
     let sweep = Sweep::new((0..plan.n_cells).collect::<Vec<usize>>())
         .seed(plan.base_seed)
-        .threads(cfg.threads.max(1));
+        .threads(cfg.threads.max(1))
+        .trace(cfg.trace.clone());
     let fresh = sweep.try_run_where(
         &todo,
         &cfg.cancel,
@@ -259,7 +273,16 @@ pub fn run(
                 }
             }
         },
-    )?;
+    );
+
+    // Close and commit the coordinate span even when the dispatch
+    // failed, so a partial trace still shows the coordinator phase.
+    if let Some(mut rec) = coord_rec {
+        rec.profile_counter("cells_done", 0, metrics.done());
+        rec.record(consensus_obs::Event::span_end("coordinate", 0).profile());
+        cfg.trace.commit(rec);
+    }
+    let fresh = fresh?;
 
     if let Some(e) = io_error.into_inner().expect("error slot poisoned") {
         return Err(e);
@@ -556,6 +579,38 @@ mod tests {
         let slots = loaded.latest_by_cell().expect("in range");
         assert_eq!(slots[1].as_ref().unwrap().status, CellStatus::Done);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_emits_coordinator_spans() {
+        let trace = consensus_obs::TraceHandle::enabled();
+        let traced = run(
+            &plan(7),
+            &RunConfig {
+                threads: 3,
+                trace: trace.clone(),
+                ..RunConfig::default()
+            },
+            &fake_exec,
+            &Metrics::new(),
+        )
+        .expect("traced run");
+        let plain = run(&plan(7), &RunConfig::default(), &fake_exec, &Metrics::new())
+            .expect("untraced run");
+        let a = traced.outcome_rows().expect("complete");
+        let b = plain.outcome_rows().expect("complete");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.fingerprint, y.fingerprint, "tracing must not perturb");
+        }
+        let s = trace.merged();
+        assert_eq!(s.events_for_span("coordinate").len(), 2);
+        assert_eq!(s.events_for_span("cell").len(), 2 * 7);
+        assert_eq!(s.counter_total("plan_cells"), 7);
+        assert_eq!(s.counter_total("cells_done"), 7);
+        assert!(
+            s.content().events_for_span("coordinate").is_empty(),
+            "coordinator spans are profile-class"
+        );
     }
 
     #[test]

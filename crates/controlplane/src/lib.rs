@@ -74,5 +74,5 @@ pub use checkpoint::{
     CellRecord, CellStatus, CheckpointHeader, CheckpointWriter, LoadedCheckpoint,
 };
 pub use coordinator::{run, CellExecutor, RunConfig, RunOutcome, SweepPlan};
-pub use metrics::{serve_plaintext, Metrics, MetricsServer, MetricsSnapshot};
+pub use metrics::{render_plaintext, serve_plaintext, Metrics, MetricsServer, MetricsSnapshot};
 pub use worker::{ProcessPool, WorkerSpawn};

@@ -15,6 +15,7 @@
 //! |---|---|---|
 //! | [`digraph`] | `consensus-digraph` | communication graphs, products, `R(G)`, Figure 1–2 families, Lemma 24 graphs |
 //! | [`netmodel`] | `consensus-netmodel` | network models, `α`/`β` machinery, solvability (Thm 19), α-diameter (Def 22) |
+//! | [`obs`] | `consensus-obs` | deterministic structured tracing, round telemetry, pool profiling |
 //! | [`algorithms`] | `consensus-algorithms` | Algorithm 1, midpoint, amortized midpoint, averaging, non-convex comparators |
 //! | [`dynamics`] | `consensus-dynamics` | Heard-Of-style round executor, patterns, traces, rate estimators |
 //! | [`valency`] | `consensus-valency` | valency probes and the Theorem 1/2/3/5 adversaries |
@@ -60,6 +61,7 @@ pub use consensus_digraph as digraph;
 pub use consensus_dynamics as dynamics;
 pub use consensus_dynet as dynet;
 pub use consensus_netmodel as netmodel;
+pub use consensus_obs as obs;
 pub use consensus_pool as pool;
 pub use consensus_sweep as sweep;
 pub use consensus_valency as valency;
@@ -87,6 +89,7 @@ pub mod prelude {
         DynamicCell, DynamicGrid, ExhaustiveRooted, RotatingTreeSchedule, TIntervalAdversary,
     };
     pub use consensus_netmodel::{alpha, beta, NetworkModel};
+    pub use consensus_obs::{Clock, NullClock, RoundTelemetry, TraceHandle};
     pub use consensus_sweep::{
         CellCtx, CellOutcome, EnsembleGrid, InitDist, MultidimCell, MultidimGrid, MultidimInitDist,
         Stats, Sweep, SweepReport, SweepSummary, Topology,

@@ -6,7 +6,7 @@ use crate::scanner::{Line, SourceFile};
 /// A registered lint rule.
 #[derive(Debug, Clone, Copy)]
 pub struct Rule {
-    /// Short stable id (`R1`…`R6`, `S1`/`S2`).
+    /// Short stable id (`R1`…`R7`, `S1`/`S2`).
     pub id: &'static str,
     /// Kebab-case name usable in suppressions.
     pub name: &'static str,
@@ -47,6 +47,11 @@ pub const RULES: &[Rule] = &[
         desc: "narrowing `as u8/u16/u32` on digraph/dynamics hot paths: use u32::try_from with an explicit failure mode",
     },
     Rule {
+        id: "R7",
+        name: "bench-clock-scope",
+        desc: "Instant/SystemTime in consensus-bench library code: real clocks live only behind the Clock trait (src/wallclock.rs) and in bin/test/bench targets",
+    },
+    Rule {
         id: "S1",
         name: "suppression-reason",
         desc: "a `detlint: allow(...)` suppression must carry a non-empty reason string",
@@ -72,6 +77,11 @@ struct PathClass {
     test_code: bool,
     /// Inside `crates/bench` (the measurement harness may read clocks).
     bench_crate: bool,
+    /// `consensus-bench` *library* code outside the sanctioned
+    /// `src/wallclock.rs` Clock impl and the `src/bin/` targets: clock
+    /// reads here leak wall time into code the traced runners share
+    /// (R7 scope).
+    bench_lib: bool,
     /// Inside the `digraph`/`dynamics` hot-path crates (R6 scope).
     hot_path: bool,
     /// A compilation root — `src/lib.rs`, `src/main.rs`, or a binary
@@ -89,6 +99,9 @@ fn classify(path: &str) -> PathClass {
     PathClass {
         test_code: test_dir,
         bench_crate: path.starts_with("crates/bench/"),
+        bench_lib: path.starts_with("crates/bench/src/")
+            && !path.contains("/src/bin/")
+            && !path.ends_with("/wallclock.rs"),
         hot_path: path.starts_with("crates/digraph/src") || path.starts_with("crates/dynamics/src"),
         crate_root: path.ends_with("src/lib.rs")
             || path.ends_with("src/main.rs")
@@ -165,6 +178,14 @@ fn line_rules(line: &Line, class: PathClass) -> Vec<&'static Rule> {
             || code.contains("UNIX_EPOCH"))
     {
         hit.push(rule_by_key("R3").expect("registered"));
+    }
+    if !in_test
+        && class.bench_lib
+        && (contains_ident(code, "Instant")
+            || contains_ident(code, "SystemTime")
+            || contains_ident(code, "UNIX_EPOCH"))
+    {
+        hit.push(rule_by_key("R7").expect("registered"));
     }
     if contains_ident(code, "thread_rng")
         || contains_ident(code, "from_entropy")
@@ -344,6 +365,34 @@ mod tests {
             .iter()
             .all(|id| *id != "R3"));
         assert!(finding_ids("crates/sweep/tests/t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r7_confines_bench_clocks_to_wallclock_and_bins() {
+        let src = "let t = Instant::now();";
+        // Library code in crates/bench: R3 is waived but R7 fires.
+        assert_eq!(
+            finding_ids("crates/bench/src/experiments.rs", src),
+            vec!["R7"]
+        );
+        assert_eq!(
+            finding_ids(
+                "crates/bench/src/lib.rs",
+                "#![forbid(unsafe_code)]\nuse std::time::SystemTime;"
+            ),
+            vec!["R7"]
+        );
+        // The Clock impl, bin targets, tests, and benches stay exempt.
+        assert!(finding_ids("crates/bench/src/wallclock.rs", src).is_empty());
+        assert!(finding_ids(
+            "crates/bench/src/bin/sweep.rs",
+            "#![forbid(unsafe_code)]\nlet t = Instant::now();"
+        )
+        .is_empty());
+        assert!(finding_ids("crates/bench/tests/overhead.rs", src).is_empty());
+        assert!(finding_ids("crates/bench/benches/b.rs", src).is_empty());
+        // Outside crates/bench the clock rule is R3, not R7.
+        assert_eq!(finding_ids("crates/sweep/src/pool.rs", src), vec!["R3"]);
     }
 
     #[test]

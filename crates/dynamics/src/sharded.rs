@@ -51,6 +51,9 @@ pub struct ShardedExecution<K: ScalarKernel + Sync> {
     msgs: Vec<f64>,
     /// Reused forged-slate scratch for [`ShardedExecution::step_with_faults`].
     fault_msgs: Vec<f64>,
+    /// Reused per-chunk `(min, max, receptions)` slots for
+    /// [`ShardedExecution::step_observed`].
+    stat_buf: Vec<(f64, f64, u64)>,
     round: u64,
     threads: usize,
     chunk: usize,
@@ -72,6 +75,7 @@ impl<K: ScalarKernel + Sync> ShardedExecution<K> {
             next: vec![0.0; inits.len()],
             msgs: Vec::with_capacity(inits.len()),
             fault_msgs: Vec::new(),
+            stat_buf: Vec::new(),
             round: 0,
             threads: consensus_pool::default_threads(),
             chunk: DEFAULT_CHUNK,
@@ -122,12 +126,7 @@ impl<K: ScalarKernel + Sync> ShardedExecution<K> {
     /// scalars the Euclidean and box diameters coincide).
     #[must_use]
     pub fn value_diameter(&self) -> f64 {
-        let mut lo = f64::INFINITY;
-        let mut hi = f64::NEG_INFINITY;
-        for &v in &self.vals {
-            lo = lo.min(v);
-            hi = hi.max(v);
-        }
+        let (lo, hi) = min_max(&self.vals);
         hi - lo
     }
 
@@ -163,6 +162,102 @@ impl<K: ScalarKernel + Sync> ShardedExecution<K> {
             }
         });
         std::mem::swap(&mut self.vals, &mut self.next);
+    }
+
+    /// [`ShardedExecution::step`] with round-level telemetry: wraps the
+    /// round in a `round` span and emits the resulting diameter, the
+    /// contraction ratio Δ(t)/Δ(t−1), and the round's reception count
+    /// through `tel`, plus a profile-class `shard_imbalance` gauge
+    /// (max/mean chunks per worker) when the round ran on several
+    /// workers.
+    ///
+    /// The reception count rides the parallel chunk pass
+    /// ([`consensus_pool::for_each_chunk_mut_stat`]): each chunk fills
+    /// its own statistics slot and the slots are reduced in chunk-index
+    /// order, so the observed step stays bit-identical to
+    /// [`ShardedExecution::step`] at every thread count. The diameter
+    /// is one sequential unrolled scan after the swap (the `min_max`
+    /// helper's shape is fixed, so it too never depends on the worker
+    /// count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g.n() != self.n()`.
+    pub fn step_observed<G: RoundTopology>(
+        &mut self,
+        g: &G,
+        tel: &mut consensus_obs::RoundTelemetry,
+    ) {
+        assert_eq!(g.n(), self.n(), "graph size must match agent count");
+        if !tel.needs_diameter(self.round + 1) {
+            // A decimated round no emitted ratio depends on: run the
+            // plain step — zero telemetry overhead.
+            self.step(g);
+            return;
+        }
+        self.round += 1;
+        let round = self.round;
+        tel.begin_round(round);
+        let ShardedExecution {
+            alg,
+            vals,
+            next,
+            msgs,
+            stat_buf,
+            threads,
+            chunk,
+            ..
+        } = self;
+        msgs.clear();
+        msgs.extend(vals.iter().map(|&v| alg.message_scalar(v)));
+        let (alg, vals, msgs) = (&*alg, &*vals, &*msgs);
+        // One (min, max, receptions) slot per chunk, reduced in chunk
+        // order below — no cross-worker accumulation anywhere. The
+        // buffer is reused across rounds so the observed step performs
+        // no per-round allocation; the step loop itself is identical to
+        // [`ShardedExecution::step`]'s, and the chunk's extremes come
+        // from a cache-hot [`min_max`] pass over the freshly written
+        // slots rather than a fold inside the hot loop. Any reduction
+        // shape over finite values yields the same extreme bits, and
+        // the chunk grid is a pure function of `n` and `chunk`, so the
+        // emitted diameter never depends on the worker count.
+        let n_chunks = next.len().div_ceil(*chunk);
+        stat_buf.clear();
+        stat_buf.resize(n_chunks, (f64::INFINITY, f64::NEG_INFINITY, 0));
+        let per_worker = consensus_pool::for_each_chunk_mut_stat(
+            next,
+            stat_buf,
+            *chunk,
+            *threads,
+            |start, out, stat| {
+                let mut recv = 0u64;
+                for (k, slot) in out.iter_mut().enumerate() {
+                    let i = start + k;
+                    let senders = g.sender_set(i);
+                    recv += senders.len() as u64;
+                    let inbox = Inbox::from_senders(senders, msgs);
+                    *slot = alg.step_scalar(i, vals[i], inbox, round);
+                }
+                let (lo, hi) = min_max(out);
+                *stat = (lo, hi, recv);
+            },
+        );
+        std::mem::swap(&mut self.vals, &mut self.next);
+        let (mut lo, mut hi, mut receptions) = (f64::INFINITY, f64::NEG_INFINITY, 0u64);
+        for &(clo, chi, crecv) in &self.stat_buf {
+            lo = lo.min(clo);
+            hi = hi.max(chi);
+            receptions += crecv;
+        }
+        tel.end_round(round, hi - lo, receptions);
+        if per_worker.len() > 1 {
+            let max = per_worker.iter().copied().max().unwrap_or(0) as f64;
+            let mean = per_worker.iter().sum::<u64>() as f64 / per_worker.len() as f64;
+            if mean > 0.0 {
+                tel.recorder_mut()
+                    .profile_gauge("shard_imbalance", round, max / mean);
+            }
+        }
     }
 
     /// Executes one round with the agents in `byzantine` replaced by
@@ -216,6 +311,32 @@ impl<K: ScalarKernel + Sync> ShardedExecution<K> {
         }
         std::mem::swap(&mut self.vals, &mut self.next);
     }
+}
+
+/// `(min, max)` of a value vector in one pass, unrolled into four
+/// independent accumulator lanes so the chain of `min`/`max` data
+/// dependencies doesn't serialise the scan. The lane shape is fixed
+/// (it depends only on `xs.len()`), so the result is deterministic —
+/// and since `f64::min`/`f64::max` return one of their (finite)
+/// operands, it is bit-identical to the naive left-to-right fold.
+fn min_max(xs: &[f64]) -> (f64, f64) {
+    let mut lo = [f64::INFINITY; 4];
+    let mut hi = [f64::NEG_INFINITY; 4];
+    let mut chunks = xs.chunks_exact(4);
+    for c in &mut chunks {
+        for j in 0..4 {
+            lo[j] = lo[j].min(c[j]);
+            hi[j] = hi[j].max(c[j]);
+        }
+    }
+    for (j, &v) in chunks.remainder().iter().enumerate() {
+        lo[j] = lo[j].min(v);
+        hi[j] = hi[j].max(v);
+    }
+    (
+        lo[0].min(lo[1]).min(lo[2]).min(lo[3]),
+        hi[0].max(hi[1]).max(hi[2]).max(hi[3]),
+    )
 }
 
 #[cfg(test)]
@@ -324,6 +445,64 @@ mod tests {
                 "agent {i}"
             );
         }
+    }
+
+    #[test]
+    fn observed_step_is_bit_identical_to_step() {
+        use consensus_obs::{lane, RoundTelemetry, TraceHandle};
+        let vals = inits(301);
+        let csr = CsrDigraph::ring_lattice(301, 3);
+        let mut plain = ShardedExecution::new(MeanValue, &vals)
+            .threads(3)
+            .chunk_size(37);
+        let trace = TraceHandle::enabled();
+        let mut tel = RoundTelemetry::new(trace.recorder(0, lane::EXECUTOR).expect("enabled"))
+            .initial_diameter(plain.value_diameter());
+        let mut observed = ShardedExecution::new(MeanValue, &vals)
+            .threads(3)
+            .chunk_size(37);
+        for _ in 0..7 {
+            plain.step(&csr);
+            observed.step_observed(&csr, &mut tel);
+        }
+        assert_eq!(plain.values(), observed.values(), "telemetry is inert");
+        trace.commit(tel.finish());
+        let s = trace.merged();
+        let diameters = s.gauge_values("diameter");
+        assert_eq!(diameters.len(), 7);
+        assert_eq!(
+            diameters[6].to_bits(),
+            plain.value_diameter().to_bits(),
+            "fused per-chunk reduction equals the value_diameter scan"
+        );
+        assert_eq!(s.gauge_values("contraction").len(), 7);
+        // Ring lattice with k=3: every agent hears 4 agents (self + 3
+        // predecessors), for 7 rounds.
+        assert_eq!(s.counter_total("messages"), 7 * 301 * 4);
+    }
+
+    #[test]
+    fn observed_content_is_thread_count_invariant() {
+        use consensus_obs::{lane, RoundTelemetry, TraceHandle};
+        let vals = inits(200);
+        let csr = CsrDigraph::ring_lattice(200, 2);
+        let mut streams = Vec::new();
+        for threads in [1, 4] {
+            let trace = TraceHandle::enabled();
+            let mut tel = RoundTelemetry::new(trace.recorder(0, lane::EXECUTOR).expect("enabled"));
+            let mut e = ShardedExecution::new(Midpoint, &vals)
+                .threads(threads)
+                .chunk_size(13);
+            for _ in 0..5 {
+                e.step_observed(&csr, &mut tel);
+            }
+            trace.commit(tel.finish());
+            streams.push(trace.merged().content());
+        }
+        assert_eq!(
+            streams[0], streams[1],
+            "content stream must not depend on the worker count"
+        );
     }
 
     #[test]

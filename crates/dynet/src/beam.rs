@@ -130,6 +130,8 @@ pub struct BeamSearch {
     fork_threads: usize,
     committed: Option<Digraph>,
     round: u64,
+    trace: consensus_obs::TraceHandle,
+    trace_shard: u64,
 }
 
 impl BeamSearch {
@@ -151,7 +153,23 @@ impl BeamSearch {
             fork_threads: 1,
             committed: None,
             round: 0,
+            trace: consensus_obs::TraceHandle::disabled(),
+            trace_shard: 0,
         }
+    }
+
+    /// Attaches a [`consensus_obs::TraceHandle`]: each committed round
+    /// records a `beam_generation` span on `(shard, lane::BEAM)` with a
+    /// `beam_candidates` counter (graphs scored that round) and a
+    /// `beam_best` gauge (the committed one-step score). The events are
+    /// content-class — the search is a pure function of
+    /// `(parameters, seed, execution state)` — so the stream is
+    /// bit-identical at every thread count.
+    #[must_use]
+    pub fn trace(mut self, trace: consensus_obs::TraceHandle, shard: u64) -> Self {
+        self.trace = trace;
+        self.trace_shard = shard;
+        self
     }
 
     /// Sets the beam width (frontier size kept between waves).
@@ -253,7 +271,9 @@ impl BeamSearch {
 
     /// One full beam search against the configuration in `exec`;
     /// returns the committed graph and its one-step score.
-    fn search<A, const D: usize>(&self, exec: &Execution<A, D>) -> (Digraph, f64)
+    /// One full beam search; the third component is the number of
+    /// candidate graphs scored (for telemetry).
+    fn search<A, const D: usize>(&self, exec: &Execution<A, D>) -> (Digraph, f64, u64)
     where
         A: Algorithm<D> + Clone + Sync,
         A::State: Sync,
@@ -270,6 +290,7 @@ impl BeamSearch {
         seeds.retain(|g| visited.insert(g.clone()));
 
         let scores = score_candidates(&seeds, exec, self.fork_threads);
+        let mut scored_count = seeds.len() as u64;
         let mut frontier: Vec<(Digraph, f64)> = seeds.into_iter().zip(scores).collect();
         let mut best = commit_best(&frontier).expect("seed frontier is non-empty");
 
@@ -292,6 +313,7 @@ impl BeamSearch {
             }
 
             let scores = score_candidates(&fresh, exec, self.fork_threads);
+            scored_count += fresh.len() as u64;
             for (g, s) in fresh.into_iter().zip(scores) {
                 if ranks_better(s, &g, best.1, &best.0) {
                     best = (g.clone(), s);
@@ -299,7 +321,7 @@ impl BeamSearch {
                 frontier.push((g, s));
             }
         }
-        best
+        (best.0, best.1, scored_count)
     }
 }
 
@@ -310,8 +332,20 @@ where
     A::Msg: Sync,
 {
     fn next_block(&mut self, exec: &Execution<A, D>, out: &mut Vec<Digraph>) {
-        let (g, d) = self.search(exec);
+        let mut rec = self
+            .trace
+            .recorder(self.trace_shard, consensus_obs::lane::BEAM);
+        if let Some(r) = &mut rec {
+            r.span_begin("beam_generation", self.round);
+        }
+        let (g, d, scored) = self.search(exec);
         debug_assert!(!d.is_nan(), "beam candidate produced a NaN value diameter");
+        if let Some(mut r) = rec {
+            r.counter("beam_candidates", self.round, scored);
+            r.gauge("beam_best", self.round, d);
+            r.span_end("beam_generation", self.round);
+            self.trace.commit(r);
+        }
         self.committed = Some(g.clone());
         self.round += 1;
         out.push(g);
@@ -469,6 +503,37 @@ mod tests {
             beam_diam >= deaf_diam - 1e-12,
             "beam ({beam_diam:e}) must be at least as adversarial as deaf ({deaf_diam:e})"
         );
+    }
+
+    #[test]
+    fn traced_beam_is_bit_identical_and_thread_invariant() {
+        let n = 6;
+        let rounds = 4;
+        let run = |threads: usize, trace: Option<consensus_obs::TraceHandle>| {
+            let mut adv = BeamSearch::new(n, 19)
+                .width(3)
+                .depth(2)
+                .mutations(2)
+                .threads(threads);
+            if let Some(t) = trace {
+                adv = adv.trace(t, 0);
+            }
+            let mut sc = Scenario::new(MeanValue, &spread(n)).adversary(adv);
+            sc.advance(rounds);
+            sc.execution().outputs()
+        };
+        let plain = run(1, None);
+        let t1 = consensus_obs::TraceHandle::enabled();
+        let traced = run(1, Some(t1.clone()));
+        assert_eq!(plain, traced, "tracing must not perturb the schedule");
+        let s1 = t1.merged();
+        assert_eq!(s1.events_for_span("beam_generation").len(), 2 * rounds);
+        assert_eq!(s1.gauge_values("beam_best").len(), rounds);
+        assert!(s1.counter_total("beam_candidates") > 0);
+        let t4 = consensus_obs::TraceHandle::enabled();
+        let traced4 = run(4, Some(t4.clone()));
+        assert_eq!(plain, traced4);
+        assert_eq!(t4.merged().content(), s1.content());
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! The injected time source for the timing side-channel.
+//!
+//! This crate — and every library crate that records events — never
+//! reads wall-clock time itself (the detlint R3/R7 rules enforce it).
+//! Timestamps enter the system only through a [`Clock`] implementation
+//! injected by a binary: the `sweep` bin passes the real-clock
+//! implementation that lives in `consensus-bench`, libraries and tests
+//! default to [`NullClock`], and deterministic tests that want to
+//! exercise the timing plumbing use [`TickClock`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonic time source for the timing side-channel.
+///
+/// Returning `None` means "no time available": the event is recorded
+/// with no timestamp and the content stream is unaffected. Timestamps
+/// are **never** part of fingerprints, goldens, or the content JSONL —
+/// they exist only in the full (profiling) serialization, which is why
+/// a real-clock implementation is confined to `crates/bench` and the
+/// bins (detlint R7).
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since an arbitrary epoch, or `None` when this clock
+    /// does not measure time.
+    fn now_nanos(&self) -> Option<u64>;
+}
+
+/// The deterministic default: never reports a time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullClock;
+
+impl Clock for NullClock {
+    fn now_nanos(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// A deterministic test clock: each call advances by a fixed step, so
+/// "durations" are reproducible functions of call order.
+#[derive(Debug, Default)]
+pub struct TickClock {
+    ticks: AtomicU64,
+}
+
+impl TickClock {
+    /// A tick clock starting at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        TickClock::default()
+    }
+}
+
+impl Clock for TickClock {
+    fn now_nanos(&self) -> Option<u64> {
+        Some(self.ticks.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_clock_reports_nothing() {
+        assert_eq!(NullClock.now_nanos(), None);
+    }
+
+    #[test]
+    fn tick_clock_is_monotone_and_deterministic() {
+        let c = TickClock::new();
+        assert_eq!(c.now_nanos(), Some(0));
+        assert_eq!(c.now_nanos(), Some(1));
+        assert_eq!(c.now_nanos(), Some(2));
+    }
+}

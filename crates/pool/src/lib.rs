@@ -27,6 +27,14 @@
 //! * [`try_run_indexed_observed`] — invokes an observer on the worker
 //!   thread the moment each cell completes (the streaming-checkpoint
 //!   hook), and reports **every** panicking cell, not just the first.
+//!
+//! For observability, [`try_run_indexed_profiled`] additionally fills a
+//! [`PoolProfile`] with per-worker own/steal counts and per-cell
+//! durations (timed through an injected `consensus-obs` [`Clock`] —
+//! this crate reads no wall clocks itself), and
+//! [`for_each_chunk_mut_stat`] fuses a per-chunk statistics slot into
+//! the parallel pass so the sharded executor can observe rounds with a
+//! deterministic per-chunk reduction instead of cross-worker counters.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +43,8 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+
+use consensus_obs::{Clock, NullClock};
 
 /// A shared cancellation flag: cloning yields handles onto the same
 /// flag, so a coordinator can hand one to the pool (and a metrics
@@ -123,6 +133,80 @@ impl std::fmt::Display for PoolError {
 }
 
 impl std::error::Error for PoolError {}
+
+/// What one worker did during a profiled pool run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerProfile {
+    /// The worker's index (0-based; the sequential path is worker 0).
+    pub worker: usize,
+    /// Cells popped from the worker's own deque.
+    pub own: u64,
+    /// Cells stolen from other workers' deques.
+    pub stolen: u64,
+    /// `(cell, nanos)` per cell this worker ran, in completion order —
+    /// present only when the injected [`Clock`] reports time. Panicked
+    /// cells are included (timed to the unwind catch).
+    pub cell_nanos: Vec<(usize, u64)>,
+}
+
+/// Per-worker statistics collected by [`try_run_indexed_profiled`].
+///
+/// The profile is **scheduling-dependent by nature** (which worker ran
+/// or stole which cell varies run to run), which is why the
+/// observability layer surfaces it as profile-class events, excluded
+/// from content streams and goldens. It is complete even when cells
+/// panic: workers flush their stats before the error is assembled, so
+/// a post-mortem of a `WorkerFailed` cell sees the full queue/steal
+/// picture.
+#[derive(Debug, Default)]
+pub struct PoolProfile {
+    workers: Mutex<Vec<WorkerProfile>>,
+}
+
+impl PoolProfile {
+    /// A fresh, empty profile.
+    #[must_use]
+    pub fn new() -> Self {
+        PoolProfile::default()
+    }
+
+    fn push(&self, wp: WorkerProfile) {
+        self.workers.lock().expect("profile poisoned").push(wp);
+    }
+
+    /// Every worker's profile, ascending by worker index.
+    #[must_use]
+    pub fn workers(&self) -> Vec<WorkerProfile> {
+        let mut out = self.workers.lock().expect("profile poisoned").clone();
+        out.sort_by_key(|w| w.worker);
+        out
+    }
+
+    /// Total cells executed (own + stolen, across workers).
+    #[must_use]
+    pub fn cells_run(&self) -> u64 {
+        self.workers().iter().map(|w| w.own + w.stolen).sum()
+    }
+
+    /// Total steals across workers.
+    #[must_use]
+    pub fn steals(&self) -> u64 {
+        self.workers().iter().map(|w| w.stolen).sum()
+    }
+
+    /// Per-cell durations, ascending by cell index (empty under the
+    /// [`NullClock`]).
+    #[must_use]
+    pub fn cell_durations_ns(&self) -> Vec<(usize, u64)> {
+        let mut out: Vec<(usize, u64)> = self
+            .workers()
+            .iter()
+            .flat_map(|w| w.cell_nanos.iter().copied())
+            .collect();
+        out.sort_by_key(|&(cell, _)| cell);
+        out
+    }
+}
 
 /// Stringifies a panic payload (the `Box<dyn Any>` from `catch_unwind`).
 fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -217,9 +301,50 @@ where
     F: Fn(usize) -> R + Sync,
     O: Fn(usize, &R) + Sync,
 {
+    try_run_indexed_profiled(
+        n_cells,
+        threads,
+        cancel,
+        &NullClock,
+        f,
+        observe,
+        &PoolProfile::new(),
+    )
+}
+
+/// [`try_run_indexed_observed`] plus profiling: per-worker own/steal
+/// cell counts and — when `clock` reports time — per-cell durations,
+/// flushed into `profile`.
+///
+/// The profile is flushed by every worker before the run returns,
+/// **including when cells panic**: an `Err` still leaves `profile`
+/// holding the complete queue/steal census, so post-mortem traces of
+/// failed cells are never blind. Under the [`NullClock`] the per-cell
+/// timing overhead is two virtual calls per cell.
+///
+/// # Errors
+///
+/// Returns every panicking cell with its panic message, ascending by
+/// cell index.
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_indexed_profiled<R, F, O>(
+    n_cells: usize,
+    threads: usize,
+    cancel: &CancelToken,
+    clock: &dyn Clock,
+    f: F,
+    observe: O,
+    profile: &PoolProfile,
+) -> Result<Vec<Option<R>>, PoolError>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+    O: Fn(usize, &R) + Sync,
+{
     let workers = threads.max(1).min(n_cells.max(1));
-    let run_one = |i: usize| -> Result<R, CellPanic> {
-        catch_unwind(AssertUnwindSafe(|| {
+    let run_one = |i: usize, wp: &mut WorkerProfile| -> Result<R, CellPanic> {
+        let t0 = clock.now_nanos();
+        let result = catch_unwind(AssertUnwindSafe(|| {
             let r = f(i);
             observe(i, &r);
             r
@@ -227,10 +352,15 @@ where
         .map_err(|payload| CellPanic {
             cell: i,
             message: payload_message(payload),
-        })
+        });
+        if let (Some(t0), Some(t1)) = (t0, clock.now_nanos()) {
+            wp.cell_nanos.push((i, t1.saturating_sub(t0)));
+        }
+        result
     };
 
     if workers <= 1 {
+        let mut wp = WorkerProfile::default();
         let mut out: Vec<Option<R>> = Vec::with_capacity(n_cells);
         let mut failures = Vec::new();
         for i in 0..n_cells {
@@ -238,7 +368,8 @@ where
                 out.push(None);
                 continue;
             }
-            match run_one(i) {
+            wp.own += 1;
+            match run_one(i, &mut wp) {
                 Ok(r) => out.push(Some(r)),
                 Err(p) => {
                     failures.push(p);
@@ -246,6 +377,7 @@ where
                 }
             }
         }
+        profile.push(wp);
         if failures.is_empty() {
             return Ok(out);
         }
@@ -269,17 +401,31 @@ where
                 let deques = &deques;
                 let run_one = &run_one;
                 scope.spawn(move || {
+                    let mut wp = WorkerProfile {
+                        worker: w,
+                        ..WorkerProfile::default()
+                    };
                     let mut done: Vec<(usize, R)> = Vec::new();
                     let mut bad: Vec<CellPanic> = Vec::new();
                     while !cancel.is_cancelled() {
                         match next_job(deques, w) {
-                            Some(i) => match run_one(i) {
-                                Ok(r) => done.push((i, r)),
-                                Err(p) => bad.push(p),
-                            },
+                            Some((i, stolen)) => {
+                                if stolen {
+                                    wp.stolen += 1;
+                                } else {
+                                    wp.own += 1;
+                                }
+                                match run_one(i, &mut wp) {
+                                    Ok(r) => done.push((i, r)),
+                                    Err(p) => bad.push(p),
+                                }
+                            }
                             None => break,
                         }
                     }
+                    // Flush before the join so the profile is complete
+                    // even when `bad` turns the run into an error.
+                    profile.push(wp);
                     (done, bad)
                 })
             })
@@ -357,17 +503,99 @@ where
     });
 }
 
+/// [`for_each_chunk_mut`] with a fused per-chunk statistics slot: chunk
+/// `k` of `items` is processed together with `stats[k]`, so a round
+/// observer can collect per-chunk reductions (min/max, message counts)
+/// in the same parallel pass with no extra synchronization — the
+/// deterministic alternative to reducing across workers. Returns how
+/// many chunks each worker processed (length = workers used), the raw
+/// material for shard-imbalance profiling; the *contents* of `stats`
+/// never depend on it.
+///
+/// `threads ≤ 1` (or a single chunk) runs sequentially in place.
+///
+/// # Panics
+///
+/// Panics if `stats.len()` is not the chunk count
+/// (`items.len().div_ceil(chunk_len)`).
+pub fn for_each_chunk_mut_stat<T, S, F>(
+    items: &mut [T],
+    stats: &mut [S],
+    chunk_len: usize,
+    threads: usize,
+    f: F,
+) -> Vec<u64>
+where
+    T: Send,
+    S: Send,
+    F: Fn(usize, &mut [T], &mut S) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        assert!(stats.is_empty(), "one stat slot per chunk");
+        return Vec::new();
+    }
+    let chunk_len = chunk_len.max(1);
+    let n_chunks = n.div_ceil(chunk_len);
+    assert_eq!(stats.len(), n_chunks, "one stat slot per chunk");
+    let workers = threads.max(1).min(n_chunks);
+    if workers <= 1 {
+        for ((k, chunk), stat) in items
+            .chunks_mut(chunk_len)
+            .enumerate()
+            .zip(stats.iter_mut())
+        {
+            f(k * chunk_len, chunk, stat);
+        }
+        return vec![n_chunks as u64];
+    }
+
+    let jobs: Mutex<Vec<(usize, &mut [T], &mut S)>> = Mutex::new(
+        items
+            .chunks_mut(chunk_len)
+            .enumerate()
+            .zip(stats.iter_mut())
+            .map(|((k, chunk), stat)| (k * chunk_len, chunk, stat))
+            .collect(),
+    );
+    let mut per_worker = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut ran = 0u64;
+                    loop {
+                        let job = jobs.lock().expect("chunk queue poisoned").pop();
+                        match job {
+                            Some((start, chunk, stat)) => {
+                                f(start, chunk, stat);
+                                ran += 1;
+                            }
+                            None => break ran,
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            per_worker.push(h.join().expect("pool worker infrastructure panicked"));
+        }
+    });
+    per_worker
+}
+
 /// Pops the next job for worker `w`: own deque front first, then steal
 /// from the back of the other deques (scanning circularly from `w + 1`).
-fn next_job(deques: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+/// The flag reports whether the job was stolen (for [`PoolProfile`]).
+fn next_job(deques: &[Mutex<VecDeque<usize>>], w: usize) -> Option<(usize, bool)> {
     if let Some(i) = deques[w].lock().expect("deque poisoned").pop_front() {
-        return Some(i);
+        return Some((i, false));
     }
     let k = deques.len();
     for off in 1..k {
         let victim = (w + off) % k;
         if let Some(i) = deques[victim].lock().expect("deque poisoned").pop_back() {
-            return Some(i);
+            return Some((i, true));
         }
     }
     None
@@ -596,5 +824,143 @@ mod tests {
     fn empty_chunked_slice_is_fine() {
         let mut v: Vec<u8> = Vec::new();
         for_each_chunk_mut(&mut v, 8, 4, |_, _| unreachable!("no chunks"));
+    }
+
+    #[test]
+    fn chunk_stats_land_on_their_own_chunk() {
+        for threads in [1, 3, 8] {
+            let mut v: Vec<u64> = (0..100).collect();
+            let mut sums = vec![0u64; 100usize.div_ceil(7)];
+            let per_worker =
+                for_each_chunk_mut_stat(&mut v, &mut sums, 7, threads, |_, chunk, sum| {
+                    *sum = chunk.iter().sum();
+                });
+            let expected: Vec<u64> = (0..100u64)
+                .collect::<Vec<_>>()
+                .chunks(7)
+                .map(|c| c.iter().sum())
+                .collect();
+            assert_eq!(sums, expected, "threads={threads}");
+            assert_eq!(
+                per_worker.iter().sum::<u64>(),
+                sums.len() as u64,
+                "every chunk counted exactly once"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one stat slot per chunk")]
+    fn chunk_stats_arity_is_checked() {
+        let mut v = vec![0u8; 10];
+        let mut s = vec![0u8; 1];
+        let _ = for_each_chunk_mut_stat(&mut v, &mut s, 4, 2, |_, _, _| {});
+    }
+
+    #[test]
+    fn profile_counts_own_and_stolen_cells() {
+        use consensus_obs::TickClock;
+        for threads in [1, 2, 4] {
+            let profile = PoolProfile::new();
+            let clock = TickClock::new();
+            let out = try_run_indexed_profiled(
+                24,
+                threads,
+                &CancelToken::new(),
+                &clock,
+                |i| i * 2,
+                |_, _| {},
+                &profile,
+            )
+            .unwrap();
+            assert_eq!(out.len(), 24);
+            assert_eq!(profile.cells_run(), 24, "threads={threads}");
+            let durations = profile.cell_durations_ns();
+            assert_eq!(durations.len(), 24, "tick clock times every cell");
+            assert_eq!(
+                durations.iter().map(|&(c, _)| c).collect::<Vec<_>>(),
+                (0..24).collect::<Vec<_>>(),
+                "durations are reported per cell, ascending"
+            );
+            let workers = profile.workers();
+            assert!(workers.len() <= threads);
+            assert!(workers.iter().all(|w| w.worker < threads));
+        }
+    }
+
+    #[test]
+    fn null_clock_skips_durations_but_keeps_counts() {
+        let profile = PoolProfile::new();
+        let _ = try_run_indexed_profiled(
+            9,
+            3,
+            &CancelToken::new(),
+            &NullClock,
+            |i| i,
+            |_, _| {},
+            &profile,
+        )
+        .unwrap();
+        assert_eq!(profile.cells_run(), 9);
+        assert!(profile.cell_durations_ns().is_empty());
+    }
+
+    /// Regression: a panicking cell must not lose the run's queue/steal
+    /// statistics — the profile stays a complete census so post-mortem
+    /// traces of failed cells see the full picture.
+    #[test]
+    fn profile_is_complete_even_when_a_cell_panics() {
+        use consensus_obs::TickClock;
+        for threads in [1, 2, 4] {
+            let profile = PoolProfile::new();
+            let clock = TickClock::new();
+            let err = try_run_indexed_profiled(
+                16,
+                threads,
+                &CancelToken::new(),
+                &clock,
+                |i| {
+                    assert!(i != 5, "cell five is poisoned");
+                    i
+                },
+                |_, _| {},
+                &profile,
+            )
+            .unwrap_err();
+            assert_eq!(err.cells(), vec![5]);
+            assert_eq!(
+                profile.cells_run(),
+                16,
+                "threads={threads}: panicked cell still counted"
+            );
+            assert!(
+                profile.cell_durations_ns().iter().any(|&(c, _)| c == 5),
+                "threads={threads}: the poisoned cell is timed too"
+            );
+        }
+    }
+
+    #[test]
+    fn stealing_is_visible_in_the_profile() {
+        // Worker 0 sleeps on its first cell; with 2 workers the other
+        // one must steal from its deque to drain the grid.
+        let profile = PoolProfile::new();
+        let _ = try_run_indexed_profiled(
+            16,
+            2,
+            &CancelToken::new(),
+            &NullClock,
+            |i| {
+                if i == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                }
+                i
+            },
+            |_, _| {},
+            &profile,
+        )
+        .unwrap();
+        assert_eq!(profile.cells_run(), 16);
+        assert!(profile.steals() > 0, "slow worker forces steals");
     }
 }

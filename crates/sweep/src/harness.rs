@@ -24,7 +24,8 @@
 //! index, a subset run is bit-identical to the same cells of a full
 //! run — the property that makes cell-exact resume possible at all.
 
-use consensus_pool::CancelToken;
+use consensus_obs::{lane, TraceHandle, PROFILE_SHARD};
+use consensus_pool::{CancelToken, PoolProfile};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -198,6 +199,25 @@ pub struct Sweep<C> {
     cells: Vec<C>,
     base_seed: u64,
     threads: usize,
+    trace: TraceHandle,
+}
+
+/// Converts a completed [`PoolProfile`] into profile-class events on
+/// the run-level `(PROFILE_SHARD, lane::POOL)` recorder: per-worker
+/// own/stolen cell counts plus per-cell durations when the trace's
+/// clock produces timestamps. A no-op on a disabled handle.
+fn emit_pool_profile(trace: &TraceHandle, profile: &PoolProfile) {
+    let Some(mut rec) = trace.recorder(PROFILE_SHARD, lane::POOL) else {
+        return;
+    };
+    for w in profile.workers() {
+        rec.profile_counter("pool_worker_own", w.worker as u64, w.own);
+        rec.profile_counter("pool_worker_stolen", w.worker as u64, w.stolen);
+    }
+    for (cell, ns) in profile.cell_durations_ns() {
+        rec.profile_counter("pool_cell_ns", cell as u64, ns);
+    }
+    trace.commit(rec);
 }
 
 /// The default base seed; chosen so unconfigured sweeps are still fully
@@ -213,7 +233,21 @@ impl<C: Sync> Sweep<C> {
             cells,
             base_seed: DEFAULT_BASE_SEED,
             threads: pool::default_threads(),
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Attaches a [`TraceHandle`]. When enabled, every cell records a
+    /// `cell` span on `(shard = cell index, lane = SWEEP)` and the run
+    /// commits a pool profile (worker own/stolen counts, per-cell
+    /// durations under a timing clock) on `(PROFILE_SHARD, POOL)`.
+    ///
+    /// Tracing is observation only: results, per-cell seeds, and
+    /// failure reporting are bit-identical with tracing on or off.
+    #[must_use]
+    pub fn trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Sets the base seed all per-cell seeds are derived from.
@@ -270,9 +304,33 @@ impl<C: Sync> Sweep<C> {
         R: Send,
         F: Fn(&C, CellCtx) -> R + Sync,
     {
+        if self.trace.is_enabled() {
+            return self
+                .try_run(f)
+                .unwrap_or_else(|e| panic!("traced sweep failed: {e}"));
+        }
         pool::run_indexed(self.cells.len(), self.threads, |i| {
             f(&self.cells[i], self.ctx(i))
         })
+    }
+
+    /// Runs cell `i` with a `cell` span around the runner when tracing
+    /// is enabled; the plain runner otherwise.
+    fn run_spanned<R, F>(&self, i: usize, f: &F) -> R
+    where
+        F: Fn(&C, CellCtx) -> R,
+    {
+        let ctx = self.ctx(i);
+        match self.trace.recorder(i as u64, lane::SWEEP) {
+            None => f(&self.cells[i], ctx),
+            Some(mut rec) => {
+                rec.span_begin("cell", i as u64);
+                let r = f(&self.cells[i], ctx);
+                rec.span_end("cell", i as u64);
+                self.trace.commit(rec);
+                r
+            }
+        }
     }
 
     /// Like [`Sweep::run`], but panicking cells are reported as a
@@ -289,6 +347,26 @@ impl<C: Sync> Sweep<C> {
         R: Send,
         F: Fn(&C, CellCtx) -> R + Sync,
     {
+        if self.trace.is_enabled() {
+            let profile = PoolProfile::new();
+            let clock = self.trace.clock();
+            let res = pool::try_run_indexed_profiled(
+                self.cells.len(),
+                self.threads,
+                &CancelToken::new(),
+                &*clock,
+                |i| self.run_spanned(i, &f),
+                |_, _| {},
+                &profile,
+            );
+            emit_pool_profile(&self.trace, &profile);
+            return res.map_err(|e| self.enrich(e)).map(|packed| {
+                packed
+                    .into_iter()
+                    .map(|r| r.expect("no cancel token raised: every cell ran"))
+                    .collect()
+            });
+        }
         pool::try_run_indexed(self.cells.len(), self.threads, |i| {
             f(&self.cells[i], self.ctx(i))
         })
@@ -329,17 +407,22 @@ impl<C: Sync> Sweep<C> {
     {
         assert_eq!(todo.len(), self.cells.len(), "one mask entry per cell");
         let indices: Vec<usize> = (0..self.cells.len()).filter(|&i| todo[i]).collect();
-        let packed = pool::try_run_indexed_observed(
+        let profile = PoolProfile::new();
+        let clock = self.trace.clock();
+        let res = pool::try_run_indexed_profiled(
             indices.len(),
             self.threads,
             cancel,
-            |j| {
-                let i = indices[j];
-                f(&self.cells[i], self.ctx(i))
-            },
+            &*clock,
+            |j| self.run_spanned(indices[j], &f),
             |j, r| observe(indices[j], r),
-        )
-        .map_err(|e| {
+            &profile,
+        );
+        // The profile is complete even when cells panicked (the pool
+        // flushes worker stats before reporting failures), so commit it
+        // before mapping the error.
+        emit_pool_profile(&self.trace, &profile);
+        let packed = res.map_err(|e| {
             self.enrich(consensus_pool::PoolError {
                 failures: e
                     .failures
@@ -557,6 +640,90 @@ mod tests {
             seen,
             (4..9).map(|i| (i, i as u64 * 2)).collect::<Vec<_>>(),
             "observer fires once per todo cell with its result"
+        );
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_to_untraced() {
+        let cells: Vec<u64> = (0..17).collect();
+        let runner = |&c: &u64, ctx: CellCtx| {
+            let mut rng = ctx.rng();
+            (c, ctx.seed, rng.random_range(0.0f64..1.0))
+        };
+        let plain = Sweep::new(cells.clone()).seed(21).threads(4).run(runner);
+        let trace = consensus_obs::TraceHandle::enabled();
+        let traced = Sweep::new(cells)
+            .seed(21)
+            .threads(4)
+            .trace(trace.clone())
+            .run(runner);
+        assert_eq!(plain, traced, "tracing must not perturb results");
+        let s = trace.merged();
+        assert_eq!(
+            s.events_for_span("cell").len(),
+            2 * 17,
+            "one begin/end pair per cell"
+        );
+        assert_eq!(s.content(), s.content(), "content stream is a stable value");
+    }
+
+    #[test]
+    fn traced_content_stream_is_thread_count_invariant() {
+        let contents: Vec<_> = [1usize, 5]
+            .iter()
+            .map(|&threads| {
+                let trace = consensus_obs::TraceHandle::enabled();
+                let _ = Sweep::new((0u64..23).collect())
+                    .seed(9)
+                    .threads(threads)
+                    .trace(trace.clone())
+                    .run(|&c, ctx| c.wrapping_mul(ctx.seed));
+                trace.merged().content()
+            })
+            .collect();
+        assert_eq!(contents[0], contents[1]);
+    }
+
+    #[test]
+    fn traced_pool_profile_counts_every_cell() {
+        let trace = consensus_obs::TraceHandle::enabled();
+        let sweep = Sweep::new((0u64..12).collect())
+            .seed(2)
+            .threads(3)
+            .trace(trace.clone());
+        let _ = sweep.try_run(|&c, _| c).unwrap();
+        let s = trace.merged();
+        assert_eq!(
+            s.counter_total("pool_worker_own") + s.counter_total("pool_worker_stolen"),
+            12,
+            "profile accounts for all cells"
+        );
+        // Profile events never reach the content stream.
+        assert_eq!(s.content().counter_total("pool_worker_own"), 0);
+    }
+
+    #[test]
+    fn traced_try_run_where_profiles_even_on_panic() {
+        let trace = consensus_obs::TraceHandle::enabled();
+        let sweep = Sweep::new((0u64..8).collect())
+            .seed(4)
+            .threads(2)
+            .trace(trace.clone());
+        let mask = vec![true; 8];
+        let err = sweep
+            .try_run_where(
+                &mask,
+                &CancelToken::new(),
+                |&c, _| assert!(c != 3, "poisoned"),
+                |_, _| {},
+            )
+            .unwrap_err();
+        assert_eq!(err.failures()[0].cell, 3);
+        let s = trace.merged();
+        assert_eq!(
+            s.counter_total("pool_worker_own") + s.counter_total("pool_worker_stolen"),
+            8,
+            "panicking cells still counted in the profile"
         );
     }
 

@@ -45,6 +45,8 @@ pub struct GreedyValencyAdversary {
     block_len: usize,
     /// Pool workers for the per-step candidate forks (1 = serial).
     fork_threads: usize,
+    trace: consensus_obs::TraceHandle,
+    trace_shard: u64,
 }
 
 impl GreedyValencyAdversary {
@@ -67,7 +69,26 @@ impl GreedyValencyAdversary {
             probes,
             block_len,
             fork_threads: 1,
+            trace: consensus_obs::TraceHandle::disabled(),
+            trace_shard: 0,
         }
+    }
+
+    /// Attaches a [`consensus_obs::TraceHandle`]: each driver the
+    /// adversary hands out records one `probe_step` span per adversary
+    /// step on `(shard, lane::PROBE)`, with the chosen candidate, the
+    /// recorded `δ̂`, and the candidate count. The events are
+    /// content-class: the greedy argmax reduces candidate scores in
+    /// index order, so the stream is bit-identical at every
+    /// [`GreedyValencyAdversary::threads`] setting.
+    ///
+    /// The step events are committed by [`ValencyDriver::into_record`];
+    /// a driver dropped without it loses its (observation-only) trace.
+    #[must_use]
+    pub fn trace(mut self, trace: consensus_obs::TraceHandle, shard: u64) -> Self {
+        self.trace = trace;
+        self.trace_shard = shard;
+        self
     }
 
     /// Dispatches the per-step candidate forks onto `threads` pool
@@ -121,6 +142,9 @@ impl GreedyValencyAdversary {
     pub fn driver(&self) -> ValencyDriver<'_> {
         ValencyDriver {
             adv: self,
+            rec: self
+                .trace
+                .recorder(self.trace_shard, consensus_obs::lane::PROBE),
             record: AdversaryTrace {
                 block_len: self.block_len,
                 deltas: Vec::new(),
@@ -168,6 +192,7 @@ impl GreedyValencyAdversary {
 pub struct ValencyDriver<'a> {
     adv: &'a GreedyValencyAdversary,
     record: AdversaryTrace,
+    rec: Option<consensus_obs::Recorder>,
 }
 
 impl ValencyDriver<'_> {
@@ -178,9 +203,14 @@ impl ValencyDriver<'_> {
         &self.record
     }
 
-    /// Consumes the driver, returning the accumulated record.
+    /// Consumes the driver, returning the accumulated record, and
+    /// commits the driver's step recorder (if the adversary was traced)
+    /// into the shared trace store.
     #[must_use]
-    pub fn into_record(self) -> AdversaryTrace {
+    pub fn into_record(mut self) -> AdversaryTrace {
+        if let Some(rec) = self.rec.take() {
+            self.adv.trace.commit(rec);
+        }
         self.record
     }
 
@@ -237,12 +267,23 @@ where
 
     fn next_block(&mut self, exec: &Execution<A, D>, out: &mut Vec<Digraph>) {
         self.sample_initial(exec);
+        let step = self.record.chosen.len() as u64;
+        if let Some(rec) = &mut self.rec {
+            rec.span_begin("probe_step", step);
+        }
         let scores = self.score_candidates(exec);
         let (ci, d) = det_argmax(scores.iter().map(|&(d, _)| d)).expect("at least one candidate");
         debug_assert!(
             !d.is_nan(),
             "candidate {ci} produced a NaN valency diameter"
         );
+        if let Some(rec) = &mut self.rec {
+            rec.counter("probe_candidates", step, scores.len() as u64);
+            rec.counter("probe_chosen", step, ci as u64);
+            rec.gauge("delta", step, d);
+            rec.counter("probe_converged", step, u64::from(scores[ci].1));
+            rec.span_end("probe_step", step);
+        }
         self.record.deltas.push(d);
         self.record.chosen.push(ci);
         self.record.converged &= scores[ci].1;
@@ -468,6 +509,54 @@ mod tests {
             "Algorithm 1 is exactly 1/3-contracting under the Thm 1 adversary; got {rate}"
         );
         assert!(trace.satisfies_lower_bound(1.0 / 3.0, 1e-5));
+    }
+
+    #[test]
+    fn traced_drive_is_bit_identical_and_thread_invariant() {
+        let trace1 = consensus_obs::TraceHandle::enabled();
+        let adv1 = theorem1().trace(trace1.clone(), 0);
+        let mut e1 = Execution::new(TwoAgentThirds, &pts(&[0.0, 1.0]));
+        let r1 = adv1.drive(&mut e1, 6);
+
+        let plain = theorem1();
+        let mut e0 = Execution::new(TwoAgentThirds, &pts(&[0.0, 1.0]));
+        let r0 = plain.drive(&mut e0, 6);
+        assert_eq!(r1.deltas, r0.deltas, "tracing must not perturb the drive");
+        assert_eq!(r1.chosen, r0.chosen);
+
+        let s1 = trace1.merged();
+        assert_eq!(s1.events_for_span("probe_step").len(), 2 * 6);
+        assert_eq!(s1.gauge_values("delta").len(), 6);
+        assert_eq!(
+            s1.gauge_values("delta")[0].to_bits(),
+            r0.deltas[1].to_bits()
+        );
+        assert_eq!(s1.counter_total("probe_candidates") % 6, 0);
+
+        // Parallel candidate scoring: same content stream.
+        let trace4 = consensus_obs::TraceHandle::enabled();
+        let adv4 = theorem1().threads(4).trace(trace4.clone(), 0);
+        let mut e4 = Execution::new(TwoAgentThirds, &pts(&[0.0, 1.0]));
+        let r4 = adv4.drive(&mut e4, 6);
+        assert_eq!(r4.deltas, r0.deltas);
+        assert_eq!(trace4.merged().content(), s1.content());
+    }
+
+    #[test]
+    fn traced_probe_set_emits_per_probe_counters() {
+        use consensus_netmodel::NetworkModel;
+        let model = NetworkModel::deaf(&consensus_digraph::Digraph::complete(3));
+        let trace = consensus_obs::TraceHandle::enabled();
+        let probes = ProbeSet::deaf_continuations(&model).trace(trace.clone(), 7);
+        let exec = Execution::new(Midpoint, &pts(&[0.0, 0.25, 1.0]));
+        let est = probes.estimate(&exec);
+        assert!(est.converged);
+        let s = trace.merged();
+        let n_probes = probes.patterns().len();
+        assert_eq!(s.events_for_span("probe").len(), 2 * n_probes);
+        assert_eq!(s.counter_total("probe_converged"), n_probes as u64);
+        assert!(s.counter_total("probe_rounds") > 0, "probes ran rounds");
+        assert!(s.events.iter().all(|e| e.shard == 7));
     }
 
     #[test]

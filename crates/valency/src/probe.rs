@@ -158,6 +158,8 @@ pub struct ProbeSet {
     family: ProbeFamily,
     strict: bool,
     threads: usize,
+    trace: consensus_obs::TraceHandle,
+    trace_shard: u64,
     /// Convergence tolerance for probe runs.
     pub tol: f64,
     /// Probe horizon (rounds) — probes stop early on convergence.
@@ -182,9 +184,28 @@ impl ProbeSet {
             family,
             strict: false,
             threads: 1,
+            trace: consensus_obs::TraceHandle::disabled(),
+            trace_shard: 0,
             tol: 1e-12,
             max_rounds: 600,
         }
+    }
+
+    /// Attaches a [`consensus_obs::TraceHandle`]: every estimate
+    /// commits per-probe `probe` spans plus `probe_rounds` /
+    /// `probe_converged` counters on `(shard, lane::PROBE)`.
+    ///
+    /// Probe events are content-class — a pure function of the probed
+    /// configuration — so a traced estimate is bit-identical at every
+    /// [`ProbeSet::threads`] setting. Callers tracing **concurrent**
+    /// estimates must give each call site its own `shard` (serial
+    /// repeated estimates on one shard merge deterministically in call
+    /// order).
+    #[must_use]
+    pub fn trace(mut self, trace: consensus_obs::TraceHandle, shard: u64) -> Self {
+        self.trace = trace;
+        self.trace_shard = shard;
+        self
     }
 
     /// One constant probe `G^ω` per graph of the model — the generic
@@ -323,6 +344,19 @@ impl ProbeSet {
                 .map(|p| p.limit(exec, self.tol, self.max_rounds))
                 .collect()
         };
+        if let Some(mut rec) = self
+            .trace
+            .recorder(self.trace_shard, consensus_obs::lane::PROBE)
+        {
+            for (i, r) in runs.iter().enumerate() {
+                let i = i as u64;
+                rec.span_begin("probe", i);
+                rec.counter("probe_rounds", i, r.rounds);
+                rec.counter("probe_converged", i, u64::from(r.converged));
+                rec.span_end("probe", i);
+            }
+            self.trace.commit(rec);
+        }
         let truncated = runs.iter().position(|r| !r.converged);
         if self.strict {
             if let Some(pattern) = truncated {
